@@ -1,0 +1,608 @@
+(* Benchmark harness: regenerates every table and figure of the
+   dissertation's evaluation (see DESIGN.md's per-experiment index) and
+   times the core algorithms with Bechamel.
+
+   Usage: main.exe [--skip-bechamel] [--only PREFIX]
+   e.g. --only ch4 runs only the Chapter 4 experiments. *)
+
+open Mcs_cdfg
+open Mcs_core
+module C = Mcs_connect.Connection
+module Sched = Mcs_sched.Schedule
+
+let fmt = Format.std_formatter
+let section title = Format.fprintf fmt "@.==== %s ====@.@." title
+let only = ref ""
+let skip_bechamel = ref false
+
+let want tag =
+  !only = ""
+  || String.length tag >= String.length !only
+     && String.equal (String.sub tag 0 (String.length !only)) !only
+
+let pipe_or sched = string_of_int (Sched.pipe_length sched)
+
+let verify_or_die tag sched =
+  match Sched.verify sched with
+  | Ok () -> ()
+  | Error m -> failwith (Printf.sprintf "%s: invalid schedule: %s" tag m)
+
+(* ---- Chapter 3: Figures 3.6 and 3.7 ---- *)
+
+let ch3 () =
+  section "E3.6 - AR filter, simple partitioning (Figs. 3.5-3.7)";
+  let d = Benchmarks.ar_simple () in
+  match Simple_part.run d ~rate:2 with
+  | Error m -> Format.fprintf fmt "FAILED: %s@." m
+  | Ok r ->
+      verify_or_die "ch3" r.schedule;
+      Format.fprintf fmt
+        "Schedule of the simple-partition AR filter (cf. Fig. 3.6), \
+         initiation rate 2:@.%a@."
+        Report.schedule r.schedule;
+      Format.fprintf fmt
+        "@.Interchip connection per Theorem 3.1 (cf. Fig. 3.7):@.%a@."
+        Report.bundles r.links;
+      Report.table fmt ~title:"Pins used per chip (budgets 112/48/48/32/32)"
+        ~header:[ "P0"; "P1"; "P2"; "P3"; "P4" ]
+        [ Report.pins_row r.pins_needed ];
+      Format.fprintf fmt "@.Pipe length: %s control steps@."
+        (pipe_or r.schedule)
+
+(* ---- Chapter 4: Tables 4.1-4.19, Figures 4.8-4.28 ---- *)
+
+let ch4_design tag (d : Benchmarks.design) mode rates =
+  let mode_name =
+    match mode with C.Unidir -> "unidirectional" | C.Bidir -> "bidirectional"
+  in
+  section
+    (Printf.sprintf "E4 - %s, %s I/O ports (cf. Tables %s)" d.Benchmarks.tag
+       mode_name tag);
+  let parts =
+    Mcs_util.Listx.range 0 (Cdfg.n_partitions d.Benchmarks.cdfg + 1)
+  in
+  let cons_rows =
+    List.map
+      (fun rate ->
+        let cons =
+          match mode with
+          | C.Unidir -> Benchmarks.constraints_for d ~rate
+          | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate
+        in
+        string_of_int rate
+        :: List.map
+             (fun p ->
+               let fus =
+                 List.filter_map
+                   (fun ty ->
+                     let n = Constraints.fu_count cons ~partition:p ~optype:ty in
+                     if n > 0 then
+                       Some
+                         (Printf.sprintf "%d%s" n
+                            (match ty with
+                            | "add" -> "+"
+                            | "mul" -> "*"
+                            | t -> t))
+                     else None)
+                   [ "add"; "mul" ]
+               in
+               Printf.sprintf "%dP %s" (Constraints.pins cons p)
+                 (String.concat " " fus))
+             parts)
+      rates
+  in
+  Report.table fmt
+    ~title:"Resource constraints (cf. Tables 4.1 / 4.9 / 4.14 / 4.17)"
+    ~header:("Rate" :: List.map (fun p -> "P" ^ string_of_int p) parts)
+    cons_rows;
+  Format.fprintf fmt "@.";
+  let summary =
+    List.map
+      (fun rate ->
+        match Pre_connect.run_design d ~rate ~mode with
+        | Error m ->
+            Format.fprintf fmt "rate %d: FAILED (%s)@." rate m;
+            [ string_of_int rate; "no schedule" ]
+        | Ok r ->
+            verify_or_die "ch4" r.schedule;
+            Format.fprintf fmt
+              "-- Initiation rate %d: interchip connection (cf. Figs. \
+               4.8-4.10 / 4.14-4.16 / 4.21-4.26):@.%a@."
+              rate
+              (Report.connection d.Benchmarks.cdfg)
+              r.connection;
+            Format.fprintf fmt "@.";
+            Report.bus_assignment d.Benchmarks.cdfg fmt
+              ~initial:r.initial_assignment ~final:r.final_assignment;
+            Format.fprintf fmt "@.";
+            Report.bus_allocation d.Benchmarks.cdfg ~rate fmt r.allocation;
+            Format.fprintf fmt
+              "@.Schedule (cf. Figs. 4.11-4.13 / 4.17-4.19 / \
+               4.23-4.28):@.%a@.@."
+              Report.schedule r.schedule;
+            string_of_int rate
+            :: (Report.pins_row r.pins
+               @ [
+                   pipe_or r.schedule;
+                   (match r.static_pipe_length with
+                   | Some n -> string_of_int n
+                   | None -> "fail");
+                 ]))
+      rates
+  in
+  Report.table fmt
+    ~title:
+      "Summary (cf. Tables 4.2 / 4.10): pins used and control steps with / \
+       without bus reassignment"
+    ~header:
+      ("Rate"
+      :: (List.map (fun p -> "P" ^ string_of_int p) parts
+         @ [ "w/ reass."; "w/o reass." ]))
+    summary;
+  Format.fprintf fmt "@."
+
+let ch4 () =
+  let ar = Benchmarks.ar_general () in
+  ch4_design "4.1-4.8" ar C.Unidir ar.Benchmarks.rates;
+  ch4_design "4.9-4.13" ar C.Bidir ar.Benchmarks.rates;
+  let e = Benchmarks.elliptic () in
+  ch4_design "4.14-4.16" e C.Unidir e.Benchmarks.rates;
+  ch4_design "4.17-4.19" e C.Bidir e.Benchmarks.rates
+
+(* ---- Chapter 5: Tables 5.1-5.4 ---- *)
+
+let ch5_grid tag (d : Benchmarks.design) mode ~rates ~pls =
+  section
+    (Printf.sprintf "E5 - %s: FDS + clique partitioning (cf. Table %s)"
+       d.Benchmarks.tag tag);
+  let parts =
+    Mcs_util.Listx.range 0 (Cdfg.n_partitions d.Benchmarks.cdfg + 1)
+  in
+  let rows =
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun pl ->
+            match Post_connect.run_design d ~rate ~pipe_length:pl ~mode with
+            | Error _ ->
+                [ string_of_int rate; string_of_int pl; "infeasible" ]
+            | Ok r ->
+                verify_or_die "ch5" r.schedule;
+                let fus ty =
+                  String.concat "/"
+                    (List.map
+                       (fun p ->
+                         match List.assoc_opt (p, ty) r.fus with
+                         | Some n -> string_of_int n
+                         | None -> "0")
+                       (List.tl parts))
+                in
+                [ string_of_int rate; string_of_int pl ]
+                @ Report.pins_row r.pins
+                @ [ fus "add"; fus "mul" ])
+          pls)
+      rates
+  in
+  Report.table fmt
+    ~title:"Resources required vs initiation rate and pipe length"
+    ~header:
+      ([ "Rate"; "PipeLen" ]
+      @ List.map (fun p -> "P" ^ string_of_int p) parts
+      @ [ "Adders"; "Multipliers" ])
+    rows;
+  Format.fprintf fmt "@."
+
+let ch5_compare tag (d : Benchmarks.design) mode =
+  section
+    (Printf.sprintf
+       "E5 - %s: Chapter 4 technique on the same points (cf. Table %s)"
+       d.Benchmarks.tag tag);
+  let parts =
+    Mcs_util.Listx.range 0 (Cdfg.n_partitions d.Benchmarks.cdfg + 1)
+  in
+  let cons_of rate =
+    match mode with
+    | C.Unidir -> Benchmarks.constraints_for d ~rate
+    | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate
+  in
+  let rows =
+    List.map
+      (fun rate ->
+        match Pre_connect.run_design d ~rate ~mode with
+        | Error m -> [ string_of_int rate; "FAILED: " ^ m ]
+        | Ok r ->
+            (* The paper's parenthesized figures: the same flow after
+               postponement/rerun improvement. *)
+            let improved =
+              match
+                Improve.pre_connect d.Benchmarks.cdfg d.Benchmarks.mlib
+                  (cons_of rate) ~rate ~mode ()
+              with
+              | Ok b ->
+                  Printf.sprintf "(%d)"
+                    (Sched.pipe_length b.Pre_connect.schedule)
+              | Error _ -> "(-)"
+            in
+            string_of_int rate
+            :: (Report.pins_row r.pins
+               @ [ pipe_or r.schedule ^ " " ^ improved ]))
+      d.Benchmarks.rates
+  in
+  Report.table fmt
+    ~title:
+      "Pipe length under the Chapter 4 flow (parenthesized: after        postponement improvement, cf. the paper's Table 5.2/5.4 notes)"
+    ~header:
+      ("Rate"
+      :: (List.map (fun p -> "P" ^ string_of_int p) parts @ [ "PipeLen" ]))
+    rows;
+  Format.fprintf fmt "@."
+
+let ch5 () =
+  let ar = Benchmarks.ar_general () in
+  ch5_grid "5.1" ar C.Bidir ~rates:[ 3; 4; 5 ] ~pls:[ 6; 7; 8; 9; 10 ];
+  ch5_compare "5.2" ar C.Bidir;
+  let e = Benchmarks.elliptic () in
+  ch5_grid "5.3" e C.Unidir ~rates:[ 5; 6; 7 ] ~pls:[ 25; 26; 27; 28 ];
+  ch5_compare "5.4" e C.Unidir
+
+(* ---- Chapter 6: Tables 6.1-6.4, Figures 6.2-6.7 ---- *)
+
+let ch6 () =
+  section "E6 - sharing buses in a cycle (cf. Tables 6.1-6.4)";
+  let d = Benchmarks.ar_general () in
+  let comparison =
+    List.filter_map
+      (fun rate ->
+        let nosharing =
+          match Pre_connect.run_design d ~rate ~mode:C.Bidir with
+          | Ok r ->
+              Some (Mcs_util.Listx.sum snd r.pins, Sched.pipe_length r.schedule)
+          | Error _ -> None
+        in
+        match Subbus.run_design d ~rate with
+        | Error m ->
+            Format.fprintf fmt "rate %d: sharing flow FAILED (%s)@." rate m;
+            None
+        | Ok t ->
+            verify_or_die "ch6" t.schedule;
+            Format.fprintf fmt
+              "-- Initiation rate %d: bus structure (cf. Figs. 6.2-6.4; ' \
+               and '' mark sub-bus slices):@.%a@."
+              rate
+              (Report.real_buses d.Benchmarks.cdfg)
+              t.real_buses;
+            (* Bus assignment with slices (cf. Tables 6.1-6.3). *)
+            Report.table fmt
+              ~title:"I/O operation to bus assignment (cf. Tables 6.1-6.3)"
+              ~header:[ "Operation"; "Bus.slice" ]
+              (List.map
+                 (fun (op, (bus, slice)) ->
+                   [
+                     Cdfg.name d.Benchmarks.cdfg op;
+                     Printf.sprintf "C%d%s" (bus + 1)
+                       (match slice with
+                       | Subbus.Lo -> "'"
+                       | Subbus.Hi -> "''"
+                       | Subbus.Whole -> "");
+                   ])
+                 t.final_assignment);
+            Format.fprintf fmt "@.Schedule (cf. Figs. 6.5-6.7):@.%a@.@."
+              Report.schedule t.schedule;
+            let sh_pins = Mcs_util.Listx.sum snd t.pins in
+            Some
+              [
+                string_of_int rate;
+                (match nosharing with
+                | Some (p, _) -> string_of_int p
+                | None -> "-");
+                (match nosharing with
+                | Some (_, l) -> string_of_int l
+                | None -> "-");
+                string_of_int sh_pins;
+                pipe_or t.schedule;
+              ])
+      d.Benchmarks.rates
+  in
+  Report.table fmt
+    ~title:
+      "Comparison (cf. Table 6.4): total pins and pipe length, bidirectional \
+       ports"
+    ~header:
+      [ "Rate"; "Pins (no shr)"; "Pipe (no shr)"; "Pins (shr)"; "Pipe (shr)" ]
+    comparison;
+  Format.fprintf fmt "@.";
+  let demo = Benchmarks.subbus_demo () in
+  let ch4r =
+    match Pre_connect.run_design demo ~rate:3 ~mode:C.Bidir with
+    | Ok r ->
+        Printf.sprintf "feasible (%d pins)" (Mcs_util.Listx.sum snd r.pins)
+    | Error _ -> "infeasible"
+  in
+  match Subbus.run_design demo ~rate:3 with
+  | Ok t ->
+      verify_or_die "ch6-demo" t.schedule;
+      Format.fprintf fmt
+        "Sub-bus demo (one 32-bit + four 8-bit transfers, 40-pin budget): \
+         without sharing: %s; with sharing: feasible (%d pins, pipe %s)@.%a@."
+        ch4r
+        (Mcs_util.Listx.sum snd t.pins)
+        (pipe_or t.schedule)
+        (Report.real_buses demo.Benchmarks.cdfg)
+        t.real_buses
+  | Error m -> Format.fprintf fmt "sub-bus demo FAILED: %s@." m
+
+(* ---- Chapter 7 ---- *)
+
+let ch7 () =
+  section "E7 - extensions (Chapter 7)";
+  let yes =
+    Extensions.Recursion.theorem71_instance ~tasks:3
+      ~precedence:[ (1, 2); (2, 3) ]
+      ~machines:1 ~deadline:3
+  in
+  let no =
+    Extensions.Recursion.theorem71_instance ~tasks:4
+      ~precedence:[ (1, 2); (2, 3); (3, 4) ]
+      ~machines:1 ~deadline:3
+  in
+  let run (cdfg, cons, mlib, rate) =
+    ( Extensions.Recursion.schedulable_sharing_one_bus cdfg cons mlib ~rate,
+      Extensions.Recursion.schedulable_with_two_buses cdfg cons mlib ~rate )
+  in
+  let y1, y2 = run yes and n1, n2 = run no in
+  Report.table fmt
+    ~title:
+      "Theorem 7.1: forcing two I/O operations onto one bus encodes \
+       precedence-constrained scheduling"
+    ~header:[ "PCS instance"; "one bus"; "two buses" ]
+    [
+      [ "3-chain, deadline 3 (yes)"; string_of_bool y1; string_of_bool y2 ];
+      [ "4-chain, deadline 3 (no)"; string_of_bool n1; string_of_bool n2 ];
+    ];
+  Format.fprintf fmt "@.";
+  let d = Benchmarks.cond_demo () in
+  let groups =
+    Extensions.Cond_share.run d.cdfg d.mlib ~rate:2 ~pipe_length:8 ()
+  in
+  Report.table fmt
+    ~title:
+      "Conditional I/O sharing (Fig. 7.7 heuristic) on the conditional demo"
+    ~header:[ "Shared slot group"; "Frame" ]
+    (List.map
+       (fun (g : Extensions.Cond_share.group) ->
+         [
+           String.concat " " (List.map (Cdfg.name d.cdfg) g.members);
+           Printf.sprintf "[%d, %d]" (fst g.frame) (snd g.frame);
+         ])
+       groups);
+  Format.fprintf fmt "Pins saved by conditional sharing: %d@.@."
+    (Extensions.Cond_share.pins_saved d.cdfg groups);
+  let ar = Benchmarks.ar_general () in
+  let before, after =
+    Extensions.Tdm.pin_effect ar.cdfg ~value:"a24" ~dst:3 ~parts:2
+  in
+  let cdfg' =
+    Extensions.Tdm.apply ar.cdfg ~value:"a24" ~dst:3 ~parts:2
+      ~split_optype:"split" ~merge_optype:"merge"
+  in
+  Format.fprintf fmt
+    "TDM (Fig. 7.8): splitting the 16-bit transfer X1 into 2 parts: %d -> %d \
+     pins on that path; CDFG grows %d -> %d nodes (split/merge glue).@.@."
+    before after (Cdfg.n_ops ar.cdfg) (Cdfg.n_ops cdfg');
+  let bad, good = Extensions.Multicycle.fragmentation_demo () in
+  Format.fprintf fmt
+    "Allocation wheel (Fig. 7.10): three 2-cycle ops on one wheel of rate 6 \
+     - Eq. 7.5 bound = %d FU; placement at groups {0,3} leaves no two \
+     adjacent free cells (third op fits: %b), placement at groups {0,2} does \
+     (fits: %b).@.@."
+    (Extensions.Multicycle.lower_bound ~ops:3 ~rate:6 ~cycles:2)
+    bad good
+
+(* ---- Data-path binding and functional verification ---- *)
+
+let rtl_and_verify () =
+  section "E-RTL - data-path binding and functional verification";
+  let rows = ref [] in
+  let add_design (d : Benchmarks.design) ~rate ~mode =
+    match Pre_connect.run_design d ~rate ~mode with
+    | Error m ->
+        Format.fprintf fmt "%s rate %d: flow failed (%s)@." d.Benchmarks.tag
+          rate m
+    | Ok r ->
+        let cons =
+          match mode with
+          | C.Unidir -> Benchmarks.constraints_for d ~rate
+          | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate
+        in
+        let sim =
+          match
+            Mcs_sim.Simulate.check_equivalent r.schedule
+              ~bus_of:(fun op -> [ List.assoc op r.final_assignment ])
+              ~bus_capable:(fun bus op ->
+                C.capable r.connection d.Benchmarks.cdfg ~bus op)
+              ~seed:2026 ~instances:8
+          with
+          | Ok () -> "machine == reference"
+          | Error m -> "MISMATCH: " ^ m
+        in
+        (match Mcs_rtl.Datapath.build r.schedule cons with
+        | Error m ->
+            Format.fprintf fmt "%s rate %d: binding failed (%s)@."
+              d.Benchmarks.tag rate m
+        | Ok rtl ->
+            let parts =
+              Mcs_util.Listx.range 1 (Cdfg.n_partitions d.Benchmarks.cdfg + 1)
+            in
+            rows :=
+              !rows
+              @ [
+                  [
+                    d.Benchmarks.tag;
+                    string_of_int rate;
+                    String.concat "/"
+                      (List.map
+                         (fun p ->
+                           string_of_int (Mcs_rtl.Datapath.register_count rtl p))
+                         parts);
+                    String.concat "/"
+                      (List.map
+                         (fun p ->
+                           string_of_int (Mcs_rtl.Datapath.mux_input_total rtl p))
+                         parts);
+                    sim;
+                  ];
+                ])
+  in
+  add_design (Benchmarks.ar_general ()) ~rate:3 ~mode:C.Unidir;
+  add_design (Benchmarks.ar_general ()) ~rate:4 ~mode:C.Unidir;
+  add_design (Benchmarks.ar_general ()) ~rate:5 ~mode:C.Unidir;
+  add_design (Benchmarks.elliptic ()) ~rate:6 ~mode:C.Unidir;
+  add_design (Benchmarks.elliptic ()) ~rate:7 ~mode:C.Unidir;
+  Report.table fmt
+    ~title:
+      "Registers and multiplexer fan-in per chip (cyclic left-edge binding), \
+       plus an 8-instance functional simulation against the CDFG semantics"
+    ~header:[ "Design"; "Rate"; "Registers"; "Mux fan-in"; "Simulation" ]
+    !rows;
+  Format.fprintf fmt "@."
+
+(* ---- Scaling study ---- *)
+
+let scaling () =
+  section
+    "E-scale - heuristic connection synthesis at sizes beyond the ILP \
+     (the paper's motivation for Fig. 4.3)";
+  let rows =
+    List.map
+      (fun (sections, chips) ->
+        let d = Benchmarks.ar_scaled ~sections ~chips in
+        let rate = List.hd d.Benchmarks.rates in
+        let t0 = Unix.gettimeofday () in
+        match Pre_connect.run_design d ~rate ~mode:C.Unidir with
+        | Error m ->
+            [ d.Benchmarks.tag; "-"; "-"; "-"; "FAILED: " ^ m ]
+        | Ok r ->
+            verify_or_die "scale" r.schedule;
+            [
+              d.Benchmarks.tag;
+              string_of_int (Cdfg.n_ops d.Benchmarks.cdfg);
+              string_of_int (Mcs_util.Listx.sum snd r.pins);
+              pipe_or r.schedule;
+              Printf.sprintf "%.2f s" (Unix.gettimeofday () -. t0);
+            ])
+      [ (4, 4); (8, 4); (16, 8); (32, 8); (48, 12) ]
+  in
+  Report.table fmt
+    ~title:
+      "Connection-first flow on scaled lattice filters (rate 4): the \
+       heuristic stays tractable where \"the run time to solve the ILP ... \
+       will grow drastically\" (1.3)"
+    ~header:[ "Design"; "Ops"; "Total pins"; "Pipe"; "Wall time" ]
+    rows;
+  Format.fprintf fmt "@."
+
+(* ---- Bechamel timing ---- *)
+
+let bechamel () =
+  section "Timing (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let ar = Benchmarks.ar_general () in
+  let ewf = Benchmarks.elliptic () in
+  let simple = Benchmarks.ar_simple () in
+  let cons3 = Benchmarks.constraints_for ar ~rate:3 in
+  let cons7 = Benchmarks.constraints_for ewf ~rate:7 in
+  let cons_s = Benchmarks.constraints_for simple ~rate:2 in
+  let tests =
+    [
+      Test.make ~name:"ch4-heuristic-search(ar,rate3)"
+        (Staged.stage (fun () ->
+             ignore
+               (Mcs_connect.Heuristic.search ar.cdfg cons3 ~rate:3
+                  ~mode:C.Unidir ())));
+      Test.make ~name:"ch3-pin-ilp-feasibility(ar-simple)"
+        (Staged.stage (fun () ->
+             ignore
+               (Simple_part.Pin_ilp.feasible simple.cdfg cons_s ~rate:2
+                  ~fixed:[])));
+      Test.make ~name:"ch5-fds(ewf,rate6,pl25)"
+        (Staged.stage (fun () ->
+             ignore
+               (Mcs_sched.Fds.run ewf.cdfg ewf.mlib ~rate:6 ~pipe_length:25 ())));
+      Test.make ~name:"list-sched(ewf,rate7)"
+        (Staged.stage (fun () ->
+             ignore
+               (Mcs_sched.List_sched.run ewf.cdfg ewf.mlib cons7 ~rate:7 ())));
+      Test.make ~name:"hungarian(40x40)"
+        (Staged.stage (fun () ->
+             let n = 40 in
+             let cost =
+               Array.init n (fun i ->
+                   Array.init n (fun j -> ((i * 7919) + (j * 104729)) mod 1000))
+             in
+             ignore (Mcs_graph.Hungarian.assignment cost)));
+      Test.make ~name:"ch5-clique-partitioning(ar,rate4,pl9)"
+        (Staged.stage (fun () ->
+             ignore
+               (Post_connect.run_design ar ~rate:4 ~pipe_length:9 ~mode:C.Bidir)));
+      Test.make ~name:"simplex(20x40,rational)"
+        (Staged.stage (fun () ->
+             let module R = Mcs_util.Ratio in
+             let n = 40 and m = 20 in
+             let rows =
+               List.init m (fun i ->
+                   ( Array.init n (fun j -> R.of_int (((i + j) mod 7) + 1)),
+                     Mcs_ilp.Simplex.Le,
+                     R.of_int 100 ))
+             in
+             let p =
+               {
+                 Mcs_ilp.Simplex.n_vars = n;
+                 objective = Array.init n (fun j -> R.of_int ((j mod 5) + 1));
+                 rows;
+               }
+             in
+             ignore (Mcs_ilp.Simplex.solve p)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"mcs" tests in
+  let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let time =
+        match Analyze.OLS.estimates est with
+        | Some (t :: _) ->
+            if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+            else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+            else Printf.sprintf "%.0f ns" t
+        | _ -> "n/a"
+      in
+      rows := [ name; time ] :: !rows)
+    results;
+  Report.table fmt ~title:"Estimated execution time per run"
+    ~header:[ "Algorithm"; "time" ]
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  List.iteri
+    (fun i a ->
+      if a = "--only" && i + 1 < List.length args then
+        only := List.nth args (i + 1);
+      if a = "--skip-bechamel" then skip_bechamel := true)
+    args;
+  if want "ch3" then ch3 ();
+  if want "ch4" then ch4 ();
+  if want "ch5" then ch5 ();
+  if want "ch6" then ch6 ();
+  if want "ch7" then ch7 ();
+  if want "rtl" then rtl_and_verify ();
+  if want "scale" then scaling ();
+  if not !skip_bechamel then bechamel ();
+  Format.fprintf fmt "@.All experiments completed.@."

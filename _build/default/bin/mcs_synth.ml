@@ -1,0 +1,185 @@
+(* mcs-synth: command-line front end for the multiple-chip synthesis flows.
+
+   Examples:
+     mcs-synth --design ar-general --rate 4 --flow ch4 --ports bidir
+     mcs-synth --design ar-simple  --rate 2 --flow ch3
+     mcs-synth --design elliptic   --rate 5 --flow ch5 --pipe-length 25
+     mcs-synth --design ar-general --rate 3 --flow ch6
+     mcs-synth --list *)
+
+open Mcs_cdfg
+open Mcs_core
+module C = Mcs_connect.Connection
+
+let fmt = Format.std_formatter
+
+let designs =
+  [
+    ("ar-simple", Benchmarks.ar_simple);
+    ("ar-general", Benchmarks.ar_general);
+    ("elliptic", Benchmarks.elliptic);
+    ("cond-demo", Benchmarks.cond_demo);
+    ("subbus-demo", Benchmarks.subbus_demo);
+  ]
+
+let list_designs () =
+  List.iter
+    (fun (name, mk) ->
+      let d = mk () in
+      Format.fprintf fmt "%-12s %a; evaluated at rates %s@." name
+        Cdfg.pp_stats d.Benchmarks.cdfg
+        (String.concat ", " (List.map string_of_int d.Benchmarks.rates)))
+    designs;
+  0
+
+let pins_table (d : Benchmarks.design) pins =
+  Report.table fmt ~title:"Pins used per partition"
+    ~header:
+      (List.map
+         (fun p -> "P" ^ string_of_int p)
+         (Mcs_util.Listx.range 0 (Cdfg.n_partitions d.Benchmarks.cdfg + 1)))
+    [ Report.pins_row pins ]
+
+let run_ch3 d ~rate =
+  match Simple_part.run d ~rate with
+  | Error m ->
+      Format.fprintf fmt "synthesis failed: %s@." m;
+      1
+  | Ok r ->
+      Format.fprintf fmt "Schedule:@.%a@.@." Report.schedule r.schedule;
+      Format.fprintf fmt "Theorem 3.1 connection:@.%a@.@." Report.bundles r.links;
+      pins_table d r.pins_needed;
+      0
+
+let run_ch4 d ~rate ~mode =
+  match Pre_connect.run_design d ~rate ~mode with
+  | Error m ->
+      Format.fprintf fmt "synthesis failed: %s@." m;
+      1
+  | Ok r ->
+      Format.fprintf fmt "Interchip connection:@.%a@.@."
+        (Report.connection d.Benchmarks.cdfg)
+        r.connection;
+      Report.bus_assignment d.Benchmarks.cdfg fmt ~initial:r.initial_assignment
+        ~final:r.final_assignment;
+      Format.fprintf fmt "@.";
+      Report.bus_allocation d.Benchmarks.cdfg ~rate fmt r.allocation;
+      Format.fprintf fmt "@.Schedule:@.%a@.@." Report.schedule r.schedule;
+      pins_table d r.pins;
+      Format.fprintf fmt "@.pipe length: %d (static assignment: %s)@."
+        (Mcs_sched.Schedule.pipe_length r.schedule)
+        (match r.static_pipe_length with
+        | Some n -> string_of_int n
+        | None -> "unschedulable");
+      0
+
+let run_ch5 d ~rate ~pipe_length ~mode =
+  match Post_connect.run_design d ~rate ~pipe_length ~mode with
+  | Error m ->
+      Format.fprintf fmt "synthesis failed: %s@." m;
+      1
+  | Ok r ->
+      Format.fprintf fmt "Schedule (force-directed):@.%a@.@." Report.schedule
+        r.schedule;
+      Format.fprintf fmt "Connection (clique partitioning):@.%a@.@."
+        (Report.connection d.Benchmarks.cdfg)
+        r.connection;
+      pins_table d r.pins;
+      Format.fprintf fmt "@.Functional units implied:@.";
+      List.iter
+        (fun ((p, ty), n) -> Format.fprintf fmt "  P%d: %d %s@." p n ty)
+        r.fus;
+      0
+
+let run_ch6 d ~rate =
+  match Subbus.run_design d ~rate with
+  | Error m ->
+      Format.fprintf fmt "synthesis failed: %s@." m;
+      1
+  | Ok t ->
+      Format.fprintf fmt "Bus structure (with sub-buses):@.%a@.@."
+        (Report.real_buses d.Benchmarks.cdfg)
+        t.real_buses;
+      Format.fprintf fmt "Schedule:@.%a@.@." Report.schedule t.schedule;
+      pins_table d t.pins;
+      Format.fprintf fmt "@.pipe length: %d@."
+        (Mcs_sched.Schedule.pipe_length t.schedule);
+      0
+
+let synth design flow rate pipe_length ports listing =
+  if listing then list_designs ()
+  else
+    match List.assoc_opt design designs with
+    | None ->
+        Format.fprintf fmt
+          "unknown design %S (use --list to see what is available)@." design;
+        2
+    | Some mk -> (
+        let d = mk () in
+        let rate =
+          match rate with Some r -> r | None -> List.hd d.Benchmarks.rates
+        in
+        let mode = if ports = "bidir" then C.Bidir else C.Unidir in
+        match flow with
+        | "ch3" -> run_ch3 d ~rate
+        | "ch4" -> run_ch4 d ~rate ~mode
+        | "ch5" ->
+            let pl =
+              match pipe_length with
+              | Some pl -> pl
+              | None ->
+                  Timing.critical_path_csteps d.Benchmarks.cdfg
+                    d.Benchmarks.mlib
+            in
+            run_ch5 d ~rate ~pipe_length:pl ~mode
+        | "ch6" -> run_ch6 d ~rate
+        | f ->
+            Format.fprintf fmt "unknown flow %S (ch3|ch4|ch5|ch6)@." f;
+            2)
+
+open Cmdliner
+
+let design =
+  Arg.(value & opt string "ar-general" & info [ "design"; "d" ] ~docv:"NAME"
+         ~doc:"Design to synthesize (see $(b,--list)).")
+
+let flow =
+  Arg.(value & opt string "ch4" & info [ "flow"; "f" ] ~docv:"FLOW"
+         ~doc:"Synthesis flow: ch3 (simple partitioning), ch4 \
+               (connection-first), ch5 (schedule-first), ch6 (sub-bus \
+               sharing).")
+
+let rate =
+  Arg.(value & opt (some int) None & info [ "rate"; "r" ] ~docv:"L"
+         ~doc:"Initiation rate (default: the design's first evaluated rate).")
+
+let pipe_length =
+  Arg.(value & opt (some int) None & info [ "pipe-length"; "p" ] ~docv:"T"
+         ~doc:"Pipe length for the ch5 flow (default: the critical path).")
+
+let ports =
+  Arg.(value & opt string "unidir" & info [ "ports" ] ~docv:"MODE"
+         ~doc:"I/O port mode: unidir or bidir.")
+
+let listing =
+  Arg.(value & flag & info [ "list"; "l" ] ~doc:"List the bundled designs.")
+
+let cmd =
+  let doc = "high-level synthesis with pin constraints for multiple-chip designs" in
+  let info =
+    Cmd.info "mcs-synth" ~doc
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Synthesizes pipelined multiple-chip designs from partitioned \
+             behavioural specifications under per-chip I/O pin constraints, \
+             reproducing Hung's 1992 dissertation flows: pin-constrained \
+             scheduling for simple partitionings, interchip-connection \
+             synthesis before or after scheduling, and intra-cycle sub-bus \
+             sharing.";
+        ]
+  in
+  Cmd.v info Term.(const synth $ design $ flow $ rate $ pipe_length $ ports $ listing)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/ar_filter.ml: Benchmarks Format List Mcs_cdfg Mcs_connect Mcs_core Mcs_sched Pre_connect Report Simple_part

@@ -1,0 +1,1 @@
+examples/ar_filter.mli:

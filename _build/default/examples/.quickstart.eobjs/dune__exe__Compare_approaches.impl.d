@@ -1,0 +1,1 @@
+examples/compare_approaches.ml: Benchmarks Format List Mcs_cdfg Mcs_connect Mcs_core Mcs_sched Mcs_util Post_connect Pre_connect Printf Report Subbus

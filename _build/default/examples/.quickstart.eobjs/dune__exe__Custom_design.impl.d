@@ -1,0 +1,1 @@
+examples/custom_design.ml: Cdfg Constraints Extensions Format List Mcs_cdfg Mcs_connect Mcs_core Mcs_sched Module_lib Netlist Pre_connect Printf Report String

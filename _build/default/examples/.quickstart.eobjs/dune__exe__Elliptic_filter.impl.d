@@ -1,0 +1,1 @@
+examples/elliptic_filter.ml: Benchmarks Cdfg Format List Mcs_cdfg Mcs_connect Mcs_core Mcs_sched Post_connect Pre_connect Report Timing

@@ -1,0 +1,1 @@
+examples/partition_flow.ml: Cdfg Constraints Format List Mcs_cdfg Mcs_connect Mcs_core Mcs_rtl Mcs_sim Module_lib Partitioner Pre_connect Printf Report String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cdfg Constraints Format Mcs_cdfg Mcs_connect Mcs_core Mcs_sched Module_lib Netlist Pre_connect Report

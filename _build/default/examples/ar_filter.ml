@@ -1,0 +1,50 @@
+(* The AR lattice filter, both partitionings.
+
+   The simple partitioning (Fig. 3.5) goes through the Chapter 3 flow: list
+   scheduling with the ILP pin-allocation feasibility checker, then the
+   constructive Theorem 3.1 connection.  The general partitioning (Fig. 4.7)
+   goes through the Chapter 4 flow at several initiation rates.
+
+   Run with:  dune exec examples/ar_filter.exe *)
+
+open Mcs_cdfg
+open Mcs_core
+
+let fmt = Format.std_formatter
+
+let () =
+  (* --- Simple partitioning, Chapter 3 --- *)
+  Format.printf "== AR filter, simple partitioning (Chapter 3) ==@.@.";
+  let simple = Benchmarks.ar_simple () in
+  (match Simple_part.run simple ~rate:2 with
+  | Error m -> Format.printf "failed: %s@." m
+  | Ok r ->
+      Format.printf "Schedule:@.%a@.@." Report.schedule r.schedule;
+      Format.printf "Theorem 3.1 wire bundles:@.%a@." Report.bundles r.links;
+      Report.table fmt ~title:"Pins used (paper: 112/48/48/32/32)"
+        ~header:[ "P0"; "P1"; "P2"; "P3"; "P4" ]
+        [ Report.pins_row r.pins_needed ]);
+
+  (* --- General partitioning, Chapter 4 --- *)
+  Format.printf "@.== AR filter, general partitioning (Chapter 4) ==@.";
+  let general = Benchmarks.ar_general () in
+  List.iter
+    (fun rate ->
+      Format.printf "@.-- initiation rate %d --@." rate;
+      match
+        Pre_connect.run_design general ~rate ~mode:Mcs_connect.Connection.Unidir
+      with
+      | Error m -> Format.printf "failed: %s@." m
+      | Ok r ->
+          Format.printf "%a@.@."
+            (Report.connection general.Benchmarks.cdfg)
+            r.connection;
+          Report.bus_assignment general.Benchmarks.cdfg fmt
+            ~initial:r.initial_assignment ~final:r.final_assignment;
+          Format.printf
+            "@.pipe length %d with reassignment, %s without@."
+            (Mcs_sched.Schedule.pipe_length r.schedule)
+            (match r.static_pipe_length with
+            | Some n -> string_of_int n
+            | None -> "unschedulable"))
+    general.Benchmarks.rates

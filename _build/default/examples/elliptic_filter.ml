@@ -1,0 +1,68 @@
+(* The fifth-order elliptic wave filter: multi-cycle multiplications and
+   degree-4 data recursive edges.
+
+   Shows the recursive-loop analysis (minimum initiation rate), the greedy
+   list scheduler failing at that minimum while force-directed scheduling
+   succeeds, and the Chapter 4 flow at the schedulable rates.
+
+   Run with:  dune exec examples/elliptic_filter.exe *)
+
+open Mcs_cdfg
+open Mcs_core
+
+let () =
+  let d = Benchmarks.elliptic () in
+  let cdfg = d.Benchmarks.cdfg and mlib = d.Benchmarks.mlib in
+  Format.printf "%a@.@." Cdfg.pp_stats cdfg;
+  Format.printf
+    "Recursive edges (degree 4): %d; critical loop bounds the initiation \
+     rate at %d; critical path needs a pipe of %d control steps.@.@."
+    (List.length (Cdfg.recursive_edges cdfg))
+    (Timing.min_initiation_rate cdfg mlib)
+    (Timing.critical_path_csteps cdfg mlib);
+
+  (* List scheduling vs FDS at the minimum rate (§4.4.2 / §5.3). *)
+  let cons5 = Benchmarks.constraints_for d ~rate:5 in
+  (match Mcs_sched.List_sched.run cdfg mlib cons5 ~rate:5 () with
+  | Ok _ -> Format.printf "list scheduling at rate 5: unexpectedly succeeded@."
+  | Error f ->
+      Format.printf
+        "list scheduling at rate 5 fails, as in the paper (greedy, tight \
+         max-time constraints): %s@."
+        f.Mcs_sched.List_sched.reason);
+  (match Mcs_sched.Fds.run cdfg mlib ~rate:5 ~pipe_length:25 () with
+  | Ok s ->
+      Format.printf
+        "force-directed scheduling finds a rate-5 schedule (pipe %d)@.@."
+        (Mcs_sched.Schedule.pipe_length s)
+  | Error m -> Format.printf "FDS failed: %s@.@." m);
+
+  (* Chapter 4 flow at the rates the paper evaluates. *)
+  List.iter
+    (fun rate ->
+      Format.printf "-- Chapter 4 flow, rate %d --@." rate;
+      match
+        Pre_connect.run_design d ~rate ~mode:Mcs_connect.Connection.Unidir
+      with
+      | Error m -> Format.printf "failed: %s@.@." m
+      | Ok r ->
+          Format.printf "%a@." (Report.connection cdfg) r.connection;
+          Report.table Format.std_formatter ~title:"Pins used"
+            ~header:[ "P0"; "P1"; "P2"; "P3"; "P4"; "P5" ]
+            [ Report.pins_row r.pins ];
+          Format.printf "pipe length: %d@.@."
+            (Mcs_sched.Schedule.pipe_length r.schedule))
+    [ 6; 7 ];
+
+  (* Chapter 5 flow handles rate 5 end to end. *)
+  Format.printf "-- Chapter 5 flow at the minimum rate --@.";
+  match
+    Post_connect.run_design d ~rate:5 ~pipe_length:25
+      ~mode:Mcs_connect.Connection.Unidir
+  with
+  | Error m -> Format.printf "failed: %s@." m
+  | Ok r ->
+      Format.printf "%a@." (Report.connection cdfg) r.connection;
+      Report.table Format.std_formatter ~title:"Pins used (schedule-first)"
+        ~header:[ "P0"; "P1"; "P2"; "P3"; "P4"; "P5" ]
+        [ Report.pins_row r.pins ]

@@ -1,0 +1,75 @@
+(* From unpartitioned behaviour to multi-chip RTL, end to end:
+
+   1. describe the operation network with no chip assignment;
+   2. partition it (the CHOP-substitute front end, §1.2);
+   3. synthesize the interchip connection and the pipelined schedule
+      (Chapter 4);
+   4. bind the data path (functional units, registers, multiplexers) and
+      print the RTL skeleton;
+   5. simulate the machine against the reference semantics.
+
+   Run with:  dune exec examples/partition_flow.exe *)
+
+open Mcs_cdfg
+open Mcs_core
+module P = Partitioner
+
+let () =
+  (* 1. A biquad-cascade-like network, written with no chips in mind. *)
+  let s = P.create () in
+  P.input s ~width:8 "x";
+  P.input s ~width:8 "k1";
+  P.input s ~width:8 "k2";
+  P.op s ~name:"m1" ~optype:"mul" ~args:[ "x"; "k1" ];
+  P.op s ~name:"a1" ~optype:"add" ~args:[ "m1"; "x" ];
+  P.op s ~name:"m2" ~optype:"mul" ~args:[ "a1"; "k1" ];
+  P.op s ~name:"a2" ~optype:"add" ~args:[ "m2"; "a1" ];
+  P.op s ~name:"m3" ~optype:"mul" ~args:[ "a2"; "k2" ];
+  P.op s ~name:"a3" ~optype:"add" ~args:[ "m3"; "a2" ];
+  P.op s ~name:"m4" ~optype:"mul" ~args:[ "a3"; "k2" ];
+  P.op s ~name:"a4" ~optype:"add" ~args:[ "m4"; "a3" ];
+  P.output s ~width:8 "a4";
+
+  (* 2. Two chips, balanced. *)
+  let assign = P.partition s ~n_partitions:2 () in
+  List.iter (fun (op, p) -> Format.printf "%s -> chip %d@." op p) assign;
+  let lookup n = List.assoc n assign in
+  Format.printf "predicted pins at rate 2: %s@.@."
+    (String.concat " "
+       (List.map
+          (fun (p, n) -> Printf.sprintf "P%d:%d" p n)
+          (P.predicted_pins s ~assign:lookup ~rate:2)));
+  let cdfg = P.elaborate s ~assign:lookup in
+
+  (* 3. Chapter 4 synthesis. *)
+  let mlib =
+    Module_lib.create ~stage_ns:250 ~io_delay_ns:10 [ ("add", 30); ("mul", 210) ]
+  in
+  let rate = 2 in
+  let cons =
+    Constraints.create
+      ~n_partitions:(Cdfg.n_partitions cdfg)
+      ~pins:[ (0, 32); (1, 48); (2, 48) ]
+      ~fus:(Constraints.min_fus cdfg mlib ~rate)
+  in
+  match Pre_connect.run cdfg mlib cons ~rate ~mode:Mcs_connect.Connection.Unidir () with
+  | Error m -> Format.printf "synthesis failed: %s@." m
+  | Ok r -> (
+      Format.printf "Connection:@.%a@.@." (Report.connection cdfg) r.connection;
+      Format.printf "Schedule:@.%a@.@." Report.schedule r.schedule;
+      (* 4. RTL binding. *)
+      (match Mcs_rtl.Datapath.build r.schedule cons with
+      | Error m -> Format.printf "binding failed: %s@." m
+      | Ok rtl ->
+          Format.printf "Data path:@.%a@.@." Mcs_rtl.Datapath.pp rtl;
+          Format.printf "Verilog skeleton:@.%a@." Mcs_rtl.Datapath.pp_verilog rtl);
+      (* 5. Functional check. *)
+      match
+        Mcs_sim.Simulate.check_equivalent r.schedule
+          ~bus_of:(fun op -> [ List.assoc op r.final_assignment ])
+          ~bus_capable:(fun bus op ->
+            Mcs_connect.Connection.capable r.connection cdfg ~bus op)
+          ~seed:1 ~instances:8
+      with
+      | Ok () -> Format.printf "machine == reference over 8 instances@."
+      | Error m -> Format.printf "SIMULATION MISMATCH: %s@." m)

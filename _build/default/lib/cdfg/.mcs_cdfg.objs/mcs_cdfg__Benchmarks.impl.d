@@ -1,0 +1,1 @@
+lib/cdfg/benchmarks.ml: Cdfg Constraints Hashtbl List Mcs_util Module_lib Netlist Printf String

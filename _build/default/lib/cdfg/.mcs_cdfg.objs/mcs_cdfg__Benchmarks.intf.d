@@ -1,0 +1,1 @@
+lib/cdfg/benchmarks.mli: Cdfg Constraints Module_lib

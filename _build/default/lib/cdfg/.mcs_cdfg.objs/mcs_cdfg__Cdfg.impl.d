@@ -1,0 +1,1 @@
+lib/cdfg/cdfg.ml: Array Format Fun List Mcs_graph Mcs_util Printf String Types

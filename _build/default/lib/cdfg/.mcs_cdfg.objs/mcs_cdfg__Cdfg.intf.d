@@ -1,0 +1,1 @@
+lib/cdfg/cdfg.mli: Format Types

@@ -1,0 +1,1 @@
+lib/cdfg/constraints.ml: Array Cdfg List Mcs_util Module_lib Printf

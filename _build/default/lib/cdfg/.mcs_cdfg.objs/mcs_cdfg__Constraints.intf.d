@@ -1,0 +1,1 @@
+lib/cdfg/constraints.mli: Cdfg Module_lib

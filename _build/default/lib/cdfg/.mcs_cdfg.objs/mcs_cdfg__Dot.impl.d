@@ -1,0 +1,1 @@
+lib/cdfg/dot.ml: Cdfg Format List Mcs_util Printf Types

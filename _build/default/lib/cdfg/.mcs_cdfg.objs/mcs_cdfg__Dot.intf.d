@@ -1,0 +1,1 @@
+lib/cdfg/dot.mli: Cdfg Format

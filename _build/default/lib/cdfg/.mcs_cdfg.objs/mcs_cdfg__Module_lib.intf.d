@@ -1,0 +1,1 @@
+lib/cdfg/module_lib.mli:

@@ -1,0 +1,1 @@
+lib/cdfg/netlist.ml: Cdfg Hashtbl List Option Printf Types

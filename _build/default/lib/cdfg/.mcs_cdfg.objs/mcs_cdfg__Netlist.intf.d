@@ -1,0 +1,1 @@
+lib/cdfg/netlist.mli: Cdfg

@@ -1,0 +1,1 @@
+lib/cdfg/partitioner.ml: Array Hashtbl List Mcs_util Netlist Printf String

@@ -1,0 +1,1 @@
+lib/cdfg/partitioner.mli: Cdfg

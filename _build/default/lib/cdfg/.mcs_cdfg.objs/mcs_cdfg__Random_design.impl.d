@@ -1,0 +1,1 @@
+lib/cdfg/random_design.ml: Array List Mcs_util Module_lib Netlist Printf

@@ -1,0 +1,1 @@
+lib/cdfg/random_design.mli: Cdfg Module_lib

@@ -1,0 +1,1 @@
+lib/cdfg/timing.ml: Array Cdfg List Module_lib Types

@@ -1,0 +1,1 @@
+lib/cdfg/timing.mli: Cdfg Module_lib Types

@@ -1,0 +1,388 @@
+type design = {
+  tag : string;
+  cdfg : Cdfg.t;
+  mlib : Module_lib.t;
+  pins_unidir : (int * int) list;
+  pins_bidir : (int * int) list;
+  rates : int list;
+  fu_extra : (int * string * int) list;
+}
+
+let ar_mlib () =
+  Module_lib.create ~stage_ns:250 ~io_delay_ns:10 [ ("add", 30); ("mul", 210) ]
+
+(* The 28-operation AR lattice filter as a partition-independent network:
+   four coupled sections, 16 multiplications and 12 additions, 26 primary
+   inputs (I1..I9, Ia..Iq), two system outputs (O1, O2). *)
+let ar_network ~assign ~widths ~xnames ~default_width ~n_partitions =
+  let n = Netlist.create ~default_width ~n_partitions () in
+  let part name = assign name in
+  let add name args = Netlist.op n ~name ~optype:"add" ~partition:(part name) ~args in
+  let mul name args = Netlist.op n ~name ~optype:"mul" ~partition:(part name) ~args in
+  let primary_names =
+    [ "I1"; "I2"; "I3"; "I4"; "I5"; "I6"; "I7"; "I8"; "I9";
+      "Ia"; "Ib"; "Ic"; "Id"; "Ie"; "If"; "Ig"; "Ih"; "Ii"; "Ij"; "Ik";
+      "Il"; "Im"; "In"; "Io"; "Ip"; "Iq" ]
+  in
+  (* Which partition consumes each primary input is derived from the ops
+     below; destinations are declared explicitly. *)
+  let input_dst = Hashtbl.create 32 in
+  let declare_inputs consumers =
+    List.iter
+      (fun (value, dst) ->
+        if not (Hashtbl.mem input_dst (value, dst)) then begin
+          Hashtbl.add input_dst (value, dst) ();
+          let width =
+            match List.assoc_opt value widths with
+            | Some w -> w
+            | None -> default_width
+          in
+          Netlist.input n ~name:value ~width ~dst value
+        end)
+      consumers
+  in
+  (* Section A. *)
+  mul "m11" [ "I1"; "I2" ];
+  mul "m12" [ "I3"; "I4" ];
+  mul "m13" [ "I5"; "I6" ];
+  mul "m14" [ "a32"; "a42" ];
+  add "a11" [ "m11"; "m12" ];
+  add "a12" [ "m13"; "m14" ];
+  add "a13" [ "a11"; "m33" ];
+  add "a14" [ "a12"; "m43" ];
+  (* Section B. *)
+  mul "m21" [ "I7"; "I8" ];
+  mul "m22" [ "I9"; "Ia" ];
+  mul "m23" [ "Ib"; "Ic" ];
+  mul "m24" [ "Id"; "Ie" ];
+  add "a21" [ "m21"; "m22" ];
+  add "a22" [ "m23"; "m24" ];
+  add "a23" [ "a21"; "If" ];
+  add "a24" [ "a22"; "Ig" ];
+  (* Section C: driven by section B via a23. *)
+  mul "m31" [ "a23"; "Ih" ];
+  mul "m32" [ "Ii"; "Ij" ];
+  add "a31" [ "m31"; "m32" ];
+  mul "m33" [ "a31"; "Ik" ];
+  mul "m34" [ "m33"; "Il" ];
+  add "a32" [ "m34"; "a31" ];
+  (* Section D: driven by section B via a24. *)
+  mul "m41" [ "a24"; "Im" ];
+  mul "m42" [ "In"; "Io" ];
+  add "a41" [ "m41"; "m42" ];
+  mul "m43" [ "a41"; "Ip" ];
+  mul "m44" [ "m43"; "Iq" ];
+  add "a42" [ "m44"; "a41" ];
+  let consumers =
+    [ ("I1", "m11"); ("I2", "m11"); ("I3", "m12"); ("I4", "m12");
+      ("I5", "m13"); ("I6", "m13"); ("I7", "m21"); ("I8", "m21");
+      ("I9", "m22"); ("Ia", "m22"); ("Ib", "m23"); ("Ic", "m23");
+      ("Id", "m24"); ("Ie", "m24"); ("If", "a23"); ("Ig", "a24");
+      ("Ih", "m31"); ("Ii", "m32"); ("Ij", "m32"); ("Ik", "m33");
+      ("Il", "m34"); ("Im", "m41"); ("In", "m42"); ("Io", "m42");
+      ("Ip", "m43"); ("Iq", "m44") ]
+  in
+  declare_inputs
+    (List.map (fun (value, consumer) -> (value, part consumer)) consumers);
+  assert (List.for_all (fun v -> List.mem_assoc v consumers) primary_names);
+  List.iter (fun (value, w) -> Netlist.set_width n ~value w) widths;
+  List.iter (fun ((value, dst), x) -> Netlist.xfer_name n ~value ~dst x) xnames;
+  let owidth o = match List.assoc_opt o widths with Some w -> w | None -> default_width in
+  Netlist.output n ~name:"O1" ~width:(owidth "a13") "a13";
+  Netlist.output n ~name:"O2" ~width:(owidth "a14") "a14";
+  Netlist.elaborate n
+
+(* Simple partitioning (Fig. 3.5): sections A..D on chips 1..4.  Simple by
+   Definition 3.2 (outside world exempt): P2 drives P3 and P4 and is their
+   only driver; P3 and P4 drive only P1. *)
+let ar_simple () =
+  let assign name =
+    match name.[1] with
+    | '1' -> 1
+    | '2' -> 2
+    | '3' -> 3
+    | '4' -> 4
+    | _ -> invalid_arg "ar_simple: bad op name"
+  in
+  let xnames =
+    [ (("a23", 3), "X1"); (("a24", 4), "X2");
+      (("a32", 1), "X3"); (("m33", 1), "X4");
+      (("a42", 1), "X5"); (("m43", 1), "X6") ]
+  in
+  let cdfg =
+    ar_network ~assign ~widths:[] ~xnames ~default_width:8 ~n_partitions:4
+  in
+  {
+    tag = "ar-simple";
+    cdfg;
+    mlib = ar_mlib ();
+    pins_unidir = [ (0, 112); (1, 48); (2, 48); (3, 32); (4, 32) ];
+    pins_bidir = [ (0, 112); (1, 48); (2, 48); (3, 32); (4, 32) ];
+    rates = [ 2 ];
+    fu_extra = [];
+  }
+
+(* General partitioning (Fig. 4.7): three chips.  P1 holds sections B and C
+   plus m13, P2 holds the rest of section A, P3 holds section D.  P3 drives
+   P2, P1 drives both P2 and P3 while P2 is also driven by P3 — which
+   violates conditions 3/4 of Definition 3.2, so this partitioning is
+   general.  Bit widths: unnumbered I/O operations are 8 bits (the paper's
+   convention); the numbered ones here are X1/X5 (16), X2/X3 (12), and the
+   wide inputs Ia, Ib (12), Ic, Id (16). *)
+let ar_general () =
+  let section_b_c =
+    [ "m21"; "m22"; "m23"; "m24"; "a21"; "a22"; "a23"; "a24";
+      "m31"; "m32"; "a31"; "m33"; "m34"; "a32"; "m13" ]
+  in
+  let section_d = [ "m41"; "m42"; "a41"; "m43"; "m44"; "a42" ] in
+  let assign name =
+    if List.mem name section_b_c then 1
+    else if List.mem name section_d then 3
+    else 2
+  in
+  let widths =
+    [ ("a24", 16); ("a32", 12); ("m33", 12); ("m13", 8);
+      ("a42", 16); ("m43", 8);
+      ("Ia", 12); ("Ib", 12); ("Ic", 16); ("Id", 16);
+      ("a13", 16); ("a14", 12) ]
+  in
+  let xnames =
+    [ (("a24", 3), "X1"); (("a32", 2), "X2"); (("m33", 2), "X3");
+      (("m13", 2), "X4"); (("a42", 2), "X5"); (("m43", 2), "X6") ]
+  in
+  let cdfg =
+    ar_network ~assign ~widths ~xnames ~default_width:8 ~n_partitions:3
+  in
+  {
+    tag = "ar-general";
+    cdfg;
+    mlib = ar_mlib ();
+    pins_unidir = [ (0, 120); (1, 135); (2, 90); (3, 90) ];
+    pins_bidir = [ (0, 116); (1, 100); (2, 84); (3, 80) ];
+    rates = [ 3; 4; 5 ];
+    fu_extra = [];
+  }
+
+let elliptic_mlib () =
+  (* Stage time 100 ns with 1-cycle adds and I/O, 2-cycle multiplications
+     (the paper states cycle counts directly; delays are chosen to induce
+     them and to disable chaining, additions filling their stage). *)
+  Module_lib.create ~stage_ns:100 ~io_delay_ns:95 [ ("add", 100); ("mul", 200) ]
+
+(* Elliptic wave filter class design (Fig. 4.20): 26 additions, 8 two-cycle
+   multiplications on 5 chips; critical recursive loop of 20 cycles closed
+   by the degree-4 transfer X33; all values 16 bits. *)
+let elliptic () =
+  let n = Netlist.create ~default_width:16 ~n_partitions:5 () in
+  let add name partition args =
+    Netlist.op n ~name ~optype:"add" ~partition ~args
+  in
+  let mul name partition args =
+    Netlist.op n ~name ~optype:"mul" ~partition ~args
+  in
+  (* One input value consumed by two chips: I/O operations Ia (to P1) and
+     Ib (to P2) transfer the same value, as in Table 4.16. *)
+  Netlist.input n ~name:"Ia" ~width:16 ~dst:1 "in";
+  Netlist.input n ~name:"Ib" ~width:16 ~dst:2 "in";
+  (* P1: 6 additions, 2 multiplications; hosts the loop entry +2. *)
+  mul "p1m1" 1 [ "in"; "in" ];
+  add "p1a1" 1 [ "in"; "p1m1" ];
+  add "t2" 1 [ "p1a1" ] (* second operand: X33 of 4 instances ago (rec_dep) *);
+  add "p1a3" 1 [ "in" ] (* second operand: p1a6 of 4 instances ago *);
+  mul "p1m2" 1 [ "p1a3"; "p1m1" ];
+  add "p1a4" 1 [ "p1m2"; "p1a1" ];
+  add "p1a5" 1 [ "p1m1"; "p1a3" ];
+  add "p1a6" 1 [ "p1a5"; "p1a4" ];
+  (* P2: 5 additions, 2 multiplications; loop op +5. *)
+  add "p2b1" 2 [ "in"; "in" ];
+  mul "p2mb" 2 [ "p2b1"; "p1a3" ];
+  add "p2b2" 2 [ "p2mb"; "p1a3" ];
+  mul "p2mc" 2 [ "p2b1"; "in" ];
+  add "p2b3" 2 [ "p2mc"; "p2b1" ];
+  add "t5" 2 [ "t2"; "p2b1" ] (* loop *);
+  add "p2b4" 2 [ "p2b3"; "p1a6" ];
+  (* P3: 4 additions, 1 multiplication; loop ops *e and +8. *)
+  add "p3c1" 3 [ "p2b3"; "p1a4" ];
+  add "p3c2" 3 [ "p3c1" ] (* second operand: p3c3 of 4 instances ago *);
+  mul "mE" 3 [ "t5"; "p3c1" ] (* loop *);
+  add "t8" 3 [ "mE"; "p3c2" ] (* loop *);
+  add "p3c3" 3 [ "p3c2"; "p3c1" ];
+  (* P4: 6 additions, 2 multiplications; loop ops +10, *j, +16, +17. *)
+  add "p4d1" 4 [ "p2b4"; "p3c3" ];
+  add "p4d2" 4 [ "p4d1"; "p2b4" ];
+  mul "p4md" 4 [ "p4d1"; "p4d2" ];
+  add "p4d3" 4 [ "p4md"; "p4d2" ];
+  add "t10" 4 [ "t8"; "p4d1" ] (* loop *);
+  mul "mJ" 4 [ "t10"; "p4d2" ] (* loop *);
+  add "t16" 4 [ "t14"; "p4d3" ] (* loop *);
+  add "t17" 4 [ "t16"; "p4d1" ] (* loop *);
+  (* P5: 5 additions, 1 multiplication; loop ops +13, +14, +28. *)
+  add "p5e1" 5 [ "p2b2" ] (* second operand: p5e2 of 4 instances ago *);
+  mul "p5me" 5 [ "p5e1"; "p4md" ];
+  add "t13" 5 [ "mJ"; "p5e1" ] (* loop *);
+  add "t14" 5 [ "t13"; "p5e1" ] (* loop *);
+  add "t28" 5 [ "t17"; "p5e1" ] (* loop *);
+  add "p5e2" 5 [ "p5me"; "t28" ];
+  Netlist.output n ~name:"Op" ~width:16 "p5e2";
+  (* Interchip transfer names follow the paper's tables. *)
+  List.iter
+    (fun ((value, dst), x) -> Netlist.xfer_name n ~value ~dst x)
+    [ (("p1a6", 2), "Xa"); (("p1a3", 2), "Xc"); (("p1a4", 3), "Xb");
+      (("t2", 2), "Xf"); (("t5", 3), "Xe"); (("p2b3", 3), "Xd");
+      (("p2b4", 4), "Xg"); (("t8", 4), "Xh"); (("p3c3", 4), "Xi");
+      (("mJ", 5), "Xj"); (("p2b2", 5), "X13"); (("t14", 4), "X26");
+      (("t17", 5), "X38"); (("p4md", 5), "X39"); (("t28", 1), "X33") ]
+  ;
+  (* Data recursive edges, all of degree 4 (§4.4.2). *)
+  Netlist.rec_dep n ~src:"t28" ~dst:"t2" ~degree:4;
+  Netlist.rec_dep n ~src:"p1a6" ~dst:"p1a3" ~degree:4;
+  Netlist.rec_dep n ~src:"p3c3" ~dst:"p3c2" ~degree:4;
+  Netlist.rec_dep n ~src:"p5e2" ~dst:"p5e1" ~degree:4;
+  let cdfg = Netlist.elaborate n in
+  {
+    tag = "elliptic";
+    cdfg;
+    mlib = elliptic_mlib ();
+    pins_unidir = [ (0, 32); (1, 64); (2, 80); (3, 64); (4, 64); (5, 80) ];
+    pins_bidir = [ (0, 32); (1, 48); (2, 64); (3, 48); (4, 48); (5, 64) ];
+    rates = [ 5; 6; 7 ];
+    fu_extra = [ (1, "add", 1); (4, "add", 1) ];
+  }
+
+(* Conditional demo (§7.2): a conditional block too large for one chip, so
+   both arms are spread over chips 2 and 3 and their transfers are
+   conditional I/O operations that may share pins. *)
+let cond_demo () =
+  let n = Netlist.create ~default_width:8 ~n_partitions:3 () in
+  Netlist.input n ~name:"Iu" ~width:8 ~dst:1 "u";
+  Netlist.input n ~name:"Iv" ~width:8 ~dst:1 "v";
+  Netlist.op n ~name:"base" ~optype:"add" ~partition:1 ~args:[ "u"; "v" ];
+  (* Then-arm (cond 0 true), spread over chips 2 and 3. *)
+  Netlist.op n ~name:"ta" ~optype:"mul" ~partition:2 ~args:[ "base"; "base" ];
+  Netlist.op n ~name:"tb" ~optype:"add" ~partition:3 ~args:[ "ta"; "base" ];
+  (* Else-arm (cond 0 false). *)
+  Netlist.op n ~name:"ea" ~optype:"add" ~partition:2 ~args:[ "base"; "base" ];
+  Netlist.op n ~name:"eb" ~optype:"mul" ~partition:3 ~args:[ "ea"; "base" ];
+  (* Merge consumes whichever arm ran. *)
+  Netlist.op n ~name:"join" ~optype:"add" ~partition:1 ~args:[ "tb"; "eb" ];
+  List.iter
+    (fun (opname, arm) -> Netlist.guard n ~opname ~cond:0 ~arm)
+    [ ("ta", true); ("tb", true); ("ea", false); ("eb", false) ];
+  Netlist.output n ~name:"Oj" ~width:8 "join";
+  let cdfg = Netlist.elaborate n in
+  {
+    tag = "cond-demo";
+    cdfg;
+    mlib = ar_mlib ();
+    pins_unidir = [ (0, 32); (1, 32); (2, 32); (3, 32) ];
+    pins_bidir = [ (0, 24); (1, 24); (2, 24); (3, 24) ];
+    rates = [ 2; 3 ];
+    fu_extra = [];
+  }
+
+(* Sub-bus sharing demo (Chapter 6): chip 1 receives one 32-bit and four
+   8-bit values every 3 cycles and forwards one 8-bit result.  Without
+   intra-cycle sharing its five input values need a 32-bit port plus an
+   8-bit port (48 pins with the result port); splitting the 32-bit bus
+   carries the narrow inputs two-at-a-time, fitting a 40-pin budget. *)
+let subbus_demo () =
+  let n = Netlist.create ~default_width:8 ~n_partitions:2 () in
+  Netlist.input n ~name:"Iw" ~width:32 ~dst:1 "iw";
+  List.iter
+    (fun v -> Netlist.input n ~name:("I" ^ v) ~width:8 ~dst:1 ("i" ^ v))
+    [ "a"; "b"; "c"; "d" ];
+  Netlist.op n ~name:"big" ~optype:"add" ~partition:1 ~args:[ "iw"; "iw" ];
+  Netlist.op n ~name:"s1" ~optype:"add" ~partition:1 ~args:[ "ia"; "ib" ];
+  Netlist.op n ~name:"s2" ~optype:"add" ~partition:1 ~args:[ "ic"; "id" ];
+  Netlist.op n ~name:"s3" ~optype:"add" ~partition:1 ~args:[ "s1"; "s2" ];
+  Netlist.op n ~name:"fwd" ~optype:"add" ~partition:1 ~args:[ "big"; "s3" ];
+  Netlist.op n ~name:"echo" ~optype:"add" ~partition:2 ~args:[ "fwd"; "fwd" ];
+  Netlist.output n ~name:"Oo" ~width:8 "echo";
+  Netlist.xfer_name n ~value:"fwd" ~dst:2 "Xf";
+  {
+    tag = "subbus-demo";
+    cdfg = Netlist.elaborate n;
+    mlib = ar_mlib ();
+    pins_unidir = [ (0, 56); (1, 56); (2, 16) ];
+    pins_bidir = [ (0, 44); (1, 40); (2, 16) ];
+    rates = [ 3 ];
+    fu_extra = [];
+  }
+
+(* Parametric lattice: section k multiplies fresh inputs and folds in the
+   previous section's two boundary values. *)
+let ar_scaled ~sections ~chips =
+  if sections < 1 || chips < 1 then invalid_arg "Benchmarks.ar_scaled";
+  let n = Netlist.create ~default_width:8 ~n_partitions:chips () in
+  let chip_of k = 1 + (k mod chips) in
+  let prev = ref None in
+  List.iter
+    (fun k ->
+      let p = chip_of k in
+      let inp i =
+        let v = Printf.sprintf "i%d_%d" k i in
+        Netlist.input n ~width:8 ~dst:p v;
+        v
+      in
+      let i1 = inp 1 and i2 = inp 2 and i3 = inp 3 and i4 = inp 4 in
+      let op name optype args = Netlist.op n ~name ~optype ~partition:p ~args in
+      let nm s = Printf.sprintf "%s_%d" s k in
+      op (nm "m1") "mul" [ i1; i2 ];
+      op (nm "m2") "mul" [ i3; i4 ];
+      (match !prev with
+      | None ->
+          op (nm "a1") "add" [ nm "m1"; nm "m2" ];
+          op (nm "a2") "add" [ nm "a1"; nm "m1" ]
+      | Some (b1, b2) ->
+          op (nm "a1") "add" [ nm "m1"; b1 ];
+          op (nm "a2") "add" [ nm "m2"; b2 ]);
+      op (nm "m3") "mul" [ nm "a1"; i1 ];
+      op (nm "m4") "mul" [ nm "a2"; i3 ];
+      op (nm "a3") "add" [ nm "m3"; nm "m4" ];
+      prev := Some (nm "a3", nm "a1"))
+    (Mcs_util.Listx.range 0 sections);
+  (match !prev with
+  | Some (b1, _) -> Netlist.output n ~width:8 b1
+  | None -> assert false);
+  let cdfg = Netlist.elaborate n in
+  (* Generous budgets derived from the design itself keep the experiment
+     about runtime, not feasibility hunting. *)
+  let rate = 4 in
+  let pins =
+    List.map
+      (fun p ->
+        let ios = Cdfg.io_inputs_of_partition cdfg p in
+        let outs = Cdfg.io_outputs_of_partition cdfg p in
+        (p, 8 * ((List.length ios + rate - 1) / rate
+                 + List.length outs + 2)))
+      (Mcs_util.Listx.range 0 (chips + 1))
+  in
+  {
+    tag = Printf.sprintf "ar-scaled-%dx%d" sections chips;
+    cdfg;
+    mlib = ar_mlib ();
+    pins_unidir = pins;
+    pins_bidir = pins;
+    rates = [ rate ];
+    fu_extra = [];
+  }
+
+let constraints_with design ~rate pins =
+  let base = Constraints.min_fus design.cdfg design.mlib ~rate in
+  let fus =
+    List.map
+      (fun (p, ty, n) ->
+        let extra =
+          Mcs_util.Listx.sum
+            (fun (p', ty', e) -> if p = p' && String.equal ty ty' then e else 0)
+            design.fu_extra
+        in
+        (p, ty, n + extra))
+      base
+  in
+  Constraints.create
+    ~n_partitions:(Cdfg.n_partitions design.cdfg)
+    ~pins ~fus
+
+let constraints_for design ~rate = constraints_with design ~rate design.pins_unidir
+let constraints_for_bidir design ~rate = constraints_with design ~rate design.pins_bidir

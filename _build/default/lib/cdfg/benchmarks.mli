@@ -1,0 +1,54 @@
+(** The dissertation's test designs, reconstructed per DESIGN.md §
+    "Interpretations and substitutions".
+
+    - {!ar_simple}: the AR lattice filter (28 operations: 16 multiplications,
+      12 additions) under the {e simple} 4-chip partitioning of Fig. 3.5 —
+      partitions 1 and 2 with 10 input / 2 output operations, partitions 3
+      and 4 with 6 / 2; stage time 250 ns, I/O 10 ns, adders 30 ns,
+      multipliers 210 ns, chaining allowed, all values 8 bits.
+    - {!ar_general}: the same filter under the general 3-chip partitioning of
+      Fig. 4.7, with I/O operations I1–I9, Ia–Iq, X1–X6, O1, O2 and a mix of
+      8/12/16-bit values.
+    - {!elliptic}: the fifth-order elliptic wave filter class design of
+      Fig. 4.20 — 34 operations (26 additions, 8 two-cycle multiplications)
+      over 5 chips, all values 16 bits, data recursive edges of degree 4,
+      critical recursive loop of 20 cycles (minimum initiation rate 5).
+    - {!cond_demo}: a small two-sided conditional spread over 3 chips, for
+      the conditional I/O sharing study of §7.2. *)
+
+type design = {
+  tag : string;
+  cdfg : Cdfg.t;
+  mlib : Module_lib.t;
+  pins_unidir : (int * int) list;  (** per-partition data-pin budgets *)
+  pins_bidir : (int * int) list;
+  rates : int list;  (** initiation rates the paper evaluates *)
+  fu_extra : (int * string * int) list;
+      (** functional units beyond the minimum, as in the paper's
+          resource-constraint tables (e.g. Table 4.14 gives P1 and P4 of the
+          elliptic filter a second adder) *)
+}
+
+val ar_simple : unit -> design
+val ar_general : unit -> design
+val elliptic : unit -> design
+val cond_demo : unit -> design
+
+val subbus_demo : unit -> design
+(** Two-chip design whose traffic (one 32-bit plus four 8-bit values per
+    iteration at rate 3) only fits the 40-pin bidirectional budget when a
+    bus is split and two narrow values share a cycle (Chapter 6). *)
+
+val ar_scaled : sections:int -> chips:int -> design
+(** A lattice filter scaled up: [sections] cascaded 7-op sections (the AR
+    building block) distributed round-robin over [chips] chips, 8-bit
+    values.  Used by the scaling experiment: the §4.1.2 heuristic handles
+    sizes where the §4.1.1 ILP "is too large to obtain a solution within a
+    reasonable time" (the paper's critique of pure-ILP approaches, §1.3). *)
+
+val constraints_for : design -> rate:int -> Constraints.t
+(** Pin budgets from [pins_unidir] plus the minimal functional-unit
+    allocation for the given initiation rate (the paper's "minimum number of
+    functional units are used" assumption). *)
+
+val constraints_for_bidir : design -> rate:int -> Constraints.t

@@ -1,0 +1,210 @@
+module Digraph = Mcs_graph.Digraph
+
+type t = {
+  n_partitions : int;
+  nodes : Types.node array;
+  names : string array;
+  guards : Types.guard list array;
+  edges : Types.edge list;
+  graph : Digraph.t; (* degree-0 edges only *)
+  topo : Types.op_id list;
+}
+
+module Builder = struct
+  type cdfg = t
+
+  type t = {
+    n_partitions : int;
+    mutable rnodes : Types.node list;
+    mutable rnames : string list;
+    mutable rguards : Types.guard list list;
+    mutable count : int;
+    mutable redges : Types.edge list;
+  }
+
+  let create ~n_partitions =
+    if n_partitions < 1 then invalid_arg "Cdfg.Builder.create";
+    {
+      n_partitions;
+      rnodes = [];
+      rnames = [];
+      rguards = [];
+      count = 0;
+      redges = [];
+    }
+
+  let check_partition b p ~allow_outside =
+    let lo = if allow_outside then 0 else 1 in
+    if p < lo || p > b.n_partitions then
+      invalid_arg "Cdfg: partition id out of range"
+
+  let add b node name guards =
+    b.rnodes <- node :: b.rnodes;
+    b.rnames <- name :: b.rnames;
+    b.rguards <- guards :: b.rguards;
+    b.count <- b.count + 1;
+    b.count - 1
+
+  let func b ?name ?(guards = []) ~partition optype =
+    check_partition b partition ~allow_outside:false;
+    let name =
+      match name with Some n -> n | None -> Printf.sprintf "%s%d" optype b.count
+    in
+    add b (Types.Func { optype; partition }) name guards
+
+  let io b ?name ?(guards = []) ~src ~dst ~width value =
+    check_partition b src ~allow_outside:true;
+    check_partition b dst ~allow_outside:true;
+    if src = dst then invalid_arg "Cdfg: I/O operation with src = dst";
+    if width <= 0 then invalid_arg "Cdfg: I/O width must be positive";
+    let name = match name with Some n -> n | None -> value in
+    add b (Types.Io { value; src; dst; width }) name guards
+
+  let dep b ?(degree = 0) src dst =
+    if degree < 0 then invalid_arg "Cdfg: negative edge degree";
+    if src < 0 || src >= b.count || dst < 0 || dst >= b.count then
+      invalid_arg "Cdfg: edge endpoint out of range";
+    b.redges <- { Types.e_src = src; e_dst = dst; degree } :: b.redges
+
+  let finish b : cdfg =
+    let nodes = Array.of_list (List.rev b.rnodes) in
+    let names = Array.of_list (List.rev b.rnames) in
+    let guards = Array.of_list (List.rev b.rguards) in
+    let edges = List.rev b.redges in
+    let graph = Digraph.create b.count in
+    List.iter
+      (fun { Types.e_src; e_dst; degree } ->
+        if degree = 0 then Digraph.add_edge graph ~src:e_src ~dst:e_dst)
+      edges;
+    match Digraph.topo_sort graph with
+    | None -> invalid_arg "Cdfg: degree-0 dependence graph is cyclic"
+    | Some topo ->
+        { n_partitions = b.n_partitions; nodes; names; guards; edges; graph; topo }
+end
+
+let n_partitions t = t.n_partitions
+let n_ops t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= n_ops t then invalid_arg "Cdfg.node";
+  t.nodes.(i)
+
+let name t i =
+  if i < 0 || i >= n_ops t then invalid_arg "Cdfg.name";
+  t.names.(i)
+
+let guards t i =
+  if i < 0 || i >= n_ops t then invalid_arg "Cdfg.guards";
+  t.guards.(i)
+
+let is_io t i = match node t i with Types.Io _ -> true | Types.Func _ -> false
+
+let io_err () = invalid_arg "Cdfg: functional node where I/O expected"
+let func_err () = invalid_arg "Cdfg: I/O node where functional expected"
+
+let io_value t i =
+  match node t i with Types.Io { value; _ } -> value | Types.Func _ -> io_err ()
+
+let io_src t i =
+  match node t i with Types.Io { src; _ } -> src | Types.Func _ -> io_err ()
+
+let io_dst t i =
+  match node t i with Types.Io { dst; _ } -> dst | Types.Func _ -> io_err ()
+
+let io_width t i =
+  match node t i with Types.Io { width; _ } -> width | Types.Func _ -> io_err ()
+
+let func_partition t i =
+  match node t i with
+  | Types.Func { partition; _ } -> partition
+  | Types.Io _ -> func_err ()
+
+let func_optype t i =
+  match node t i with
+  | Types.Func { optype; _ } -> optype
+  | Types.Io _ -> func_err ()
+let ops t = List.init (n_ops t) Fun.id
+let io_ops t = List.filter (is_io t) (ops t)
+let func_ops t = List.filter (fun i -> not (is_io t i)) (ops t)
+
+let func_ops_of_partition t p =
+  List.filter (fun i -> func_partition t i = p) (func_ops t)
+
+let io_ops_of_value t v =
+  List.filter (fun i -> String.equal (io_value t i) v) (io_ops t)
+
+let io_inputs_of_partition t p =
+  List.filter (fun i -> io_dst t i = p) (io_ops t)
+
+let io_outputs_of_partition t p =
+  List.filter (fun i -> io_src t i = p) (io_ops t)
+
+let values_output_by t p =
+  Mcs_util.Listx.uniq String.equal
+    (List.map (io_value t) (io_outputs_of_partition t p))
+
+let preds t i = Digraph.preds t.graph i
+let succs t i = Digraph.succs t.graph i
+let edges t = t.edges
+let recursive_edges t = List.filter (fun e -> e.Types.degree > 0) t.edges
+let topo_order t = t.topo
+
+let mutually_exclusive t a b =
+  let ga = guards t a and gb = guards t b in
+  List.exists
+    (fun (g : Types.guard) ->
+      List.exists
+        (fun (h : Types.guard) -> g.cond = h.cond && g.arm <> h.arm)
+        gb)
+    ga
+
+let partition_neighbours t ~of_src p =
+  let pick i =
+    let s = io_src t i and d = io_dst t i in
+    if of_src then (if s = p && d <> 0 then Some d else None)
+    else if d = p && s <> 0 then Some s
+    else None
+  in
+  List.sort_uniq compare (List.filter_map pick (io_ops t))
+
+let drives t p = partition_neighbours t ~of_src:true p
+let driven_by t p = partition_neighbours t ~of_src:false p
+
+let check_locality t =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let rec go = function
+    | [] -> Ok ()
+    | { Types.e_src; e_dst; _ } :: rest -> (
+        match (node t e_src, node t e_dst) with
+        | Types.Func { partition = p1; _ }, Types.Func { partition = p2; _ } ->
+            if p1 = p2 then go rest
+            else
+              err "cross-chip dependence %s -> %s without an I/O operation"
+                (name t e_src) (name t e_dst)
+        | Types.Func { partition; _ }, Types.Io { src; _ } ->
+            if partition = src then go rest
+            else
+              err "%s feeds transfer %s that leaves a different chip"
+                (name t e_src) (name t e_dst)
+        | Types.Io { dst; _ }, Types.Func { partition; _ } ->
+            if dst = partition then go rest
+            else
+              err "transfer %s delivers to chip %d but %s runs on chip %d"
+                (name t e_src) dst (name t e_dst) partition
+        | Types.Io _, Types.Io _ ->
+            err "transfer %s feeds transfer %s directly (values are not \
+                 forwarded through other chips)"
+              (name t e_src) (name t e_dst))
+  in
+  go t.edges
+
+let pp_stats ppf t =
+  let funcs = func_ops t and ios = io_ops t in
+  let by_type = Mcs_util.Listx.group_by (func_optype t) funcs in
+  Format.fprintf ppf "@[<v>CDFG: %d partitions, %d functional ops (%s), %d I/O ops@]"
+    t.n_partitions (List.length funcs)
+    (String.concat ", "
+       (List.map
+          (fun (ty, l) -> Printf.sprintf "%d %s" (List.length l) ty)
+          by_type))
+    (List.length ios)

@@ -1,0 +1,108 @@
+(** Control data flow graphs, partitioned over chips.
+
+    A CDFG here is flat (no internal loops; the implicit outermost loop is
+    expressed by data recursive edges) and already partitioned: every
+    functional node carries the id of the chip it will be implemented on
+    (1-based; partition 0 is the outside world), and every value crossing a
+    partition boundary is materialized as an I/O operation node sitting on
+    the producer-to-consumer arc, as in §2.2.1. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type cdfg := t
+  type t
+
+  val create : n_partitions:int -> t
+  (** Real partitions are [1 .. n_partitions]; 0 is the outside world. *)
+
+  val func :
+    t -> ?name:string -> ?guards:Types.guard list -> partition:int ->
+    string -> Types.op_id
+  (** [func b ~partition optype] adds a functional node. *)
+
+  val io :
+    t -> ?name:string -> ?guards:Types.guard list ->
+    src:int -> dst:int -> width:int -> string -> Types.op_id
+  (** [io b ~src ~dst ~width value] adds an I/O operation node transferring
+      [value] ([width] bits wide) from partition [src] to partition
+      [dst]. *)
+
+  val dep : t -> ?degree:int -> Types.op_id -> Types.op_id -> unit
+  (** [dep b a c] records that [c] consumes the result of [a];
+      [degree > 0] makes it a data recursive edge. *)
+
+  val finish : t -> cdfg
+  (** Freezes the graph.
+      @raise Invalid_argument if the degree-0 subgraph is cyclic, an I/O node
+      has same [src] and [dst], or a partition id is out of range. *)
+end
+
+(** {1 Queries} *)
+
+val n_partitions : t -> int
+(** Number of real partitions (the outside world 0 not included). *)
+
+val n_ops : t -> int
+val node : t -> Types.op_id -> Types.node
+val name : t -> Types.op_id -> string
+val guards : t -> Types.op_id -> Types.guard list
+val is_io : t -> Types.op_id -> bool
+
+val io_value : t -> Types.op_id -> string
+val io_src : t -> Types.op_id -> int
+val io_dst : t -> Types.op_id -> int
+val io_width : t -> Types.op_id -> int
+(** @raise Invalid_argument when applied to a functional node. *)
+
+val func_partition : t -> Types.op_id -> int
+val func_optype : t -> Types.op_id -> string
+(** @raise Invalid_argument when applied to an I/O node. *)
+
+val ops : t -> Types.op_id list
+val io_ops : t -> Types.op_id list
+val func_ops : t -> Types.op_id list
+val func_ops_of_partition : t -> int -> Types.op_id list
+
+val io_ops_of_value : t -> string -> Types.op_id list
+(** The set [W_v] of §3.1.1: all I/O operations transferring value [v]. *)
+
+val io_inputs_of_partition : t -> int -> Types.op_id list
+(** [IS_i]: I/O operations whose destination is partition [i]. *)
+
+val io_outputs_of_partition : t -> int -> Types.op_id list
+(** I/O operations whose source is partition [i]. *)
+
+val values_output_by : t -> int -> string list
+(** [OS_j]: distinct values output by partition [j], in id order. *)
+
+val preds : t -> Types.op_id -> Types.op_id list
+(** Degree-0 predecessors (same-instance dependences). *)
+
+val succs : t -> Types.op_id -> Types.op_id list
+val edges : t -> Types.edge list
+(** All edges, including recursive ones. *)
+
+val recursive_edges : t -> Types.edge list
+val topo_order : t -> Types.op_id list
+(** Topological order of the degree-0 subgraph. *)
+
+val mutually_exclusive : t -> Types.op_id -> Types.op_id -> bool
+(** True when the two nodes' guard lists disagree on some conditional, i.e.
+    they can never execute in the same instance (§7.2). *)
+
+val drives : t -> int -> int list
+(** Partitions that partition [i] drives (has an I/O operation into),
+    excluding the outside world; sorted, deduplicated. *)
+
+val driven_by : t -> int -> int list
+
+val check_locality : t -> (unit, string) result
+(** Multi-chip well-formedness: every dependence is intra-chip or routed
+    through an I/O operation node whose endpoints match — a functional
+    operation may read only values produced on its own chip or delivered to
+    it (graphs built by {!Netlist} satisfy this by construction). *)
+
+val pp_stats : Format.formatter -> t -> unit

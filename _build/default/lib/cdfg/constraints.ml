@@ -1,0 +1,69 @@
+type t = {
+  n_partitions : int;
+  pin_budget : int array; (* indexed by partition, 0 included *)
+  fus : ((int * string) * int) list;
+}
+
+let create ~n_partitions ~pins ~fus =
+  if n_partitions < 1 then invalid_arg "Constraints.create";
+  let pin_budget = Array.make (n_partitions + 1) 0 in
+  List.iter
+    (fun (p, n) ->
+      if p < 0 || p > n_partitions then
+        invalid_arg "Constraints: partition out of range";
+      if n < 0 then invalid_arg "Constraints: negative pin budget";
+      pin_budget.(p) <- n)
+    pins;
+  let fus =
+    List.map
+      (fun (p, ty, n) ->
+        if p < 1 || p > n_partitions then
+          invalid_arg "Constraints: FU partition out of range";
+        if n < 0 then invalid_arg "Constraints: negative FU count";
+        ((p, ty), n))
+      fus
+  in
+  let keys = List.map fst fus in
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid_arg "Constraints: duplicate (partition, optype) FU entry";
+  { n_partitions; pin_budget; fus }
+
+let n_partitions t = t.n_partitions
+
+let pins t p =
+  if p < 0 || p > t.n_partitions then invalid_arg "Constraints.pins";
+  t.pin_budget.(p)
+
+let fu_count t ~partition ~optype =
+  match List.assoc_opt (partition, optype) t.fus with
+  | Some n -> n
+  | None -> 0
+
+let with_pins t updates =
+  let pin_budget = Array.copy t.pin_budget in
+  List.iter
+    (fun (p, n) ->
+      if p < 0 || p > t.n_partitions then invalid_arg "Constraints.with_pins";
+      pin_budget.(p) <- n)
+    updates;
+  { t with pin_budget }
+
+let min_fus cdfg mlib ~rate =
+  if rate < 1 then invalid_arg "Constraints.min_fus: rate must be >= 1";
+  let groups =
+    Mcs_util.Listx.group_by
+      (fun op -> (Cdfg.func_partition cdfg op, Cdfg.func_optype cdfg op))
+      (Cdfg.func_ops cdfg)
+  in
+  List.map
+    (fun ((p, ty), l) ->
+      let cyc = Module_lib.cycles mlib ty in
+      if cyc > rate then
+        invalid_arg
+          (Printf.sprintf
+             "Constraints.min_fus: %s takes %d cycles > initiation rate %d" ty
+             cyc rate);
+      let slots_per_fu = rate / cyc in
+      let n = List.length l in
+      (p, ty, (n + slots_per_fu - 1) / slots_per_fu))
+    groups

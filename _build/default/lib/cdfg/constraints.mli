@@ -1,0 +1,34 @@
+(** User-supplied per-chip constraints: I/O pins usable for data transfer and
+    functional-unit counts per operation type (the "Resource Constraints"
+    tables of Chapter 4). *)
+
+type t
+
+val create :
+  n_partitions:int ->
+  pins:(int * int) list ->
+  fus:(int * string * int) list ->
+  t
+(** [pins] maps partition id (0 = outside world allowed) to its data-pin
+    budget [T_i]; unlisted partitions get 0 pins.  [fus] lists
+    [(partition, optype, count)] functional-unit allocations.
+    @raise Invalid_argument on out-of-range partitions, duplicates or
+    negative counts. *)
+
+val n_partitions : t -> int
+val pins : t -> int -> int
+(** [T_i] of §3.1.1 — total pins available for data transfer. *)
+
+val fu_count : t -> partition:int -> optype:string -> int
+(** 0 when not listed. *)
+
+val with_pins : t -> (int * int) list -> t
+(** Functional update of some pin budgets. *)
+
+val min_fus :
+  Cdfg.t -> Module_lib.t -> rate:int -> (int * string * int) list
+(** Minimum functional units per (partition, optype) for a pipelined design
+    of initiation rate [rate], using the multi-cycle-aware lower bound of
+    Eq. 7.5: [ceil (n_ops / floor (rate / cycles))].
+    @raise Invalid_argument if some operation type needs more cycles than
+    the initiation rate (no pipelined design exists, §7.4). *)

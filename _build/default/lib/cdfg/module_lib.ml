@@ -1,0 +1,29 @@
+type t = {
+  stage_ns : int;
+  io_delay_ns : int;
+  delays : (string * int) list;
+}
+
+let create ~stage_ns ~io_delay_ns modules =
+  if stage_ns <= 0 then invalid_arg "Module_lib: stage time must be positive";
+  if io_delay_ns <= 0 || io_delay_ns > stage_ns then
+    invalid_arg "Module_lib: I/O delay must be within one stage";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (ty, d) ->
+      if d <= 0 then invalid_arg "Module_lib: nonpositive delay";
+      if Hashtbl.mem seen ty then invalid_arg "Module_lib: duplicate optype";
+      Hashtbl.add seen ty ())
+    modules;
+  { stage_ns; io_delay_ns; delays = modules }
+
+let stage_ns t = t.stage_ns
+let io_delay_ns t = t.io_delay_ns
+let delay_ns t ty = List.assoc ty t.delays
+
+let cycles t ty =
+  let d = delay_ns t ty in
+  (d + t.stage_ns - 1) / t.stage_ns
+
+let chainable t ty = cycles t ty = 1
+let optypes t = List.map fst t.delays

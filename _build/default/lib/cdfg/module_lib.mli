@@ -1,0 +1,34 @@
+(** Hardware module library: one module per operation type (module selection
+    happens before scheduling, §2.2), plus the global clocking parameters.
+
+    Delays are in nanoseconds.  An operation whose module delay exceeds the
+    stage time becomes a multiple-cycle operation; the dissertation assumes
+    those are not chained with anything else (§7.4), and that I/O operations
+    occupy one (fast) slot that chains freely. *)
+
+type t
+
+val create :
+  stage_ns:int ->
+  io_delay_ns:int ->
+  (string * int) list ->
+  t
+(** [create ~stage_ns ~io_delay_ns modules] with [modules] a list of
+    [(optype, delay_ns)].
+    @raise Invalid_argument on a duplicate optype, nonpositive delay, or an
+    I/O delay larger than the stage time. *)
+
+val stage_ns : t -> int
+val io_delay_ns : t -> int
+
+val delay_ns : t -> string -> int
+(** @raise Not_found for an unknown operation type. *)
+
+val cycles : t -> string -> int
+(** [ceil (delay / stage)] — number of control steps the module occupies. *)
+
+val chainable : t -> string -> bool
+(** Single-cycle operations may chain (§7.4 forbids chaining through
+    multi-cycle modules). *)
+
+val optypes : t -> string list

@@ -1,0 +1,172 @@
+type decl_op = {
+  o_name : string;
+  o_type : string;
+  o_partition : int;
+  o_args : string list;
+}
+
+type decl_input = { i_name : string; i_value : string; i_width : int; i_dst : int }
+type decl_output = { u_name : string; u_value : string; u_width : int }
+type decl_rec = { r_src : string; r_dst : string; r_degree : int }
+
+type t = {
+  n_partitions : int;
+  default_width : int;
+  mutable inputs : decl_input list; (* reversed *)
+  mutable ops : decl_op list;
+  mutable outputs : decl_output list;
+  mutable recs : decl_rec list;
+  widths : (string, int) Hashtbl.t;
+  xnames : (string * int, string) Hashtbl.t;
+  guards : (string, Types.guard list) Hashtbl.t;
+}
+
+let create ?(default_width = 8) ~n_partitions () =
+  if n_partitions < 1 then invalid_arg "Netlist.create";
+  {
+    n_partitions;
+    default_width;
+    inputs = [];
+    ops = [];
+    outputs = [];
+    recs = [];
+    widths = Hashtbl.create 32;
+    xnames = Hashtbl.create 32;
+    guards = Hashtbl.create 8;
+  }
+
+let input t ?name ~width ~dst value =
+  let i_name = match name with Some n -> n | None -> value in
+  t.inputs <- { i_name; i_value = value; i_width = width; i_dst = dst } :: t.inputs
+
+let op t ~name ~optype ~partition ~args =
+  t.ops <- { o_name = name; o_type = optype; o_partition = partition; o_args = args } :: t.ops
+
+let output t ?name ~width value =
+  let u_name = match name with Some n -> n | None -> "O_" ^ value in
+  t.outputs <- { u_name; u_value = value; u_width = width } :: t.outputs
+
+let set_width t ~value w = Hashtbl.replace t.widths value w
+let xfer_name t ~value ~dst n = Hashtbl.replace t.xnames (value, dst) n
+
+let guard t ~opname ~cond ~arm =
+  let old = Option.value ~default:[] (Hashtbl.find_opt t.guards opname) in
+  Hashtbl.replace t.guards opname ({ Types.cond; arm } :: old)
+
+let value_width t v =
+  match Hashtbl.find_opt t.widths v with
+  | Some w -> w
+  | None -> t.default_width
+
+let elaborate t =
+  let b = Cdfg.Builder.create ~n_partitions:t.n_partitions in
+  let inputs = List.rev t.inputs in
+  let ops = List.rev t.ops in
+  let outputs = List.rev t.outputs in
+  let op_guards name =
+    Option.value ~default:[] (Hashtbl.find_opt t.guards name)
+  in
+  (* Primary input I/O nodes, keyed by (value, destination). *)
+  let input_io = Hashtbl.create 32 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem input_io (d.i_value, d.i_dst) then
+        invalid_arg
+          (Printf.sprintf "Netlist: duplicate input %s -> partition %d"
+             d.i_value d.i_dst);
+      let id =
+        Cdfg.Builder.io b ~name:d.i_name ~src:0 ~dst:d.i_dst ~width:d.i_width
+          d.i_value
+      in
+      Hashtbl.add input_io (d.i_value, d.i_dst) id)
+    inputs;
+  (* Functional nodes. *)
+  let op_node = Hashtbl.create 64 in
+  let op_decl = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem op_node d.o_name then
+        invalid_arg ("Netlist: duplicate op " ^ d.o_name);
+      let id =
+        Cdfg.Builder.func b ~name:d.o_name ~guards:(op_guards d.o_name)
+          ~partition:d.o_partition d.o_type
+      in
+      Hashtbl.add op_node d.o_name id;
+      Hashtbl.add op_decl d.o_name d)
+    ops;
+  (* Cross-partition transfer I/O nodes, created on demand and shared by all
+     consumers of the same value in the same partition. *)
+  let xfer_io = Hashtbl.create 32 in
+  let xfer value ~src ~dst ~guards =
+    match Hashtbl.find_opt xfer_io (value, dst) with
+    | Some id -> id
+    | None ->
+        let name =
+          match Hashtbl.find_opt t.xnames (value, dst) with
+          | Some n -> n
+          | None -> Printf.sprintf "X_%s_%d" value dst
+        in
+        let id =
+          Cdfg.Builder.io b ~name ~guards ~src ~dst
+            ~width:(value_width t value) value
+        in
+        Hashtbl.add xfer_io (value, dst) id;
+        Cdfg.Builder.dep b (Hashtbl.find op_node value) id;
+        id
+  in
+  let connect_arg consumer_id consumer_partition ~degree arg =
+    match Hashtbl.find_opt input_io (arg, consumer_partition) with
+    | Some io_id -> Cdfg.Builder.dep b ~degree io_id consumer_id
+    | None -> (
+        match Hashtbl.find_opt op_decl arg with
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Netlist: operand %s is neither an op nor an input visible \
+                  in partition %d"
+                 arg consumer_partition)
+        | Some producer ->
+            let producer_id = Hashtbl.find op_node arg in
+            if producer.o_partition = consumer_partition then
+              Cdfg.Builder.dep b ~degree producer_id consumer_id
+            else begin
+              let io_id =
+                xfer arg ~src:producer.o_partition ~dst:consumer_partition
+                  ~guards:(op_guards producer.o_name)
+              in
+              Cdfg.Builder.dep b ~degree io_id consumer_id
+            end)
+  in
+  List.iter
+    (fun d ->
+      let id = Hashtbl.find op_node d.o_name in
+      List.iter (connect_arg id d.o_partition ~degree:0) d.o_args)
+    ops;
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt op_decl r.r_dst with
+      | None -> invalid_arg ("Netlist: unknown recursive consumer " ^ r.r_dst)
+      | Some consumer ->
+          if not (Hashtbl.mem op_node r.r_src) then
+            invalid_arg ("Netlist: unknown recursive producer " ^ r.r_src);
+          let consumer_id = Hashtbl.find op_node r.r_dst in
+          connect_arg consumer_id consumer.o_partition ~degree:r.r_degree
+            r.r_src)
+    (List.rev t.recs);
+  List.iter
+    (fun d ->
+      match Hashtbl.find_opt op_decl d.u_value with
+      | None -> invalid_arg ("Netlist: unknown output value " ^ d.u_value)
+      | Some producer ->
+          let io_id =
+            Cdfg.Builder.io b ~name:d.u_name
+              ~guards:(op_guards producer.o_name)
+              ~src:producer.o_partition ~dst:0 ~width:d.u_width d.u_value
+          in
+          Cdfg.Builder.dep b (Hashtbl.find op_node d.u_value) io_id)
+    outputs;
+  Cdfg.Builder.finish b
+
+let rec_dep t ~src ~dst ~degree =
+  if degree < 1 then invalid_arg "Netlist.rec_dep: degree must be >= 1";
+  t.recs <- { r_src = src; r_dst = dst; r_degree = degree } :: t.recs

@@ -1,0 +1,51 @@
+(** Netlist-style front end: describe a partitioned design as named
+    operations over named values, and let elaboration insert the I/O
+    operation nodes demanded by the partitioning.
+
+    This mirrors the paper's input convention: the behavioural partitioner
+    decides which chip each functional operation lives on, and "I/O operation
+    nodes [are] inserted on the arcs across partition boundaries"
+    (Fig. 3.5).  A value consumed in several partitions gets one I/O
+    operation per requesting partition — the W_v sets of §3.1.1. *)
+
+type t
+
+val create : ?default_width:int -> n_partitions:int -> unit -> t
+(** [default_width] (default 8) is used for cross-partition values with no
+    explicit {!set_width}. *)
+
+val input : t -> ?name:string -> width:int -> dst:int -> string -> unit
+(** Primary input: an I/O operation bringing [value] from the outside world
+    into partition [dst].  The same [value] may be declared for several
+    destinations (distinct I/O operations transferring the same value). *)
+
+val op : t -> name:string -> optype:string -> partition:int ->
+  args:string list -> unit
+(** A functional operation.  Each argument is either a primary input value
+    (visible in this op's partition) or the name of another operation, whose
+    produced value is named after it. *)
+
+val output : t -> ?name:string -> width:int -> string -> unit
+(** System output: transfers the value produced by operation [value] to the
+    outside world. *)
+
+val set_width : t -> value:string -> int -> unit
+(** Bit width of an operation-produced value when it crosses chips. *)
+
+val xfer_name : t -> value:string -> dst:int -> string -> unit
+(** Pretty name for the I/O operation carrying [value] into partition
+    [dst] (default ["X_<value>_<dst>"]). *)
+
+val rec_dep : t -> src:string -> dst:string -> degree:int -> unit
+(** Data recursive dependence: operation [dst] consumes the value [src]
+    produced [degree] execution instances earlier.  Cross-partition
+    recursive dependences get their own I/O operation, with the degree
+    carried on the I/O-to-consumer arc. *)
+
+val guard : t -> opname:string -> cond:int -> arm:bool -> unit
+(** Marks an operation (and the I/O operations generated for its
+    cross-partition operands/results) as conditional (§7.2). *)
+
+val elaborate : t -> Cdfg.t
+(** @raise Invalid_argument on unknown values, duplicate operation names, or
+    an elaborated graph that is cyclic at degree 0. *)

@@ -1,0 +1,189 @@
+type din = { i_name : string; i_width : int }
+type dop = { o_name : string; o_type : string; o_args : string list }
+type dout = { u_value : string; u_width : int }
+
+type decl = Dinput of din | Dop of dop | Doutput of dout
+
+type spec = {
+  default_width : int;
+  mutable decls : decl list; (* reversed *)
+  widths : (string, int) Hashtbl.t;
+}
+
+let create ?(default_width = 8) () =
+  { default_width; decls = []; widths = Hashtbl.create 16 }
+
+let input s ~width name =
+  s.decls <- Dinput { i_name = name; i_width = width } :: s.decls
+
+let op s ~name ~optype ~args =
+  s.decls <- Dop { o_name = name; o_type = optype; o_args = args } :: s.decls
+
+let output s ~width value =
+  s.decls <- Doutput { u_value = value; u_width = width } :: s.decls
+
+let set_width s ~value w = Hashtbl.replace s.widths value w
+
+let ops_of s =
+  List.filter_map
+    (function Dop o -> Some o | Dinput _ | Doutput _ -> None)
+    (List.rev s.decls)
+
+let inputs_of s =
+  List.filter_map
+    (function Dinput i -> Some i | Dop _ | Doutput _ -> None)
+    (List.rev s.decls)
+
+let outputs_of s =
+  List.filter_map
+    (function Doutput o -> Some o | Dop _ | Dinput _ -> None)
+    (List.rev s.decls)
+
+let width_of s v =
+  match Hashtbl.find_opt s.widths v with
+  | Some w -> w
+  | None -> (
+      match List.find_opt (fun i -> String.equal i.i_name v) (inputs_of s) with
+      | Some i -> i.i_width
+      | None -> s.default_width)
+
+(* Predicted pin demand of chip p under [assign]: every distinct
+   (value, consumer chip) pair crossing its boundary costs the value's
+   width divided among the initiation interval's slots; we use the
+   rate-1 (worst-case) figure during improvement and expose the
+   rate-aware one separately. *)
+let cut_pairs s ~assign =
+  let home = Hashtbl.create 64 in
+  List.iter (fun (o : dop) -> Hashtbl.replace home o.o_name (assign o.o_name)) (ops_of s);
+  List.iter (fun i -> Hashtbl.replace home i.i_name 0) (inputs_of s);
+  let pairs = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let dst = assign o.o_name in
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt home a with
+          | Some src when src <> dst -> Hashtbl.replace pairs (a, src, dst) ()
+          | _ -> ())
+        o.o_args)
+    (ops_of s);
+  List.iter
+    (fun (u : dout) ->
+      match Hashtbl.find_opt home u.u_value with
+      | Some src when src <> 0 -> Hashtbl.replace pairs (u.u_value, src, 0) ()
+      | _ -> ())
+    (outputs_of s);
+  Hashtbl.fold (fun k () acc -> k :: acc) pairs []
+
+let predicted_pins s ~assign ~rate =
+  let pairs = cut_pairs s ~assign in
+  let chips =
+    List.sort_uniq compare (0 :: List.map (fun o -> assign o.o_name) (ops_of s))
+  in
+  List.map
+    (fun p ->
+      let side sel =
+        (* Distinct values on that side, each needing ceil(count/rate)
+           ports of its width — approximated width-by-width. *)
+        let mine = List.filter sel pairs in
+        let by_width =
+          Mcs_util.Listx.group_by (fun (v, _, _) -> width_of s v) mine
+        in
+        Mcs_util.Listx.sum
+          (fun (w, l) -> w * ((List.length l + rate - 1) / rate))
+          by_width
+      in
+      ( p,
+        side (fun (_, src, _) -> src = p) + side (fun (_, _, dst) -> dst = p) ))
+    chips
+
+let total_cut_bits s ~assign =
+  Mcs_util.Listx.sum (fun (v, _, _) -> width_of s v) (cut_pairs s ~assign)
+
+let partition s ~n_partitions ?max_ops_per_chip ?(passes = 4) () =
+  if n_partitions < 1 then invalid_arg "Partitioner.partition";
+  let ops = Array.of_list (ops_of s) in
+  let n = Array.length ops in
+  if n = 0 then invalid_arg "Partitioner.partition: no operations";
+  let cap =
+    match max_ops_per_chip with
+    | Some c -> c
+    | None -> ((n + n_partitions - 1) / n_partitions) + 1
+  in
+  (* Seed: contiguous slices of the declaration order (roughly levelized
+     for netlists written producer-first). *)
+  let assign = Hashtbl.create 64 in
+  Array.iteri
+    (fun i o ->
+      Hashtbl.replace assign o.o_name (1 + (i * n_partitions / n)))
+    ops;
+  let load = Array.make (n_partitions + 1) 0 in
+  Array.iter (fun o -> let p = Hashtbl.find assign o.o_name in load.(p) <- load.(p) + 1) ops;
+  let lookup name = Hashtbl.find assign name in
+  (* Greedy KL-ish sweeps: best single-op move while it lowers the cut. *)
+  let improved = ref true in
+  let pass = ref 0 in
+  while !improved && !pass < passes do
+    improved := false;
+    incr pass;
+    Array.iter
+      (fun o ->
+        let from = lookup o.o_name in
+        let base = total_cut_bits s ~assign:lookup in
+        let best = ref None in
+        List.iter
+          (fun target ->
+            if target <> from && load.(target) < cap then begin
+              Hashtbl.replace assign o.o_name target;
+              let cost = total_cut_bits s ~assign:lookup in
+              (match !best with
+              | Some (_, c) when c <= cost -> ()
+              | _ -> if cost < base then best := Some (target, cost));
+              Hashtbl.replace assign o.o_name from
+            end)
+          (Mcs_util.Listx.range 1 (n_partitions + 1));
+        match !best with
+        | Some (target, _) ->
+            Hashtbl.replace assign o.o_name target;
+            load.(from) <- load.(from) - 1;
+            load.(target) <- load.(target) + 1;
+            improved := true
+        | None -> ())
+      ops
+  done;
+  List.map (fun o -> (o.o_name, lookup o.o_name)) (ops_of s)
+
+let elaborate s ~assign =
+  let n_partitions =
+    List.fold_left (fun acc o -> max acc (assign o.o_name)) 1 (ops_of s)
+  in
+  let n = Netlist.create ~default_width:s.default_width ~n_partitions () in
+  (* Primary inputs go to every chip that reads them. *)
+  let consumers = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun a ->
+          if List.exists (fun i -> String.equal i.i_name a) (inputs_of s) then
+            Hashtbl.replace consumers (a, assign o.o_name) ())
+        o.o_args)
+    (ops_of s);
+  List.iter
+    (fun i ->
+      Hashtbl.iter
+        (fun (v, dst) () ->
+          if String.equal v i.i_name then
+            Netlist.input n ~name:(Printf.sprintf "%s_p%d" v dst)
+              ~width:i.i_width ~dst v)
+        consumers)
+    (inputs_of s);
+  Hashtbl.iter (fun v w -> Netlist.set_width n ~value:v w) s.widths;
+  List.iter
+    (fun o ->
+      Netlist.op n ~name:o.o_name ~optype:o.o_type
+        ~partition:(assign o.o_name) ~args:o.o_args)
+    (ops_of s);
+  List.iter
+    (fun (u : dout) -> Netlist.output n ~width:u.u_width u.u_value)
+    (outputs_of s);
+  Netlist.elaborate n

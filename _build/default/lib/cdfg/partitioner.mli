@@ -1,0 +1,43 @@
+(** Behavioural-level partitioning front end.
+
+    The dissertation assumes partitioning happens {e before} synthesis, by a
+    predictive partitioner such as CHOP [KP91] (§1.2).  CHOP itself is not
+    available; this module plays its role: given an {e unpartitioned}
+    operation network, produce a chip assignment that balances operation
+    load and keeps the predicted interchip pin demand low, then elaborate it
+    into a partitioned {!Cdfg.t} via {!Netlist}.
+
+    The algorithm is levelized seeding followed by Kernighan–Lin-style
+    improvement: operations move between chips while the move lowers the
+    predicted pin cost (cut values weighted by bit width, counting a value
+    once per destination chip, as the I/O operation model does) without
+    violating the per-chip operation capacity. *)
+
+type spec
+
+val create : ?default_width:int -> unit -> spec
+val input : spec -> width:int -> string -> unit
+val op : spec -> name:string -> optype:string -> args:string list -> unit
+val output : spec -> width:int -> string -> unit
+val set_width : spec -> value:string -> int -> unit
+
+val partition :
+  spec ->
+  n_partitions:int ->
+  ?max_ops_per_chip:int ->
+  ?passes:int ->
+  unit ->
+  (string * int) list
+(** Assignment of every operation to a chip in [1 .. n_partitions].
+    [max_ops_per_chip] defaults to a balanced
+    [ceil (n_ops / n_partitions) + 1]; [passes] (default 4) bounds the
+    improvement sweeps. *)
+
+val predicted_pins : spec -> assign:(string -> int) -> rate:int -> (int * int) list
+(** Per chip (plus the outside world, id 0): predicted data pins — each
+    distinct (value, destination) crossing pays its width once per
+    initiation interval's worth of port slots. *)
+
+val elaborate : spec -> assign:(string -> int) -> Cdfg.t
+(** Builds the partitioned CDFG: primary inputs are routed to every chip
+    that consumes them, transfers inserted per cut edge. *)

@@ -1,0 +1,92 @@
+(* Small explicit LCG so generation is reproducible and independent of the
+   global Random state. *)
+type rng = { mutable s : int }
+
+let next r =
+  r.s <- ((r.s * 0x5DEECE66D) + 0xB) land ((1 lsl 48) - 1);
+  (r.s lsr 17) land 0x3FFFFFFF
+
+let pick r l = List.nth l (next r mod List.length l)
+let range_pick r lo hi = lo + (next r mod (hi - lo + 1))
+
+let mlib () =
+  Module_lib.create ~stage_ns:100 ~io_delay_ns:95 [ ("add", 100); ("mul", 200) ]
+
+let generate ~seed ~n_partitions ~n_ops ?(widths = [ 8; 16 ]) ?(recursive = 0)
+    () =
+  if n_partitions < 1 || n_ops < 1 then invalid_arg "Random_design.generate";
+  let r = { s = (seed * 2654435761) lor 1 } in
+  let n = Netlist.create ~default_width:(List.hd widths) ~n_partitions () in
+  (* One primary input per partition, so every chip has local data. *)
+  List.iter
+    (fun p ->
+      Netlist.input n
+        ~width:(pick r widths)
+        ~dst:p
+        (Printf.sprintf "in%d" p))
+    (Mcs_util.Listx.range 1 (n_partitions + 1));
+  let op_names = ref [] in
+  List.iter
+    (fun i ->
+      let p = range_pick r 1 n_partitions in
+      let name = Printf.sprintf "op%d" i in
+      let operand () =
+        (* Either an earlier operation (possibly cross-chip) or this
+           chip's own input. *)
+        match !op_names with
+        | [] -> Printf.sprintf "in%d" p
+        | names ->
+            if next r mod 3 = 0 then Printf.sprintf "in%d" p
+            else pick r names
+      in
+      let args =
+        if next r mod 4 = 0 then [ operand () ]
+        else [ operand (); operand () ]
+      in
+      let optype = if next r mod 4 = 0 then "mul" else "add" in
+      Netlist.op n ~name ~optype ~partition:p ~args;
+      Netlist.set_width n ~value:name (pick r widths);
+      op_names := name :: !op_names)
+    (Mcs_util.Listx.range 0 n_ops);
+  (* Recursive feedback with degree 2 into early operations. *)
+  let names = Array.of_list (List.rev !op_names) in
+  List.iter
+    (fun _ ->
+      if n_ops >= 2 then begin
+        let dst = next r mod (n_ops / 2) in
+        let src = range_pick r (max (dst + 1) (n_ops / 2)) (n_ops - 1) in
+        Netlist.rec_dep n
+          ~src:names.(src)
+          ~dst:names.(dst)
+          ~degree:2
+      end)
+    (Mcs_util.Listx.range 0 recursive);
+  Netlist.output n ~width:(pick r widths) names.(n_ops - 1);
+  Netlist.elaborate n
+
+let generate_simple ~seed ~n_partitions ~ops_per_chip () =
+  if n_partitions < 1 || ops_per_chip < 1 then
+    invalid_arg "Random_design.generate_simple";
+  let r = { s = (seed * 40503) lor 1 } in
+  let n = Netlist.create ~default_width:8 ~n_partitions () in
+  let boundary = ref None in
+  List.iter
+    (fun p ->
+      Netlist.input n ~width:8 ~dst:p (Printf.sprintf "in%d" p);
+      let local = ref [ Printf.sprintf "in%d" p ] in
+      (match !boundary with Some v -> local := v :: !local | None -> ());
+      List.iter
+        (fun i ->
+          let name = Printf.sprintf "p%dq%d" p i in
+          let a1 = pick r !local and a2 = pick r !local in
+          let optype = if next r mod 4 = 0 then "mul" else "add" in
+          Netlist.op n ~name ~optype ~partition:p ~args:[ a1; a2 ];
+          local := name :: !local)
+        (Mcs_util.Listx.range 0 ops_per_chip);
+      (* The chain value the next chip will read: the last local op. *)
+      boundary := Some (Printf.sprintf "p%dq%d" p (ops_per_chip - 1)))
+    (Mcs_util.Listx.range 1 (n_partitions + 1));
+  (match !boundary with
+  | Some v -> Netlist.output n ~width:8 v
+  | None -> assert false);
+  Netlist.elaborate n

@@ -1,0 +1,29 @@
+(** Deterministic random partitioned designs, for property-based testing of
+    the synthesis flows: every generated CDFG is acyclic at degree 0,
+    locality-correct by construction (cross-partition operands go through
+    I/O operation nodes), and has at least one primary input per partition
+    and one system output. *)
+
+val generate :
+  seed:int ->
+  n_partitions:int ->
+  n_ops:int ->
+  ?widths:int list ->
+  ?recursive:int ->
+  unit ->
+  Cdfg.t
+(** [widths] (default [[8; 16]]) is the pool of transfer bit widths;
+    [recursive] (default 0) adds that many data recursive edges of degree 2
+    targeting operations early in the graph (each adds slack-rich feedback,
+    never a tighter loop than 2 initiation intervals). *)
+
+val generate_simple :
+  seed:int -> n_partitions:int -> ops_per_chip:int -> unit -> Cdfg.t
+(** A random {e simple} partitioning (Definition 3.2): a chain of chips,
+    each driving only its successor, each operation reading its own chip's
+    values, its chip's primary input, or the previous chip's boundary
+    value.  Feeds the Chapter 3 flow in fuzz tests. *)
+
+val mlib : unit -> Module_lib.t
+(** Stage 100 ns, 1-cycle "add", 2-cycle "mul", chaining-free — the adverse
+    case for schedulers. *)

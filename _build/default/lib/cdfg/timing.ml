@@ -1,0 +1,137 @@
+type info = { cstep : int; finish_ns : int }
+
+let op_delay_ns cdfg mlib op =
+  match Cdfg.node cdfg op with
+  | Types.Io _ -> Module_lib.io_delay_ns mlib
+  | Types.Func { optype; _ } -> Module_lib.delay_ns mlib optype
+
+let op_cycles cdfg mlib op =
+  match Cdfg.node cdfg op with
+  | Types.Io _ -> 1
+  | Types.Func { optype; _ } -> Module_lib.cycles mlib optype
+
+let op_chainable cdfg mlib op = op_cycles cdfg mlib op = 1
+
+(* Generic earliest-start pass over an arbitrary (order, preds) view; used
+   forward for ASAP and on the reversed graph for ALAP. *)
+let earliest cdfg mlib ~order ~preds =
+  let stage = Module_lib.stage_ns mlib in
+  let n = Cdfg.n_ops cdfg in
+  let res = Array.make n { cstep = 0; finish_ns = 0 } in
+  let delay = op_delay_ns cdfg mlib in
+  let cycles = op_cycles cdfg mlib in
+  let chainable = op_chainable cdfg mlib in
+  let place v =
+    let dv = delay v in
+    let ps = preds v in
+    let chain_legal p =
+      chainable p && chainable v && res.(p).finish_ns + dv <= stage
+    in
+    (* Earliest control step admissible for every predecessor. *)
+    let cstep0 =
+      List.fold_left
+        (fun acc p ->
+          let need =
+            if chain_legal p then res.(p).cstep
+            else res.(p).cstep + cycles p
+          in
+          max acc need)
+        0 ps
+    in
+    if cycles v > 1 then res.(v) <- { cstep = cstep0; finish_ns = 0 }
+    else begin
+      (* Offset forced by predecessors whose value is not yet registered at
+         the start of [cstep0]. *)
+      let offset =
+        List.fold_left
+          (fun acc p ->
+            if res.(p).cstep = cstep0 && res.(p).cstep + cycles p > cstep0
+            then max acc res.(p).finish_ns
+            else acc)
+          0 ps
+      in
+      if offset + dv <= stage then
+        res.(v) <- { cstep = cstep0; finish_ns = offset + dv }
+      else res.(v) <- { cstep = cstep0 + 1; finish_ns = dv }
+    end
+  in
+  List.iter place order;
+  res
+
+let asap cdfg mlib =
+  earliest cdfg mlib ~order:(Cdfg.topo_order cdfg) ~preds:(Cdfg.preds cdfg)
+
+let critical_path_csteps cdfg mlib =
+  let a = asap cdfg mlib in
+  let worst = ref 0 in
+  List.iter
+    (fun v ->
+      let last = a.(v).cstep + op_cycles cdfg mlib v - 1 in
+      if last > !worst then worst := last)
+    (Cdfg.ops cdfg);
+  !worst + 1
+
+let alap cdfg mlib ~pipe_length =
+  if pipe_length < critical_path_csteps cdfg mlib then None
+  else begin
+    let rev =
+      earliest cdfg mlib
+        ~order:(List.rev (Cdfg.topo_order cdfg))
+        ~preds:(Cdfg.succs cdfg)
+    in
+    (* In reversed time an op starting at reverse step r with c cycles ends
+       (in forward time) at cstep (pipe_length - 1 - r) and starts c-1 steps
+       earlier. *)
+    let n = Cdfg.n_ops cdfg in
+    let res = Array.make n { cstep = 0; finish_ns = 0 } in
+    for v = 0 to n - 1 do
+      let c = op_cycles cdfg mlib v in
+      let last = pipe_length - 1 - rev.(v).cstep in
+      res.(v) <- { cstep = last - (c - 1); finish_ns = rev.(v).finish_ns }
+    done;
+    Some res
+  end
+
+(* Bound on the initiation rate imposed by cycles through data recursive
+   edges: feasible at rate L iff the graph with arc weights
+   cycles(src) - degree*L has no positive cycle (Bellman-Ford style longest
+   path relaxation). *)
+let rate_feasible cdfg mlib rate =
+  let n = Cdfg.n_ops cdfg in
+  let dist = Array.make n 0 in
+  let edges = Cdfg.edges cdfg in
+  let relax () =
+    List.fold_left
+      (fun changed { Types.e_src; e_dst; degree } ->
+        let w = op_cycles cdfg mlib e_src - (degree * rate) in
+        if dist.(e_src) + w > dist.(e_dst) then begin
+          dist.(e_dst) <- dist.(e_src) + w;
+          true
+        end
+        else changed)
+      false edges
+  in
+  (* Converges within n passes iff there is no positive cycle. *)
+  let rec loop i =
+    if not (relax ()) then true else if i >= n then false else loop (i + 1)
+  in
+  loop 0
+
+let min_initiation_rate cdfg mlib =
+  let floor_rate =
+    List.fold_left
+      (fun acc v -> max acc (op_cycles cdfg mlib v))
+      1 (Cdfg.ops cdfg)
+  in
+  let rec search rate =
+    if rate_feasible cdfg mlib rate then rate else search (rate + 1)
+  in
+  (* Total latency is a trivially feasible rate, so the search terminates. *)
+  search floor_rate
+
+let max_time_constraints cdfg mlib ~rate =
+  List.filter_map
+    (fun { Types.e_src; e_dst; degree } ->
+      if degree = 0 then None
+      else Some (e_src, e_dst, (degree * rate) - op_cycles cdfg mlib e_src))
+    (Cdfg.edges cdfg)

@@ -1,0 +1,44 @@
+(** Unconstrained timing analysis: ASAP / ALAP control steps with operation
+    chaining and multiple-cycle operations.
+
+    Chaining semantics (§2.2, §7.4): single-cycle operations may share a
+    control step with their predecessor when the accumulated combinational
+    delay still fits in the stage time; a multiple-cycle operation neither
+    chains after a predecessor nor lets a successor chain after it —
+    its result is available at the start of control step
+    [start + cycles]. *)
+
+type info = {
+  cstep : int;      (** control step in which the operation starts *)
+  finish_ns : int;  (** combinational offset, within the finishing cstep, at
+                        which the result is valid (single-cycle chains) *)
+}
+
+val op_cycles : Cdfg.t -> Module_lib.t -> Types.op_id -> int
+val op_delay_ns : Cdfg.t -> Module_lib.t -> Types.op_id -> int
+
+val asap : Cdfg.t -> Module_lib.t -> info array
+(** Earliest control steps; primary operations start at step 0. *)
+
+val alap : Cdfg.t -> Module_lib.t -> pipe_length:int -> info array option
+(** Latest control steps such that every operation finishes within control
+    steps [0 .. pipe_length - 1]; [None] when the critical path does not
+    fit. *)
+
+val critical_path_csteps : Cdfg.t -> Module_lib.t -> int
+(** Minimum pipe length: [1 + max (asap cstep + cycles - 1)]. *)
+
+val min_initiation_rate : Cdfg.t -> Module_lib.t -> int
+(** Lower bound on the initiation rate imposed by data recursive edges: for
+    each cycle of the dependence graph (counting recursive edges), the total
+    latency around the cycle divided by the total degree (§7.1); and by the
+    largest multi-cycle operation (§7.4).  Computed exactly via a
+    minimum-ratio search over rates. *)
+
+val max_time_constraints :
+  Cdfg.t -> Module_lib.t -> rate:int -> (Types.op_id * Types.op_id * int) list
+(** For each data recursive edge [src -> dst] of degree [d], the constraint
+    [cstep(src) - cstep(dst) <= d*rate - cycles(src)] (§7.1, with [t_b] the
+    producer and [t_a] the consumer), returned as
+    [(producer, consumer, bound)] meaning
+    [cstep producer - cstep consumer <= bound]. *)

@@ -1,0 +1,8 @@
+type op_id = int
+
+type node =
+  | Func of { optype : string; partition : int }
+  | Io of { value : string; src : int; dst : int; width : int }
+
+type edge = { e_src : op_id; e_dst : op_id; degree : int }
+type guard = { cond : int; arm : bool }

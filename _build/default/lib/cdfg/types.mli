@@ -1,0 +1,27 @@
+(** Shared vocabulary of the CDFG layer.
+
+    Terminology follows the dissertation:
+
+    - a {e functional operation} lives inside one partition (chip) and is
+      executed by a hardware module of its operation type;
+    - an {e I/O operation} node models one interchip value transfer: an
+      output operation of the source partition paired with the input
+      operation of the destination partition, both in the same control step
+      (§2.2.1).  Partition 0 is the pseudo partition for the outside world,
+      so primary inputs are I/O operations with [src = 0] and system outputs
+      I/O operations with [dst = 0];
+    - an edge of {e degree} [d > 0] is a data recursive edge: the value is
+      produced [d] execution instances before it is consumed (§7.1). *)
+
+type op_id = int
+
+type node =
+  | Func of { optype : string; partition : int }
+  | Io of { value : string; src : int; dst : int; width : int }
+
+type edge = { e_src : op_id; e_dst : op_id; degree : int }
+
+(** Conditional-execution guard (Chapter 7.2): the node executes only when
+    conditional [cond] resolves to [arm].  Two nodes are mutually exclusive
+    when their guard lists disagree on some conditional. *)
+type guard = { cond : int; arm : bool }

@@ -1,0 +1,1 @@
+lib/connect/bounds.ml: Cdfg Constraints List Mcs_cdfg Mcs_util

@@ -1,0 +1,1 @@
+lib/connect/bounds.mli: Cdfg Constraints Mcs_cdfg

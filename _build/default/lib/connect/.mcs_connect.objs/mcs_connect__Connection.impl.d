@@ -1,0 +1,1 @@
+lib/connect/connection.ml: Array Cdfg Format List Mcs_cdfg Mcs_util Printf String

@@ -1,0 +1,1 @@
+lib/connect/connection.mli: Cdfg Format Mcs_cdfg Types

@@ -1,0 +1,1 @@
+lib/connect/heuristic.ml: Array Cdfg Connection Constraints Hashtbl List Mcs_cdfg Mcs_util Option String Types

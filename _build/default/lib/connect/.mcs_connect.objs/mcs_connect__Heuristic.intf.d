@@ -1,0 +1,1 @@
+lib/connect/heuristic.mli: Cdfg Connection Constraints Mcs_cdfg Stdlib Types

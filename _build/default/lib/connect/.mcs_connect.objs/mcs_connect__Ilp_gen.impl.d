@@ -1,0 +1,1 @@
+lib/connect/ilp_gen.ml: Cdfg Connection Constraints Hashtbl List Mcs_cdfg Mcs_ilp Mcs_util Printf String Types

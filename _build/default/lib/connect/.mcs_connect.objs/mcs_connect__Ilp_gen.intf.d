@@ -1,0 +1,1 @@
+lib/connect/ilp_gen.mli: Cdfg Connection Constraints Mcs_cdfg Mcs_ilp Types

@@ -1,0 +1,1 @@
+lib/connect/reassign.ml: Array Cdfg Connection Hashtbl List Mcs_cdfg Mcs_graph Mcs_sched Mcs_util String Types

@@ -1,0 +1,1 @@
+lib/connect/reassign.mli: Cdfg Connection Mcs_cdfg Mcs_sched Types

@@ -1,0 +1,81 @@
+open Mcs_cdfg
+
+(* Width population of a partition's input side: one entry per I/O
+   operation; of its output side: one entry per distinct value (output
+   operations of one value share the output port, §2.2.1). *)
+let input_widths cdfg partition =
+  List.map (Cdfg.io_width cdfg) (Cdfg.io_inputs_of_partition cdfg partition)
+
+let output_widths cdfg partition =
+  List.map
+    (fun v ->
+      match Cdfg.io_ops_of_value cdfg v with
+      | [] -> assert false
+      | op :: _ -> Cdfg.io_width cdfg op)
+    (Cdfg.values_output_by cdfg partition)
+
+(* The §4.1.1 recurrences over the increasing width sequence.  Returns
+   (min_pins, fun available_pins -> max_ports). *)
+let side_bounds widths ~rate =
+  let sorted = List.sort_uniq compare widths in
+  let counts =
+    List.map
+      (fun b -> (b, List.length (List.filter (( = ) b) widths)))
+      sorted
+  in
+  (* Walk widest-first: lower bound ports (and hence pins), tracking spare
+     slots donated by wider ports. *)
+  let rec lower acc_pins spare lbs = function
+    | [] -> (acc_pins, lbs)
+    | (b, n) :: rest ->
+        let need = max 0 (n - spare) in
+        let ports = (need + rate - 1) / rate in
+        let spare' = spare + (ports * rate) - n in
+        lower (acc_pins + (ports * b)) spare' ((b, ports) :: lbs) rest
+  in
+  let min_pins, lbs = lower 0 0 [] (List.rev counts) in
+  let max_ports available =
+    (* Widest-first again: the upper bound takes all pins not reserved by
+       the minimum allocation of wider widths. *)
+    let rec upper avail = function
+      | [] -> 0
+      | (b, n) :: rest ->
+          let ub = min (avail / b) n in
+          let reserved = List.assoc b lbs * b in
+          ub + upper (avail - reserved) rest
+    in
+    upper (max 0 available) (List.rev counts)
+  in
+  (min_pins, max_ports)
+
+let min_input_pins cdfg ~rate ~partition =
+  fst (side_bounds (input_widths cdfg partition) ~rate)
+
+let min_output_pins cdfg ~rate ~partition =
+  fst (side_bounds (output_widths cdfg partition) ~rate)
+
+let max_input_ports cdfg cons ~rate ~partition =
+  let _, f = side_bounds (input_widths cdfg partition) ~rate in
+  f (Constraints.pins cons partition - min_output_pins cdfg ~rate ~partition)
+
+let max_output_ports cdfg cons ~rate ~partition =
+  let _, f = side_bounds (output_widths cdfg partition) ~rate in
+  f (Constraints.pins cons partition - min_input_pins cdfg ~rate ~partition)
+
+let all_partitions cdfg = Mcs_util.Listx.range 0 (Cdfg.n_partitions cdfg + 1)
+
+let max_buses cdfg cons ~rate =
+  let sum f =
+    Mcs_util.Listx.sum (fun p -> f cdfg cons ~rate ~partition:p) (all_partitions cdfg)
+  in
+  max 1 (min (sum max_input_ports) (sum max_output_ports))
+
+let max_buses_bidir cdfg cons ~rate =
+  let total =
+    Mcs_util.Listx.sum
+      (fun p ->
+        max_input_ports cdfg cons ~rate ~partition:p
+        + max_output_ports cdfg cons ~rate ~partition:p)
+      (all_partitions cdfg)
+  in
+  max 1 (total / 2)

@@ -1,0 +1,30 @@
+(** Upper bound on the number of communication buses (§4.1.1).
+
+    Every bus must touch at least one input port and one output port, and no
+    port connects to more than one bus; so the number of ports each chip can
+    afford — computed from its pin budget and the bit-width population of its
+    I/O operations — bounds the bus count far more tightly than the naive
+    "one bus per I/O operation". *)
+
+open Mcs_cdfg
+
+val max_input_ports : Cdfg.t -> Constraints.t -> rate:int -> partition:int -> int
+(** [Iub_i]: upper bound on input ports of the partition, assuming output
+    operations take their minimum pins first. *)
+
+val max_output_ports : Cdfg.t -> Constraints.t -> rate:int -> partition:int -> int
+
+val min_input_pins : Cdfg.t -> rate:int -> partition:int -> int
+(** [IPl_i]: fewest input pins that can serve all the partition's input
+    operations at the given initiation rate (greedy widest-first packing of
+    the recurrence in §4.1.1). *)
+
+val min_output_pins : Cdfg.t -> rate:int -> partition:int -> int
+
+val max_buses : Cdfg.t -> Constraints.t -> rate:int -> int
+(** [R = min (sum Iub_i, sum Oub_i)] over all partitions including the
+    outside world. *)
+
+val max_buses_bidir : Cdfg.t -> Constraints.t -> rate:int -> int
+(** Bidirectional variant: every bus needs at least two I/O ports, so [R]
+    is half the total port bound (§4.3). *)

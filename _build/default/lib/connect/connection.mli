@@ -1,0 +1,74 @@
+(** The interchip connection model of §4.1 (Fig. 4.1) and its bidirectional
+    variant (§4.3, Fig. 4.6).
+
+    A communication bus connects output ports of one or more partitions to
+    input ports of one or more partitions; no switching devices exist
+    off-chip, so a bus can carry (at most) one value per control step.  Port
+    widths may differ per partition — a chip connects only as many pins to a
+    bus as the widest value it actually sends or receives on it.
+
+    With bidirectional I/O ports a partition has a single port per bus,
+    usable as source or destination (§4.3). *)
+
+open Mcs_cdfg
+
+type mode = Unidir | Bidir
+
+type t
+(** Mutable: the Chapter 4 heuristic grows buses and widens ports as it
+    assigns I/O operations. *)
+
+val create : mode -> n_partitions:int -> t
+val mode : t -> mode
+val n_partitions : t -> int
+
+val new_bus : t -> int
+(** Fresh empty bus; returns its id (ids are dense, starting at 0). *)
+
+val n_buses : t -> int
+val drop_last_bus : t -> unit
+(** Removes the most recently created bus (backtracking helper).
+    @raise Invalid_argument if that bus has a nonzero port somewhere. *)
+
+val out_width : t -> bus:int -> partition:int -> int
+(** [p_{i,h}] — 0 when not connected.  In [Bidir] mode this is the shared
+    port width [r_{i,h}], as is {!in_width}. *)
+
+val in_width : t -> bus:int -> partition:int -> int
+
+val widen_for : t -> bus:int -> src:int -> dst:int -> width:int -> unit
+(** Grows the ports of [src] (output side) and [dst] (input side) on the bus
+    to at least [width]. *)
+
+val widen_port :
+  t -> bus:int -> partition:int -> dir:[ `Out | `In ] -> int -> unit
+(** Grows one single port (both directions alias in [Bidir] mode).  Used by
+    the Chapter 6 flow to materialize sub-buses as virtual buses. *)
+
+val shrink : t -> bus:int -> src:int -> dst:int -> out_w:int -> in_w:int -> unit
+(** Restores previously saved port widths (backtracking helper). *)
+
+val capable : t -> Cdfg.t -> bus:int -> Types.op_id -> bool
+(** Can the bus carry this I/O operation as currently wired (ports of both
+    endpoints at least the operation's width)? *)
+
+val extra_pins_for : t -> bus:int -> src:int -> dst:int -> width:int -> int * int
+(** [(d_src, d_dst)] — additional pins partitions [src] and [dst] must
+    commit to widen their ports for such a transfer. *)
+
+val pins_used : t -> int -> int
+(** Total pins partition [i] has committed across all buses. *)
+
+val partitions_on_bus : t -> bus:int -> int list
+(** Partitions with a nonzero port on the bus (sorted). *)
+
+val topology : t -> bus:int -> (int list * int list)
+(** [(sources, destinations)] — partitions with nonzero output/input ports
+    (for [Bidir], both lists coincide).  Two buses with equal topology are
+    interchangeable candidates in the heuristic search (§4.1.2). *)
+
+val bus_width : t -> bus:int -> int
+(** Widest port on the bus = number of bus lines. *)
+
+val copy : t -> t
+val pp : Cdfg.t -> Format.formatter -> t -> unit

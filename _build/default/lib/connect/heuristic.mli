@@ -1,0 +1,36 @@
+(** The branch-limited heuristic search of §4.1.2 (Fig. 4.3): determine the
+    interchip connection structure — buses, port widths, and a tentative
+    assignment of every I/O operation to a bus — before scheduling.
+
+    I/O operations are assigned in descending bit-width order; at each level
+    only the [branching] best candidate buses (by the gain
+    [g = 10000 g1 + 100 g2 + g3], favouring port reuse weighted by pin
+    scarcity, same-value sharing, and slot balance) with pairwise distinct
+    topologies are explored, plus a fresh bus. *)
+
+open Mcs_cdfg
+
+type result = {
+  conn : Connection.t;
+  assign : (Types.op_id * int) list;  (** I/O operation -> bus id *)
+}
+
+val search :
+  Cdfg.t ->
+  Constraints.t ->
+  rate:int ->
+  mode:Connection.mode ->
+  ?slot_cap:int ->
+  ?branching:int ->
+  ?max_nodes:int ->
+  unit ->
+  (result, string) Stdlib.result
+(** [branching] defaults to 2, [max_nodes] (search-tree node budget) to
+    200_000.  [slot_cap] (default [rate]) caps the values tentatively packed
+    onto one bus; lowering it below the initiation rate forces a
+    wider-bandwidth connection with more buses, serving the role of the
+    paper's bus-count-maximizing ILP objective (4.6) when the packed-tight
+    connection leaves the scheduler no slack. *)
+
+val pins_used_by_partition : result -> int list
+(** Pins committed per partition [0 .. N]. *)

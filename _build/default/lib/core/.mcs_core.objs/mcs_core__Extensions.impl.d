@@ -1,0 +1,1 @@
+lib/core/extensions.ml: Array Cdfg Constraints Float Hashtbl List Mcs_cdfg Mcs_connect Mcs_sched Mcs_util Module_lib Option Printf String Types

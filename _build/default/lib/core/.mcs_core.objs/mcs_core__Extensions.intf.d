@@ -1,0 +1,1 @@
+lib/core/extensions.mli: Cdfg Constraints Mcs_cdfg Module_lib Types

@@ -1,0 +1,1 @@
+lib/core/improve.ml: Array Cdfg Hashtbl List Mcs_cdfg Mcs_connect Mcs_sched Mcs_util Pre_connect Printf

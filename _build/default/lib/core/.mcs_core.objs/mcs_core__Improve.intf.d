@@ -1,0 +1,1 @@
+lib/core/improve.mli: Cdfg Constraints Mcs_cdfg Mcs_connect Module_lib Pre_connect

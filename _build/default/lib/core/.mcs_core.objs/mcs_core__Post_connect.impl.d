@@ -1,0 +1,1 @@
+lib/core/post_connect.ml: Array Benchmarks Cdfg List Mcs_cdfg Mcs_connect Mcs_graph Mcs_sched Mcs_util Types

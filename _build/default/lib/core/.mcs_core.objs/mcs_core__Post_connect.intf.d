@@ -1,0 +1,1 @@
+lib/core/post_connect.mli: Benchmarks Cdfg Mcs_cdfg Mcs_connect Mcs_sched Module_lib Types

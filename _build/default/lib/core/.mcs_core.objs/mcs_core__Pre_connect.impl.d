@@ -1,0 +1,1 @@
+lib/core/pre_connect.ml: Benchmarks List Mcs_cdfg Mcs_connect Mcs_sched Printf Types

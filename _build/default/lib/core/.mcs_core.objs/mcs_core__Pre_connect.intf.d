@@ -1,0 +1,1 @@
+lib/core/pre_connect.mli: Benchmarks Cdfg Constraints Mcs_cdfg Mcs_connect Mcs_sched Module_lib Types

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Cdfg Format List Mcs_cdfg Mcs_connect Mcs_sched Mcs_util Printf Simple_part String Subbus

@@ -1,0 +1,1 @@
+lib/core/report.mli: Cdfg Format Mcs_cdfg Mcs_connect Mcs_sched Simple_part Subbus Types

@@ -1,0 +1,1 @@
+lib/core/simple_part.ml: Benchmarks Cdfg Constraints Format Hashtbl List Mcs_cdfg Mcs_ilp Mcs_sched Mcs_util Option Printf String Types

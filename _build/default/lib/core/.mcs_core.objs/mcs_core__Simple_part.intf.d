@@ -1,0 +1,1 @@
+lib/core/simple_part.mli: Benchmarks Cdfg Constraints Mcs_cdfg Mcs_ilp Mcs_sched Stdlib Types

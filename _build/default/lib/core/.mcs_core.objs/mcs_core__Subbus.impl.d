@@ -1,0 +1,1 @@
+lib/core/subbus.ml: Array Benchmarks Cdfg Constraints Hashtbl List Mcs_cdfg Mcs_connect Mcs_graph Mcs_sched Mcs_util Option Printf String Sys Types

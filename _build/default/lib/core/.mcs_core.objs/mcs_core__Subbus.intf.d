@@ -1,0 +1,1 @@
+lib/core/subbus.mli: Benchmarks Cdfg Constraints Mcs_cdfg Mcs_sched Module_lib Types

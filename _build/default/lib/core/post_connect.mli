@@ -1,0 +1,48 @@
+(** Chapter 5 flow: interchip connection synthesis {e after} scheduling.
+
+    A force-directed schedule fixes every I/O operation's control-step
+    group; compatible I/O operations (different groups, or same value in the
+    same control step) may then share a communication bus.  Minimizing pins
+    becomes a maximum-gain clique partitioning of the compatibility graph —
+    NP-hard in general, but the graph's group structure (Fig. 5.1) lets the
+    heuristic of Fig. 5.2 build the cliques with a series of bipartite
+    weighted matchings (Hungarian algorithm), largest groups first. *)
+
+open Mcs_cdfg
+
+type t = {
+  schedule : Mcs_sched.Schedule.t;
+  connection : Mcs_connect.Connection.t;
+  assignment : (Types.op_id * int) list;  (** operation -> bus (clique) *)
+  pins : (int * int) list;
+  fus : ((int * string) * int) list;
+      (** functional units the FDS schedule implies *)
+}
+
+val weight :
+  Cdfg.t -> mode:Mcs_connect.Connection.mode ->
+  Types.op_id -> Types.op_id -> int
+(** The edge weight of §5.2 (with all [wf_i = 1]): pins shareable when the
+    two operations ride one bus — [min] of the bit widths per common
+    endpoint.  In bidirectional mode endpoints compare as unordered sets. *)
+
+val cliques :
+  Mcs_sched.Schedule.t -> mode:Mcs_connect.Connection.mode ->
+  Types.op_id list list
+(** The clique partitioning of the scheduled I/O operations. *)
+
+val run :
+  Cdfg.t ->
+  Module_lib.t ->
+  rate:int ->
+  pipe_length:int ->
+  mode:Mcs_connect.Connection.mode ->
+  unit ->
+  (t, string) result
+
+val run_design :
+  Benchmarks.design ->
+  rate:int ->
+  pipe_length:int ->
+  mode:Mcs_connect.Connection.mode ->
+  (t, string) result

@@ -1,0 +1,80 @@
+open Mcs_cdfg
+module C = Mcs_connect.Connection
+module H = Mcs_connect.Heuristic
+module R = Mcs_connect.Reassign
+module LS = Mcs_sched.List_sched
+
+type t = {
+  connection : C.t;
+  initial_assignment : (Types.op_id * int) list;
+  final_assignment : (Types.op_id * int) list;
+  allocation : ((int * int) * (string * int * Types.op_id list)) list;
+  schedule : Mcs_sched.Schedule.t;
+  pins : (int * int) list;
+  static_pipe_length : int option;
+  slot_cap : int;
+}
+
+let attempt cdfg mlib cons ~rate ~mode ~branching ~slot_cap =
+  match H.search cdfg cons ~rate ~mode ~slot_cap ~branching () with
+  | Error m -> Error m
+  | Ok res -> (
+      let dyn = R.create cdfg res.H.conn ~rate ~initial:res.H.assign ~dynamic:true in
+      match LS.run cdfg mlib cons ~rate ~io_hook:(R.hook dyn) () with
+      | Error f ->
+          Error
+            (Printf.sprintf "scheduling failed at cstep %d: %s"
+               f.LS.at_cstep f.LS.reason)
+      | Ok schedule ->
+          (* Paper's comparison baseline: same connection, static
+             assignment. *)
+          let static_pipe_length =
+            let st =
+              R.create cdfg res.H.conn ~rate ~initial:res.H.assign
+                ~dynamic:false
+            in
+            match LS.run cdfg mlib cons ~rate ~io_hook:(R.hook st) () with
+            | Ok s -> Some (Mcs_sched.Schedule.pipe_length s)
+            | Error _ -> None
+          in
+          let pins =
+            List.mapi
+              (fun p used -> (p, used))
+              (H.pins_used_by_partition res)
+          in
+          Ok
+            {
+              connection = res.H.conn;
+              initial_assignment = res.H.assign;
+              final_assignment = R.final_assignment dyn;
+              allocation = R.allocation_table dyn;
+              schedule;
+              pins;
+              static_pipe_length;
+              slot_cap;
+            })
+
+let run cdfg mlib cons ~rate ~mode ?(branching = 2) () =
+  (* The first (loosest-cap) failure names the real obstacle; lower-cap
+     retries only trade pins for bandwidth. *)
+  let rec try_cap cap first_err =
+    if cap < 1 then
+      Error
+        (Printf.sprintf "no schedulable interchip connection found (first: %s)"
+           first_err)
+    else
+      match attempt cdfg mlib cons ~rate ~mode ~branching ~slot_cap:cap with
+      | Ok t -> Ok t
+      | Error m ->
+          let first_err = if first_err = "" then m else first_err in
+          try_cap (cap - 1) first_err
+  in
+  try_cap rate ""
+
+let run_design (design : Benchmarks.design) ~rate ~mode =
+  let cons =
+    match mode with
+    | C.Unidir -> Benchmarks.constraints_for design ~rate
+    | C.Bidir -> Benchmarks.constraints_for_bidir design ~rate
+  in
+  run design.Benchmarks.cdfg design.Benchmarks.mlib cons ~rate ~mode ()

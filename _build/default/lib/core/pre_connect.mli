@@ -1,0 +1,46 @@
+(** Chapter 4 flow: interchip connection synthesis {e before} scheduling.
+
+    1. Determine the bus structure and a tentative I/O-operation-to-bus
+       assignment with the heuristic search of §4.1.2.
+    2. List-schedule all partitions with communication buses as the gating
+       resource, reassigning I/O operations to buses dynamically (§4.2).
+
+    When the tightest connection (every bus loaded up to the initiation
+    rate) leaves the scheduler no slack — the situation the paper's ILP
+    objective (4.6), "maximize the number of buses actually used", guards
+    against — the flow retries with a lower per-bus value cap, trading pins
+    for bandwidth, until the schedule completes. *)
+
+open Mcs_cdfg
+
+type t = {
+  connection : Mcs_connect.Connection.t;
+  initial_assignment : (Types.op_id * int) list;
+  final_assignment : (Types.op_id * int) list;
+  allocation : ((int * int) * (string * int * Types.op_id list)) list;
+      (** [((bus, group), (value, cstep, ops))] *)
+  schedule : Mcs_sched.Schedule.t;
+  pins : (int * int) list;  (** per partition *)
+  static_pipe_length : int option;
+      (** pipe length without reassignment (the "w/o reassignment" column
+          of Tables 4.2 / 4.10), when the static run completes *)
+  slot_cap : int;  (** per-bus value cap the successful attempt used *)
+}
+
+val run :
+  Cdfg.t ->
+  Module_lib.t ->
+  Constraints.t ->
+  rate:int ->
+  mode:Mcs_connect.Connection.mode ->
+  ?branching:int ->
+  unit ->
+  (t, string) result
+
+val run_design :
+  Benchmarks.design ->
+  rate:int ->
+  mode:Mcs_connect.Connection.mode ->
+  (t, string) result
+(** {!run} with the design's pin budgets (unidirectional or bidirectional
+    per [mode]) and minimal functional units. *)

@@ -1,0 +1,108 @@
+open Mcs_cdfg
+
+let table ppf ~title ~header rows =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let pad i cell =
+    let missing = widths.(i) - String.length cell in
+    cell ^ String.make (max 0 missing) ' '
+  in
+  let render row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.make (Array.fold_left ( + ) (2 * (cols - 1)) widths) '-'
+  in
+  Format.fprintf ppf "@[<v>%s@,%s@,%s@," title (render header) rule;
+  List.iter (fun row -> Format.fprintf ppf "%s@," (render row)) rows;
+  Format.fprintf ppf "@]"
+
+let schedule ppf sched = Mcs_sched.Schedule.pp ppf sched
+
+let connection cdfg ppf conn = Mcs_connect.Connection.pp cdfg ppf conn
+
+let bundles ppf bs =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (b : Simple_part.Theorem31.bundle) ->
+      let owner, dir =
+        match b.owner with
+        | `Out p -> (p, "out")
+        | `In p -> (p, "in ")
+      in
+      Format.fprintf ppf "P%d.%s %2d wires <-> {%s}@," owner dir b.wires
+        (String.concat ", "
+           (List.map (fun p -> "P" ^ string_of_int p) b.counterparts)))
+    bs;
+  Format.fprintf ppf "@]"
+
+let names cdfg ops = String.concat " " (List.map (Cdfg.name cdfg) ops)
+
+let bus_assignment cdfg ppf ~initial ~final =
+  let buses =
+    List.sort_uniq compare (List.map snd initial @ List.map snd final)
+  in
+  let ops_on assign h =
+    List.filter_map (fun (w, h') -> if h' = h then Some w else None) assign
+  in
+  let rows =
+    List.map
+      (fun h ->
+        [
+          Printf.sprintf "C%d" (h + 1);
+          names cdfg (ops_on initial h);
+          names cdfg (ops_on final h);
+        ])
+      buses
+  in
+  table ppf ~title:"Bus assignment"
+    ~header:[ "Bus"; "Initial"; "Final" ]
+    rows
+
+let bus_allocation cdfg ~rate ppf alloc =
+  let buses = List.sort_uniq compare (List.map (fun ((h, _), _) -> h) alloc) in
+  let rows =
+    List.map
+      (fun g ->
+        string_of_int g
+        :: List.map
+             (fun h ->
+               match List.assoc_opt (h, g) alloc with
+               | Some (_, cstep, ops) ->
+                   Printf.sprintf "%s@%d" (names cdfg ops) cstep
+               | None -> "-")
+             buses)
+      (Mcs_util.Listx.range 0 rate)
+  in
+  table ppf ~title:"Bus allocation (per control-step group)"
+    ~header:
+      ("Group" :: List.map (fun h -> Printf.sprintf "C%d" (h + 1)) buses)
+    rows
+
+let pins_row pins = List.map (fun (_, n) -> string_of_int n) pins
+
+let real_buses cdfg ppf rbs =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (b : Subbus.real_bus) ->
+      let slice op = function
+        | Subbus.Lo -> Cdfg.name cdfg op ^ "'"
+        | Subbus.Hi -> Cdfg.name cdfg op ^ "''"
+        | Subbus.Whole -> Cdfg.name cdfg op
+      in
+      Format.fprintf ppf "C%-2d %2d lines%s  ports[%s]  carries: %s@," (i + 1)
+        b.width
+        (match b.split_at with
+        | Some lo -> Printf.sprintf " (split %d|%d)" lo (b.width - lo)
+        | None -> "")
+        (String.concat " "
+           (List.map (fun (p, r) -> Printf.sprintf "P%d:%d" p r) b.ports))
+        (String.concat " " (List.map (fun (w, s) -> slice w s) b.carried)))
+    rbs;
+  Format.fprintf ppf "@]"

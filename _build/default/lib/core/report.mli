@@ -1,0 +1,42 @@
+(** Rendering of the dissertation's tables and figures: schedules,
+    interchip connections, bus assignments and allocations — shared by the
+    benchmark harness, the examples and the CLI. *)
+
+open Mcs_cdfg
+
+val table :
+  Format.formatter -> title:string -> header:string list ->
+  string list list -> unit
+(** Monospace table with a title row, column headers and rows. *)
+
+val schedule : Format.formatter -> Mcs_sched.Schedule.t -> unit
+(** One line per control step, functional operations and I/O transfers
+    (the paper's Figures 3.6, 4.11–4.13, ...). *)
+
+val connection :
+  Cdfg.t -> Format.formatter -> Mcs_connect.Connection.t -> unit
+(** Bus structure with port widths (Figures 4.8–4.10, ...). *)
+
+val bundles :
+  Format.formatter -> Simple_part.Theorem31.bundle list -> unit
+(** The Theorem 3.1 wire bundles (Figure 3.7). *)
+
+val bus_assignment :
+  Cdfg.t -> Format.formatter ->
+  initial:(Types.op_id * int) list ->
+  final:(Types.op_id * int) list ->
+  unit
+(** The "Bus assignment" tables (4.3, 4.5, ...): initial and final
+    operation-to-bus assignments side by side, one row per bus. *)
+
+val bus_allocation :
+  Cdfg.t -> rate:int -> Format.formatter ->
+  ((int * int) * (string * int * Types.op_id list)) list -> unit
+(** The "Bus allocation" tables (4.4, 4.6, ...): which value each bus
+    carries in each control-step group. *)
+
+val pins_row : (int * int) list -> string list
+(** Pin counts per partition as table cells. *)
+
+val real_buses : Cdfg.t -> Format.formatter -> Subbus.real_bus list -> unit
+(** Chapter 6 bus structures with splits (Figures 6.2–6.4). *)

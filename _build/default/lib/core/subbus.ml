@@ -1,0 +1,793 @@
+open Mcs_cdfg
+module C = Mcs_connect.Connection
+module R = Mcs_connect.Reassign
+module LS = Mcs_sched.List_sched
+
+type sub = Lo | Hi | Whole
+
+type real_bus = {
+  width : int;
+  split_at : int option;
+  ports : (int * int) list;
+  carried : (Types.op_id * sub) list;
+}
+
+type t = {
+  real_buses : real_bus list;
+  initial_assignment : (Types.op_id * (int * sub)) list;
+  final_assignment : (Types.op_id * (int * sub)) list;
+  allocation : ((int * sub * int) * (string * int * Types.op_id list)) list;
+  schedule : Mcs_sched.Schedule.t;
+  pins : (int * int) list;
+  static_pipe_length : int option;
+}
+
+(* Mutable search state for one bus. *)
+type sbus = {
+  mutable swidth : int;
+  mutable split : int option;
+  sports : int array; (* r_{i,h}, bidirectional *)
+  mutable assigned : (Types.op_id * sub) list;
+}
+
+let port_need ~split_lo op_width = function
+  | Lo | Whole -> op_width
+  | Hi -> split_lo + op_width
+
+(* Distinct values loading one half of the bus: slice occupants plus
+   whole-bus occupants.  For [Whole] the relevant load is the fuller half. *)
+let half_load cdfg b half =
+  List.length
+    (Mcs_util.Listx.uniq String.equal
+       (List.filter_map
+          (fun (w, s) ->
+            if s = half || s = Whole then Some (Cdfg.io_value cdfg w)
+            else None)
+          b.assigned))
+
+let slice_load cdfg b slice =
+  match slice with
+  | Lo | Hi -> half_load cdfg b slice
+  | Whole -> max (half_load cdfg b Lo) (half_load cdfg b Hi)
+
+let search cdfg cons ~rate ?slot_cap () =
+  let slot_cap = Option.value ~default:rate slot_cap in
+  (* The cap spreads load during the constructive phase; compaction packs
+     up to the physical limit (the initiation rate). *)
+  let cap_limit = ref slot_cap in
+  let n = Cdfg.n_partitions cdfg in
+  let buses : sbus list ref = ref [] in
+  let pins_used = Array.make (n + 1) 0 in
+  let budget p = Constraints.pins cons p in
+  let ops =
+    List.sort
+      (fun a b ->
+        let c = compare (Cdfg.io_width cdfg b) (Cdfg.io_width cdfg a) in
+        if c <> 0 then c else compare a b)
+      (Cdfg.io_ops cdfg)
+  in
+  let assigned_to : (Types.op_id, sbus * sub) Hashtbl.t = Hashtbl.create 64 in
+  (* Extra pins both endpoints of [op] need to use [slice] of [b]. *)
+  let extra b op slice =
+    let width = Cdfg.io_width cdfg op in
+    let lo = Option.value ~default:b.swidth b.split in
+    let need = port_need ~split_lo:lo width slice in
+    let at p = max 0 (need - b.sports.(p)) in
+    (at (Cdfg.io_src cdfg op), at (Cdfg.io_dst cdfg op))
+  in
+  let fits b op slice =
+    let width = Cdfg.io_width cdfg op in
+    let slice_ok =
+      match (b.split, slice) with
+      | None, Whole -> width <= b.swidth
+      | None, (Lo | Hi) -> false
+      | Some lo, Lo -> width <= lo
+      | Some lo, Hi -> width <= b.swidth - lo
+      | Some _, Whole ->
+          (* A value may group both (consecutive) sub-buses. *)
+          width <= b.swidth
+    in
+    let ds, dd = extra b op slice in
+    let src = Cdfg.io_src cdfg op and dst = Cdfg.io_dst cdfg op in
+    let cap_ok =
+      List.exists
+        (fun (w, s) ->
+          (s = slice)
+          && String.equal (Cdfg.io_value cdfg w) (Cdfg.io_value cdfg op))
+        b.assigned
+      || slice_load cdfg b slice < !cap_limit
+    in
+    slice_ok && cap_ok
+    && pins_used.(src) + ds <= budget src
+    && pins_used.(dst) + dd <= budget dst
+  in
+  let commit b op slice =
+    let ds, dd = extra b op slice in
+    let src = Cdfg.io_src cdfg op and dst = Cdfg.io_dst cdfg op in
+    let lo = Option.value ~default:b.swidth b.split in
+    let need = port_need ~split_lo:lo (Cdfg.io_width cdfg op) slice in
+    pins_used.(src) <- pins_used.(src) + ds;
+    pins_used.(dst) <- pins_used.(dst) + dd;
+    b.sports.(src) <- max b.sports.(src) need;
+    b.sports.(dst) <- max b.sports.(dst) need;
+    b.assigned <- (op, slice) :: b.assigned;
+    Hashtbl.replace assigned_to op (b, slice)
+  in
+  (* Optimistic feasibility prune (see Heuristic.search): assuming maximal
+     reuse of existing ports — every port absorbing up to 2 x slot_cap
+     not-wider operations, the sub-bus optimum — the remaining unassigned
+     operations still need some fresh pins on each partition. *)
+  let pins_viable assigned_mem =
+    let ok p =
+      let pending = ref [] in
+      List.iter
+        (fun w ->
+          if not (assigned_mem w) then begin
+            if Cdfg.io_src cdfg w = p || Cdfg.io_dst cdfg w = p then
+              pending := Cdfg.io_width cdfg w :: !pending
+          end)
+        ops;
+      let widths = List.sort (fun a b -> compare b a) !pending in
+      let ports =
+        List.filter_map
+          (fun b ->
+            if b.sports.(p) > 0 then
+              Some
+                ( b.sports.(p),
+                  max 0 ((2 * !cap_limit) - List.length b.assigned) )
+            else None)
+          !buses
+      in
+      let sorted_ports = List.sort (fun (a, _) (b, _) -> compare a b) ports in
+      (* A port of width pw absorbs, per free cycle, one op <= pw plus
+         possibly a second op fitting the remaining lines (two sub-buses
+         max). *)
+      let rec absorb_cycle pw rem =
+        let rec take1 acc = function
+          | [] -> None
+          | w :: tl when w <= pw -> Some (w, List.rev_append acc tl)
+          | w :: tl -> take1 (w :: acc) tl
+        in
+        match take1 [] rem with
+        | None -> rem
+        | Some (w1, rem') -> (
+            let rec take2 acc = function
+              | [] -> rem'
+              | w :: tl when w <= pw - w1 -> List.rev_append acc tl
+              | w :: tl -> take2 (w :: acc) tl
+            in
+            match rem' with [] -> [] | _ -> take2 [] rem')
+      and absorb_port (pw, free) rem =
+        if free = 0 || rem = [] then rem
+        else absorb_port (pw, free - 1) (absorb_cycle pw rem)
+      in
+      let leftovers =
+        List.fold_left (fun rem port -> absorb_port port rem) widths
+          sorted_ports
+      in
+      let rec fresh_cost rem =
+        match rem with
+        | [] -> 0
+        | widest :: _ ->
+            let rec burn k rem =
+              if k = 0 then rem else burn (k - 1) (absorb_cycle widest rem)
+            in
+            widest + fresh_cost (burn !cap_limit rem)
+      in
+      pins_used.(p) + fresh_cost leftovers <= budget p
+    in
+    List.for_all ok (Mcs_util.Listx.range 0 (n + 1))
+  in
+  (* Candidate enumeration: slices of existing buses, splits of unsplit
+     buses, and a fresh bus; ranked by extra pin cost first (the paper's
+     scarcity-weighted reuse), then value sharing, plain before split,
+     lightly-loaded slices first.  Depth-first with backtracking. *)
+  let nodes = ref 0 in
+  let max_nodes = 200_000 in
+  let allow_fresh = ref true in
+  let rec assign_rec = function
+    | [] -> true
+    | op :: rest ->
+        incr nodes;
+        if !nodes > max_nodes then false
+        else begin
+          let width = Cdfg.io_width cdfg op in
+          let src = Cdfg.io_src cdfg op and dst = Cdfg.io_dst cdfg op in
+          let plain =
+            List.concat_map
+              (fun b ->
+                match b.split with
+                | None -> [ (b, Whole, `Plain) ]
+                | Some _ -> [ (b, Lo, `Plain); (b, Hi, `Plain) ])
+              !buses
+          in
+          let splits =
+            (* Split points: the new operation's own width or a previous
+               occupant's; occupants not fitting the first sub-bus keep
+               using the whole bus (grouping both sub-buses, §6.1). *)
+            List.concat_map
+              (fun b ->
+                match b.split with
+                | Some _ -> []
+                | None ->
+                    let los =
+                      Mcs_util.Listx.uniq ( = )
+                        (width
+                        :: List.map
+                             (fun (w, _) -> Cdfg.io_width cdfg w)
+                             b.assigned)
+                    in
+                    List.filter_map
+                      (fun lo ->
+                        if lo + width <= b.swidth then
+                          Some (b, Hi, `Split lo)
+                        else None)
+                      los)
+              !buses
+          in
+          let with_split b lo f =
+            (* Simulate the split, including the reslotting of narrow
+               occupants onto the first sub-bus. *)
+            let saved_split = b.split in
+            let saved_assigned = b.assigned in
+            b.split <- Some lo;
+            b.assigned <-
+              List.map
+                (fun (w, s0) ->
+                  ignore s0;
+                  (w, if Cdfg.io_width cdfg w <= lo then Lo else Whole))
+                b.assigned;
+            let r = f () in
+            b.split <- saved_split;
+            b.assigned <- saved_assigned;
+            r
+          in
+          let viable =
+            List.filter
+              (fun (b, slice, kind) ->
+                match kind with
+                | `Plain -> fits b op slice
+                | `Split lo -> with_split b lo (fun () -> fits b op Hi))
+              (plain @ splits)
+          in
+          let score (b, slice, kind) =
+            let g2 =
+              if
+                List.exists
+                  (fun (w, s) ->
+                    s = slice
+                    && String.equal (Cdfg.io_value cdfg w)
+                         (Cdfg.io_value cdfg op))
+                  b.assigned
+              then 1
+              else 0
+            in
+            let ds, dd =
+              match kind with
+              | `Plain -> extra b op slice
+              | `Split lo -> with_split b lo (fun () -> extra b op Hi)
+            in
+            let g_plain = match kind with `Plain -> 1 | `Split _ -> 0 in
+            (-(ds + dd), g2, g_plain, -slice_load cdfg b slice)
+          in
+          let ranked =
+            Mcs_util.Listx.take 3
+              (List.sort (fun a b -> compare (score b) (score a)) viable)
+          in
+          let try_candidate (b, slice, kind) =
+            (* Save state for backtracking. *)
+            let saved_split = b.split in
+            let saved_assigned = b.assigned in
+            let saved_src = b.sports.(src) and saved_dst = b.sports.(dst) in
+            let saved_pins_src = pins_used.(src)
+            and saved_pins_dst = pins_used.(dst) in
+            let saved_slots =
+              List.map (fun (w, s) -> (w, (b, s))) b.assigned
+            in
+            (match kind with
+            | `Plain -> ()
+            | `Split lo ->
+                b.split <- Some lo;
+                (* Narrow occupants move to the first sub-bus, the rest
+                   keep grouping both sub-buses. *)
+                b.assigned <-
+                  List.map
+                    (fun (w, _) ->
+                      let slot =
+                        if Cdfg.io_width cdfg w <= lo then Lo else Whole
+                      in
+                      Hashtbl.replace assigned_to w (b, slot);
+                      (w, slot))
+                    b.assigned);
+            commit b op slice;
+            if pins_viable (Hashtbl.mem assigned_to) && assign_rec rest then true
+            else begin
+              b.split <- saved_split;
+              b.assigned <- saved_assigned;
+              b.sports.(src) <- saved_src;
+              b.sports.(dst) <- saved_dst;
+              pins_used.(src) <- saved_pins_src;
+              pins_used.(dst) <- saved_pins_dst;
+              List.iter
+                (fun (w, slot) -> Hashtbl.replace assigned_to w slot)
+                saved_slots;
+              Hashtbl.remove assigned_to op;
+              false
+            end
+          in
+          List.exists try_candidate ranked
+          ||
+          (* Fresh bus of exactly this operation's width. *)
+          (!allow_fresh
+          && pins_used.(src) + width <= budget src
+          && pins_used.(dst) + width <= budget dst
+          &&
+          let b =
+            {
+              swidth = width;
+              split = None;
+              sports = Array.make (n + 1) 0;
+              assigned = [];
+            }
+          in
+          buses := !buses @ [ b ];
+          commit b op Whole;
+          if pins_viable (Hashtbl.mem assigned_to) && assign_rec rest then true
+          else begin
+            buses := List.filter (fun b' -> b' != b) !buses;
+            pins_used.(src) <- pins_used.(src) - width;
+            pins_used.(dst) <- pins_used.(dst) - width;
+            Hashtbl.remove assigned_to op;
+            false
+          end)
+        end
+  in
+  (* Compaction: repeatedly try to retire a whole bus by relocating its
+     traffic onto (possibly split) slices of the others — this is where
+     sub-bus sharing actually buys pins back. *)
+  let recompute_pins () =
+    for p = 0 to n do
+      pins_used.(p) <-
+        Mcs_util.Listx.sum (fun b -> b.sports.(p)) !buses
+    done
+  in
+  let snapshot () =
+    ( List.map
+        (fun b ->
+          (b, b.swidth, b.split, Array.copy b.sports, b.assigned))
+        !buses,
+      Hashtbl.copy assigned_to )
+  in
+  let restore (saved, table) =
+    buses := List.map (fun (b, _, _, _, _) -> b) saved;
+    List.iter
+      (fun (b, w, sp, ports, asg) ->
+        b.swidth <- w;
+        b.split <- sp;
+        Array.blit ports 0 b.sports 0 (Array.length ports);
+        b.assigned <- asg)
+      saved;
+    Hashtbl.reset assigned_to;
+    Hashtbl.iter (fun k v -> Hashtbl.replace assigned_to k v) table;
+    recompute_pins ()
+  in
+  let compact () =
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let by_load =
+        List.sort
+          (fun a b -> compare (List.length a.assigned) (List.length b.assigned))
+          !buses
+      in
+      let try_retire victim =
+        let saved = snapshot () in
+        cap_limit := rate;
+        let movers =
+          List.sort
+            (fun (a, _) (b, _) ->
+              compare (Cdfg.io_width cdfg b) (Cdfg.io_width cdfg a))
+            victim.assigned
+        in
+        buses := List.filter (fun b -> b != victim) !buses;
+        recompute_pins ();
+        nodes := 0;
+        allow_fresh := false;
+        let ok = assign_rec (List.map fst movers) in
+        allow_fresh := true;
+        cap_limit := slot_cap;
+        if ok then begin
+          improved := true;
+          true
+        end
+        else begin
+          restore saved;
+          false
+        end
+      in
+      ignore (List.exists try_retire by_load)
+    done
+  in
+  match
+    nodes := 0;
+    if assign_rec ops then begin
+      compact ();
+      Ok ()
+    end
+    else begin
+      if Sys.getenv_opt "MCS_DEBUG" <> None then
+        Printf.eprintf "[subbus] search failed after %d nodes\n%!" !nodes;
+      Error
+        "Subbus.search: cannot place the I/O operations within the pin \
+         budgets"
+    end
+  with
+  | Error m -> Error m
+  | Ok () ->
+      let real =
+        List.map
+          (fun b ->
+            {
+              width = b.swidth;
+              split_at = b.split;
+              ports =
+                List.filter_map
+                  (fun p ->
+                    if b.sports.(p) > 0 then Some (p, b.sports.(p)) else None)
+                  (Mcs_util.Listx.range 0 (n + 1));
+              carried = List.rev b.assigned;
+            })
+          !buses
+      in
+      let assignment =
+        List.map
+          (fun op ->
+            let b, s = Hashtbl.find assigned_to op in
+            let rec index i = function
+              | [] -> assert false
+              | x :: rest -> if x == b then i else index (i + 1) rest
+            in
+            (op, (index 0 !buses, s)))
+          (Cdfg.io_ops cdfg)
+      in
+      Ok (real, assignment)
+
+(* --- Scheduling over sub-slots (§6.2) --- *)
+
+type entry = {
+  e_value : string;
+  e_cstep : int;
+  mutable e_ops : Types.op_id list;
+}
+
+type sched_state = {
+  ss_real : real_bus array;
+  ss_rate : int;
+  (* Occupancy per (bus, half, group); a Whole value holds both halves with
+     the same entry. *)
+  halves : (int * sub * int, entry) Hashtbl.t;
+  ss_tentative : (Types.op_id, int * sub) Hashtbl.t;
+  ss_committed : (Types.op_id, int * sub) Hashtbl.t;
+}
+
+let slices_of (rb : real_bus) =
+  match rb.split_at with None -> [ Whole ] | Some _ -> [ Lo; Hi; Whole ]
+
+let rb_capable cdfg (rb : real_bus) op slice =
+  let width = Cdfg.io_width cdfg op in
+  let fits_slice =
+    match (rb.split_at, slice) with
+    | None, Whole -> width <= rb.width
+    | None, (Lo | Hi) -> false
+    | Some lo, Lo -> width <= lo
+    | Some lo, Hi -> width <= rb.width - lo
+    | Some _, Whole -> width <= rb.width
+  in
+  let lo = Option.value ~default:rb.width rb.split_at in
+  let need = port_need ~split_lo:lo width slice in
+  let port p = Option.value ~default:0 (List.assoc_opt p rb.ports) in
+  fits_slice
+  && port (Cdfg.io_src cdfg op) >= need
+  && port (Cdfg.io_dst cdfg op) >= need
+
+let halves_of slice = match slice with Lo -> [ Lo ] | Hi -> [ Hi ] | Whole -> [ Lo; Hi ]
+
+let slot_admissible st cdfg op ~cstep (i, slice) =
+  let g = ((cstep mod st.ss_rate) + st.ss_rate) mod st.ss_rate in
+  let value = Cdfg.io_value cdfg op in
+  List.for_all
+    (fun h ->
+      match Hashtbl.find_opt st.halves (i, h, g) with
+      | None -> true
+      | Some e -> String.equal e.e_value value && e.e_cstep = cstep)
+    (halves_of slice)
+
+(* Capacity lookahead for the dynamic hook: after [except] takes [slot] at
+   [cstep], can every remaining unscheduled I/O operation still be packed
+   onto the free sub-slots?  Unsplit buses yield full-width units; split
+   buses also yield half units.  Same-value operations able to ride the
+   consumed slot demand nothing; other same-value groups with a common
+   capable slice demand one unit. *)
+let sub_repack st cdfg ~rate ~except ~slot:(si, sslice) ~cstep unscheduled =
+  let g_w = ((cstep mod rate) + rate) mod rate in
+  let occupied i h g =
+    Hashtbl.mem st.halves (i, h, g)
+    || (i = si && g = g_w && List.mem h (halves_of sslice))
+  in
+  let nb = Array.length st.ss_real in
+  let units = ref [] in
+  for i = 0 to nb - 1 do
+    for g = 0 to rate - 1 do
+      match (occupied i Lo g, occupied i Hi g) with
+      | false, false -> units := `Full i :: !units
+      | false, true -> units := `Half (i, Lo) :: !units
+      | true, false -> units := `Half (i, Hi) :: !units
+      | true, true -> ()
+    done
+  done;
+  let units = Array.of_list !units in
+  let cap_any op i =
+    List.exists (fun sl -> rb_capable cdfg st.ss_real.(i) op sl)
+      (slices_of st.ss_real.(i))
+  in
+  let cap_unit op = function
+    | `Full i -> cap_any op i
+    | `Half (i, h) -> rb_capable cdfg st.ss_real.(i) op h
+  in
+  let except_value = Cdfg.io_value cdfg except in
+  let ops =
+    List.filter
+      (fun w ->
+        not
+          (String.equal (Cdfg.io_value cdfg w) except_value
+          && rb_capable cdfg st.ss_real.(si) w sslice))
+      (List.filter (fun w -> w <> except) unscheduled)
+  in
+  let demands =
+    List.concat_map
+      (fun (_, members) ->
+        let common_bus =
+          List.filter
+            (fun i -> List.for_all (fun w -> cap_any w i) members)
+            (Mcs_util.Listx.range 0 nb)
+        in
+        if common_bus <> [] && List.length members > 1 then [ members ]
+        else List.map (fun w -> [ w ]) members)
+      (Mcs_util.Listx.group_by (Cdfg.io_value cdfg) ops)
+  in
+  let demands = Array.of_list demands in
+  let bip =
+    Mcs_graph.Bipartite.create ~n_left:(Array.length demands)
+      ~n_right:(Array.length units)
+  in
+  Array.iteri
+    (fun l members ->
+      Array.iteri
+        (fun r u ->
+          if List.for_all (fun w -> cap_unit w u) members then
+            Mcs_graph.Bipartite.add_edge bip ~left:l ~right:r)
+        units)
+    demands;
+  Mcs_graph.Bipartite.max_matching bip = Array.length demands
+
+let subbus_hook cdfg ~rate real assignment =
+  let st =
+    {
+      ss_real = Array.of_list real;
+      ss_rate = rate;
+      halves = Hashtbl.create 64;
+      ss_tentative = Hashtbl.create 64;
+      ss_committed = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (op, slot) -> Hashtbl.replace st.ss_tentative op slot)
+    assignment;
+  let candidates op ~cstep =
+    let unscheduled =
+      List.filter
+        (fun w -> not (Hashtbl.mem st.ss_committed w))
+        (Cdfg.io_ops cdfg)
+    in
+    let all =
+      List.concat
+        (List.mapi
+           (fun i rb ->
+             List.filter_map
+               (fun slice ->
+                 if
+                   rb_capable cdfg rb op slice
+                   && slot_admissible st cdfg op ~cstep (i, slice)
+                   && sub_repack st cdfg ~rate ~except:op ~slot:(i, slice)
+                        ~cstep unscheduled
+                 then Some (i, slice)
+                 else None)
+               (slices_of rb))
+           (Array.to_list st.ss_real))
+    in
+    match Hashtbl.find_opt st.ss_tentative op with
+    | Some slot when List.mem slot all ->
+        slot :: List.filter (fun s -> s <> slot) all
+    | _ -> all
+  in
+  let io_can _sched op ~cstep = candidates op ~cstep <> [] in
+  let io_commit _sched op ~cstep =
+    match candidates op ~cstep with
+    | [] -> invalid_arg "Subbus: commit without an admissible slot"
+    | ((i, slice) as slot) :: _ ->
+        let g = ((cstep mod rate) + rate) mod rate in
+        let entry =
+          let existing =
+            List.find_map
+              (fun h -> Hashtbl.find_opt st.halves (i, h, g))
+              (halves_of slice)
+          in
+          match existing with
+          | Some e ->
+              e.e_ops <- e.e_ops @ [ op ];
+              e
+          | None ->
+              { e_value = Cdfg.io_value cdfg op; e_cstep = cstep; e_ops = [ op ] }
+        in
+        List.iter
+          (fun h ->
+            if not (Hashtbl.mem st.halves (i, h, g)) then
+              Hashtbl.add st.halves (i, h, g) entry)
+          (halves_of slice);
+        Hashtbl.remove st.ss_tentative op;
+        Hashtbl.replace st.ss_committed op slot
+  in
+  (st, { LS.io_can; io_commit })
+
+let allocation_of st =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun (i, h, g) e ->
+      (* Report each entry once, on its lowest half. *)
+      let primary =
+        match h with
+        | Lo -> true
+        | Hi -> (
+            match Hashtbl.find_opt st.halves (i, Lo, g) with
+            | Some e' -> e' != e
+            | None -> true)
+        | Whole -> true
+      in
+      if primary then
+        rows := ((i, h, g), (e.e_value, e.e_cstep, e.e_ops)) :: !rows)
+    st.halves;
+  List.sort compare !rows
+
+let attempt cdfg mlib cons ~rate ~slot_cap ~dynamic =
+  match search cdfg cons ~rate ~slot_cap () with
+  | Error m -> Error m
+  | Ok (real, assignment) -> (
+      let st, hook = subbus_hook cdfg ~rate real assignment in
+      let hook =
+        if dynamic then hook
+        else
+          (* Static baseline: only the initially assigned slice counts. *)
+          {
+            LS.io_can =
+              (fun _ op ~cstep ->
+                match Hashtbl.find_opt st.ss_tentative op with
+                | Some ((i, slice) as _slot) ->
+                    rb_capable cdfg st.ss_real.(i) op slice
+                    && slot_admissible st cdfg op ~cstep (i, slice)
+                | None -> false);
+            io_commit =
+              (fun sched op ~cstep ->
+                match Hashtbl.find_opt st.ss_tentative op with
+                | Some (i, slice) ->
+                    ignore sched;
+                    let g = ((cstep mod rate) + rate) mod rate in
+                    let entry =
+                      match
+                        List.find_map
+                          (fun h -> Hashtbl.find_opt st.halves (i, h, g))
+                          (halves_of slice)
+                      with
+                      | Some e ->
+                          e.e_ops <- e.e_ops @ [ op ];
+                          e
+                      | None ->
+                          {
+                            e_value = Cdfg.io_value cdfg op;
+                            e_cstep = cstep;
+                            e_ops = [ op ];
+                          }
+                    in
+                    List.iter
+                      (fun h ->
+                        if not (Hashtbl.mem st.halves (i, h, g)) then
+                          Hashtbl.add st.halves (i, h, g) entry)
+                      (halves_of slice);
+                    Hashtbl.remove st.ss_tentative op;
+                    Hashtbl.replace st.ss_committed op (i, slice)
+                | None -> invalid_arg "Subbus: static commit without slot");
+          }
+      in
+      match LS.run cdfg mlib cons ~rate ~io_hook:hook () with
+      | Error f ->
+          if Sys.getenv_opt "MCS_DEBUG" <> None then
+            List.iter
+              (fun op ->
+                if not (Mcs_sched.Schedule.is_scheduled f.LS.partial op) then
+                  Printf.eprintf "[subbus] unscheduled: %s\n%!"
+                    (Cdfg.name cdfg op))
+              (Cdfg.ops cdfg);
+          Error
+            (Printf.sprintf "scheduling failed at cstep %d: %s" f.LS.at_cstep
+               f.LS.reason)
+      | Ok schedule ->
+          let pins =
+            List.map
+              (fun p ->
+                ( p,
+                  Mcs_util.Listx.sum
+                    (fun (rb : real_bus) ->
+                      Mcs_util.Listx.sum
+                        (fun (q, r) -> if q = p then r else 0)
+                        rb.ports)
+                    real ))
+              (Mcs_util.Listx.range 0 (Cdfg.n_partitions cdfg + 1))
+          in
+          let final =
+            Hashtbl.fold (fun op slot acc -> (op, slot) :: acc) st.ss_committed []
+            |> List.sort compare
+          in
+          Ok
+            ( {
+                real_buses = real;
+                initial_assignment = assignment;
+                final_assignment = final;
+                allocation = allocation_of st;
+                schedule;
+                pins;
+                static_pipe_length = None;
+              },
+              st ))
+
+let total_pins t = Mcs_util.Listx.sum snd t.pins
+
+(* Pin minimization is Chapter 6's whole point, so sweep the per-bus value
+   cap over its range and keep the schedulable result with fewest pins
+   (shorter pipe breaks ties). *)
+let run cdfg mlib cons ~rate () =
+  let results =
+    List.filter_map
+      (fun cap ->
+        match attempt cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:true with
+        | Ok (t, _) ->
+            if Sys.getenv_opt "MCS_DEBUG" <> None then
+              Printf.eprintf "[subbus] cap=%d: pins=%d pipe=%d splits=%d\n%!"
+                cap (total_pins t)
+                (Mcs_sched.Schedule.pipe_length t.schedule)
+                (List.length
+                   (List.filter (fun b -> b.split_at <> None) t.real_buses));
+            let static_pipe_length =
+              match
+                attempt cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:false
+              with
+              | Ok (t', _) -> Some (Mcs_sched.Schedule.pipe_length t'.schedule)
+              | Error _ -> None
+            in
+            Some { t with static_pipe_length }
+        | Error m ->
+            if Sys.getenv_opt "MCS_DEBUG" <> None then
+              Printf.eprintf "[subbus] cap=%d: %s\n%!" cap m;
+            None)
+      (List.rev (Mcs_util.Listx.range 1 (rate + 1)))
+  in
+  match
+    Mcs_util.Listx.min_by
+      (fun t ->
+        (1000 * total_pins t) + Mcs_sched.Schedule.pipe_length t.schedule)
+      results
+  with
+  | Some best -> Ok best
+  | None -> Error "no schedulable sub-bus connection found at any slot cap"
+
+let run_design (design : Benchmarks.design) ~rate =
+  let cons = Benchmarks.constraints_for_bidir design ~rate in
+  run design.Benchmarks.cdfg design.Benchmarks.mlib cons ~rate ()

@@ -1,0 +1,61 @@
+(** Chapter 6: sharing communication buses within a cycle.
+
+    A bus may be logically divided into (at most) two sub-buses, each a
+    contiguous slice of its lines, so two values can cross it in the same
+    control step.  Following the prototype simplifications of §6.1.2:
+
+    - a bus's width is the largest bit width assigned to it (ports are never
+      widened just to enable sharing);
+    - a bus splits only when the new operation fits the second sub-bus while
+      every operation already assigned fits the first (so no occupant's
+      ports need rewiring); a value may still group both sub-buses
+      ([Whole]);
+    - I/O ports are bidirectional (the assumption of the Chapter 6
+      experiments). *)
+
+open Mcs_cdfg
+
+type sub = Lo | Hi | Whole
+
+type real_bus = {
+  width : int;
+  split_at : int option;  (** width of the first sub-bus *)
+  ports : (int * int) list;  (** (partition, r_{i,h}) with r > 0 *)
+  carried : (Types.op_id * sub) list;
+}
+
+type t = {
+  real_buses : real_bus list;
+  initial_assignment : (Types.op_id * (int * sub)) list;
+  final_assignment : (Types.op_id * (int * sub)) list;
+  allocation : ((int * sub * int) * (string * int * Types.op_id list)) list;
+      (** [((bus, slice, group), (value, cstep, ops))] *)
+  schedule : Mcs_sched.Schedule.t;
+  pins : (int * int) list;
+  static_pipe_length : int option;
+}
+
+val search :
+  Cdfg.t ->
+  Constraints.t ->
+  rate:int ->
+  ?slot_cap:int ->
+  unit ->
+  (real_bus list * (Types.op_id * (int * sub)) list, string) result
+(** Connection synthesis alone: buses (with splits) plus the tentative
+    assignment of each I/O operation to (bus, slice). *)
+
+val run :
+  Cdfg.t ->
+  Module_lib.t ->
+  Constraints.t ->
+  rate:int ->
+  unit ->
+  (t, string) result
+(** Full Chapter 6 flow: connection synthesis with sub-bus sharing, then
+    list scheduling over the sub-slots with the restricted reassignment of
+    §6.2 (an I/O operation may take any capable free slice; chained
+    double-preemptions are pruned).  Retries with lower slot caps like the
+    Chapter 4 flow. *)
+
+val run_design : Benchmarks.design -> rate:int -> (t, string) result

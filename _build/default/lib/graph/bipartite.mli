@@ -1,0 +1,38 @@
+(** Maximum-cardinality bipartite matching via augmenting paths (Kuhn's
+    algorithm).
+
+    Used by the dynamic bus-reassignment step of Chapter 4.2: I/O operations
+    on the left, (bus, control-step-group) communication slots on the right;
+    an augmenting path found when scheduling an I/O operation is exactly a
+    legal chain of preemptions. *)
+
+type t
+
+val create : n_left:int -> n_right:int -> t
+val add_edge : t -> left:int -> right:int -> unit
+
+val remove_edge : t -> left:int -> right:int -> unit
+(** Removes one copy of the edge if present (no-op otherwise).  If the edge
+    was matched, the matching is updated to drop it. *)
+
+val force_pair : t -> left:int -> right:int -> unit
+(** Pins [left -- right] into the current matching, displacing any previous
+    partners (their match is cleared, not rerouted).
+    @raise Invalid_argument if the edge is absent. *)
+
+val max_matching : t -> int
+(** Augments the current matching to maximum cardinality and returns its
+    size.  Deterministic: left vertices are processed in increasing order. *)
+
+val try_augment : t -> left:int -> bool
+(** Attempts to add the single unmatched left vertex to the matching by an
+    augmenting path, preserving all existing pairs (possibly re-routing
+    them).  Returns [false] (matching unchanged) if no augmenting path
+    exists. *)
+
+val match_of_left : t -> int -> int option
+val match_of_right : t -> int -> int option
+val unmatch_left : t -> int -> unit
+
+val pairs : t -> (int * int) list
+(** Current matched pairs, sorted by left vertex. *)

@@ -1,0 +1,100 @@
+type t = {
+  n : int;
+  mutable m : int;
+  succ : int list array; (* reversed insertion order, fixed up on read *)
+  pred : int list array;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create";
+  { n; m = 0; succ = Array.make n []; pred = Array.make n [] }
+
+let node_count g = g.n
+let edge_count g = g.m
+
+let check g v =
+  if v < 0 || v >= g.n then invalid_arg "Digraph: node id out of range"
+
+let add_edge g ~src ~dst =
+  check g src;
+  check g dst;
+  g.succ.(src) <- dst :: g.succ.(src);
+  g.pred.(dst) <- src :: g.pred.(dst);
+  g.m <- g.m + 1
+
+let succs g v =
+  check g v;
+  List.rev g.succ.(v)
+
+let preds g v =
+  check g v;
+  List.rev g.pred.(v)
+
+let out_degree g v =
+  check g v;
+  List.length g.succ.(v)
+
+let in_degree g v =
+  check g v;
+  List.length g.pred.(v)
+
+let topo_sort g =
+  let indeg = Array.init g.n (fun v -> List.length g.pred.(v)) in
+  (* A sorted worklist keeps the order deterministic: among ready nodes the
+     smallest id is emitted first. *)
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  for v = g.n - 1 downto 0 do
+    if indeg.(v) = 0 then ready := Iset.add v !ready
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Iset.is_empty !ready) do
+    let v = Iset.min_elt !ready in
+    ready := Iset.remove v !ready;
+    order := v :: !order;
+    incr count;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then ready := Iset.add w !ready)
+      g.succ.(v)
+  done;
+  if !count = g.n then Some (List.rev !order) else None
+
+let is_acyclic g = topo_sort g <> None
+
+let longest_path_to g ~weight =
+  match topo_sort g with
+  | None -> invalid_arg "Digraph.longest_path_to: cyclic graph"
+  | Some order ->
+      let dist = Array.make g.n 0 in
+      List.iter
+        (fun v ->
+          let best_pred =
+            List.fold_left (fun acc p -> max acc dist.(p)) 0 g.pred.(v)
+          in
+          dist.(v) <- best_pred + weight v)
+        order;
+      dist
+
+let transpose g =
+  let h = create g.n in
+  for v = 0 to g.n - 1 do
+    List.iter (fun w -> add_edge h ~src:w ~dst:v) (List.rev g.succ.(v))
+  done;
+  h
+
+let longest_path_from g ~weight = longest_path_to (transpose g) ~weight
+
+let reachable_from g start =
+  check g start;
+  let seen = Array.make g.n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs g.succ.(v)
+    end
+  in
+  dfs start;
+  seen

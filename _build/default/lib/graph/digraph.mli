@@ -1,0 +1,45 @@
+(** Mutable directed multigraph over dense integer node ids [0 .. n-1].
+
+    This is the backbone used by the CDFG layer and the schedulers; parallel
+    edges are permitted (a value consumed twice by the same operation, two
+    transfers between the same pair of chips, ...). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an edgeless graph with nodes [0 .. n-1]. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val add_edge : t -> src:int -> dst:int -> unit
+(** Adds one (possibly parallel) edge.  Node ids must be in range. *)
+
+val succs : t -> int -> int list
+(** Successors in insertion order, with multiplicity. *)
+
+val preds : t -> int -> int list
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val topo_sort : t -> int list option
+(** Topological order of all nodes, or [None] if the graph has a cycle.
+    Kahn's algorithm; stable for nodes with equal depth (smaller id first). *)
+
+val is_acyclic : t -> bool
+
+val longest_path_to : t -> weight:(int -> int) -> int array
+(** [longest_path_to g ~weight] gives, per node, the maximum total [weight]
+    over any path ending at (and including) that node.  Requires the graph to
+    be acyclic.
+    @raise Invalid_argument on a cyclic graph. *)
+
+val longest_path_from : t -> weight:(int -> int) -> int array
+(** Dual of {!longest_path_to}: maximum total weight over paths starting at
+    (and including) each node. *)
+
+val reachable_from : t -> int -> bool array
+(** Nodes reachable from the given node (including itself). *)
+
+val transpose : t -> t

@@ -1,0 +1,108 @@
+(* Classic potentials formulation; see e.g. Burkard, Dell'Amico, Martello,
+   "Assignment Problems".  Internally 1-indexed; rows <= columns is arranged
+   by the callers. *)
+
+let inf = max_int / 4
+
+let solve_rect cost n m =
+  (* n rows, m columns, n <= m; returns row -> column. *)
+  let u = Array.make (n + 1) 0 in
+  let v = Array.make (m + 1) 0 in
+  let p = Array.make (m + 1) 0 in
+  let way = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (m + 1) inf in
+    let used = Array.make (m + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref inf in
+      let j1 = ref 0 in
+      for j = 1 to m do
+        if not used.(j) then begin
+          let cur = cost.(i0 - 1).(j - 1) - u.(i0) - v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to m do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) + !delta;
+          v.(j) <- v.(j) - !delta
+        end
+        else minv.(j) <- minv.(j) - !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    let j0 = ref !j0 in
+    while !j0 <> 0 do
+      let j1 = way.(!j0) in
+      p.(!j0) <- p.(j1);
+      j0 := j1
+    done
+  done;
+  let result = Array.make n (-1) in
+  for j = 1 to m do
+    if p.(j) > 0 then result.(p.(j) - 1) <- j - 1
+  done;
+  result
+
+let assignment cost =
+  let n = Array.length cost in
+  if n = 0 then invalid_arg "Hungarian.assignment: empty matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Hungarian.assignment: matrix not square")
+    cost;
+  solve_rect cost n n
+
+let max_weight_matching ~n_left ~n_right ~weight =
+  if n_left = 0 || n_right = 0 then []
+  else begin
+    (* Maximize by minimizing (wmax - w); forbidden pairs get a cost high
+       enough that the optimum never uses one unless a vertex is genuinely
+       unmatchable, in which case we strip the pair afterwards. *)
+    let wmax = ref 0 in
+    for l = 0 to n_left - 1 do
+      for r = 0 to n_right - 1 do
+        match weight l r with
+        | None -> ()
+        | Some w ->
+            if w < 0 then invalid_arg "Hungarian: negative weight";
+            if w > !wmax then wmax := w
+      done
+    done;
+    let forbidden = (!wmax + 1) * (n_left + n_right + 1) in
+    (* Rows must not outnumber columns; transpose if needed. *)
+    let transposed = n_left > n_right in
+    let n, m = if transposed then (n_right, n_left) else (n_left, n_right) in
+    let cost =
+      Array.init n (fun i ->
+          Array.init m (fun j ->
+              let l, r = if transposed then (j, i) else (i, j) in
+              match weight l r with
+              | None -> forbidden
+              | Some w -> !wmax - w))
+    in
+    let assigned = solve_rect cost n m in
+    let acc = ref [] in
+    Array.iteri
+      (fun i j ->
+        if j >= 0 && cost.(i).(j) < forbidden then begin
+          let l, r = if transposed then (j, i) else (i, j) in
+          acc := (l, r) :: !acc
+        end)
+      assigned;
+    List.sort compare !acc
+  end

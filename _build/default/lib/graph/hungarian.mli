@@ -1,0 +1,25 @@
+(** Hungarian algorithm (Kuhn–Munkres with potentials, O(n^3)).
+
+    Chapter 5 reduces interchip-connection synthesis after scheduling to a
+    maximum-gain clique partitioning, solved as a series of bipartite
+    weighted matchings between control-step groups; this module provides that
+    matching. *)
+
+val assignment : int array array -> int array
+(** [assignment cost] solves the square min-cost assignment problem:
+    [cost.(i).(j)] is the cost of giving row [i] column [j]; the result maps
+    each row to its assigned column (a permutation).
+    @raise Invalid_argument if the matrix is empty or not square. *)
+
+val max_weight_matching :
+  n_left:int ->
+  n_right:int ->
+  weight:(int -> int -> int option) ->
+  (int * int) list
+(** Maximum-total-weight matching of a (possibly rectangular) bipartite
+    graph.  [weight l r] is [None] when [l] and [r] may not be paired, and
+    [Some w] ([w >= 0]) otherwise.  Every vertex is matched at most once;
+    pairs with weight [0] are still formed when no positive-weight
+    alternative exists (merging compatible nodes is free but never harmful
+    in the clique-partitioning use).  The result is sorted by left vertex.
+    @raise Invalid_argument on a negative weight. *)

@@ -1,0 +1,1 @@
+lib/ilp/gomory.ml: Array Mcs_util Simplex

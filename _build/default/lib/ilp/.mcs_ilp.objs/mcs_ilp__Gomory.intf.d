@@ -1,0 +1,1 @@
+lib/ilp/gomory.mli: Simplex

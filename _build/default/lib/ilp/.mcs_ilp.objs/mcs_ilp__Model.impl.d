@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Branch_bound Format Gomory List Mcs_util Printf Simplex

@@ -1,0 +1,93 @@
+module R = Mcs_util.Ratio
+
+type result =
+  | Optimal of Simplex.solution
+  | Infeasible
+  | Unbounded
+  | Node_limit
+
+let first_fractional ~integer (sol : Simplex.solution) =
+  let n = Array.length sol.x in
+  let found = ref None in
+  (try
+     for i = 0 to n - 1 do
+       if integer.(i) && not (R.is_integer sol.x.(i)) then begin
+         found := Some i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found
+
+let unit_row n i coef =
+  let row = Array.make n R.zero in
+  row.(i) <- coef;
+  row
+
+let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
+  if Array.length integer <> p.n_vars then
+    invalid_arg "Branch_bound.solve: integer mask length mismatch";
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let hit_limit = ref false in
+  let better value =
+    match !incumbent with
+    | None -> true
+    | Some (v, _) -> R.compare value v > 0
+  in
+  let root_unbounded = ref false in
+  (* Depth-first; [extra] accumulates the branching bounds. *)
+  let rec explore extra depth =
+    if !hit_limit then ()
+    else begin
+      incr nodes;
+      if !nodes > max_nodes then hit_limit := true
+      else
+        let problem = { p with Simplex.rows = p.rows @ extra } in
+        match Simplex.solve problem with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded ->
+            (* Only possible at the root (children only tighten bounds on
+               integer variables, but a still-unbounded child means the
+               integer problem itself is unbounded too). *)
+            if depth = 0 then root_unbounded := true
+            else root_unbounded := true
+        | Simplex.Optimal sol ->
+            if better sol.value then begin
+              match first_fractional ~integer sol with
+              | None -> incumbent := Some (sol.value, sol)
+              | Some i ->
+                  let f = R.floor sol.x.(i) in
+                  let le =
+                    (unit_row p.n_vars i R.one, Simplex.Le, R.of_int f)
+                  in
+                  let ge =
+                    (unit_row p.n_vars i R.one, Simplex.Ge, R.of_int (f + 1))
+                  in
+                  explore (le :: extra) (depth + 1);
+                  explore (ge :: extra) (depth + 1)
+            end
+    end
+  in
+  explore [] 0;
+  if !root_unbounded then Unbounded
+  else
+    match (!incumbent, !hit_limit) with
+    | Some (_, sol), false -> Optimal sol
+    | Some (_, sol), true ->
+        (* An incumbent exists but optimality is unproven; report the limit
+           so callers cannot mistake it for an optimum. *)
+        ignore sol;
+        Node_limit
+    | None, true -> Node_limit
+    | None, false -> Infeasible
+
+let feasible ?max_nodes ~integer p =
+  let p =
+    { p with Simplex.objective = Array.make p.Simplex.n_vars R.zero }
+  in
+  match solve ?max_nodes ~integer p with
+  | Optimal _ -> Some true
+  | Infeasible -> Some false
+  | Unbounded -> Some true
+  | Node_limit -> None

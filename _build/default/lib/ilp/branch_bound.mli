@@ -1,0 +1,20 @@
+(** Branch-and-bound (M)ILP solver over the exact-rational simplex.
+
+    Serves as the reference exact solver for the interchip-connection
+    formulations of Chapters 4 and 6 (the dissertation submitted those to
+    Bozo / Lindo) and cross-checks the Gomory path in the test suite. *)
+
+type result =
+  | Optimal of Simplex.solution
+  | Infeasible
+  | Unbounded  (** LP relaxation unbounded in the objective direction *)
+  | Node_limit  (** search stopped before proving optimality *)
+
+val solve :
+  ?max_nodes:int -> integer:bool array -> Simplex.problem -> result
+(** [solve ~integer p] maximizes [p]'s objective with variables [i] such
+    that [integer.(i)] constrained to integer values.  Depth-first with
+    best-bound pruning; branches on the first fractional integer variable,
+    floor branch first.  [max_nodes] defaults to [200_000]. *)
+
+val feasible : ?max_nodes:int -> integer:bool array -> Simplex.problem -> bool option

@@ -1,0 +1,32 @@
+type result =
+  | Optimal of Simplex.solution
+  | Infeasible
+  | Unbounded
+  | Gave_up
+
+let solve ?(max_cuts = 500) p =
+  match Simplex.Tab.of_problem p with
+  | `Infeasible -> Infeasible
+  | `Unbounded -> Unbounded
+  | `Solved t ->
+      let rec refine cuts =
+        match Simplex.Tab.fractional_basic t with
+        | None -> Optimal (Simplex.Tab.solution t)
+        | Some _ when cuts >= max_cuts -> Gave_up
+        | Some row -> (
+            Simplex.Tab.add_gomory_cut t row;
+            match Simplex.Tab.reoptimize_dual t with
+            | `Infeasible -> Infeasible
+            | `Ok -> refine (cuts + 1))
+      in
+      refine 0
+
+let feasible ?max_cuts p =
+  (* Feasibility does not depend on the objective, but a zero objective
+     converges fastest. *)
+  let p = { p with Simplex.objective = Array.map (fun _ -> Mcs_util.Ratio.zero) p.Simplex.objective } in
+  match solve ?max_cuts p with
+  | Optimal _ -> Some true
+  | Infeasible -> Some false
+  | Unbounded -> Some true (* nonempty integer region *)
+  | Gave_up -> None

@@ -1,0 +1,23 @@
+(** Gomory cutting-plane integer programming — the method the dissertation
+    uses (§3.3) to decide feasibility of the pin-allocation ILP during
+    scheduling: solve the LP relaxation, and while some original variable is
+    fractional, append a Gomory fractional cut and reoptimize with the dual
+    simplex.
+
+    Valid for problems whose constraint data is integral (every coefficient
+    and right-hand side an integer), which holds for every formulation this
+    library generates. *)
+
+type result =
+  | Optimal of Simplex.solution
+  | Infeasible
+  | Unbounded
+  | Gave_up  (** cut budget exhausted before convergence *)
+
+val solve : ?max_cuts:int -> Simplex.problem -> result
+(** [solve p] maximizes [p]'s objective over the integer points of its
+    feasible region ([max_cuts] defaults to 500). *)
+
+val feasible : ?max_cuts:int -> Simplex.problem -> bool option
+(** Pure feasibility query: [Some true] / [Some false] when decided, [None]
+    when the cut budget ran out. *)

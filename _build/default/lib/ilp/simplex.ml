@@ -1,0 +1,377 @@
+module R = Mcs_util.Ratio
+
+type rel = Le | Ge | Eq
+
+type problem = {
+  n_vars : int;
+  objective : R.t array;
+  rows : (R.t array * rel * R.t) list;
+}
+
+type solution = { value : R.t; x : R.t array }
+type status = Optimal of solution | Infeasible | Unbounded
+
+(* Growable exact-rational tableau.
+
+   Layout: [m] rows by [n] columns plus a separate rhs vector.  The
+   objective row [obj] follows the convention obj.(j) = z_j - c_j, so the
+   tableau is (primal) optimal when every obj.(j) >= 0, and every pivot
+   updates [obj] by ordinary row elimination. *)
+type tab = {
+  n_struct : int; (* original problem variables: columns 0 .. n_struct-1 *)
+  mutable m : int;
+  mutable n : int;
+  mutable a : R.t array array; (* m rows, each of length >= n *)
+  mutable rhs : R.t array;
+  mutable basis : int array; (* basis.(i) = column basic in row i *)
+  mutable obj : R.t array;
+  mutable obj_val : R.t;
+  mutable blocked : bool array; (* columns that may never (re)enter *)
+}
+
+let grow_cols t want =
+  let cap = Array.length t.obj in
+  if want > cap then begin
+    let cap' = max want (2 * cap) in
+    let extend row =
+      let row' = Array.make cap' R.zero in
+      Array.blit row 0 row' 0 (Array.length row);
+      row'
+    in
+    t.a <- Array.map extend t.a;
+    t.obj <- extend t.obj;
+    let blocked' = Array.make cap' false in
+    Array.blit t.blocked 0 blocked' 0 (Array.length t.blocked);
+    t.blocked <- blocked'
+  end
+
+let grow_rows t want =
+  let cap = Array.length t.a in
+  if want > cap then begin
+    let cap' = max want (2 * cap) in
+    let cols = Array.length t.obj in
+    let a' = Array.make cap' [||] in
+    Array.blit t.a 0 a' 0 t.m;
+    for i = t.m to cap' - 1 do
+      a'.(i) <- Array.make cols R.zero
+    done;
+    t.a <- a';
+    let rhs' = Array.make cap' R.zero in
+    Array.blit t.rhs 0 rhs' 0 t.m;
+    t.rhs <- rhs';
+    let basis' = Array.make cap' (-1) in
+    Array.blit t.basis 0 basis' 0 t.m;
+    t.basis <- basis'
+  end
+
+let pivot t r c =
+  let piv = t.a.(r).(c) in
+  assert (not (R.is_zero piv));
+  let inv = R.inv piv in
+  let row = t.a.(r) in
+  for j = 0 to t.n - 1 do
+    row.(j) <- R.mul row.(j) inv
+  done;
+  t.rhs.(r) <- R.mul t.rhs.(r) inv;
+  let eliminate target_row target_rhs_get target_rhs_set =
+    let f = target_row.(c) in
+    if not (R.is_zero f) then begin
+      for j = 0 to t.n - 1 do
+        target_row.(j) <- R.sub target_row.(j) (R.mul f row.(j))
+      done;
+      target_rhs_set (R.sub (target_rhs_get ()) (R.mul f t.rhs.(r)))
+    end
+  in
+  for i = 0 to t.m - 1 do
+    if i <> r then
+      eliminate t.a.(i) (fun () -> t.rhs.(i)) (fun v -> t.rhs.(i) <- v)
+  done;
+  eliminate t.obj (fun () -> t.obj_val) (fun v -> t.obj_val <- v);
+  t.basis.(r) <- c
+
+(* Bland's rule: entering column = smallest eligible index; leaving row =
+   lexicographic minimum ratio with smallest basic index as tie-break. *)
+let primal_step t =
+  let entering = ref (-1) in
+  (try
+     for j = 0 to t.n - 1 do
+       if (not t.blocked.(j)) && R.sign t.obj.(j) < 0 then begin
+         entering := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !entering < 0 then `Optimal
+  else begin
+    let c = !entering in
+    let best = ref (-1) in
+    let best_ratio = ref R.zero in
+    for i = 0 to t.m - 1 do
+      if R.sign t.a.(i).(c) > 0 then begin
+        let ratio = R.div t.rhs.(i) t.a.(i).(c) in
+        let better =
+          !best < 0
+          || R.compare ratio !best_ratio < 0
+          || (R.compare ratio !best_ratio = 0 && t.basis.(i) < t.basis.(!best))
+        in
+        if better then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    done;
+    if !best < 0 then `Unbounded
+    else begin
+      pivot t !best c;
+      `Pivoted
+    end
+  end
+
+let rec primal_loop t =
+  match primal_step t with
+  | `Optimal -> `Optimal
+  | `Unbounded -> `Unbounded
+  | `Pivoted -> primal_loop t
+
+(* Dual simplex: leaving row = most negative rhs is the usual heuristic,
+   but Bland-style smallest basic index guarantees termination. *)
+let dual_step t =
+  let leaving = ref (-1) in
+  for i = t.m - 1 downto 0 do
+    if R.sign t.rhs.(i) < 0 then
+      if !leaving < 0 || t.basis.(i) < t.basis.(!leaving) then leaving := i
+  done;
+  if !leaving < 0 then `Feasible
+  else begin
+    let r = !leaving in
+    let best = ref (-1) in
+    let best_ratio = ref R.zero in
+    for j = 0 to t.n - 1 do
+      if (not t.blocked.(j)) && R.sign t.a.(r).(j) < 0 then begin
+        let ratio = R.div t.obj.(j) (R.neg t.a.(r).(j)) in
+        let better =
+          !best < 0
+          || R.compare ratio !best_ratio < 0
+          || (R.compare ratio !best_ratio = 0 && j < !best)
+        in
+        if better then begin
+          best := j;
+          best_ratio := ratio
+        end
+      end
+    done;
+    if !best < 0 then `Infeasible
+    else begin
+      pivot t r !best;
+      `Pivoted
+    end
+  end
+
+let rec dual_loop t =
+  match dual_step t with
+  | `Feasible -> `Ok
+  | `Infeasible -> `Infeasible
+  | `Pivoted -> dual_loop t
+
+(* Rebuild the objective row for cost vector [c] (length t.n, missing
+   entries zero) given the current basis. *)
+let install_objective t c =
+  let cost j = if j < Array.length c then c.(j) else R.zero in
+  for j = 0 to t.n - 1 do
+    t.obj.(j) <- R.neg (cost j)
+  done;
+  t.obj_val <- R.zero;
+  for i = 0 to t.m - 1 do
+    let cb = cost t.basis.(i) in
+    if not (R.is_zero cb) then begin
+      for j = 0 to t.n - 1 do
+        t.obj.(j) <- R.add t.obj.(j) (R.mul cb t.a.(i).(j))
+      done;
+      t.obj_val <- R.add t.obj_val (R.mul cb t.rhs.(i))
+    end
+  done
+
+let delete_row t r =
+  (* Recycle the deleted row's array into the vacated slot so capacity rows
+     never alias live rows. *)
+  let dead = t.a.(r) in
+  for i = r to t.m - 2 do
+    t.a.(i) <- t.a.(i + 1);
+    t.rhs.(i) <- t.rhs.(i + 1);
+    t.basis.(i) <- t.basis.(i + 1)
+  done;
+  t.a.(t.m - 1) <- dead;
+  t.m <- t.m - 1
+
+module Tab = struct
+  type t = tab
+
+  let of_problem p =
+    if p.n_vars < 0 then invalid_arg "Simplex: negative n_vars";
+    let rows = Array.of_list p.rows in
+    let m = Array.length rows in
+    (* One slack/surplus column per inequality, one artificial per row that
+       needs one; count first. *)
+    let normalized =
+      Array.map
+        (fun (coefs, rel, b) ->
+          if Array.length coefs <> p.n_vars then
+            invalid_arg "Simplex: row width mismatch";
+          if R.sign b >= 0 then (coefs, rel, b)
+          else
+            let flip = function Le -> Ge | Ge -> Le | Eq -> Eq in
+            (Array.map R.neg coefs, flip rel, R.neg b))
+        rows
+    in
+    let n_slack =
+      Array.fold_left
+        (fun acc (_, rel, _) -> match rel with Le | Ge -> acc + 1 | Eq -> acc)
+        0 normalized
+    in
+    let n_art =
+      Array.fold_left
+        (fun acc (_, rel, _) -> match rel with Le -> acc | Ge | Eq -> acc + 1)
+        0 normalized
+    in
+    let n = p.n_vars + n_slack + n_art in
+    let t =
+      {
+        n_struct = p.n_vars;
+        m;
+        n;
+        a = Array.init (max m 1) (fun _ -> Array.make (max n 1) R.zero);
+        rhs = Array.make (max m 1) R.zero;
+        basis = Array.make (max m 1) (-1);
+        obj = Array.make (max n 1) R.zero;
+        obj_val = R.zero;
+        blocked = Array.make (max n 1) false;
+      }
+    in
+    let next_slack = ref p.n_vars in
+    let next_art = ref (p.n_vars + n_slack) in
+    Array.iteri
+      (fun i (coefs, rel, b) ->
+        Array.blit coefs 0 t.a.(i) 0 p.n_vars;
+        t.rhs.(i) <- b;
+        (match rel with
+        | Le ->
+            t.a.(i).(!next_slack) <- R.one;
+            t.basis.(i) <- !next_slack;
+            incr next_slack
+        | Ge ->
+            t.a.(i).(!next_slack) <- R.minus_one;
+            incr next_slack
+        | Eq -> ());
+        match rel with
+        | Le -> ()
+        | Ge | Eq ->
+            t.a.(i).(!next_art) <- R.one;
+            t.basis.(i) <- !next_art;
+            incr next_art)
+      normalized;
+    let art_lo = p.n_vars + n_slack in
+    (* Phase 1: maximize -(sum of artificials). *)
+    if n_art > 0 then begin
+      let c1 = Array.make t.n R.zero in
+      for j = art_lo to t.n - 1 do
+        c1.(j) <- R.minus_one
+      done;
+      install_objective t c1;
+      (match primal_loop t with
+      | `Unbounded -> assert false (* phase-1 objective is bounded above *)
+      | `Optimal -> ());
+      if R.sign t.obj_val < 0 then `Infeasible
+      else begin
+        (* Drive artificials out of the basis; delete redundant rows. *)
+        let i = ref 0 in
+        while !i < t.m do
+          if t.basis.(!i) >= art_lo then begin
+            let col = ref (-1) in
+            (try
+               for j = 0 to art_lo - 1 do
+                 if not (R.is_zero t.a.(!i).(j)) then begin
+                   col := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !col >= 0 then begin
+              pivot t !i !col;
+              incr i
+            end
+            else delete_row t !i
+          end
+          else incr i
+        done;
+        for j = art_lo to t.n - 1 do
+          t.blocked.(j) <- true
+        done;
+        install_objective t p.objective;
+        match primal_loop t with
+        | `Optimal -> `Solved t
+        | `Unbounded -> `Unbounded
+      end
+    end
+    else begin
+      install_objective t p.objective;
+      match primal_loop t with
+      | `Optimal -> `Solved t
+      | `Unbounded -> `Unbounded
+    end
+
+  let solution t =
+    let x = Array.make t.n_struct R.zero in
+    for i = 0 to t.m - 1 do
+      if t.basis.(i) < t.n_struct then x.(t.basis.(i)) <- t.rhs.(i)
+    done;
+    { value = t.obj_val; x }
+
+  let fractional_basic t =
+    let found = ref None in
+    (try
+       for i = 0 to t.m - 1 do
+         if t.basis.(i) < t.n_struct && not (R.is_integer t.rhs.(i)) then begin
+           found := Some i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+
+  let add_gomory_cut t r =
+    if r < 0 || r >= t.m then invalid_arg "add_gomory_cut: bad row";
+    let f0 = R.frac t.rhs.(r) in
+    if R.is_zero f0 then invalid_arg "add_gomory_cut: row is integral";
+    (* Cut over the nonbasic variables:  sum_j frac(a_rj) x_j >= frac(b_r),
+       appended in <=-with-slack form:  -sum frac(a_rj) x_j + s = -frac(b_r). *)
+    let basic = Array.make t.n false in
+    for i = 0 to t.m - 1 do
+      basic.(t.basis.(i)) <- true
+    done;
+    grow_cols t (t.n + 1);
+    grow_rows t (t.m + 1);
+    let slack = t.n in
+    t.n <- t.n + 1;
+    let row = t.a.(t.m) in
+    Array.fill row 0 t.n R.zero;
+    for j = 0 to slack - 1 do
+      if not basic.(j) then begin
+        let f = R.frac t.a.(r).(j) in
+        if not (R.is_zero f) then row.(j) <- R.neg f
+      end
+    done;
+    row.(slack) <- R.one;
+    t.rhs.(t.m) <- R.neg f0;
+    t.basis.(t.m) <- slack;
+    t.obj.(slack) <- R.zero;
+    t.blocked.(slack) <- false;
+    t.m <- t.m + 1
+
+  let reoptimize_dual t = dual_loop t
+end
+
+let solve p =
+  match Tab.of_problem p with
+  | `Infeasible -> Infeasible
+  | `Unbounded -> Unbounded
+  | `Solved t -> Optimal (Tab.solution t)

@@ -1,0 +1,47 @@
+(** Two-phase primal simplex over exact rationals, with the dual-simplex and
+    Gomory-cut machinery used by the pin-allocation feasibility checker of
+    Chapter 3.3.
+
+    Problems are stated in the natural form
+
+    {v maximize c.x   subject to   a_i . x (<= | >= | =) b_i,   x >= 0 v}
+
+    Bland's anti-cycling rule is used throughout, so termination is
+    guaranteed at the price of a few extra pivots — irrelevant at the sizes
+    produced by the formulations in this library. *)
+
+type rel = Le | Ge | Eq
+
+type problem = {
+  n_vars : int;
+  objective : Mcs_util.Ratio.t array;  (** length [n_vars]; maximized *)
+  rows : (Mcs_util.Ratio.t array * rel * Mcs_util.Ratio.t) list;
+}
+
+type solution = { value : Mcs_util.Ratio.t; x : Mcs_util.Ratio.t array }
+type status = Optimal of solution | Infeasible | Unbounded
+
+val solve : problem -> status
+
+(** Access to the solved tableau, for cutting-plane methods. *)
+module Tab : sig
+  type t
+
+  val of_problem : problem -> [ `Solved of t | `Infeasible | `Unbounded ]
+  (** Runs both phases to optimality. *)
+
+  val solution : t -> solution
+
+  val fractional_basic : t -> int option
+  (** Index of a tableau row whose basic variable is one of the original
+      [n_vars] problem variables and currently holds a fractional value
+      (smallest such row), or [None] when the solution is integral on the
+      original variables. *)
+
+  val add_gomory_cut : t -> int -> unit
+  (** Appends the Gomory fractional cut derived from the given row.  The
+      tableau becomes primal-infeasible but stays dual-feasible. *)
+
+  val reoptimize_dual : t -> [ `Ok | `Infeasible ]
+  (** Dual simplex until primal feasibility is restored. *)
+end

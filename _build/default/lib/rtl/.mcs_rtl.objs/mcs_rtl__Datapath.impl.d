@@ -1,0 +1,1 @@
+lib/rtl/datapath.ml: Array Cdfg Constraints Format Hashtbl Lifetime List Mcs_cdfg Mcs_sched Mcs_util Option Printf String Timing Types

@@ -1,0 +1,1 @@
+lib/rtl/datapath.mli: Constraints Format Mcs_cdfg Mcs_sched Types

@@ -1,0 +1,1 @@
+lib/rtl/lifetime.ml: Cdfg Hashtbl List Mcs_cdfg Mcs_sched Mcs_util Option Timing Types

@@ -1,0 +1,1 @@
+lib/rtl/lifetime.mli: Mcs_cdfg Mcs_sched Types

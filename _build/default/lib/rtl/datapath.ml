@@ -1,0 +1,371 @@
+open Mcs_cdfg
+module Sched = Mcs_sched.Schedule
+
+type fu = { fu_optype : string; fu_index : int }
+
+type register = {
+  reg_index : int;
+  reg_width : int;
+  holds : (Types.op_id * int * int) list;
+}
+
+type mux = { mux_at : string; mux_inputs : int }
+
+type partition_rtl = {
+  rp_partition : int;
+  fus : (fu * Types.op_id list) list;
+  registers : register list;
+  muxes : mux list;
+  control_words : (int * string list) list;
+}
+
+type t = { parts : partition_rtl list; schedule : Mcs_sched.Schedule.t }
+
+(* Width of the register holding a value: the width its interchip transfers
+   declare, defaulting to 8 for chip-local values (the CDFG does not carry
+   widths for those). *)
+let value_width cdfg op =
+  match Cdfg.node cdfg op with
+  | Types.Io { width; _ } -> width
+  | Types.Func _ ->
+      List.fold_left
+        (fun acc c -> if Cdfg.is_io cdfg c then max acc (Cdfg.io_width cdfg c) else acc)
+        8 (Cdfg.succs cdfg op)
+
+(* --- Functional-unit binding via allocation wheels --- *)
+
+let bind_fus sched cons =
+  let cdfg = Sched.cdfg sched in
+  let mlib = Sched.mlib sched in
+  let rate = Sched.rate sched in
+  let table = Hashtbl.create 32 in
+  let err = ref None in
+  let groups =
+    Mcs_util.Listx.group_by
+      (fun op -> (Cdfg.func_partition cdfg op, Cdfg.func_optype cdfg op))
+      (Cdfg.func_ops cdfg)
+  in
+  List.iter
+    (fun ((p, ty), ops) ->
+      let count = Constraints.fu_count cons ~partition:p ~optype:ty in
+      let wheel = Mcs_sched.Alloc_wheel.create ~fus:count ~rate in
+      let ops =
+        List.sort (fun a b -> compare (Sched.group sched a) (Sched.group sched b)) ops
+      in
+      List.iter
+        (fun op ->
+          let group = Sched.group sched op in
+          let cycles = Timing.op_cycles cdfg mlib op in
+          match Mcs_sched.Alloc_wheel.fit wheel ~group ~cycles with
+          | None ->
+              if !err = None then
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "schedule needs more than %d %s units in partition %d"
+                       count ty p)
+          | Some _ ->
+              let fu = Mcs_sched.Alloc_wheel.assign wheel ~group ~cycles in
+              Hashtbl.replace table op (p, ty, fu))
+        ops)
+    groups;
+  match !err with Some m -> Error m | None -> Ok table
+
+(* --- Register binding: cyclic left-edge over lifetime chunks --- *)
+
+type reg_state = {
+  mutable occupied : bool array; (* residues mod rate *)
+  mutable contents : (Types.op_id * int * int) list;
+  mutable width : int;
+}
+
+let bind_registers sched =
+  let cdfg = Sched.cdfg sched in
+  let rate = Sched.rate sched in
+  let lifetimes = Lifetime.analyse sched in
+  let per_partition = Hashtbl.create 8 in
+  List.iter
+    (fun (l : Lifetime.t) ->
+      if Lifetime.span l > 0 then begin
+        (* Slice the lifetime into rotating chunks of at most one initiation
+           interval each. *)
+        let rec chunks b =
+          if b > l.death then []
+          else
+            let e = min l.death (b + rate - 1) in
+            (b, e) :: chunks (e + 1)
+        in
+        let regs =
+          Option.value ~default:[]
+            (Hashtbl.find_opt per_partition l.on_partition)
+        in
+        let regs = ref regs in
+        List.iter
+          (fun (b, e) ->
+            let residues =
+              List.map
+                (fun x -> ((x mod rate) + rate) mod rate)
+                (Mcs_util.Listx.range b (e + 1))
+            in
+            let fits r =
+              List.for_all (fun g -> not r.occupied.(g)) residues
+            in
+            let claim r =
+              List.iter (fun g -> r.occupied.(g) <- true) residues;
+              r.contents <- (l.producer, b, e) :: r.contents;
+              r.width <- max r.width (value_width cdfg l.producer)
+            in
+            match List.find_opt fits !regs with
+            | Some r -> claim r
+            | None ->
+                let r =
+                  { occupied = Array.make rate false; contents = []; width = 0 }
+                in
+                claim r;
+                regs := !regs @ [ r ])
+          (chunks l.birth);
+        Hashtbl.replace per_partition l.on_partition !regs
+      end)
+    lifetimes;
+  per_partition
+
+(* --- Sources and multiplexers --- *)
+
+type source = Src_reg of int * int | Src_fu of int * string * int | Src_pin of string
+
+let build sched cons =
+  let cdfg = Sched.cdfg sched in
+  let rate = Sched.rate sched in
+  match bind_fus sched cons with
+  | Error m -> Error m
+  | Ok fu_of ->
+      let regs_by_part = bind_registers sched in
+      (* Where does (consumer, producer edge) read the value from? *)
+      let reg_holding partition producer =
+        match Hashtbl.find_opt regs_by_part partition with
+        | None -> None
+        | Some regs ->
+            let rec find i = function
+              | [] -> None
+              | r :: rest ->
+                  if List.exists (fun (p, _, _) -> p = producer) r.contents
+                  then Some i
+                  else find (i + 1) rest
+            in
+            find 0 regs
+      in
+      let source_of ~consumer_partition { Types.e_src; degree; _ } ~chained =
+        if chained then
+          match Cdfg.node cdfg e_src with
+          | Types.Io { value; _ } -> Src_pin value
+          | Types.Func { optype; _ } -> (
+              match Hashtbl.find_opt fu_of e_src with
+              | Some (p, ty, i) -> Src_fu (p, ty, i)
+              | None -> Src_fu (consumer_partition, optype, -1))
+        else
+          match reg_holding consumer_partition e_src with
+          | Some r -> Src_reg (consumer_partition, r)
+          | None ->
+              (* Registered reads always find a register; a miss means the
+                 value was consumed in its production step after all. *)
+              ignore degree;
+              Src_pin "?"
+      in
+      let incoming = Hashtbl.create 64 in
+      List.iter
+        (fun ({ Types.e_dst; _ } as e) ->
+          Hashtbl.replace incoming e_dst
+            (e :: Option.value ~default:[] (Hashtbl.find_opt incoming e_dst)))
+        (List.rev (Cdfg.edges cdfg));
+      let parts =
+        List.map
+          (fun p ->
+            let my_funcs = Cdfg.func_ops_of_partition cdfg p in
+            let fus =
+              Mcs_util.Listx.group_by
+                (fun op ->
+                  match Hashtbl.find fu_of op with
+                  | _, ty, i -> { fu_optype = ty; fu_index = i })
+                my_funcs
+            in
+            let registers =
+              match Hashtbl.find_opt regs_by_part p with
+              | None -> []
+              | Some regs ->
+                  List.mapi
+                    (fun i r ->
+                      { reg_index = i; reg_width = r.width; holds = List.rev r.contents })
+                    regs
+            in
+            (* Multiplexers at FU operand ports. *)
+            let fu_muxes =
+              List.concat_map
+                (fun (fu, ops) ->
+                  let max_arity =
+                    List.fold_left
+                      (fun acc op ->
+                        max acc
+                          (List.length
+                             (Option.value ~default:[]
+                                (Hashtbl.find_opt incoming op))))
+                      0 ops
+                  in
+                  List.filter_map
+                    (fun port ->
+                      let sources =
+                        Mcs_util.Listx.uniq ( = )
+                          (List.filter_map
+                             (fun op ->
+                               let edges =
+                                 List.rev
+                                   (Option.value ~default:[]
+                                      (Hashtbl.find_opt incoming op))
+                               in
+                               match List.nth_opt edges port with
+                               | None -> None
+                               | Some e ->
+                                   let chained =
+                                     Sched.cstep sched e.Types.e_src
+                                     = Sched.cstep sched op
+                                     && e.Types.degree = 0
+                                   in
+                                   Some
+                                     (source_of ~consumer_partition:p e
+                                        ~chained))
+                             ops)
+                      in
+                      if List.length sources > 1 then
+                        Some
+                          {
+                            mux_at =
+                              Printf.sprintf "%s%d.in%d" fu.fu_optype
+                                fu.fu_index port;
+                            mux_inputs = List.length sources;
+                          }
+                      else None)
+                    (Mcs_util.Listx.range 0 max_arity))
+                fus
+            in
+            (* Multiplexers at register inputs: one register, several
+               producers. *)
+            let reg_muxes =
+              List.filter_map
+                (fun r ->
+                  let writers =
+                    Mcs_util.Listx.uniq ( = )
+                      (List.map (fun (prod, _, _) -> prod) r.holds)
+                  in
+                  if List.length writers > 1 then
+                    Some
+                      {
+                        mux_at = Printf.sprintf "R%d.in" r.reg_index;
+                        mux_inputs = List.length writers;
+                      }
+                  else None)
+                registers
+            in
+            (* Controller: micro-operations per control-step group. *)
+            let control_words =
+              List.map
+                (fun g ->
+                  let words =
+                    List.filter_map
+                      (fun op ->
+                        if Sched.group sched op <> g then None
+                        else
+                          match Cdfg.node cdfg op with
+                          | Types.Func _ ->
+                              let _, ty, i = Hashtbl.find fu_of op in
+                              Some
+                                (Printf.sprintf "%s%d := %s" ty i
+                                   (Cdfg.name cdfg op))
+                          | Types.Io { src; dst; _ } ->
+                              if src = p then
+                                Some
+                                  (Printf.sprintf "drive %s" (Cdfg.name cdfg op))
+                              else if dst = p then
+                                Some
+                                  (Printf.sprintf "latch %s" (Cdfg.name cdfg op))
+                              else None)
+                      (if p = 0 then [] else Cdfg.func_ops_of_partition cdfg p
+                       @ List.filter
+                           (fun w ->
+                             Cdfg.io_src cdfg w = p || Cdfg.io_dst cdfg w = p)
+                           (Cdfg.io_ops cdfg))
+                  in
+                  (g, words))
+                (Mcs_util.Listx.range 0 rate)
+            in
+            {
+              rp_partition = p;
+              fus;
+              registers;
+              muxes = fu_muxes @ reg_muxes;
+              control_words;
+            })
+          (Mcs_util.Listx.range 1 (Cdfg.n_partitions cdfg + 1))
+      in
+      Ok { parts; schedule = sched }
+
+let part t p = List.find (fun r -> r.rp_partition = p) t.parts
+let register_count t p = List.length (part t p).registers
+let mux_input_total t p = Mcs_util.Listx.sum (fun m -> m.mux_inputs) (part t p).muxes
+
+let pp ppf t =
+  let cdfg = Sched.cdfg t.schedule in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun rp ->
+      Format.fprintf ppf "chip %d:@," rp.rp_partition;
+      List.iter
+        (fun (fu, ops) ->
+          Format.fprintf ppf "  %s%d: %s@," fu.fu_optype fu.fu_index
+            (String.concat " " (List.map (Cdfg.name cdfg) ops)))
+        rp.fus;
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  R%d (%d bits): %s@," r.reg_index r.reg_width
+            (String.concat " "
+               (List.map
+                  (fun (prod, b, e) ->
+                    Printf.sprintf "%s[%d..%d]" (Cdfg.name cdfg prod) b e)
+                  r.holds)))
+        rp.registers;
+      List.iter
+        (fun m -> Format.fprintf ppf "  mux %s (%d-way)@," m.mux_at m.mux_inputs)
+        rp.muxes)
+    t.parts;
+  Format.fprintf ppf "@]"
+
+let pp_verilog ppf t =
+  let cdfg = Sched.cdfg t.schedule in
+  ignore cdfg;
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun rp ->
+      Format.fprintf ppf "module chip%d (input clk, input [%d:0] step);@,"
+        rp.rp_partition
+        (max 0 (Sched.rate t.schedule - 1));
+      List.iter
+        (fun (fu, _) ->
+          Format.fprintf ppf "  // functional unit@,  wire [31:0] %s%d_out;@,"
+            fu.fu_optype fu.fu_index)
+        rp.fus;
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  reg [%d:0] R%d;@," (max 0 (r.reg_width - 1))
+            r.reg_index)
+        rp.registers;
+      List.iter
+        (fun m ->
+          Format.fprintf ppf "  // %d-way mux at %s@," m.mux_inputs m.mux_at)
+        rp.muxes;
+      Format.fprintf ppf "  always @@(posedge clk) begin@,    case (step)@,";
+      List.iter
+        (fun (g, words) ->
+          Format.fprintf ppf "      %d: begin /* %s */ end@," g
+            (String.concat "; " words))
+        rp.control_words;
+      Format.fprintf ppf "    endcase@,  end@,endmodule@,@,")
+    t.parts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Register-transfer-level data paths: the structural output of the
+    synthesis process (§1.1: "operators and registers interconnected via
+    multiplexers, buses, and wires").
+
+    Binding decisions:
+    - operations bind to functional-unit instances by the same allocation
+      wheels the scheduler used, so the binding always fits the schedule;
+    - registered values bind to physical registers by a cyclic variant of
+      the left-edge algorithm [HS71] (the paper's reference point for
+      interval binding): lifetimes are packed greedily onto registers whose
+      steady-state occupancy (control steps mod the initiation rate) they
+      do not overlap; a value living longer than one initiation interval
+      occupies several registers of a rotating group, as modulo-scheduled
+      pipelines require;
+    - a multiplexer appears wherever a functional-unit input port, register
+      input, or output-pin driver is fed from more than one source. *)
+
+open Mcs_cdfg
+
+type fu = { fu_optype : string; fu_index : int }
+
+type register = {
+  reg_index : int;
+  reg_width : int;
+  holds : (Types.op_id * int * int) list;
+      (** (value producer, birth, death) lifetimes packed on this register *)
+}
+
+type mux = { mux_at : string; mux_inputs : int }
+
+type partition_rtl = {
+  rp_partition : int;
+  fus : (fu * Types.op_id list) list;  (** unit and the operations bound *)
+  registers : register list;
+  muxes : mux list;
+  control_words : (int * string list) list;
+      (** per control-step group: the micro-operations issued *)
+}
+
+type t = {
+  parts : partition_rtl list;
+  schedule : Mcs_sched.Schedule.t;
+}
+
+val build : Mcs_sched.Schedule.t -> Constraints.t -> (t, string) result
+(** Fails (rather than silently overcommitting) if the schedule does not fit
+    the functional-unit constraints — which cannot happen for schedules the
+    in-repo schedulers produced under the same constraints. *)
+
+val register_count : t -> int -> int
+val mux_input_total : t -> int -> int
+(** Total multiplexer fan-in on a chip — the paper's proxy for
+    interconnection cost. *)
+
+val pp : Format.formatter -> t -> unit
+(** Structural netlist-style listing, one section per chip. *)
+
+val pp_verilog : Format.formatter -> t -> unit
+(** Skeleton structural Verilog (one module per chip, FU/register/mux
+    instances and the controller case table), for inspection rather than
+    tape-out. *)

@@ -1,0 +1,86 @@
+open Mcs_cdfg
+module Sched = Mcs_sched.Schedule
+
+type t = {
+  producer : Types.op_id;
+  on_partition : int;
+  birth : int;
+  death : int;
+}
+
+let span l = max 0 (l.death - l.birth + 1)
+
+let analyse sched =
+  let cdfg = Sched.cdfg sched in
+  let mlib = Sched.mlib sched in
+  let rate = Sched.rate sched in
+  let outgoing = Hashtbl.create 64 in
+  List.iter
+    (fun { Types.e_src; e_dst; degree } ->
+      Hashtbl.replace outgoing e_src
+        ((e_dst, degree)
+        :: Option.value ~default:[] (Hashtbl.find_opt outgoing e_src)))
+    (Cdfg.edges cdfg);
+  let lifetime_of op ~on_partition ~birth =
+    let readers =
+      Option.value ~default:[] (Hashtbl.find_opt outgoing op)
+    in
+    let death =
+      List.fold_left
+        (fun acc (c, d) ->
+          let read_at = Sched.cstep sched c + (d * rate) in
+          (* A same-step (chained) reader consumes the combinational value,
+             not the register. *)
+          if read_at >= birth then max acc read_at else acc)
+        (birth - 1) readers
+    in
+    { producer = op; on_partition; birth; death }
+  in
+  let entries =
+    List.concat_map
+      (fun op ->
+        match Cdfg.node cdfg op with
+        | Types.Func { partition; _ } ->
+            [
+              lifetime_of op ~on_partition:partition
+                ~birth:(Sched.cstep sched op + Timing.op_cycles cdfg mlib op);
+            ]
+        | Types.Io { dst; _ } ->
+            if dst = 0 then []
+            else
+              [
+                lifetime_of op ~on_partition:dst
+                  ~birth:(Sched.cstep sched op + 1);
+              ])
+      (Cdfg.ops cdfg)
+  in
+  List.sort
+    (fun a b -> compare (a.on_partition, a.birth, a.producer) (b.on_partition, b.birth, b.producer))
+    entries
+
+let registers_lower_bound sched =
+  let cdfg = Sched.cdfg sched in
+  let rate = Sched.rate sched in
+  let lts = analyse sched in
+  List.map
+    (fun p ->
+      let mine = List.filter (fun l -> l.on_partition = p && span l > 0) lts in
+      let worst = ref 0 in
+      for g = 0 to rate - 1 do
+        let live =
+          Mcs_util.Listx.sum
+            (fun l ->
+              (* Copies of this value stream live at residue g in steady
+                 state: the number of csteps in [birth, death] congruent
+                 to g. *)
+              let count = ref 0 in
+              for x = l.birth to l.death do
+                if ((x mod rate) + rate) mod rate = g then incr count
+              done;
+              !count)
+            mine
+        in
+        if live > !worst then worst := live
+      done;
+      (p, !worst))
+    (Mcs_util.Listx.range 1 (Cdfg.n_partitions cdfg + 1))

@@ -1,0 +1,34 @@
+(** Value lifetimes in a pipelined multi-chip schedule.
+
+    Each value lives on the chip that computes it from the end of its
+    producing operation until its last local read; a value received over a
+    bus lives on the destination chip from its transfer until its last read
+    there (§2.2.1: an incoming value "can be input only once and stored").
+    A consumer reached through a data recursive edge of degree [d] reads the
+    value [d] initiation intervals later, stretching the lifetime
+    accordingly (§7.1 — which is why such values may need more than [d]
+    registers). *)
+
+open Mcs_cdfg
+
+type t = {
+  producer : Types.op_id;  (** the operation whose result is stored *)
+  on_partition : int;
+  birth : int;  (** first control step in which a register holds the value *)
+  death : int;  (** last control step in which it must still be held;
+                    [death < birth] means the value is consumed
+                    combinationally (chained) and needs no register *)
+}
+
+val span : t -> int
+(** Number of control steps the register is occupied: [death - birth + 1]
+    (0 when never registered). *)
+
+val analyse : Mcs_sched.Schedule.t -> t list
+(** One entry per (value, partition) pair that ever holds it, sorted by
+    partition then birth. *)
+
+val registers_lower_bound : Mcs_sched.Schedule.t -> (int * int) list
+(** Per partition: maximum number of simultaneously live registered values
+    in any control-step group of the steady state — a lower bound on the
+    register count any binding needs. *)

@@ -1,0 +1,1 @@
+lib/sched/alloc_wheel.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/sched/alloc_wheel.mli: Format

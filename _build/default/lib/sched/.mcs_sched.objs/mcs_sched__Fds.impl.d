@@ -1,0 +1,1 @@
+lib/sched/fds.ml: Alloc_wheel Array Cdfg Hashtbl List Mcs_cdfg Module_lib Option Printf Schedule Timing Types

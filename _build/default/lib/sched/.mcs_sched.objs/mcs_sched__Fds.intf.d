@@ -1,0 +1,1 @@
+lib/sched/fds.mli: Cdfg Mcs_cdfg Module_lib Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Alloc_wheel Array Cdfg Constraints Hashtbl List Mcs_cdfg Mcs_graph Printf Schedule Timing Types

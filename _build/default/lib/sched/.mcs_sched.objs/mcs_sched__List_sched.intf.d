@@ -1,0 +1,1 @@
+lib/sched/list_sched.mli: Cdfg Constraints Mcs_cdfg Module_lib Schedule Types

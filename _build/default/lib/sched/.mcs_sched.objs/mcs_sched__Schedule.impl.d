@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Cdfg Format List Mcs_cdfg Mcs_util Module_lib String Timing Types

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Cdfg Format Mcs_cdfg Module_lib Types

@@ -1,0 +1,54 @@
+type t = { rate : int; cells : bool array array (* cells.(fu).(group) *) }
+
+let create ~fus ~rate =
+  if fus < 0 || rate < 1 then invalid_arg "Alloc_wheel.create";
+  { rate; cells = Array.init fus (fun _ -> Array.make rate false) }
+
+let fus t = Array.length t.cells
+let rate t = t.rate
+
+let check t ~group ~cycles =
+  if group < 0 || group >= t.rate then invalid_arg "Alloc_wheel: bad group";
+  if cycles < 1 || cycles > t.rate then invalid_arg "Alloc_wheel: bad cycles"
+
+let cells_of t ~group ~cycles =
+  List.init cycles (fun i -> (group + i) mod t.rate)
+
+let fit t ~group ~cycles =
+  check t ~group ~cycles;
+  let wanted = cells_of t ~group ~cycles in
+  let free fu = List.for_all (fun c -> not t.cells.(fu).(c)) wanted in
+  let rec scan fu =
+    if fu >= fus t then None else if free fu then Some fu else scan (fu + 1)
+  in
+  scan 0
+
+let assign t ~group ~cycles =
+  match fit t ~group ~cycles with
+  | None -> invalid_arg "Alloc_wheel.assign: no unit fits"
+  | Some fu ->
+      List.iter (fun c -> t.cells.(fu).(c) <- true) (cells_of t ~group ~cycles);
+      fu
+
+let release t ~fu ~group ~cycles =
+  check t ~group ~cycles;
+  if fu < 0 || fu >= fus t then invalid_arg "Alloc_wheel.release: bad unit";
+  List.iter
+    (fun c ->
+      if not t.cells.(fu).(c) then
+        invalid_arg "Alloc_wheel.release: cell was free";
+      t.cells.(fu).(c) <- false)
+    (cells_of t ~group ~cycles)
+
+let busy_cells t ~fu =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.cells.(fu)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun fu row ->
+      Format.fprintf ppf "fu%d: %s@," fu
+        (String.concat ""
+           (Array.to_list (Array.map (fun b -> if b then "#" else ".") row))))
+    t.cells;
+  Format.fprintf ppf "@]"

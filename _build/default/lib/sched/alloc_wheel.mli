@@ -1,0 +1,31 @@
+(** Allocation wheels for multiple-cycle functional units (§7.4, Fig. 7.10).
+
+    A pipelined design of initiation rate [L] reuses each functional unit
+    every [L] control steps, so its occupancy is a wheel of [L] cells.  A
+    [c]-cycle operation starting in control-step group [g] claims the [c]
+    consecutive (mod [L]) cells [g .. g+c-1] {e of one and the same unit} —
+    merely counting free cells per group, as a naive bound would, misses the
+    fragmentation the dissertation illustrates with three 2-cycle operations
+    on one 6-slot wheel. *)
+
+type t
+
+val create : fus:int -> rate:int -> t
+(** [fus] wheels of [rate] cells each. *)
+
+val fus : t -> int
+val rate : t -> int
+
+val fit : t -> group:int -> cycles:int -> int option
+(** Index of a unit with cells [group .. group+cycles-1] free (smallest
+    index), or [None].  [cycles] must be in [1 .. rate]. *)
+
+val assign : t -> group:int -> cycles:int -> int
+(** Claims the cells on the unit {!fit} finds.
+    @raise Invalid_argument when nothing fits. *)
+
+val release : t -> fu:int -> group:int -> cycles:int -> unit
+(** @raise Invalid_argument if some cell was not claimed. *)
+
+val busy_cells : t -> fu:int -> int
+val pp : Format.formatter -> t -> unit

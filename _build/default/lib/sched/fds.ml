@@ -1,0 +1,347 @@
+open Mcs_cdfg
+
+(* --- Chaining-aware clamped timing passes --- *)
+
+(* Earliest start steps, each at least its [lb], over an arbitrary
+   (order, preds) view of the graph. *)
+let clamped_earliest cdfg mlib ~order ~preds ~lb =
+  let stage = Module_lib.stage_ns mlib in
+  let n = Cdfg.n_ops cdfg in
+  let cstep = Array.make n 0 in
+  let finish = Array.make n 0 in
+  let delay = Timing.op_delay_ns cdfg mlib in
+  let cycles = Timing.op_cycles cdfg mlib in
+  let place v =
+    let dv = delay v in
+    let multi = cycles v > 1 in
+    let ps = preds v in
+    let c0 =
+      List.fold_left
+        (fun acc p ->
+          let chainable =
+            (not multi) && cycles p = 1 && finish.(p) + dv <= stage
+          in
+          let need = if chainable then cstep.(p) else cstep.(p) + cycles p in
+          max acc need)
+        lb.(v) ps
+    in
+    if multi then begin
+      cstep.(v) <- c0;
+      finish.(v) <- 0
+    end
+    else begin
+      let offset =
+        List.fold_left
+          (fun acc p ->
+            if cstep.(p) = c0 && cstep.(p) + cycles p > c0 then
+              max acc finish.(p)
+            else acc)
+          0 ps
+      in
+      if offset + dv <= stage then begin
+        cstep.(v) <- c0;
+        finish.(v) <- offset + dv
+      end
+      else begin
+        cstep.(v) <- c0 + 1;
+        finish.(v) <- dv
+      end
+    end
+  in
+  List.iter place order;
+  cstep
+
+let frames cdfg mlib ~rate ~pipe_length ~fixed =
+  let n = Cdfg.n_ops cdfg in
+  let cycles = Timing.op_cycles cdfg mlib in
+  let lb = Array.make n 0 in
+  let ub = Array.init n (fun v -> pipe_length - cycles v) in
+  Array.iteri
+    (fun v f ->
+      match f with
+      | None -> ()
+      | Some s ->
+          lb.(v) <- max lb.(v) s;
+          ub.(v) <- min ub.(v) s)
+    fixed;
+  let constraints = Timing.max_time_constraints cdfg mlib ~rate in
+  let feasible = ref true in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !feasible && !changed && !iters < 4 * n do
+    changed := false;
+    incr iters;
+    (* Forward pass tightens lower bounds. *)
+    let e =
+      clamped_earliest cdfg mlib ~order:(Cdfg.topo_order cdfg)
+        ~preds:(Cdfg.preds cdfg) ~lb
+    in
+    Array.iteri
+      (fun v s ->
+        if s > lb.(v) then begin
+          lb.(v) <- s;
+          changed := true
+        end)
+      e;
+    (* Backward pass tightens upper bounds: earliest start in reversed time
+       with reversed lower bound pl - ub - cycles. *)
+    let lb_rev = Array.init n (fun v -> pipe_length - ub.(v) - cycles v) in
+    let r =
+      clamped_earliest cdfg mlib
+        ~order:(List.rev (Cdfg.topo_order cdfg))
+        ~preds:(Cdfg.succs cdfg) ~lb:lb_rev
+    in
+    Array.iteri
+      (fun v rs ->
+        let latest = pipe_length - rs - cycles v in
+        if latest < ub.(v) then begin
+          ub.(v) <- latest;
+          changed := true
+        end)
+      r;
+    (* Recursive max-time constraints couple the windows. *)
+    List.iter
+      (fun (src, dst, bound) ->
+        if ub.(dst) + bound < ub.(src) then begin
+          ub.(src) <- ub.(dst) + bound;
+          changed := true
+        end;
+        if lb.(src) - bound > lb.(dst) then begin
+          lb.(dst) <- lb.(src) - bound;
+          changed := true
+        end)
+      constraints;
+    for v = 0 to n - 1 do
+      if lb.(v) > ub.(v) then feasible := false
+    done
+  done;
+  if (not !feasible) || !changed then None else Some (lb, ub)
+
+(* --- Distribution graphs and forces --- *)
+
+type rkey = Fu of int * string | In_pins of int | Out_pins of int
+
+let contributions cdfg op =
+  match Cdfg.node cdfg op with
+  | Types.Func { optype; partition } -> [ (Fu (partition, optype), 1.0) ]
+  | Types.Io { src; dst; width; _ } ->
+      [ (Out_pins src, float_of_int width); (In_pins dst, float_of_int width) ]
+
+(* DG per (resource key, control-step group): each op spreads uniformly over
+   its window, occupying [cycles] consecutive groups per candidate step. *)
+let build_dgs cdfg mlib ~rate (lb, ub) =
+  let dgs : (rkey, float array) Hashtbl.t = Hashtbl.create 16 in
+  let dg key =
+    match Hashtbl.find_opt dgs key with
+    | Some a -> a
+    | None ->
+        let a = Array.make rate 0.0 in
+        Hashtbl.add dgs key a;
+        a
+  in
+  List.iter
+    (fun op ->
+      let w = ub.(op) - lb.(op) + 1 in
+      let p = 1.0 /. float_of_int w in
+      let cyc = Timing.op_cycles cdfg mlib op in
+      List.iter
+        (fun (key, weight) ->
+          let a = dg key in
+          for s = lb.(op) to ub.(op) do
+            for k = 0 to cyc - 1 do
+              let g = (s + k) mod rate in
+              a.(g) <- a.(g) +. (p *. weight)
+            done
+          done)
+        (contributions cdfg op))
+    (Cdfg.ops cdfg);
+  dgs
+
+(* Self force of moving [op]'s window from [w0] to [w1]. *)
+let window_force cdfg mlib ~rate dgs op (lb0, ub0) (lb1, ub1) =
+  let cyc = Timing.op_cycles cdfg mlib op in
+  let delta = Array.make rate 0.0 in
+  let spread (lo, hi) sign =
+    let p = sign /. float_of_int (hi - lo + 1) in
+    for s = lo to hi do
+      for k = 0 to cyc - 1 do
+        let g = (s + k) mod rate in
+        delta.(g) <- delta.(g) +. p
+      done
+    done
+  in
+  spread (lb1, ub1) 1.0;
+  spread (lb0, ub0) (-1.0);
+  List.fold_left
+    (fun acc (key, weight) ->
+      match Hashtbl.find_opt dgs key with
+      | None -> acc
+      | Some a ->
+          let f = ref 0.0 in
+          for g = 0 to rate - 1 do
+            f := !f +. (a.(g) *. delta.(g))
+          done;
+          acc +. (weight *. !f))
+    0.0
+    (contributions cdfg op)
+
+let run cdfg mlib ~rate ~pipe_length () =
+  let n = Cdfg.n_ops cdfg in
+  let fixed = Array.make n None in
+  let cycles = Timing.op_cycles cdfg mlib in
+  match frames cdfg mlib ~rate ~pipe_length ~fixed with
+  | None ->
+      Error
+        (Printf.sprintf
+           "FDS: no schedule of pipe length %d at initiation rate %d"
+           pipe_length rate)
+  | Some first ->
+      let current = ref first in
+      let result = ref None in
+      (try
+         while !result = None do
+           let lb, ub = !current in
+           let unplaced =
+             List.filter
+               (fun op -> fixed.(op) = None && ub.(op) > lb.(op))
+               (Cdfg.ops cdfg)
+           in
+           if unplaced = [] then begin
+             (* Everything pinned or single-step; materialize the schedule. *)
+             let sched = Schedule.create cdfg mlib ~rate in
+             let stage = Module_lib.stage_ns mlib in
+             let finish = Array.make n 0 in
+             List.iter
+               (fun v ->
+                 let dv = Timing.op_delay_ns cdfg mlib v in
+                 if cycles v > 1 then finish.(v) <- 0
+                 else begin
+                   let offset =
+                     List.fold_left
+                       (fun acc p ->
+                         if lb.(p) = lb.(v) && lb.(p) + cycles p > lb.(v) then
+                           max acc finish.(p)
+                         else acc)
+                       0 (Cdfg.preds cdfg v)
+                   in
+                   if offset + dv > stage then
+                     failwith
+                       (Printf.sprintf "FDS: chaining overflow at %s"
+                          (Cdfg.name cdfg v));
+                   finish.(v) <- offset + dv
+                 end)
+               (Cdfg.topo_order cdfg);
+             List.iter
+               (fun v -> Schedule.set sched v ~cstep:lb.(v) ~finish_ns:finish.(v))
+               (Cdfg.ops cdfg);
+             result := Some (Ok sched)
+           end
+           else begin
+             let dgs = build_dgs cdfg mlib ~rate (lb, ub) in
+             (* Candidate (op, step) with the lowest total force whose fixing
+                keeps the frames consistent. *)
+             let candidates = ref [] in
+             List.iter
+               (fun op ->
+                 for s = lb.(op) to ub.(op) do
+                   let self =
+                     window_force cdfg mlib ~rate dgs op
+                       (lb.(op), ub.(op))
+                       (s, s)
+                   in
+                   (* First-order neighbour forces: predecessors squeezed
+                      below s, successors above. *)
+                   let neigh =
+                     List.fold_left
+                       (fun acc p ->
+                         let ub' = min ub.(p) s in
+                         if ub' < lb.(p) then acc +. 1000.0
+                         else if ub' < ub.(p) then
+                           acc
+                           +. window_force cdfg mlib ~rate dgs p
+                                (lb.(p), ub.(p))
+                                (lb.(p), ub')
+                         else acc)
+                       0.0 (Cdfg.preds cdfg op)
+                     +. List.fold_left
+                          (fun acc q ->
+                            let lb' = max lb.(q) s in
+                            if lb' > ub.(q) then acc +. 1000.0
+                            else if lb' > lb.(q) then
+                              acc
+                              +. window_force cdfg mlib ~rate dgs q
+                                   (lb.(q), ub.(q))
+                                   (lb', ub.(q))
+                            else acc)
+                          0.0 (Cdfg.succs cdfg op)
+                   in
+                   candidates := (self +. neigh, op, s) :: !candidates
+                 done)
+               unplaced;
+             let sorted =
+               List.sort
+                 (fun (f1, o1, s1) (f2, o2, s2) ->
+                   compare (f1, o1, s1) (f2, o2, s2))
+                 !candidates
+             in
+             let rec try_fix = function
+               | [] ->
+                   result :=
+                     Some
+                       (Error "FDS: every candidate assignment is infeasible")
+               | (_, op, s) :: rest -> (
+                   fixed.(op) <- Some s;
+                   match frames cdfg mlib ~rate ~pipe_length ~fixed with
+                   | Some fr -> current := fr
+                   | None ->
+                       fixed.(op) <- None;
+                       try_fix rest)
+             in
+             try_fix sorted
+           end
+         done;
+         match !result with Some r -> r | None -> assert false
+       with Failure msg -> Error msg)
+
+let fu_requirements sched =
+  let cdfg = Schedule.cdfg sched in
+  let mlib = Schedule.mlib sched in
+  let rate = Schedule.rate sched in
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      match Cdfg.node cdfg op with
+      | Types.Io _ -> ()
+      | Types.Func { optype; partition } ->
+          let key = (partition, optype) in
+          let l = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+          Hashtbl.replace groups key (op :: l))
+    (Cdfg.ops cdfg);
+  Hashtbl.fold
+    (fun key ops acc ->
+      let ops =
+        List.sort
+          (fun a b -> compare (Schedule.group sched a) (Schedule.group sched b))
+          ops
+      in
+      (* First-fit onto wheels, growing the pool as needed. *)
+      let wheels = ref [] in
+      List.iter
+        (fun op ->
+          let group = Schedule.group sched op in
+          let cycles = Timing.op_cycles cdfg mlib op in
+          let rec place = function
+            | [] ->
+                let w = Alloc_wheel.create ~fus:1 ~rate in
+                let (_ : int) = Alloc_wheel.assign w ~group ~cycles in
+                wheels := !wheels @ [ w ]
+            | w :: rest ->
+                if Alloc_wheel.fit w ~group ~cycles <> None then
+                  ignore (Alloc_wheel.assign w ~group ~cycles)
+                else place rest
+          in
+          place !wheels)
+        ops;
+      (key, List.length !wheels) :: acc)
+    groups []
+  |> List.sort compare

@@ -1,0 +1,40 @@
+(** Force-directed scheduling [PK89] adapted to partitioned pipelined
+    designs, as used in Chapter 5: all partitions are scheduled
+    simultaneously under a global (initiation rate, pipe length) pair, and
+    the scheduler balances, per partition, the distribution graphs of every
+    functional-unit type plus the input-pin and output-pin usage implied by
+    I/O operations (an I/O operation loads both the output distribution of
+    its source chip and the input distribution of its destination chip,
+    weighted by bit width — §5.1).
+
+    Resource constraints are not enforced; the point is to {e minimize} the
+    resources the schedule implies.  Use {!fu_requirements} and the
+    Chapter 5 connection synthesis to read them off afterwards. *)
+
+open Mcs_cdfg
+
+val run :
+  Cdfg.t ->
+  Module_lib.t ->
+  rate:int ->
+  pipe_length:int ->
+  unit ->
+  (Schedule.t, string) result
+(** Fails when the pipe length cannot accommodate the critical path or the
+    recursive-edge maximum time constraints. *)
+
+val fu_requirements : Schedule.t -> ((int * string) * int) list
+(** Functional units needed to execute the schedule, per (partition,
+    operation type): first-fit packing of operations onto allocation wheels,
+    so multi-cycle fragmentation is accounted for. *)
+
+val frames :
+  Cdfg.t ->
+  Module_lib.t ->
+  rate:int ->
+  pipe_length:int ->
+  fixed:int option array ->
+  (int array * int array) option
+(** Chaining-aware (ASAP, ALAP) start-step windows under the given fixed
+    assignments and the recursive-edge constraints; [None] if inconsistent.
+    Exposed for the conditional-sharing heuristic of §7.2 and for tests. *)

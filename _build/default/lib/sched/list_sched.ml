@@ -1,0 +1,167 @@
+open Mcs_cdfg
+
+type io_hook = {
+  io_can : Schedule.t -> Types.op_id -> cstep:int -> bool;
+  io_commit : Schedule.t -> Types.op_id -> cstep:int -> unit;
+}
+
+let unconstrained_io =
+  { io_can = (fun _ _ ~cstep:_ -> true); io_commit = (fun _ _ ~cstep:_ -> ()) }
+
+type failure = { reason : string; at_cstep : int; partial : Schedule.t }
+
+let priorities cdfg mlib =
+  let n = Cdfg.n_ops cdfg in
+  let g = Mcs_graph.Digraph.create n in
+  List.iter
+    (fun { Types.e_src; e_dst; degree } ->
+      if degree = 0 then Mcs_graph.Digraph.add_edge g ~src:e_src ~dst:e_dst)
+    (Cdfg.edges cdfg);
+  Mcs_graph.Digraph.longest_path_from g ~weight:(Timing.op_cycles cdfg mlib)
+
+let big = max_int / 4
+
+(* Deadlines induced by recursive max-time constraints against already
+   scheduled consumers, propagated backwards through degree-0 edges. *)
+let deadlines sched cdfg mlib ~rate =
+  let n = Cdfg.n_ops cdfg in
+  let dl = Array.make n big in
+  List.iter
+    (fun (src, dst, bound) ->
+      if Schedule.is_scheduled sched dst then
+        dl.(src) <- min dl.(src) (Schedule.cstep sched dst + bound))
+    (Timing.max_time_constraints cdfg mlib ~rate);
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          (* u must have finished before v starts (chaining would only give
+             one step of slack back; stay conservative). *)
+          dl.(u) <- min dl.(u) (dl.(v) - Timing.op_cycles cdfg mlib u))
+        (Cdfg.succs cdfg u))
+    (List.rev (Cdfg.topo_order cdfg));
+  dl
+
+let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
+    ?priority_bias ?min_cstep () =
+  let sched = Schedule.create cdfg mlib ~rate in
+  let max_csteps =
+    match max_csteps with
+    | Some m -> m
+    | None -> (4 * Timing.critical_path_csteps cdfg mlib) + (4 * rate) + 16
+  in
+  (* One allocation wheel set per (partition, optype). *)
+  let wheels = Hashtbl.create 16 in
+  let wheel partition optype =
+    match Hashtbl.find_opt wheels (partition, optype) with
+    | Some w -> w
+    | None ->
+        let fus = Constraints.fu_count cons ~partition ~optype in
+        if fus = 0 then
+          invalid_arg
+            (Printf.sprintf
+               "List_sched: no %s units allocated in partition %d" optype
+               partition);
+        let w = Alloc_wheel.create ~fus ~rate in
+        Hashtbl.add wheels (partition, optype) w;
+        w
+  in
+  let prio = priorities cdfg mlib in
+  (match priority_bias with
+  | Some bias ->
+      Array.iteri (fun i b -> prio.(i) <- prio.(i) + b) bias
+  | None -> ());
+  let floor_of op =
+    match min_cstep with Some f -> f.(op) | None -> 0
+  in
+  let n = Cdfg.n_ops cdfg in
+  let remaining = ref n in
+  let failure = ref None in
+  let fail reason at_cstep =
+    if !failure = None then failure := Some { reason; at_cstep; partial = sched }
+  in
+  let s = ref 0 in
+  while !remaining > 0 && !failure = None do
+    if !s > max_csteps then
+      fail (Printf.sprintf "no schedule within %d control steps" max_csteps) !s
+    else begin
+      let dl = deadlines sched cdfg mlib ~rate in
+      (* Deadline already missed? *)
+      List.iter
+        (fun op ->
+          if (not (Schedule.is_scheduled sched op)) && dl.(op) < !s then
+            fail
+              (Printf.sprintf
+                 "maximum time constraint unsatisfiable: %s needed by cstep \
+                  %d"
+                 (Cdfg.name cdfg op) dl.(op))
+              !s)
+        (Cdfg.ops cdfg);
+      if !failure = None then begin
+        (* Operations scheduled early in this step can enable chained
+           successors in the same step, so sweep until a fixpoint. *)
+        let progress = ref true in
+        while !progress && !failure = None do
+          progress := false;
+          let ready =
+            List.filter
+              (fun op ->
+                (not (Schedule.is_scheduled sched op))
+                && floor_of op <= !s
+                && List.for_all
+                     (Schedule.is_scheduled sched)
+                     (Cdfg.preds cdfg op)
+                && Schedule.earliest_start sched op <= !s)
+              (Cdfg.ops cdfg)
+          in
+          let ordered =
+            List.sort
+              (fun a b ->
+                let c = compare dl.(a) dl.(b) in
+                if c <> 0 then c
+                else
+                  let c = compare prio.(b) prio.(a) in
+                  if c <> 0 then c else compare a b)
+              ready
+          in
+          List.iter
+            (fun op ->
+              if !failure = None && not (Schedule.is_scheduled sched op) then begin
+                let cstep0, offset0 =
+                  Schedule.min_start_with_chaining sched op
+                in
+                if cstep0 <= !s then begin
+                  let offset_in = if cstep0 = !s then offset0 else 0 in
+                  let cycles = Timing.op_cycles cdfg mlib op in
+                  let finish_ns =
+                    if cycles > 1 then 0
+                    else offset_in + Timing.op_delay_ns cdfg mlib op
+                  in
+                  let group = !s mod rate in
+                  match Cdfg.node cdfg op with
+                  | Types.Func { optype; partition } ->
+                      let w = wheel partition optype in
+                      if Alloc_wheel.fit w ~group ~cycles <> None then begin
+                        let (_ : int) = Alloc_wheel.assign w ~group ~cycles in
+                        Schedule.set sched op ~cstep:!s ~finish_ns;
+                        decr remaining;
+                        progress := true
+                      end
+                  | Types.Io _ ->
+                      if io_hook.io_can sched op ~cstep:!s then begin
+                        io_hook.io_commit sched op ~cstep:!s;
+                        Schedule.set sched op ~cstep:!s ~finish_ns;
+                        decr remaining;
+                        progress := true
+                      end
+                end
+              end)
+            ordered
+        done;
+        incr s
+      end
+    end
+  done;
+  match !failure with
+  | Some f -> Error f
+  | None -> Ok sched

@@ -1,0 +1,56 @@
+(** Resource-constrained pipelined list scheduling (Fig. 3.4), the scheduling
+    engine of Chapters 3, 4 and 6.
+
+    All partitions are scheduled simultaneously.  Functional operations
+    compete for the per-chip functional units (multi-cycle units through
+    {!Alloc_wheel}); I/O operations are additionally gated by a pluggable
+    communication-resource hook — the pin-allocation feasibility checker in
+    Chapter 3, communication-bus availability (with dynamic reassignment) in
+    Chapters 4 and 6.  An I/O operation the hook rejects is postponed to a
+    later control step, exactly as in the paper's flow chart.
+
+    Data recursive edges impose maximum time constraints; the scheduler
+    tracks the induced deadlines and fails — like the paper's greedy list
+    scheduler — when a deadline can no longer be met. *)
+
+open Mcs_cdfg
+
+type io_hook = {
+  io_can : Schedule.t -> Types.op_id -> cstep:int -> bool;
+      (** May the I/O operation be scheduled here?  Must be side-effect
+          free. *)
+  io_commit : Schedule.t -> Types.op_id -> cstep:int -> unit;
+      (** Called exactly once right before the operation is recorded. *)
+}
+
+val unconstrained_io : io_hook
+(** Accepts everything (pure functional-unit-constrained scheduling). *)
+
+type failure = {
+  reason : string;
+  at_cstep : int;
+  partial : Schedule.t;  (** state at the point of failure, for diagnosis *)
+}
+
+val run :
+  Cdfg.t ->
+  Module_lib.t ->
+  Constraints.t ->
+  rate:int ->
+  ?max_csteps:int ->
+  ?io_hook:io_hook ->
+  ?priority_bias:int array ->
+  ?min_cstep:int array ->
+  unit ->
+  (Schedule.t, failure) result
+(** [priority_bias] perturbs the static priorities (added per operation);
+    [min_cstep] forbids scheduling an operation before the given control
+    step — the paper's manual trick of "postponing some of the operations
+    ... and rerunning" (§5.3), mechanized by [Mcs_core.Improve].
+    @raise Invalid_argument when a functional operation has no functional
+    unit at all in its partition (a constraint-set bug rather than a
+    scheduling failure). *)
+
+val priorities : Cdfg.t -> Module_lib.t -> int array
+(** The static priority function: longest path (in cycles) from each
+    operation to any sink, the classic list-scheduling urgency measure. *)

@@ -1,0 +1,1 @@
+lib/sim/simulate.ml: Array Cdfg Format Hashtbl List Mcs_cdfg Mcs_sched Mcs_util Printf String Timing Types

@@ -1,0 +1,1 @@
+lib/sim/simulate.mli: Cdfg Mcs_cdfg Mcs_sched Types

@@ -1,0 +1,1 @@
+lib/util/ratio.ml: Format Stdlib

@@ -1,0 +1,40 @@
+let range lo hi = List.init (max 0 (hi - lo)) (fun i -> lo + i)
+let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
+
+let best_by cmp f = function
+  | [] -> None
+  | x :: rest ->
+      let pick best y = if cmp (f y) (f best) then y else best in
+      Some (List.fold_left pick x rest)
+
+let max_by f l = best_by ( > ) f l
+let min_by f l = best_by ( < ) f l
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let group_by key l =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  let add x =
+    let k = key x in
+    match Hashtbl.find_opt groups k with
+    | None ->
+        Hashtbl.add groups k (ref [ x ]);
+        order := k :: !order
+    | Some r -> r := x :: !r
+  in
+  List.iter add l;
+  List.rev_map
+    (fun k -> (k, List.rev !(Hashtbl.find groups k)))
+    !order
+
+let uniq eq l =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | x :: rest ->
+        if List.exists (eq x) seen then go seen rest else go (x :: seen) rest
+  in
+  go [] l

@@ -1,0 +1,21 @@
+(** Small list/iteration helpers shared across the library. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [[lo; lo+1; ...; hi-1]] (empty if [hi <= lo]). *)
+
+val sum : ('a -> int) -> 'a list -> int
+val max_by : ('a -> int) -> 'a list -> 'a option
+(** Element with the largest key; first one wins ties. *)
+
+val min_by : ('a -> int) -> 'a list -> 'a option
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them if the list is shorter). *)
+
+val group_by : ('a -> 'k) -> 'a list -> ('k * 'a list) list
+(** Groups elements by key; groups appear in order of first occurrence and
+    preserve element order. *)
+
+val uniq : ('a -> 'a -> bool) -> 'a list -> 'a list
+(** Order-preserving deduplication under the given equality (quadratic; for
+    short lists). *)

@@ -1,0 +1,97 @@
+type t = { num : int; den : int }
+
+exception Overflow
+exception Division_by_zero
+
+(* Overflow-checked primitives.  The tableaus we manipulate are small and
+   their entries stay far from 2^62, but a silent wraparound would corrupt a
+   pivot invisibly, so every arithmetic step is checked. *)
+
+let add_exact a b =
+  let r = a + b in
+  if (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0) then raise Overflow;
+  r
+
+let mul_exact a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a then raise Overflow;
+    r
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let s = if den < 0 then -1 else 1 in
+    let g = gcd (abs num) (abs den) in
+    { num = s * num / g; den = s * den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  make
+    (add_exact (mul_exact a.num b.den) (mul_exact b.num a.den))
+    (mul_exact a.den b.den)
+
+let neg a = { num = -a.num; den = a.den }
+let sub a b = add a (neg b)
+let mul a b = make (mul_exact a.num b.num) (mul_exact a.den b.den)
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+let abs a = { a with num = Stdlib.abs a.num }
+let sign a = compare a.num 0
+
+let compare a b =
+  (* Denominators are positive, so cross-multiplication preserves order. *)
+  Stdlib.compare (mul_exact a.num b.den) (mul_exact b.num a.den)
+
+let equal a b = a.num = b.num && a.den = b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+
+let floor a =
+  if a.den = 1 then a.num
+  else if a.num >= 0 then a.num / a.den
+  else (-(-a.num / a.den)) - (if -a.num mod a.den = 0 then 0 else 1)
+
+let ceil a = -floor (neg a)
+
+let to_int_exn a =
+  if a.den <> 1 then invalid_arg "Ratio.to_int_exn: not an integer";
+  a.num
+
+let frac a = sub a (of_int (floor a))
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

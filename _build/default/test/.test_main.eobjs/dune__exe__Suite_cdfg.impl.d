@@ -1,0 +1,1 @@
+test/suite_cdfg.ml: Alcotest Array Benchmarks Cdfg Constraints List Mcs_cdfg Mcs_core Module_lib Netlist Printf Random_design Timing Types

@@ -1,0 +1,1 @@
+test/suite_connect.ml: Alcotest Benchmarks Bounds Cdfg Connection Constraints Heuristic Ilp_gen List Mcs_cdfg Mcs_connect Mcs_sched Mcs_util Reassign Result String

@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Fun List Mcs_graph Mcs_util QCheck QCheck_alcotest

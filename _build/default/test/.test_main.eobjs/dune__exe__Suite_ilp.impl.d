@@ -1,0 +1,1 @@
+test/suite_ilp.ml: Alcotest Array Branch_bound Format Gen Gomory List Mcs_ilp Mcs_util Model Printf QCheck QCheck_alcotest Simplex String

@@ -1,0 +1,1 @@
+test/suite_integration.ml: Alcotest Benchmarks Cdfg List Mcs_cdfg Mcs_connect Mcs_core Mcs_sched Mcs_sim Mcs_util Pre_connect Printf Simple_part Subbus Timing

@@ -1,0 +1,1 @@
+test/suite_partition.ml: Alcotest Cdfg Constraints List Mcs_cdfg Mcs_connect Mcs_core Mcs_sched Mcs_sim Mcs_util Module_lib Partitioner Pre_connect String

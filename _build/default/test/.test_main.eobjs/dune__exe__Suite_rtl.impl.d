@@ -1,0 +1,1 @@
+test/suite_rtl.ml: Alcotest Array Benchmarks Cdfg Constraints Format Hashtbl List Mcs_cdfg Mcs_connect Mcs_core Mcs_rtl Mcs_sched Mcs_util Pre_connect Printf String Timing

@@ -1,0 +1,1 @@
+test/suite_sched.ml: Alcotest Alloc_wheel Array Benchmarks Cdfg Constraints Fds List List_sched Mcs_cdfg Mcs_sched Mcs_util QCheck QCheck_alcotest Schedule Timing Types

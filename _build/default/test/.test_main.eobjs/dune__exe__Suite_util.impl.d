@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest List Mcs_util Option QCheck QCheck_alcotest

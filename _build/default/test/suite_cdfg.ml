@@ -1,0 +1,351 @@
+(* Tests for the CDFG layer: builder, netlist elaboration, module library,
+   constraints, timing, and the benchmark designs. *)
+
+open Mcs_cdfg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Builder --- *)
+
+let tiny () =
+  let b = Cdfg.Builder.create ~n_partitions:2 in
+  let i1 = Cdfg.Builder.io b ~name:"I1" ~src:0 ~dst:1 ~width:8 "v_in" in
+  let a = Cdfg.Builder.func b ~name:"a" ~partition:1 "add" in
+  let x = Cdfg.Builder.io b ~name:"X" ~src:1 ~dst:2 ~width:8 "v_a" in
+  let m = Cdfg.Builder.func b ~name:"m" ~partition:2 "mul" in
+  let o = Cdfg.Builder.io b ~name:"O" ~src:2 ~dst:0 ~width:8 "v_m" in
+  Cdfg.Builder.dep b i1 a;
+  Cdfg.Builder.dep b a x;
+  Cdfg.Builder.dep b x m;
+  Cdfg.Builder.dep b m o;
+  (Cdfg.Builder.finish b, i1, a, x, m, o)
+
+let test_builder_basics () =
+  let cdfg, i1, a, x, _, _ = tiny () in
+  checki "ops" 5 (Cdfg.n_ops cdfg);
+  checkb "i1 is io" true (Cdfg.is_io cdfg i1);
+  checkb "a is func" false (Cdfg.is_io cdfg a);
+  checki "x src" 1 (Cdfg.io_src cdfg x);
+  checki "x dst" 2 (Cdfg.io_dst cdfg x);
+  checki "x width" 8 (Cdfg.io_width cdfg x);
+  Alcotest.(check string) "a type" "add" (Cdfg.func_optype cdfg a);
+  checki "a partition" 1 (Cdfg.func_partition cdfg a);
+  Alcotest.(check string) "value name" "v_a" (Cdfg.io_value cdfg x)
+
+let test_builder_rejects_cycle () =
+  let b = Cdfg.Builder.create ~n_partitions:1 in
+  let x = Cdfg.Builder.func b ~partition:1 "add" in
+  let y = Cdfg.Builder.func b ~partition:1 "add" in
+  Cdfg.Builder.dep b x y;
+  Cdfg.Builder.dep b y x;
+  Alcotest.check_raises "cyclic"
+    (Invalid_argument "Cdfg: degree-0 dependence graph is cyclic") (fun () ->
+      ignore (Cdfg.Builder.finish b))
+
+let test_builder_recursive_cycle_allowed () =
+  let b = Cdfg.Builder.create ~n_partitions:1 in
+  let x = Cdfg.Builder.func b ~partition:1 "add" in
+  let y = Cdfg.Builder.func b ~partition:1 "add" in
+  Cdfg.Builder.dep b x y;
+  Cdfg.Builder.dep b ~degree:1 y x;
+  let cdfg = Cdfg.Builder.finish b in
+  checki "one recursive edge" 1 (List.length (Cdfg.recursive_edges cdfg))
+
+let test_builder_validation () =
+  let b = Cdfg.Builder.create ~n_partitions:1 in
+  Alcotest.check_raises "src=dst"
+    (Invalid_argument "Cdfg: I/O operation with src = dst") (fun () ->
+      ignore (Cdfg.Builder.io b ~src:1 ~dst:1 ~width:8 "v"));
+  Alcotest.check_raises "bad partition"
+    (Invalid_argument "Cdfg: partition id out of range") (fun () ->
+      ignore (Cdfg.Builder.func b ~partition:2 "add"))
+
+let test_queries () =
+  let cdfg, _, _, _, _, _ = tiny () in
+  checki "io ops" 3 (List.length (Cdfg.io_ops cdfg));
+  checki "func ops" 2 (List.length (Cdfg.func_ops cdfg));
+  checki "p1 funcs" 1 (List.length (Cdfg.func_ops_of_partition cdfg 1));
+  checki "p1 inputs" 1 (List.length (Cdfg.io_inputs_of_partition cdfg 1));
+  checki "p1 outputs" 1 (List.length (Cdfg.io_outputs_of_partition cdfg 1));
+  Alcotest.(check (list string)) "values of p2" [ "v_m" ] (Cdfg.values_output_by cdfg 2);
+  Alcotest.(check (list int)) "p1 drives" [ 2 ] (Cdfg.drives cdfg 1);
+  Alcotest.(check (list int)) "p2 driven by" [ 1 ] (Cdfg.driven_by cdfg 2)
+
+let test_mutual_exclusion () =
+  let b = Cdfg.Builder.create ~n_partitions:1 in
+  let t = Cdfg.Builder.func b ~guards:[ { Types.cond = 0; arm = true } ] ~partition:1 "add" in
+  let e = Cdfg.Builder.func b ~guards:[ { Types.cond = 0; arm = false } ] ~partition:1 "add" in
+  let u = Cdfg.Builder.func b ~partition:1 "add" in
+  let cdfg = Cdfg.Builder.finish b in
+  checkb "t excl e" true (Cdfg.mutually_exclusive cdfg t e);
+  checkb "t not excl u" false (Cdfg.mutually_exclusive cdfg t u);
+  checkb "t not excl t" false (Cdfg.mutually_exclusive cdfg t t)
+
+(* --- Netlist --- *)
+
+let test_netlist_auto_io () =
+  let n = Netlist.create ~default_width:8 ~n_partitions:2 () in
+  Netlist.input n ~width:8 ~dst:1 "a";
+  Netlist.op n ~name:"f" ~optype:"add" ~partition:1 ~args:[ "a"; "a" ];
+  Netlist.op n ~name:"g" ~optype:"add" ~partition:2 ~args:[ "f"; "f" ];
+  Netlist.output n ~width:8 "g";
+  let cdfg = Netlist.elaborate n in
+  (* a (input) + transfer f->2 + output = 3 I/O ops. *)
+  checki "auto io insertion" 3 (List.length (Cdfg.io_ops cdfg));
+  (* g consumes f twice through ONE shared transfer node. *)
+  let xfer =
+    List.find
+      (fun w -> Cdfg.is_io cdfg w && Cdfg.io_dst cdfg w = 2)
+      (Cdfg.ops cdfg)
+  in
+  checki "shared transfer, two reads" 2 (List.length (Cdfg.succs cdfg xfer))
+
+let test_netlist_multi_destination () =
+  let n = Netlist.create ~default_width:8 ~n_partitions:3 () in
+  Netlist.op n ~name:"src" ~optype:"add" ~partition:1 ~args:[];
+  Netlist.op n ~name:"c2" ~optype:"add" ~partition:2 ~args:[ "src" ];
+  Netlist.op n ~name:"c3" ~optype:"add" ~partition:3 ~args:[ "src" ];
+  let cdfg = Netlist.elaborate n in
+  let xfers = Cdfg.io_ops_of_value cdfg "src" in
+  checki "one transfer per destination" 2 (List.length xfers)
+
+let test_netlist_unknown_operand () =
+  let n = Netlist.create ~n_partitions:1 () in
+  Netlist.op n ~name:"f" ~optype:"add" ~partition:1 ~args:[ "ghost" ];
+  checkb "raises" true
+    (try
+       ignore (Netlist.elaborate n);
+       false
+     with Invalid_argument _ -> true)
+
+let test_netlist_rec_dep_cross () =
+  let n = Netlist.create ~n_partitions:2 () in
+  Netlist.op n ~name:"p" ~optype:"add" ~partition:1 ~args:[];
+  Netlist.op n ~name:"c" ~optype:"add" ~partition:2 ~args:[];
+  Netlist.rec_dep n ~src:"p" ~dst:"c" ~degree:3;
+  let cdfg = Netlist.elaborate n in
+  checki "io for recursive transfer" 1 (List.length (Cdfg.io_ops cdfg));
+  match Cdfg.recursive_edges cdfg with
+  | [ e ] ->
+      checki "degree" 3 e.Types.degree;
+      checkb "edge leaves the io node" true (Cdfg.is_io cdfg e.Types.e_src)
+  | _ -> Alcotest.fail "expected exactly one recursive edge"
+
+(* --- Module library --- *)
+
+let test_module_lib () =
+  let m = Module_lib.create ~stage_ns:250 ~io_delay_ns:10 [ ("add", 30); ("mul", 210) ] in
+  checki "add cycles" 1 (Module_lib.cycles m "add");
+  checki "mul cycles" 1 (Module_lib.cycles m "mul");
+  checkb "chainable" true (Module_lib.chainable m "add");
+  let m2 = Module_lib.create ~stage_ns:100 ~io_delay_ns:95 [ ("mul", 200) ] in
+  checki "2-cycle mul" 2 (Module_lib.cycles m2 "mul");
+  checkb "not chainable" false (Module_lib.chainable m2 "mul")
+
+let test_module_lib_validation () =
+  checkb "duplicate rejected" true
+    (try
+       ignore (Module_lib.create ~stage_ns:10 ~io_delay_ns:5 [ ("a", 1); ("a", 2) ]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "io > stage rejected" true
+    (try
+       ignore (Module_lib.create ~stage_ns:10 ~io_delay_ns:11 []);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Constraints --- *)
+
+let test_constraints () =
+  let c =
+    Constraints.create ~n_partitions:2
+      ~pins:[ (0, 100); (1, 48) ]
+      ~fus:[ (1, "add", 2); (2, "mul", 1) ]
+  in
+  checki "pins 0" 100 (Constraints.pins c 0);
+  checki "pins 2 default" 0 (Constraints.pins c 2);
+  checki "fu listed" 2 (Constraints.fu_count c ~partition:1 ~optype:"add");
+  checki "fu unlisted" 0 (Constraints.fu_count c ~partition:1 ~optype:"mul");
+  let c' = Constraints.with_pins c [ (2, 32) ] in
+  checki "with_pins" 32 (Constraints.pins c' 2);
+  checki "original untouched" 0 (Constraints.pins c 2)
+
+let test_min_fus () =
+  let d = Benchmarks.elliptic () in
+  let fus = Constraints.min_fus d.Benchmarks.cdfg d.Benchmarks.mlib ~rate:6 in
+  (* P1 has 6 adds -> 1 adder at rate 6; 2 two-cycle muls -> 1 multiplier
+     (3 slots per FU). *)
+  checki "p1 adders" 1 (List.assoc 1 (List.filter_map (fun (p, ty, n) -> if ty = "add" then Some (p, n) else None) fus) );
+  checki "p1 muls" 1 (List.assoc 1 (List.filter_map (fun (p, ty, n) -> if ty = "mul" then Some (p, n) else None) fus));
+  checkb "rate below cycles rejected" true
+    (try
+       ignore (Constraints.min_fus d.Benchmarks.cdfg d.Benchmarks.mlib ~rate:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Timing --- *)
+
+let test_asap_chaining () =
+  let d = Benchmarks.ar_simple () in
+  let asap = Timing.asap d.Benchmarks.cdfg d.Benchmarks.mlib in
+  (* Critical path of the AR network is 6 control steps with chaining. *)
+  checki "critical path" 6
+    (Timing.critical_path_csteps d.Benchmarks.cdfg d.Benchmarks.mlib);
+  (* Primary inputs start at step 0. *)
+  List.iter
+    (fun w ->
+      if Cdfg.io_src d.Benchmarks.cdfg w = 0 then
+        checki (Cdfg.name d.Benchmarks.cdfg w) 0 asap.(w).Timing.cstep)
+    (Cdfg.io_ops d.Benchmarks.cdfg)
+
+let test_alap () =
+  let d = Benchmarks.ar_simple () in
+  let cp = Timing.critical_path_csteps d.Benchmarks.cdfg d.Benchmarks.mlib in
+  checkb "too short" true
+    (Timing.alap d.Benchmarks.cdfg d.Benchmarks.mlib ~pipe_length:(cp - 1) = None);
+  match Timing.alap d.Benchmarks.cdfg d.Benchmarks.mlib ~pipe_length:(cp + 2) with
+  | None -> Alcotest.fail "alap failed"
+  | Some alap ->
+      let asap = Timing.asap d.Benchmarks.cdfg d.Benchmarks.mlib in
+      List.iter
+        (fun op ->
+          checkb "asap <= alap" true (asap.(op).Timing.cstep <= alap.(op).Timing.cstep))
+        (Cdfg.ops d.Benchmarks.cdfg)
+
+let test_min_initiation_rate () =
+  let d = Benchmarks.elliptic () in
+  checki "elliptic min rate 5" 5
+    (Timing.min_initiation_rate d.Benchmarks.cdfg d.Benchmarks.mlib);
+  let a = Benchmarks.ar_simple () in
+  checki "ar min rate 1" 1
+    (Timing.min_initiation_rate a.Benchmarks.cdfg a.Benchmarks.mlib)
+
+let test_max_time_constraints () =
+  let d = Benchmarks.elliptic () in
+  let cs = Timing.max_time_constraints d.Benchmarks.cdfg d.Benchmarks.mlib ~rate:6 in
+  checki "four recursive edges" 4 (List.length cs);
+  List.iter
+    (fun (_, _, bound) -> checkb "bound 4*6-1" true (bound = 23))
+    cs
+
+(* --- Benchmarks --- *)
+
+let test_ar_simple_shape () =
+  let d = Benchmarks.ar_simple () in
+  let c = d.Benchmarks.cdfg in
+  checki "func ops" 28 (List.length (Cdfg.func_ops c));
+  checki "muls" 16
+    (List.length (List.filter (fun o -> Cdfg.func_optype c o = "mul") (Cdfg.func_ops c)));
+  checki "io ops" 34 (List.length (Cdfg.io_ops c));
+  (* The paper's partition populations. *)
+  List.iter
+    (fun (p, ins, outs) ->
+      checki (Printf.sprintf "P%d inputs" p) ins
+        (List.length (Cdfg.io_inputs_of_partition c p));
+      checki (Printf.sprintf "P%d outputs" p) outs
+        (List.length (Cdfg.io_outputs_of_partition c p)))
+    [ (1, 10, 2); (2, 10, 2); (3, 6, 2); (4, 6, 2) ]
+
+let test_ar_general_shape () =
+  let d = Benchmarks.ar_general () in
+  let c = d.Benchmarks.cdfg in
+  checki "partitions" 3 (Cdfg.n_partitions c);
+  checki "func ops" 28 (List.length (Cdfg.func_ops c));
+  checki "io ops" 34 (List.length (Cdfg.io_ops c));
+  (* Interchip transfers are X1..X6. *)
+  let xs =
+    List.filter
+      (fun w -> Cdfg.io_src c w <> 0 && Cdfg.io_dst c w <> 0)
+      (Cdfg.io_ops c)
+  in
+  checki "six interchip transfers" 6 (List.length xs)
+
+let test_elliptic_shape () =
+  let d = Benchmarks.elliptic () in
+  let c = d.Benchmarks.cdfg in
+  checki "partitions" 5 (Cdfg.n_partitions c);
+  checki "adds" 26
+    (List.length (List.filter (fun o -> Cdfg.func_optype c o = "add") (Cdfg.func_ops c)));
+  checki "muls" 8
+    (List.length (List.filter (fun o -> Cdfg.func_optype c o = "mul") (Cdfg.func_ops c)));
+  (* Ia and Ib transfer the same value to two chips. *)
+  checki "shared input value" 2 (List.length (Cdfg.io_ops_of_value c "in"));
+  (* All values are 16 bits. *)
+  List.iter
+    (fun w -> checki "16-bit" 16 (Cdfg.io_width c w))
+    (Cdfg.io_ops c)
+
+let test_elliptic_critical_loop () =
+  let d = Benchmarks.elliptic () in
+  (* The degree-4 loop totals 20 cycles, hence minimum rate 5 — and rate 4
+     must be infeasible. *)
+  checki "min rate" 5 (Timing.min_initiation_rate d.Benchmarks.cdfg d.Benchmarks.mlib)
+
+
+let test_check_locality () =
+  (* All benchmarks are locality-correct by construction. *)
+  List.iter
+    (fun (d : Benchmarks.design) ->
+      checkb d.Benchmarks.tag true (Cdfg.check_locality d.Benchmarks.cdfg = Ok ()))
+    [ Benchmarks.ar_simple (); Benchmarks.ar_general (); Benchmarks.elliptic () ];
+  (* A raw cross-chip dependence is flagged. *)
+  let b = Cdfg.Builder.create ~n_partitions:2 in
+  let a = Cdfg.Builder.func b ~partition:1 "add" in
+  let c = Cdfg.Builder.func b ~partition:2 "add" in
+  Cdfg.Builder.dep b a c;
+  let broken = Cdfg.Builder.finish b in
+  checkb "cross-chip edge flagged" true (Cdfg.check_locality broken <> Ok ());
+  (* A transfer with a mismatched source is flagged too. *)
+  let b2 = Cdfg.Builder.create ~n_partitions:2 in
+  let a2 = Cdfg.Builder.func b2 ~partition:1 "add" in
+  let x2 = Cdfg.Builder.io b2 ~src:2 ~dst:1 ~width:8 "v" in
+  Cdfg.Builder.dep b2 a2 x2;
+  let broken2 = Cdfg.Builder.finish b2 in
+  checkb "wrong-source transfer flagged" true
+    (Cdfg.check_locality broken2 <> Ok ())
+
+let test_random_designs_wellformed () =
+  List.iter
+    (fun seed ->
+      let cdfg =
+        Random_design.generate ~seed ~n_partitions:3 ~n_ops:15 ~recursive:1 ()
+      in
+      checkb "locality" true (Cdfg.check_locality cdfg = Ok ());
+      checkb "has output" true
+        (List.exists (fun w -> Cdfg.io_dst cdfg w = 0) (Cdfg.io_ops cdfg));
+      let simple =
+        Random_design.generate_simple ~seed ~n_partitions:3 ~ops_per_chip:4 ()
+      in
+      checkb "generate_simple is simple" true
+        (Mcs_core.Simple_part.is_simple simple))
+    [ 1; 2; 3; 42; 99 ]
+
+let suite =
+  ( "cdfg",
+    [
+      Alcotest.test_case "builder basics" `Quick test_builder_basics;
+      Alcotest.test_case "builder rejects degree-0 cycles" `Quick test_builder_rejects_cycle;
+      Alcotest.test_case "recursive cycles allowed" `Quick test_builder_recursive_cycle_allowed;
+      Alcotest.test_case "builder validation" `Quick test_builder_validation;
+      Alcotest.test_case "partition queries" `Quick test_queries;
+      Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;
+      Alcotest.test_case "netlist auto I/O insertion" `Quick test_netlist_auto_io;
+      Alcotest.test_case "netlist multi-destination values" `Quick test_netlist_multi_destination;
+      Alcotest.test_case "netlist unknown operand" `Quick test_netlist_unknown_operand;
+      Alcotest.test_case "netlist recursive cross-chip dep" `Quick test_netlist_rec_dep_cross;
+      Alcotest.test_case "module library" `Quick test_module_lib;
+      Alcotest.test_case "module library validation" `Quick test_module_lib_validation;
+      Alcotest.test_case "constraints" `Quick test_constraints;
+      Alcotest.test_case "minimum FU allocation (Eq. 7.5)" `Quick test_min_fus;
+      Alcotest.test_case "ASAP with chaining" `Quick test_asap_chaining;
+      Alcotest.test_case "ALAP windows" `Quick test_alap;
+      Alcotest.test_case "minimum initiation rate" `Quick test_min_initiation_rate;
+      Alcotest.test_case "recursive max-time constraints" `Quick test_max_time_constraints;
+      Alcotest.test_case "AR simple partitioning shape" `Quick test_ar_simple_shape;
+      Alcotest.test_case "AR general partitioning shape" `Quick test_ar_general_shape;
+      Alcotest.test_case "elliptic filter shape" `Quick test_elliptic_shape;
+      Alcotest.test_case "elliptic critical loop" `Quick test_elliptic_critical_loop;
+      Alcotest.test_case "locality validation" `Quick test_check_locality;
+      Alcotest.test_case "random designs well-formed" `Quick test_random_designs_wellformed;
+    ] )

@@ -1,0 +1,536 @@
+(* Tests for the chapter flows: simple partitioning (Ch. 3), connection-first
+   (Ch. 4), schedule-first (Ch. 5), sub-bus sharing (Ch. 6), and the
+   Chapter 7 extensions. *)
+
+open Mcs_cdfg
+open Mcs_core
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Simple partitioning recognition --- *)
+
+let test_is_simple () =
+  checkb "ar_simple is simple" true
+    (Simple_part.is_simple (Benchmarks.ar_simple ()).Benchmarks.cdfg);
+  checkb "ar_general is not" false
+    (Simple_part.is_simple (Benchmarks.ar_general ()).Benchmarks.cdfg);
+  checkb "general has violations" true
+    (Simple_part.violations (Benchmarks.ar_general ()).Benchmarks.cdfg <> [])
+
+let test_simple_three_drivees () =
+  (* A partition driving three others violates condition 1. *)
+  let b = Cdfg.Builder.create ~n_partitions:4 in
+  let s = Cdfg.Builder.func b ~partition:1 "add" in
+  List.iter
+    (fun p ->
+      let x = Cdfg.Builder.io b ~src:1 ~dst:p ~width:8 (Printf.sprintf "v%d" p) in
+      Cdfg.Builder.dep b s x)
+    [ 2; 3; 4 ];
+  let cdfg = Cdfg.Builder.finish b in
+  checkb "three drivees not simple" false (Simple_part.is_simple cdfg)
+
+let test_simple_shared_driver_violation () =
+  (* f drives {a, b} but a has a second driver: violates condition 4. *)
+  let b = Cdfg.Builder.create ~n_partitions:4 in
+  let f = Cdfg.Builder.func b ~partition:1 "add" in
+  let g = Cdfg.Builder.func b ~partition:4 "add" in
+  List.iter
+    (fun (src, op, dst, v) ->
+      let x = Cdfg.Builder.io b ~src ~dst ~width:8 v in
+      Cdfg.Builder.dep b op x)
+    [ (1, f, 2, "fa"); (1, f, 3, "fb"); (4, g, 2, "ga") ];
+  let cdfg = Cdfg.Builder.finish b in
+  checkb "not simple" false (Simple_part.is_simple cdfg)
+
+(* --- Pin allocation ILP (Ch. 3) --- *)
+
+let test_pin_ilp_feasible_baseline () =
+  let d = Benchmarks.ar_simple () in
+  let cons = Benchmarks.constraints_for d ~rate:2 in
+  checkb "paper budgets feasible" true
+    (Simple_part.Pin_ilp.feasible d.Benchmarks.cdfg cons ~rate:2 ~fixed:[])
+
+let test_pin_ilp_infeasible_when_tight () =
+  let d = Benchmarks.ar_simple () in
+  (* P1 needs >= 48 pins at rate 2 (5 input bundles + 1 output). *)
+  let cons =
+    Constraints.with_pins (Benchmarks.constraints_for d ~rate:2) [ (1, 40) ]
+  in
+  checkb "40 pins on P1 infeasible" false
+    (Simple_part.Pin_ilp.feasible d.Benchmarks.cdfg cons ~rate:2 ~fixed:[])
+
+let test_pin_ilp_detects_bad_fixing () =
+  let d = Benchmarks.ar_simple () in
+  let cons = Benchmarks.constraints_for d ~rate:2 in
+  let cdfg = d.Benchmarks.cdfg in
+  (* Cramming 6 of P1's 8-bit inputs into one group blows its 40 input
+     pins (5 ports). *)
+  let p1_inputs =
+    Mcs_util.Listx.take 6 (Cdfg.io_inputs_of_partition cdfg 1)
+  in
+  let fixed = List.map (fun w -> (w, 0)) p1_inputs in
+  checkb "overfull group rejected" false
+    (Simple_part.Pin_ilp.feasible cdfg cons ~rate:2 ~fixed)
+
+let test_pin_ilp_gomory_agrees () =
+  let d = Benchmarks.ar_simple () in
+  let cons = Benchmarks.constraints_for d ~rate:2 in
+  let cdfg = d.Benchmarks.cdfg in
+  let some_fix = [ (List.hd (Cdfg.io_inputs_of_partition cdfg 3), 1) ] in
+  List.iter
+    (fun fixed ->
+      checkb "methods agree" true
+        (Simple_part.Pin_ilp.feasible ~method_:`Gomory cdfg cons ~rate:2 ~fixed
+        = Simple_part.Pin_ilp.feasible ~method_:`Branch_bound cdfg cons ~rate:2
+            ~fixed))
+    [ []; some_fix ]
+
+(* --- Chapter 3 flow --- *)
+
+let test_ch3_flow () =
+  let d = Benchmarks.ar_simple () in
+  match Simple_part.run d ~rate:2 with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      checkb "schedule valid" true (Mcs_sched.Schedule.verify r.schedule = Ok ());
+      (* Paper values: P1/P2 use 48 pins, P3/P4 use 32. *)
+      checki "P1 pins" 48 (List.assoc 1 r.pins_needed);
+      checki "P2 pins" 48 (List.assoc 2 r.pins_needed);
+      checki "P3 pins" 32 (List.assoc 3 r.pins_needed);
+      checki "P4 pins" 32 (List.assoc 4 r.pins_needed);
+      (* Theorem 3.1's own check already ran inside [run]; run it again. *)
+      checkb "connection conflict-free" true
+        (Simple_part.Theorem31.check r.schedule r.links = Ok ())
+
+let test_ch3_rejects_general () =
+  let d = Benchmarks.ar_general () in
+  checkb "general partitioning rejected" true
+    (try
+       ignore (Simple_part.run d ~rate:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_theorem31_check_catches_conflicts () =
+  let d = Benchmarks.ar_simple () in
+  match Simple_part.run d ~rate:2 with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      (* Halving a bundle must break the check. *)
+      let broken =
+        List.map
+          (fun (b : Simple_part.Theorem31.bundle) ->
+            { b with Simple_part.Theorem31.wires = b.wires / 2 })
+          r.links
+      in
+      checkb "conflict detected" true
+        (Simple_part.Theorem31.check r.schedule broken <> Ok ())
+
+(* --- Chapter 4 flow --- *)
+
+let test_ch4_flow_all_rates () =
+  let d = Benchmarks.ar_general () in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun mode ->
+          match Pre_connect.run_design d ~rate ~mode with
+          | Error m -> Alcotest.fail m
+          | Ok r ->
+              checkb "valid schedule" true
+                (Mcs_sched.Schedule.verify r.schedule = Ok ());
+              (* Final assignment covers every I/O operation. *)
+              checki "all ops placed"
+                (List.length (Cdfg.io_ops d.Benchmarks.cdfg))
+                (List.length r.final_assignment))
+        [ Mcs_connect.Connection.Unidir; Mcs_connect.Connection.Bidir ])
+    [ 3; 4; 5 ]
+
+let test_ch4_bidir_fewer_pins () =
+  (* The paper's headline: bidirectional ports need fewer pins. *)
+  let d = Benchmarks.ar_general () in
+  List.iter
+    (fun rate ->
+      match
+        ( Pre_connect.run_design d ~rate ~mode:Mcs_connect.Connection.Unidir,
+          Pre_connect.run_design d ~rate ~mode:Mcs_connect.Connection.Bidir )
+      with
+      | Ok uni, Ok bi ->
+          checkb
+            (Printf.sprintf "rate %d: bidir <= unidir pins" rate)
+            true
+            (Mcs_util.Listx.sum snd bi.pins <= Mcs_util.Listx.sum snd uni.pins)
+      | _ -> Alcotest.fail "flows failed")
+    [ 3; 4; 5 ]
+
+let test_ch4_ewf () =
+  let d = Benchmarks.elliptic () in
+  List.iter
+    (fun rate ->
+      match Pre_connect.run_design d ~rate ~mode:Mcs_connect.Connection.Unidir with
+      | Error m -> Alcotest.fail m
+      | Ok r ->
+          checkb "valid" true (Mcs_sched.Schedule.verify r.schedule = Ok ()))
+    [ 6; 7 ]
+
+(* --- Chapter 5 flow --- *)
+
+let test_ch5_cliques_valid () =
+  let d = Benchmarks.ar_general () in
+  match
+    Post_connect.run_design d ~rate:4 ~pipe_length:9
+      ~mode:Mcs_connect.Connection.Bidir
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let cdfg = d.Benchmarks.cdfg in
+      let s = r.schedule in
+      checkb "valid schedule" true (Mcs_sched.Schedule.verify s = Ok ());
+      (* Within a clique (bus), two ops in the same control-step group must
+         transfer the same value in the same control step. *)
+      let by_bus = Mcs_util.Listx.group_by snd r.assignment in
+      List.iter
+        (fun (_, members) ->
+          let ops = List.map fst members in
+          List.iter
+            (fun w1 ->
+              List.iter
+                (fun w2 ->
+                  if
+                    w1 < w2
+                    && Mcs_sched.Schedule.group s w1 = Mcs_sched.Schedule.group s w2
+                  then begin
+                    checkb "same value" true
+                      (String.equal (Cdfg.io_value cdfg w1) (Cdfg.io_value cdfg w2));
+                    checki "same cstep" (Mcs_sched.Schedule.cstep s w1)
+                      (Mcs_sched.Schedule.cstep s w2)
+                  end)
+                ops)
+            ops)
+        by_bus;
+      (* Buses are wired wide enough for their traffic. *)
+      List.iter
+        (fun (w, h) ->
+          checkb "capable" true
+            (Mcs_connect.Connection.capable r.connection cdfg ~bus:h w))
+        r.assignment
+
+let test_ch5_weight_function () =
+  let d = Benchmarks.ar_general () in
+  let cdfg = d.Benchmarks.cdfg in
+  let ios = Cdfg.io_ops cdfg in
+  let same_src =
+    List.filter (fun w -> Cdfg.io_src cdfg w = 0 && Cdfg.io_width cdfg w = 8) ios
+  in
+  match same_src with
+  | w1 :: w2 :: _ ->
+      (* Two 8-bit primary inputs to different chips share only the source
+         endpoint: weight 8 unidirectional. *)
+      let w =
+        Post_connect.weight cdfg ~mode:Mcs_connect.Connection.Unidir w1 w2
+      in
+      checkb "weight multiple of min width" true (w = 8 || w = 16)
+  | _ -> Alcotest.fail "expected inputs"
+
+let test_ch5_ewf_rate5 () =
+  (* Chapter 5's approach handles the rate the greedy Chapter 4 flow
+     cannot. *)
+  let d = Benchmarks.elliptic () in
+  match
+    Post_connect.run_design d ~rate:5 ~pipe_length:25
+      ~mode:Mcs_connect.Connection.Unidir
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      checkb "rate-5 schedule valid" true
+        (Mcs_sched.Schedule.verify r.schedule = Ok ())
+
+(* --- Chapter 6 flow --- *)
+
+let test_ch6_ar () =
+  let d = Benchmarks.ar_general () in
+  match Subbus.run_design d ~rate:4 with
+  | Error m -> Alcotest.fail m
+  | Ok t ->
+      checkb "valid schedule" true (Mcs_sched.Schedule.verify t.schedule = Ok ());
+      let cdfg = d.Benchmarks.cdfg in
+      (* Slices hold their assigned operations widthwise. *)
+      List.iter
+        (fun (rb : Subbus.real_bus) ->
+          List.iter
+            (fun (w, s) ->
+              let width = Cdfg.io_width cdfg w in
+              match (rb.split_at, s) with
+              | None, Subbus.Whole -> checkb "fits" true (width <= rb.width)
+              | Some lo, Subbus.Lo -> checkb "fits lo" true (width <= lo)
+              | Some lo, Subbus.Hi -> checkb "fits hi" true (width <= rb.width - lo)
+              | Some _, Subbus.Whole -> checkb "fits whole" true (width <= rb.width)
+              | None, (Subbus.Lo | Subbus.Hi) -> Alcotest.fail "slice on unsplit bus")
+            rb.carried)
+        t.real_buses;
+      (* Pin totals match the port lists. *)
+      List.iter
+        (fun (p, n) ->
+          checki "pins consistent" n
+            (Mcs_util.Listx.sum
+               (fun (rb : Subbus.real_bus) ->
+                 Mcs_util.Listx.sum (fun (q, r) -> if q = p then r else 0) rb.ports)
+               t.real_buses))
+        t.pins
+
+let test_ch6_demo_needs_sharing () =
+  let demo = Benchmarks.subbus_demo () in
+  checkb "chapter-4 flow infeasible at 40 pins" true
+    (Pre_connect.run_design demo ~rate:3 ~mode:Mcs_connect.Connection.Bidir
+    |> Result.is_error);
+  match Subbus.run_design demo ~rate:3 with
+  | Error m -> Alcotest.fail m
+  | Ok t ->
+      checkb "sharing flow feasible" true
+        (Mcs_sched.Schedule.verify t.schedule = Ok ());
+      checkb "a bus actually split" true
+        (List.exists (fun (b : Subbus.real_bus) -> b.split_at <> None) t.real_buses);
+      checkb "P1 within 40 pins" true (List.assoc 1 t.pins <= 40)
+
+let test_ch6_allocation_no_half_conflicts () =
+  let demo = Benchmarks.subbus_demo () in
+  match Subbus.run_design demo ~rate:3 with
+  | Error m -> Alcotest.fail m
+  | Ok t ->
+      (* At most one value per (bus, half, group): whole-bus entries count
+         on both halves. *)
+      let occupancy = Hashtbl.create 16 in
+      List.iter
+        (fun ((bus, slice, g), (value, cstep, _)) ->
+          let halves =
+            match slice with
+            | Subbus.Lo -> [ `L ]
+            | Subbus.Hi -> [ `H ]
+            | Subbus.Whole -> [ `L; `H ]
+          in
+          List.iter
+            (fun h ->
+              match Hashtbl.find_opt occupancy (bus, h, g) with
+              | Some (v', c') ->
+                  checkb "only same value+step may share" true
+                    (String.equal v' value && c' = cstep)
+              | None -> Hashtbl.add occupancy (bus, h, g) (value, cstep))
+            halves)
+        t.allocation
+
+(* --- Extensions --- *)
+
+let test_thm71_equivalence () =
+  let yes =
+    Extensions.Recursion.theorem71_instance ~tasks:3
+      ~precedence:[ (1, 2); (2, 3) ]
+      ~machines:1 ~deadline:3
+  in
+  let no =
+    Extensions.Recursion.theorem71_instance ~tasks:4
+      ~precedence:[ (1, 2); (2, 3); (3, 4) ]
+      ~machines:1 ~deadline:3
+  in
+  let go (cdfg, cons, mlib, rate) =
+    ( Extensions.Recursion.schedulable_sharing_one_bus cdfg cons mlib ~rate,
+      Extensions.Recursion.schedulable_with_two_buses cdfg cons mlib ~rate )
+  in
+  Alcotest.(check (pair bool bool)) "yes-instance" (true, true) (go yes);
+  Alcotest.(check (pair bool bool)) "no-instance" (false, true) (go no)
+
+let test_thm71_parallel_tasks () =
+  (* Two independent tasks on two machines fit a deadline of 1. *)
+  let i =
+    Extensions.Recursion.theorem71_instance ~tasks:2 ~precedence:[] ~machines:2
+      ~deadline:1
+  in
+  let cdfg, cons, mlib, rate = i in
+  checkb "parallel yes-instance" true
+    (Extensions.Recursion.schedulable_sharing_one_bus cdfg cons mlib ~rate)
+
+let test_cond_share_groups () =
+  let d = Benchmarks.cond_demo () in
+  let groups =
+    Extensions.Cond_share.run d.Benchmarks.cdfg d.Benchmarks.mlib ~rate:2
+      ~pipe_length:8 ()
+  in
+  let cdfg = d.Benchmarks.cdfg in
+  (* Groups only merge mutually exclusive operations. *)
+  List.iter
+    (fun (g : Extensions.Cond_share.group) ->
+      List.iter
+        (fun w1 ->
+          List.iter
+            (fun w2 ->
+              if w1 <> w2 then
+                checkb "mutually exclusive" true
+                  (Cdfg.mutually_exclusive cdfg w1 w2))
+            g.members)
+        g.members)
+    groups;
+  (* The then/else transfers between the same chips merge, saving pins. *)
+  checkb "some sharing found" true
+    (List.exists (fun (g : Extensions.Cond_share.group) -> List.length g.members > 1) groups);
+  checkb "pins saved" true (Extensions.Cond_share.pins_saved cdfg groups > 0)
+
+let test_tdm_transform () =
+  let d = Benchmarks.ar_general () in
+  let cdfg = d.Benchmarks.cdfg in
+  let cdfg' =
+    Extensions.Tdm.apply cdfg ~value:"a24" ~dst:3 ~parts:2 ~split_optype:"split"
+      ~merge_optype:"merge"
+  in
+  (* One io replaced by two + split + merge = +3 nodes. *)
+  checki "node delta" (Cdfg.n_ops cdfg + 3) (Cdfg.n_ops cdfg');
+  (* Part transfers carry half the width. *)
+  let parts =
+    List.filter
+      (fun w ->
+        Cdfg.is_io cdfg' w
+        && Cdfg.io_dst cdfg' w = 3
+        && Cdfg.io_width cdfg' w = 8)
+      (Cdfg.ops cdfg')
+  in
+  checkb "two 8-bit parts" true (List.length parts >= 2);
+  (* Still acyclic and schedulable with split/merge modules. *)
+  let mlib =
+    Module_lib.create ~stage_ns:250 ~io_delay_ns:10
+      [ ("add", 30); ("mul", 210); ("split", 5); ("merge", 5) ]
+  in
+  let base = Constraints.min_fus cdfg' mlib ~rate:4 in
+  let cons =
+    Constraints.create ~n_partitions:3
+      ~pins:[ (0, 200); (1, 200); (2, 200); (3, 200) ]
+      ~fus:base
+  in
+  match Mcs_sched.List_sched.run cdfg' mlib cons ~rate:4 () with
+  | Ok s -> checkb "tdm cdfg schedulable" true (Mcs_sched.Schedule.verify s = Ok ())
+  | Error f -> Alcotest.fail f.Mcs_sched.List_sched.reason
+
+let test_tdm_primary_input () =
+  let d = Benchmarks.ar_general () in
+  (* Primary input: no split node, parts arrive pre-split. *)
+  let cdfg' =
+    Extensions.Tdm.apply d.Benchmarks.cdfg ~value:"Ic" ~dst:1 ~parts:2
+      ~split_optype:"split" ~merge_optype:"merge"
+  in
+  checki "only merge added" (Cdfg.n_ops d.Benchmarks.cdfg + 2) (Cdfg.n_ops cdfg')
+
+let test_multicycle_bounds () =
+  checki "eq 7.5 exact" 1 (Extensions.Multicycle.lower_bound ~ops:3 ~rate:6 ~cycles:2);
+  checki "eq 7.5 tight" 2 (Extensions.Multicycle.lower_bound ~ops:4 ~rate:6 ~cycles:2);
+  checki "eq 7.5 floor matters" 3
+    (Extensions.Multicycle.lower_bound ~ops:3 ~rate:5 ~cycles:4);
+  checkb "cycles > rate rejected" true
+    (try
+       ignore (Extensions.Multicycle.lower_bound ~ops:1 ~rate:1 ~cycles:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fragmentation () =
+  Alcotest.(check (pair bool bool))
+    "bad fails, good fits" (false, true)
+    (Extensions.Multicycle.fragmentation_demo ())
+
+let base_tests =
+    [
+      Alcotest.test_case "simple partitioning recognized" `Quick test_is_simple;
+      Alcotest.test_case "three drivees violate Def 3.2" `Quick test_simple_three_drivees;
+      Alcotest.test_case "shared driver violates Def 3.2" `Quick test_simple_shared_driver_violation;
+      Alcotest.test_case "pin ILP feasible at paper budgets" `Quick test_pin_ilp_feasible_baseline;
+      Alcotest.test_case "pin ILP infeasible when tight" `Quick test_pin_ilp_infeasible_when_tight;
+      Alcotest.test_case "pin ILP rejects overfull groups" `Quick test_pin_ilp_detects_bad_fixing;
+      Alcotest.test_case "pin ILP: Gomory = branch&bound" `Slow test_pin_ilp_gomory_agrees;
+      Alcotest.test_case "chapter 3 flow" `Quick test_ch3_flow;
+      Alcotest.test_case "chapter 3 rejects general partitionings" `Quick test_ch3_rejects_general;
+      Alcotest.test_case "Theorem 3.1 check catches conflicts" `Quick test_theorem31_check_catches_conflicts;
+      Alcotest.test_case "chapter 4 flow (AR, all rates/modes)" `Quick test_ch4_flow_all_rates;
+      Alcotest.test_case "bidirectional ports save pins" `Quick test_ch4_bidir_fewer_pins;
+      Alcotest.test_case "chapter 4 flow (EWF)" `Quick test_ch4_ewf;
+      Alcotest.test_case "chapter 5 cliques valid" `Quick test_ch5_cliques_valid;
+      Alcotest.test_case "chapter 5 weight function" `Quick test_ch5_weight_function;
+      Alcotest.test_case "chapter 5 handles EWF rate 5" `Quick test_ch5_ewf_rate5;
+      Alcotest.test_case "chapter 6 flow (AR)" `Quick test_ch6_ar;
+      Alcotest.test_case "chapter 6 demo needs sharing" `Quick test_ch6_demo_needs_sharing;
+      Alcotest.test_case "chapter 6 sub-slot allocation" `Quick test_ch6_allocation_no_half_conflicts;
+      Alcotest.test_case "Theorem 7.1 reduction" `Quick test_thm71_equivalence;
+      Alcotest.test_case "Theorem 7.1 parallel tasks" `Quick test_thm71_parallel_tasks;
+      Alcotest.test_case "conditional I/O sharing" `Quick test_cond_share_groups;
+      Alcotest.test_case "TDM transform" `Quick test_tdm_transform;
+      Alcotest.test_case "TDM on primary inputs" `Quick test_tdm_primary_input;
+      Alcotest.test_case "Eq. 7.5 lower bounds" `Quick test_multicycle_bounds;
+      Alcotest.test_case "fragmentation demo" `Quick test_fragmentation;
+    ]
+
+(* --- Improvement by postponement/restart (Improve) --- *)
+
+let test_improve_never_worse () =
+  let d = Benchmarks.ar_general () in
+  List.iter
+    (fun rate ->
+      let cons = Benchmarks.constraints_for d ~rate in
+      let base =
+        match
+          Pre_connect.run d.Benchmarks.cdfg d.Benchmarks.mlib cons ~rate
+            ~mode:Mcs_connect.Connection.Unidir ()
+        with
+        | Ok r -> Mcs_sched.Schedule.pipe_length r.schedule
+        | Error m -> Alcotest.fail m
+      in
+      match
+        Improve.pre_connect d.Benchmarks.cdfg d.Benchmarks.mlib cons ~rate
+          ~mode:Mcs_connect.Connection.Unidir ()
+      with
+      | Error m -> Alcotest.fail m
+      | Ok r ->
+          checkb "valid" true (Mcs_sched.Schedule.verify r.schedule = Ok ());
+          checkb
+            (Printf.sprintf "rate %d not worse" rate)
+            true
+            (Mcs_sched.Schedule.pipe_length r.schedule <= base))
+    [ 3; 4 ]
+
+let test_improve_finds_shorter_pipe () =
+  (* At rate 3 the perturbations reliably beat the plain greedy run. *)
+  let d = Benchmarks.ar_general () in
+  let cons = Benchmarks.constraints_for d ~rate:3 in
+  match
+    ( Pre_connect.run d.Benchmarks.cdfg d.Benchmarks.mlib cons ~rate:3
+        ~mode:Mcs_connect.Connection.Unidir (),
+      Improve.pre_connect d.Benchmarks.cdfg d.Benchmarks.mlib cons ~rate:3
+        ~mode:Mcs_connect.Connection.Unidir () )
+  with
+  | Ok base, Ok better ->
+      checkb "strictly better on this instance" true
+        (Mcs_sched.Schedule.pipe_length better.schedule
+        < Mcs_sched.Schedule.pipe_length base.schedule)
+  | _ -> Alcotest.fail "flows failed"
+
+let test_dot_export () =
+  let d = Benchmarks.ar_simple () in
+  let s = Format.asprintf "%a" Dot.pp d.Benchmarks.cdfg in
+  let contains needle =
+    let nl = String.length needle and hl = String.length s in
+    let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "digraph" true (contains "digraph");
+  checkb "clusters" true (contains "cluster_p4");
+  checkb "io node" true (contains "X1");
+  let e = Benchmarks.elliptic () in
+  let s2 = Format.asprintf "%a" Dot.pp e.Benchmarks.cdfg in
+  let contains2 needle =
+    let nl = String.length needle and hl = String.length s2 in
+    let rec go i = i + nl <= hl && (String.sub s2 i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "recursive edges dashed" true (contains2 "style=dashed")
+
+let extra_tests =
+  [
+    Alcotest.test_case "Improve never worsens the pipe" `Slow test_improve_never_worse;
+    Alcotest.test_case "Improve beats greedy at rate 3" `Slow test_improve_finds_shorter_pipe;
+    Alcotest.test_case "Graphviz export" `Quick test_dot_export;
+  ]
+
+let suite = ("core", base_tests @ extra_tests)

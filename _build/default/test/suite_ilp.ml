@@ -1,0 +1,311 @@
+(* Unit and property tests for the ILP substrate: exact simplex, Gomory
+   cutting planes, branch & bound, and the model builder. *)
+
+module R = Mcs_util.Ratio
+open Mcs_ilp
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let lp n_vars objective rows =
+  {
+    Simplex.n_vars;
+    objective = Array.map R.of_int (Array.of_list objective);
+    rows =
+      List.map
+        (fun (coefs, rel, b) ->
+          (Array.map R.of_int (Array.of_list coefs), rel, R.of_int b))
+        rows;
+  }
+
+let value = function
+  | Simplex.Optimal s -> s.Simplex.value
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_basic () =
+  (* max 3x+2y st x+y<=4, x+3y<=6 -> 12 at (4,0) *)
+  let p = lp 2 [ 3; 2 ] [ ([ 1; 1 ], Simplex.Le, 4); ([ 1; 3 ], Simplex.Le, 6) ] in
+  checkb "value 12" true (R.equal (value (Simplex.solve p)) (R.of_int 12))
+
+let test_simplex_fractional_optimum () =
+  (* max x+y st 2x+y<=3, x+2y<=3 -> optimum (1,1) value 2 *)
+  let p = lp 2 [ 1; 1 ] [ ([ 2; 1 ], Simplex.Le, 3); ([ 1; 2 ], Simplex.Le, 3) ] in
+  checkb "value 2" true (R.equal (value (Simplex.solve p)) (R.of_int 2))
+
+let test_simplex_infeasible () =
+  let p = lp 1 [ 1 ] [ ([ 1 ], Simplex.Le, 1); ([ 1 ], Simplex.Ge, 2) ] in
+  checkb "infeasible" true (Simplex.solve p = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let p = lp 1 [ 1 ] [ ([ -1 ], Simplex.Le, 0) ] in
+  checkb "unbounded" true (Simplex.solve p = Simplex.Unbounded)
+
+let test_simplex_equality () =
+  (* max x st x + y = 3, y >= 1 -> x = 2 *)
+  let p = lp 2 [ 1; 0 ] [ ([ 1; 1 ], Simplex.Eq, 3); ([ 0; 1 ], Simplex.Ge, 1) ] in
+  checkb "value 2" true (R.equal (value (Simplex.solve p)) (R.of_int 2))
+
+let test_simplex_degenerate () =
+  (* Redundant constraints should not cycle (Bland's rule). *)
+  let p =
+    lp 2 [ 1; 1 ]
+      [
+        ([ 1; 0 ], Simplex.Le, 1);
+        ([ 1; 0 ], Simplex.Le, 1);
+        ([ 0; 1 ], Simplex.Le, 1);
+        ([ 1; 1 ], Simplex.Le, 2);
+      ]
+  in
+  checkb "value 2" true (R.equal (value (Simplex.solve p)) (R.of_int 2))
+
+let test_simplex_negative_rhs () =
+  (* -x <= -2  <=>  x >= 2; max -x subject to x <= 5. *)
+  let p = lp 1 [ -1 ] [ ([ -1 ], Simplex.Le, -2); ([ 1 ], Simplex.Le, 5) ] in
+  checkb "value -2" true (R.equal (value (Simplex.solve p)) (R.of_int (-2)))
+
+let test_gomory_knapsack () =
+  (* max x+y st 2x+2y <= 5 integer -> 2. *)
+  let p = lp 2 [ 1; 1 ] [ ([ 2; 2 ], Simplex.Le, 5) ] in
+  match Gomory.solve p with
+  | Gomory.Optimal s -> checkb "value 2" true (R.equal s.Simplex.value (R.of_int 2))
+  | _ -> Alcotest.fail "gomory failed"
+
+let test_gomory_infeasible () =
+  (* 2x = 1 has no integer solution (x in [0,3]). *)
+  let p =
+    lp 1 [ 0 ] [ ([ 2 ], Simplex.Eq, 1); ([ 1 ], Simplex.Le, 3) ]
+  in
+  checkb "infeasible" true (Gomory.solve p = Gomory.Infeasible)
+
+let test_bb_matches_gomory () =
+  let p =
+    lp 2 [ 5; 4 ]
+      [ ([ 6; 4 ], Simplex.Le, 24); ([ 1; 2 ], Simplex.Le, 6) ]
+  in
+  let bb =
+    match Branch_bound.solve ~integer:[| true; true |] p with
+    | Branch_bound.Optimal s -> s.Simplex.value
+    | _ -> Alcotest.fail "bb failed"
+  in
+  let gm =
+    match Gomory.solve p with
+    | Gomory.Optimal s -> s.Simplex.value
+    | _ -> Alcotest.fail "gomory failed"
+  in
+  checkb "agree" true (R.equal bb gm)
+
+let test_bb_mixed_integer () =
+  (* y continuous: max x + y st x + y <= 5/2, x integer -> x=2, y=1/2. *)
+  let p =
+    {
+      Simplex.n_vars = 2;
+      objective = [| R.of_int 1; R.of_int 1 |];
+      rows = [ ([| R.of_int 2; R.of_int 2 |], Simplex.Le, R.of_int 5) ];
+    }
+  in
+  match Branch_bound.solve ~integer:[| true; false |] p with
+  | Branch_bound.Optimal s ->
+      checkb "value 5/2" true (R.equal s.Simplex.value (R.make 5 2))
+  | _ -> Alcotest.fail "bb failed"
+
+let test_bb_feasibility () =
+  let p = lp 1 [ 0 ] [ ([ 2 ], Simplex.Eq, 1); ([ 1 ], Simplex.Le, 3) ] in
+  Alcotest.(check (option bool)) "infeasible" (Some false)
+    (Branch_bound.feasible ~integer:[| true |] p);
+  let q = lp 1 [ 0 ] [ ([ 2 ], Simplex.Eq, 2) ] in
+  Alcotest.(check (option bool)) "feasible" (Some true)
+    (Branch_bound.feasible ~integer:[| true |] q)
+
+(* Random small integer programs: BB and Gomory must agree, and the BB
+   optimum must satisfy every constraint. *)
+let random_ilp_arb =
+  let open QCheck in
+  let coef = int_range (-4) 4 in
+  map
+    (fun (c1, c2, rows) ->
+      let rows =
+        List.map (fun (a, b, r) -> ([ a; b ], Simplex.Le, abs r + 1)) rows
+      in
+      (* Bound the box so everything is finite. *)
+      lp 2 [ c1; c2 ]
+        (rows
+        @ [ ([ 1; 0 ], Simplex.Le, 7); ([ 0; 1 ], Simplex.Le, 7) ]))
+    (triple coef coef
+       (list_of_size (Gen.int_range 1 4) (triple coef coef (int_bound 12))))
+
+let prop_bb_gomory_agree =
+  QCheck.Test.make ~name:"branch&bound and Gomory agree on small ILPs"
+    ~count:150 random_ilp_arb (fun p ->
+      let bb = Branch_bound.solve ~integer:[| true; true |] p in
+      let gm = Gomory.solve p in
+      match (bb, gm) with
+      | Branch_bound.Optimal a, Gomory.Optimal b ->
+          R.equal a.Simplex.value b.Simplex.value
+      | Branch_bound.Infeasible, Gomory.Infeasible -> true
+      | Branch_bound.Optimal _, Gomory.Gave_up -> true (* budget; rare *)
+      | _ -> false)
+
+let prop_bb_solution_feasible =
+  QCheck.Test.make ~name:"BB optimum satisfies all constraints & integrality"
+    ~count:150 random_ilp_arb (fun p ->
+      match Branch_bound.solve ~integer:[| true; true |] p with
+      | Branch_bound.Optimal s ->
+          Array.for_all R.is_integer s.Simplex.x
+          && List.for_all
+               (fun (coefs, rel, b) ->
+                 let lhs = ref R.zero in
+                 Array.iteri
+                   (fun i c -> lhs := R.add !lhs (R.mul c s.Simplex.x.(i)))
+                   coefs;
+                 match rel with
+                 | Simplex.Le -> R.compare !lhs b <= 0
+                 | Simplex.Ge -> R.compare !lhs b >= 0
+                 | Simplex.Eq -> R.equal !lhs b)
+               p.Simplex.rows
+      | Branch_bound.Infeasible -> true
+      | _ -> false)
+
+let prop_lp_bounds_ilp =
+  QCheck.Test.make ~name:"LP relaxation bounds the ILP optimum" ~count:150
+    random_ilp_arb (fun p ->
+      match (Simplex.solve p, Branch_bound.solve ~integer:[| true; true |] p) with
+      | Simplex.Optimal lp_sol, Branch_bound.Optimal ilp_sol ->
+          R.compare ilp_sol.Simplex.value lp_sol.Simplex.value <= 0
+      | Simplex.Infeasible, Branch_bound.Infeasible -> true
+      | Simplex.Optimal _, Branch_bound.Infeasible -> true
+      | _ -> false)
+
+(* --- Model builder --- *)
+
+let test_model_knapsack () =
+  let m = Model.create () in
+  let a = Model.binary m "a" and b = Model.binary m "b" and c = Model.binary m "c" in
+  Model.add_le m
+    (Model.sum [ Model.term 2 a; Model.term 3 b; Model.v c ])
+    (Model.const 4);
+  Model.set_objective m
+    (Model.sum [ Model.term 5 a; Model.term 4 b; Model.term 3 c ]);
+  match Model.solve m with
+  | Model.Optimal s ->
+      checkb "objective 8" true (R.equal s.Model.objective (R.of_int 8));
+      checki "a" 1 (Model.int_value s a);
+      checki "b" 0 (Model.int_value s b);
+      checki "c" 1 (Model.int_value s c)
+  | _ -> Alcotest.fail "model solve failed"
+
+let test_model_negative_lower_bound () =
+  let m = Model.create () in
+  let x = Model.int_var m ~lo:(-5) ~hi:5 "x" in
+  Model.set_objective m (Model.scale (-1) (Model.v x));
+  match Model.solve m with
+  | Model.Optimal s ->
+      checki "x at lower bound" (-5) (Model.int_value s x);
+      checkb "objective 5" true (R.equal s.Model.objective (R.of_int 5))
+  | _ -> Alcotest.fail "failed"
+
+let test_model_max_bin () =
+  let m = Model.create () in
+  let x = Model.binary m "x" and y = Model.binary m "y" in
+  let z = Model.binary m "z" in
+  Model.eq_max_bin m z [ x; y ];
+  Model.add_eq m (Model.v x) (Model.const 0);
+  Model.add_eq m (Model.v y) (Model.const 1);
+  Model.set_objective m (Model.const 0);
+  match Model.solve m with
+  | Model.Optimal s -> checki "z = max(0,1)" 1 (Model.int_value s z)
+  | _ -> Alcotest.fail "failed"
+
+let test_model_xor () =
+  List.iter
+    (fun (a, b, expect) ->
+      let m = Model.create () in
+      let x = Model.binary m "x" and y = Model.binary m "y" in
+      let z = Model.binary m "z" in
+      Model.eq_xor_bin m z x y;
+      Model.add_eq m (Model.v x) (Model.const a);
+      Model.add_eq m (Model.v y) (Model.const b);
+      match Model.solve m with
+      | Model.Optimal s ->
+          checki (Printf.sprintf "%d xor %d" a b) expect (Model.int_value s z)
+      | _ -> Alcotest.fail "failed")
+    [ (0, 0, 0); (0, 1, 1); (1, 0, 1); (1, 1, 0) ]
+
+let test_model_implication () =
+  let m = Model.create () in
+  let b = Model.binary m "b" in
+  let x = Model.int_var m ~lo:0 ~hi:10 "x" in
+  Model.implies_le m ~big_m:100 b (Model.v x) (Model.const 3);
+  Model.add_eq m (Model.v b) (Model.const 1);
+  Model.set_objective m (Model.v x);
+  match Model.solve m with
+  | Model.Optimal s -> checki "x forced <= 3" 3 (Model.int_value s x)
+  | _ -> Alcotest.fail "failed"
+
+let test_model_iff_positive () =
+  let m = Model.create () in
+  let b = Model.binary m "b" in
+  let x = Model.int_var m ~lo:0 ~hi:10 "x" in
+  Model.iff_positive m ~big_m:10 b (Model.v x);
+  Model.add_eq m (Model.v b) (Model.const 0);
+  Model.set_objective m (Model.v x);
+  (match Model.solve m with
+  | Model.Optimal s -> checki "x forced 0" 0 (Model.int_value s x)
+  | _ -> Alcotest.fail "failed");
+  let m2 = Model.create () in
+  let b2 = Model.binary m2 "b" in
+  let x2 = Model.int_var m2 ~lo:0 ~hi:10 "x" in
+  Model.iff_positive m2 ~big_m:10 b2 (Model.v x2);
+  Model.add_eq m2 (Model.v b2) (Model.const 1);
+  Model.set_objective m2 (Model.scale (-1) (Model.v x2));
+  match Model.solve m2 with
+  | Model.Optimal s -> checki "x forced >= 1" 1 (Model.int_value s x2)
+  | _ -> Alcotest.fail "failed"
+
+let test_model_gomory_method () =
+  let m = Model.create () in
+  let x = Model.int_var m ~hi:10 "x" and y = Model.int_var m ~hi:10 "y" in
+  Model.add_le m (Model.add (Model.term 2 x) (Model.term 2 y)) (Model.const 7);
+  Model.set_objective m (Model.add (Model.v x) (Model.v y));
+  match Model.solve ~method_:`Gomory m with
+  | Model.Optimal s -> checkb "value 3" true (R.equal s.Model.objective (R.of_int 3))
+  | _ -> Alcotest.fail "gomory method failed"
+
+let test_model_pp_lp () =
+  let m = Model.create () in
+  let x = Model.binary m "x" in
+  Model.add_le m (Model.term 2 x) (Model.const 1);
+  Model.set_objective m (Model.v x);
+  let s = Format.asprintf "%a" Model.pp_lp m in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "mentions Maximize" true (contains s "Maximize");
+  checkb "mentions variable" true (contains s "x")
+
+let suite =
+  ( "ilp",
+    [
+      Alcotest.test_case "simplex basic" `Quick test_simplex_basic;
+      Alcotest.test_case "simplex fractional optimum" `Quick test_simplex_fractional_optimum;
+      Alcotest.test_case "simplex infeasible" `Quick test_simplex_infeasible;
+      Alcotest.test_case "simplex unbounded" `Quick test_simplex_unbounded;
+      Alcotest.test_case "simplex equality rows" `Quick test_simplex_equality;
+      Alcotest.test_case "simplex degenerate (no cycling)" `Quick test_simplex_degenerate;
+      Alcotest.test_case "simplex negative rhs" `Quick test_simplex_negative_rhs;
+      Alcotest.test_case "gomory knapsack" `Quick test_gomory_knapsack;
+      Alcotest.test_case "gomory infeasible" `Quick test_gomory_infeasible;
+      Alcotest.test_case "bb matches gomory" `Quick test_bb_matches_gomory;
+      Alcotest.test_case "bb mixed integer" `Quick test_bb_mixed_integer;
+      Alcotest.test_case "bb feasibility" `Quick test_bb_feasibility;
+      Alcotest.test_case "model knapsack" `Quick test_model_knapsack;
+      Alcotest.test_case "model negative lower bounds" `Quick test_model_negative_lower_bound;
+      Alcotest.test_case "model max of binaries" `Quick test_model_max_bin;
+      Alcotest.test_case "model xor linearization" `Quick test_model_xor;
+      Alcotest.test_case "model implication" `Quick test_model_implication;
+      Alcotest.test_case "model iff-positive" `Quick test_model_iff_positive;
+      Alcotest.test_case "model via gomory" `Quick test_model_gomory_method;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_bb_gomory_agree; prop_bb_solution_feasible; prop_lp_bounds_ilp ] )

@@ -1,0 +1,150 @@
+(* Unit and property tests for Mcs_util. *)
+
+module R = Mcs_util.Ratio
+module Listx = Mcs_util.Listx
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_make_normalizes () =
+  check "6/4 num" 3 (R.num (R.make 6 4));
+  check "6/4 den" 2 (R.den (R.make 6 4));
+  check "neg den num" (-3) (R.num (R.make 3 (-1)));
+  check "neg den den" 1 (R.den (R.make 3 (-1)));
+  check "zero" 0 (R.num (R.make 0 17));
+  check "zero den-normal" 1 (R.den (R.make 0 17))
+
+let test_make_zero_den () =
+  Alcotest.check_raises "den 0" R.Division_by_zero (fun () ->
+      ignore (R.make 1 0))
+
+let test_arith () =
+  let half = R.make 1 2 and third = R.make 1 3 in
+  checkb "1/2+1/3" true (R.equal (R.add half third) (R.make 5 6));
+  checkb "1/2-1/3" true (R.equal (R.sub half third) (R.make 1 6));
+  checkb "1/2*1/3" true (R.equal (R.mul half third) (R.make 1 6));
+  checkb "1/2 / 1/3" true (R.equal (R.div half third) (R.make 3 2));
+  checkb "neg" true (R.equal (R.neg half) (R.make (-1) 2));
+  checkb "inv" true (R.equal (R.inv third) (R.of_int 3))
+
+let test_floor_ceil () =
+  check "floor 7/2" 3 (R.floor (R.make 7 2));
+  check "floor -7/2" (-4) (R.floor (R.make (-7) 2));
+  check "ceil 7/2" 4 (R.ceil (R.make 7 2));
+  check "ceil -7/2" (-3) (R.ceil (R.make (-7) 2));
+  check "floor int" 5 (R.floor (R.of_int 5));
+  check "ceil int" 5 (R.ceil (R.of_int 5))
+
+let test_frac () =
+  checkb "frac 7/2" true (R.equal (R.frac (R.make 7 2)) (R.make 1 2));
+  checkb "frac -7/2" true (R.equal (R.frac (R.make (-7) 2)) (R.make 1 2));
+  checkb "frac int" true (R.is_zero (R.frac (R.of_int (-3))))
+
+let test_compare () =
+  checkb "1/3 < 1/2" true (R.compare (R.make 1 3) (R.make 1 2) < 0);
+  checkb "-1/2 < 1/3" true (R.compare (R.make (-1) 2) (R.make 1 3) < 0);
+  checkb "eq" true (R.compare (R.make 2 4) (R.make 1 2) = 0);
+  checkb "min" true (R.equal (R.min (R.of_int 2) (R.of_int 1)) (R.of_int 1));
+  checkb "max" true (R.equal (R.max (R.of_int 2) (R.of_int 1)) (R.of_int 2))
+
+let test_to_int () =
+  check "to_int_exn" 4 (R.to_int_exn (R.make 8 2));
+  Alcotest.check_raises "fractional" (Invalid_argument "Ratio.to_int_exn: not an integer")
+    (fun () -> ignore (R.to_int_exn (R.make 1 2)))
+
+let test_pp () =
+  Alcotest.(check string) "int" "5" (R.to_string (R.of_int 5));
+  Alcotest.(check string) "frac" "-3/2" (R.to_string (R.make 3 (-2)))
+
+let small = QCheck.int_range (-50) 50
+let small_nz = QCheck.map (fun n -> if n = 0 then 1 else n) small
+
+let ratio_arb =
+  QCheck.map
+    (fun (n, d) -> R.make n d)
+    (QCheck.pair small small_nz)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"ratio add commutes" ~count:500
+    (QCheck.pair ratio_arb ratio_arb)
+    (fun (a, b) -> R.equal (R.add a b) (R.add b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"ratio mul associates" ~count:500
+    (QCheck.triple ratio_arb ratio_arb ratio_arb)
+    (fun (a, b, c) -> R.equal (R.mul a (R.mul b c)) (R.mul (R.mul a b) c))
+
+let prop_add_sub_roundtrip =
+  QCheck.Test.make ~name:"ratio a+b-b = a" ~count:500
+    (QCheck.pair ratio_arb ratio_arb)
+    (fun (a, b) -> R.equal (R.sub (R.add a b) b) a)
+
+let prop_floor_bound =
+  QCheck.Test.make ~name:"floor q <= q < floor q + 1" ~count:500 ratio_arb
+    (fun q ->
+      let f = R.of_int (R.floor q) in
+      R.compare f q <= 0 && R.compare q (R.add f R.one) < 0)
+
+let prop_frac_range =
+  QCheck.Test.make ~name:"frac in [0,1)" ~count:500 ratio_arb (fun q ->
+      let f = R.frac q in
+      R.sign f >= 0 && R.compare f R.one < 0)
+
+let prop_compare_matches_float =
+  QCheck.Test.make ~name:"compare agrees with floats" ~count:500
+    (QCheck.pair ratio_arb ratio_arb)
+    (fun (a, b) ->
+      let c = compare (R.to_float a) (R.to_float b) in
+      (* Floats are exact at these magnitudes. *)
+      compare (R.compare a b) 0 = compare c 0)
+
+let test_listx_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Listx.range 2 5);
+  Alcotest.(check (list int)) "empty" [] (Listx.range 5 2)
+
+let test_listx_minmax () =
+  Alcotest.(check (option int))
+    "max_by" (Some 9)
+    (Option.map (fun x -> x) (Listx.max_by (fun x -> x) [ 3; 9; 1 ]));
+  Alcotest.(check (option int))
+    "min_by" (Some 1)
+    (Listx.min_by (fun x -> x) [ 3; 9; 1 ]);
+  Alcotest.(check (option int)) "empty" None (Listx.max_by (fun x -> x) [])
+
+let test_listx_group_by () =
+  let g = Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "groups" 2 (List.length g);
+  Alcotest.(check (list int)) "odds" [ 1; 3; 5 ] (List.assoc 1 g);
+  Alcotest.(check (list int)) "evens" [ 2; 4 ] (List.assoc 0 g)
+
+let test_listx_misc () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take over" [ 1 ] (Listx.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "uniq" [ 1; 2; 3 ] (Listx.uniq ( = ) [ 1; 2; 1; 3; 2 ]);
+  Alcotest.(check int) "sum" 6 (Listx.sum (fun x -> x) [ 1; 2; 3 ])
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "ratio normalization" `Quick test_make_normalizes;
+      Alcotest.test_case "ratio zero denominator" `Quick test_make_zero_den;
+      Alcotest.test_case "ratio arithmetic" `Quick test_arith;
+      Alcotest.test_case "ratio floor/ceil" `Quick test_floor_ceil;
+      Alcotest.test_case "ratio frac" `Quick test_frac;
+      Alcotest.test_case "ratio compare" `Quick test_compare;
+      Alcotest.test_case "ratio to_int" `Quick test_to_int;
+      Alcotest.test_case "ratio printing" `Quick test_pp;
+      Alcotest.test_case "listx range" `Quick test_listx_range;
+      Alcotest.test_case "listx min/max" `Quick test_listx_minmax;
+      Alcotest.test_case "listx group_by" `Quick test_listx_group_by;
+      Alcotest.test_case "listx take/uniq/sum" `Quick test_listx_misc;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [
+          prop_add_commutes;
+          prop_mul_assoc;
+          prop_add_sub_roundtrip;
+          prop_floor_bound;
+          prop_frac_range;
+          prop_compare_matches_float;
+        ] )
