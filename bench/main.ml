@@ -2,8 +2,10 @@
    dissertation's evaluation (see DESIGN.md's per-experiment index) and
    times the core algorithms with Bechamel.
 
-   Usage: main.exe [--skip-bechamel] [--only PREFIX]
-   e.g. --only ch4 runs only the Chapter 4 experiments. *)
+   Usage: main.exe [--skip-bechamel] [--only PREFIX] [--json FILE]
+   e.g. --only ch4 runs only the Chapter 4 experiments; --json FILE skips
+   the tables and instead writes one machine-readable record per flow
+   (wall time plus solver counters, schema mcs-bench/1) to FILE. *)
 
 open Mcs_cdfg
 open Mcs_core
@@ -589,14 +591,91 @@ let bechamel () =
     ~header:[ "Algorithm"; "time" ]
     (List.sort compare !rows)
 
+(* ---- Machine-readable benchmark mode ---- *)
+
+module J = Mcs_obs.Report_json
+
+(* One representative configuration per flow; counters are reset before
+   each so every record's metrics are that flow's own. *)
+let json_report path =
+  let record name design rate run =
+    Mcs_obs.Metrics.reset ();
+    let t0 = Unix.gettimeofday () in
+    let r = run () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let status, fields =
+      match r with
+      | Ok fields -> ([ ("status", J.Str "ok") ], fields)
+      | Error m -> ([ ("status", J.Str "error"); ("error", J.Str m) ], [])
+    in
+    J.Obj
+      ([
+         ("flow", J.Str name);
+         ("design", J.Str design);
+         ("rate", J.Int rate);
+       ]
+      @ status
+      @ [ ("wall_s", J.Float wall) ]
+      @ fields
+      @ [ ("metrics", J.metrics ()) ])
+  in
+  let result sched pins =
+    [
+      ("pins_total", J.Int (Mcs_util.Listx.sum snd pins));
+      ("pipe_length", J.Int (Sched.pipe_length sched));
+    ]
+  in
+  let flows =
+    [
+      record "ch3" "ar-simple" 2 (fun () ->
+          match Simple_part.run (Benchmarks.ar_simple ()) ~rate:2 with
+          | Error m -> Error m
+          | Ok r -> Ok (result r.schedule r.pins_needed));
+      record "ch4" "ar-general" 3 (fun () ->
+          match
+            Pre_connect.run_design (Benchmarks.ar_general ()) ~rate:3
+              ~mode:C.Unidir
+          with
+          | Error m -> Error m
+          | Ok r -> Ok (result r.schedule r.pins));
+      record "ch5" "ar-general" 4 (fun () ->
+          match
+            Post_connect.run_design (Benchmarks.ar_general ()) ~rate:4
+              ~pipe_length:9 ~mode:C.Bidir
+          with
+          | Error m -> Error m
+          | Ok r -> Ok (result r.schedule r.pins));
+      record "ch6" "ar-general" 3 (fun () ->
+          match Subbus.run_design (Benchmarks.ar_general ()) ~rate:3 with
+          | Error m -> Error m
+          | Ok t -> Ok (result t.schedule t.pins));
+    ]
+  in
+  let report =
+    J.Obj [ ("schema", J.Str "mcs-bench/1"); ("flows", J.Arr flows) ]
+  in
+  match J.write_file path report with
+  | Ok () ->
+      Format.fprintf fmt "wrote %s@." path;
+      0
+  | Error m ->
+      Format.eprintf "cannot write %s: %s@." path m;
+      1
+
 let () =
   let args = Array.to_list Sys.argv in
+  let json_file = ref None in
   List.iteri
     (fun i a ->
       if a = "--only" && i + 1 < List.length args then
         only := List.nth args (i + 1);
+      if a = "--json" && i + 1 < List.length args then
+        json_file := Some (List.nth args (i + 1));
       if a = "--skip-bechamel" then skip_bechamel := true)
     args;
+  match !json_file with
+  | Some path -> exit (json_report path)
+  | None ->
   if want "ch3" then ch3 ();
   if want "ch4" then ch4 ();
   if want "ch5" then ch5 ();

@@ -4,12 +4,14 @@
      mcs-synth --design ar-general --rate 4 --flow ch4 --ports bidir
      mcs-synth --design ar-simple  --rate 2 --flow ch3
      mcs-synth --design elliptic   --rate 5 --flow ch5 --pipe-length 25
-     mcs-synth --design ar-general --rate 3 --flow ch6
+     mcs-synth --design ar-general --rate 3 --flow ch6 --metrics
+     mcs-synth --design ar-general --rate 3 --flow ch4 --json run.json
      mcs-synth --list *)
 
 open Mcs_cdfg
 open Mcs_core
 module C = Mcs_connect.Connection
+module J = Mcs_obs.Report_json
 
 let fmt = Format.std_formatter
 
@@ -40,22 +42,41 @@ let pins_table (d : Benchmarks.design) pins =
          (Mcs_util.Listx.range 0 (Cdfg.n_partitions d.Benchmarks.cdfg + 1)))
     [ Report.pins_row pins ]
 
+let pins_json pins =
+  J.Arr
+    (List.map
+       (fun (p, n) -> J.Obj [ ("partition", J.Int p); ("pins", J.Int n) ])
+       pins)
+
+(* Every flow reports its exit rendering plus the machine-readable result
+   fields and the schedule the pin-ILP cross-check replays. *)
+type flow_output = {
+  fields : (string * J.t) list;
+  schedule : Mcs_sched.Schedule.t;
+}
+
 let run_ch3 d ~rate =
   match Simple_part.run d ~rate with
-  | Error m ->
-      Format.fprintf fmt "synthesis failed: %s@." m;
-      1
+  | Error m -> Error m
   | Ok r ->
       Format.fprintf fmt "Schedule:@.%a@.@." Report.schedule r.schedule;
       Format.fprintf fmt "Theorem 3.1 connection:@.%a@.@." Report.bundles r.links;
       pins_table d r.pins_needed;
-      0
+      Ok
+        {
+          fields =
+            [
+              ("pins", pins_json r.pins_needed);
+              ( "pipe_length",
+                J.Int (Mcs_sched.Schedule.pipe_length r.schedule) );
+              ("bundles", J.Int (List.length r.links));
+            ];
+          schedule = r.schedule;
+        }
 
 let run_ch4 d ~rate ~mode =
   match Pre_connect.run_design d ~rate ~mode with
-  | Error m ->
-      Format.fprintf fmt "synthesis failed: %s@." m;
-      1
+  | Error m -> Error m
   | Ok r ->
       Format.fprintf fmt "Interchip connection:@.%a@.@."
         (Report.connection d.Benchmarks.cdfg)
@@ -71,13 +92,26 @@ let run_ch4 d ~rate ~mode =
         (match r.static_pipe_length with
         | Some n -> string_of_int n
         | None -> "unschedulable");
-      0
+      Ok
+        {
+          fields =
+            [
+              ("pins", pins_json r.pins);
+              ( "pipe_length",
+                J.Int (Mcs_sched.Schedule.pipe_length r.schedule) );
+              ( "static_pipe_length",
+                match r.static_pipe_length with
+                | Some n -> J.Int n
+                | None -> J.Null );
+              ("buses", J.Int (C.n_buses r.connection));
+              ("slot_cap", J.Int r.slot_cap);
+            ];
+          schedule = r.schedule;
+        }
 
 let run_ch5 d ~rate ~pipe_length ~mode =
   match Post_connect.run_design d ~rate ~pipe_length ~mode with
-  | Error m ->
-      Format.fprintf fmt "synthesis failed: %s@." m;
-      1
+  | Error m -> Error m
   | Ok r ->
       Format.fprintf fmt "Schedule (force-directed):@.%a@.@." Report.schedule
         r.schedule;
@@ -89,13 +123,31 @@ let run_ch5 d ~rate ~pipe_length ~mode =
       List.iter
         (fun ((p, ty), n) -> Format.fprintf fmt "  P%d: %d %s@." p n ty)
         r.fus;
-      0
+      Ok
+        {
+          fields =
+            [
+              ("pins", pins_json r.pins);
+              ("pipe_length", J.Int pipe_length);
+              ("buses", J.Int (C.n_buses r.connection));
+              ( "fus",
+                J.Arr
+                  (List.map
+                     (fun ((p, ty), n) ->
+                       J.Obj
+                         [
+                           ("partition", J.Int p);
+                           ("optype", J.Str ty);
+                           ("count", J.Int n);
+                         ])
+                     r.fus) );
+            ];
+          schedule = r.schedule;
+        }
 
 let run_ch6 d ~rate =
   match Subbus.run_design d ~rate with
-  | Error m ->
-      Format.fprintf fmt "synthesis failed: %s@." m;
-      1
+  | Error m -> Error m
   | Ok t ->
       Format.fprintf fmt "Bus structure (with sub-buses):@.%a@.@."
         (Report.real_buses d.Benchmarks.cdfg)
@@ -104,9 +156,73 @@ let run_ch6 d ~rate =
       pins_table d t.pins;
       Format.fprintf fmt "@.pipe length: %d@."
         (Mcs_sched.Schedule.pipe_length t.schedule);
-      0
+      Ok
+        {
+          fields =
+            [
+              ("pins", pins_json t.pins);
+              ( "pipe_length",
+                J.Int (Mcs_sched.Schedule.pipe_length t.schedule) );
+              ( "static_pipe_length",
+                match t.static_pipe_length with
+                | Some n -> J.Int n
+                | None -> J.Null );
+              ("buses", J.Int (List.length t.real_buses));
+              ( "split_buses",
+                J.Int
+                  (List.length
+                     (List.filter
+                        (fun (b : Subbus.real_bus) -> b.split_at <> None)
+                        t.real_buses)) );
+            ];
+          schedule = t.schedule;
+        }
 
-let synth design flow rate pipe_length ports listing =
+(* Under --metrics, replay the final schedule through the Chapter 3
+   dedicated-port pin-allocation ILP with every I/O operation fixed at its
+   scheduled control-step group.  The verdict compares the flow's shared
+   buses against the dedicated-port model at the same schedule, and the
+   solve drives the simplex and branch-and-bound counters for every flow. *)
+let ilp_cross_check d cons ~rate sched =
+  let cdfg = d.Benchmarks.cdfg in
+  let fixed =
+    List.map
+      (fun op -> (op, Mcs_sched.Schedule.group sched op))
+      (Cdfg.io_ops cdfg)
+  in
+  match Simple_part.Pin_ilp.feasible cdfg cons ~rate ~fixed with
+  | ok ->
+      Format.fprintf fmt
+        "@.pin-allocation ILP cross-check (dedicated ports): %s@."
+        (if ok then "feasible" else "infeasible")
+  | exception e ->
+      Format.fprintf fmt "@.pin-allocation ILP cross-check: skipped (%s)@."
+        (Printexc.to_string e)
+
+let cons_for flow d ~rate ~mode =
+  match flow with
+  | "ch3" -> Benchmarks.constraints_for d ~rate
+  | "ch6" -> Benchmarks.constraints_for_bidir d ~rate
+  | _ -> (
+      match mode with
+      | C.Unidir -> Benchmarks.constraints_for d ~rate
+      | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate)
+
+let synth design flow rate pipe_length ports listing trace metrics json_file
+    log_level =
+  (match log_level with
+  | None -> ()
+  | Some s -> (
+      match Mcs_obs.Log.level_of_string s with
+      | Some l -> Mcs_obs.Log.set_level l
+      | None ->
+          Mcs_obs.Log.warn "unknown log level %S (debug|info|warn|error|quiet)"
+            s));
+  (match trace with
+  | None -> ()
+  | Some "tree" -> Mcs_obs.Trace.set_sink (Mcs_obs.Trace.Tree Format.err_formatter)
+  | Some "json" -> Mcs_obs.Trace.set_sink (Mcs_obs.Trace.Jsonl Format.err_formatter)
+  | Some m -> Mcs_obs.Log.warn "unknown trace mode %S (tree|json)" m);
   if listing then list_designs ()
   else
     match List.assoc_opt design designs with
@@ -114,28 +230,84 @@ let synth design flow rate pipe_length ports listing =
         Format.fprintf fmt
           "unknown design %S (use --list to see what is available)@." design;
         2
-    | Some mk -> (
+    | Some mk ->
         let d = mk () in
         let rate =
           match rate with Some r -> r | None -> List.hd d.Benchmarks.rates
         in
         let mode = if ports = "bidir" then C.Bidir else C.Unidir in
-        match flow with
-        | "ch3" -> run_ch3 d ~rate
-        | "ch4" -> run_ch4 d ~rate ~mode
-        | "ch5" ->
-            let pl =
-              match pipe_length with
-              | Some pl -> pl
-              | None ->
-                  Timing.critical_path_csteps d.Benchmarks.cdfg
-                    d.Benchmarks.mlib
-            in
-            run_ch5 d ~rate ~pipe_length:pl ~mode
-        | "ch6" -> run_ch6 d ~rate
-        | f ->
-            Format.fprintf fmt "unknown flow %S (ch3|ch4|ch5|ch6)@." f;
-            2)
+        let bad_flow = ref false in
+        Mcs_obs.Metrics.reset ();
+        if json_file <> None then begin
+          Mcs_obs.Trace.reset_collected ();
+          Mcs_obs.Trace.set_collect true
+        end;
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          (* A flow that rejects its input (e.g. ch3 on a non-simple
+             partitioning) raises; fold that into the run outcome so
+             [--json] still produces a report with status "error". *)
+          try
+            match flow with
+            | "ch3" -> run_ch3 d ~rate
+            | "ch4" -> run_ch4 d ~rate ~mode
+            | "ch5" ->
+                let pl =
+                  match pipe_length with
+                  | Some pl -> pl
+                  | None ->
+                      Timing.critical_path_csteps d.Benchmarks.cdfg
+                        d.Benchmarks.mlib
+                in
+                run_ch5 d ~rate ~pipe_length:pl ~mode
+            | "ch6" -> run_ch6 d ~rate
+            | f ->
+                Format.fprintf fmt "unknown flow %S (ch3|ch4|ch5|ch6)@." f;
+                bad_flow := true;
+                Error "unknown flow"
+          with
+          | Invalid_argument m | Failure m -> Error m
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        if !bad_flow then 2
+        else begin
+          let code =
+            match outcome with
+            | Ok _ -> 0
+            | Error m ->
+                Format.fprintf fmt "synthesis failed: %s@." m;
+                1
+          in
+          if metrics then begin
+            (match outcome with
+            | Ok fo ->
+                ilp_cross_check d (cons_for flow d ~rate ~mode) ~rate
+                  fo.schedule
+            | Error _ -> ());
+            Format.fprintf fmt "@.%a" Mcs_obs.Metrics.pp_summary ()
+          end;
+          let json_code =
+            match json_file with
+            | None -> 0
+            | Some path -> (
+                let status =
+                  match outcome with Ok _ -> `Ok | Error m -> `Error m
+                in
+                let result =
+                  match outcome with Ok fo -> fo.fields | Error _ -> []
+                in
+                let report =
+                  J.run_report ~flow ~design ~rate ~status ~wall_s:wall
+                    ~result ()
+                in
+                match J.write_file path report with
+                | Ok () -> 0
+                | Error m ->
+                    Format.eprintf "cannot write %s: %s@." path m;
+                    3)
+          in
+          if code <> 0 then code else json_code
+        end
 
 open Cmdliner
 
@@ -164,6 +336,33 @@ let ports =
 let listing =
   Arg.(value & flag & info [ "list"; "l" ] ~doc:"List the bundled designs.")
 
+let trace =
+  Arg.(value & opt ~vopt:(Some "tree") (some string) None
+       & info [ "trace" ] ~docv:"MODE"
+           ~doc:"Emit per-phase timing spans to stderr: $(b,tree) (indented \
+                 summary, the default when no MODE is given) or $(b,json) \
+                 (one JSON object per span).")
+
+let metrics =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print solver counters (simplex pivots, branch-and-bound \
+                 nodes, search backtracks, ...) after synthesis, and run the \
+                 dedicated-port pin-allocation ILP cross-check on the final \
+                 schedule.")
+
+let json_file =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write a machine-readable run report (schema mcs-run/1) with \
+               status, result, per-phase wall times and solver metrics to \
+               $(docv).")
+
+let log_level =
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LVL"
+         ~doc:"Diagnostic verbosity: debug, info, warn (default), error or \
+               quiet.  The $(b,MCS_LOG) environment variable sets the same \
+               threshold.")
+
 let cmd =
   let doc = "high-level synthesis with pin constraints for multiple-chip designs" in
   let info =
@@ -180,6 +379,9 @@ let cmd =
              sharing.";
         ]
   in
-  Cmd.v info Term.(const synth $ design $ flow $ rate $ pipe_length $ ports $ listing)
+  Cmd.v info
+    Term.(
+      const synth $ design $ flow $ rate $ pipe_length $ ports $ listing
+      $ trace $ metrics $ json_file $ log_level)
 
 let () = exit (Cmd.eval' cmd)

@@ -61,7 +61,10 @@ let earliest cdfg mlib ~order ~preds =
 let asap cdfg mlib =
   earliest cdfg mlib ~order:(Cdfg.topo_order cdfg) ~preds:(Cdfg.preds cdfg)
 
+let m_cp_evals = Mcs_obs.Metrics.counter "timing.critical_path_evals"
+
 let critical_path_csteps cdfg mlib =
+  Mcs_obs.Metrics.incr m_cp_evals;
   let a = asap cdfg mlib in
   let worst = ref 0 in
   List.iter

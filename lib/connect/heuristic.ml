@@ -1,4 +1,10 @@
 open Mcs_cdfg
+module M = Mcs_obs.Metrics
+
+let m_searches = M.counter "heuristic.searches"
+let m_nodes = M.counter "heuristic.nodes"
+let m_backtracks = M.counter "heuristic.backtracks"
+let m_budget_exhausted = M.counter "heuristic.budget_exhausted"
 
 type result = {
   conn : Connection.t;
@@ -162,11 +168,13 @@ let search cdfg cons ~rate ~mode ?slot_cap ?(branching = 2)
     in
     List.for_all ok (Mcs_util.Listx.range 0 (n_partitions + 1))
   in
+  M.incr m_searches;
   let nodes = ref 0 in
   let rec assign_nodes = function
     | [] -> true
     | w :: rest ->
         incr nodes;
+        M.incr m_nodes;
         if !nodes > max_nodes then raise Budget_exhausted;
         let src = Cdfg.io_src cdfg w
         and dst = Cdfg.io_dst cdfg w
@@ -198,6 +206,7 @@ let search cdfg cons ~rate ~mode ?slot_cap ?(branching = 2)
           unassigned_bits.(dst) <- unassigned_bits.(dst) - width;
           if viable () && assign_nodes rest then true
           else begin
+            M.incr m_backtracks;
             unassigned_bits.(src) <- unassigned_bits.(src) + width;
             unassigned_bits.(dst) <- unassigned_bits.(dst) + width;
             Hashtbl.remove assigned w;
@@ -219,6 +228,7 @@ let search cdfg cons ~rate ~mode ?slot_cap ?(branching = 2)
   in
   match assign_nodes ops with
   | exception Budget_exhausted ->
+      M.incr m_budget_exhausted;
       Error "Heuristic.search: node budget exhausted"
   | false ->
       Error

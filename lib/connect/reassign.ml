@@ -1,4 +1,10 @@
 open Mcs_cdfg
+module M = Mcs_obs.Metrics
+
+let m_plans = M.counter "reassign.plans"
+let m_repacks = M.counter "reassign.repacks"
+let m_repack_failures = M.counter "reassign.repack_failures"
+let m_retargets = M.counter "reassign.retargets"
 
 type entry = { value : string; at_cstep : int; mutable entry_ops : Types.op_id list }
 
@@ -71,6 +77,7 @@ let slot_status t op ~cstep h =
    {e slot demands}: one vertex per value when all its operations share a
    capable bus, individual vertices otherwise. *)
 let repack t ~except ~consumed_bus =
+  M.incr m_repacks;
   let ops =
     List.filter
       (fun w -> (not (Hashtbl.mem t.committed w)) && w <> except)
@@ -144,7 +151,10 @@ let repack t ~except ~consumed_bus =
       | _ -> ())
     demands;
   let size = Mcs_graph.Bipartite.max_matching bip in
-  if size < Array.length demands then None
+  if size < Array.length demands then begin
+    M.incr m_repack_failures;
+    None
+  end
   else
     Some
       (List.concat
@@ -156,6 +166,7 @@ let repack t ~except ~consumed_bus =
             (Array.to_list demands)))
 
 let make_plan t op ~cstep =
+  M.incr m_plans;
   let candidates =
     (* Paper's order: the tentatively assigned bus first; a same-value slot
        costs nothing; among the remaining free buses, prefer the one with
@@ -228,7 +239,11 @@ let hook t =
           { value = Cdfg.io_value t.cdfg op; at_cstep = cstep; entry_ops = [ op ] });
     Hashtbl.remove t.tentative op;
     Hashtbl.replace t.committed op p.plan_bus;
-    List.iter (fun (w, h) -> Hashtbl.replace t.tentative w h) p.plan_retarget
+    List.iter
+      (fun (w, h) ->
+        if Hashtbl.find_opt t.tentative w <> Some h then M.incr m_retargets;
+        Hashtbl.replace t.tentative w h)
+      p.plan_retarget
   in
   { Mcs_sched.List_sched.io_can; io_commit }
 

@@ -99,10 +99,16 @@ let build_connection cdfg ~mode cls =
   (conn, List.sort compare !assignment)
 
 let run cdfg mlib ~rate ~pipe_length ~mode () =
-  match Mcs_sched.Fds.run cdfg mlib ~rate ~pipe_length () with
+  match
+    Mcs_obs.Trace.with_span "ch5.fds" (fun () ->
+        Mcs_sched.Fds.run cdfg mlib ~rate ~pipe_length ())
+  with
   | Error m -> Error m
   | Ok schedule ->
-      let cls = cliques schedule ~mode in
+      let cls =
+        Mcs_obs.Trace.with_span "ch5.clique_partition" (fun () ->
+            cliques schedule ~mode)
+      in
       let connection, assignment = build_connection cdfg ~mode cls in
       let pins =
         List.map

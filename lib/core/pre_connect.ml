@@ -16,11 +16,18 @@ type t = {
 }
 
 let attempt cdfg mlib cons ~rate ~mode ~branching ~slot_cap =
-  match H.search cdfg cons ~rate ~mode ~slot_cap ~branching () with
+  match
+    Mcs_obs.Trace.with_span "ch4.search"
+      ~attrs:[ ("slot_cap", string_of_int slot_cap) ]
+      (fun () -> H.search cdfg cons ~rate ~mode ~slot_cap ~branching ())
+  with
   | Error m -> Error m
   | Ok res -> (
       let dyn = R.create cdfg res.H.conn ~rate ~initial:res.H.assign ~dynamic:true in
-      match LS.run cdfg mlib cons ~rate ~io_hook:(R.hook dyn) () with
+      match
+        Mcs_obs.Trace.with_span "ch4.schedule" (fun () ->
+            LS.run cdfg mlib cons ~rate ~io_hook:(R.hook dyn) ())
+      with
       | Error f ->
           Error
             (Printf.sprintf "scheduling failed at cstep %d: %s"
@@ -29,13 +36,14 @@ let attempt cdfg mlib cons ~rate ~mode ~branching ~slot_cap =
           (* Paper's comparison baseline: same connection, static
              assignment. *)
           let static_pipe_length =
-            let st =
-              R.create cdfg res.H.conn ~rate ~initial:res.H.assign
-                ~dynamic:false
-            in
-            match LS.run cdfg mlib cons ~rate ~io_hook:(R.hook st) () with
-            | Ok s -> Some (Mcs_sched.Schedule.pipe_length s)
-            | Error _ -> None
+            Mcs_obs.Trace.with_span "ch4.static_baseline" (fun () ->
+                let st =
+                  R.create cdfg res.H.conn ~rate ~initial:res.H.assign
+                    ~dynamic:false
+                in
+                match LS.run cdfg mlib cons ~rate ~io_hook:(R.hook st) () with
+                | Ok s -> Some (Mcs_sched.Schedule.pipe_length s)
+                | Error _ -> None)
           in
           let pins =
             List.mapi

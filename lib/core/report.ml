@@ -1,27 +1,40 @@
 open Mcs_cdfg
 
 let table ppf ~title ~header rows =
-  let cols = List.length header in
-  let widths = Array.make cols 0 in
-  let measure row =
-    List.iteri
-      (fun i cell ->
-        if i < cols then widths.(i) <- max widths.(i) (String.length cell))
-      row
+  (* Column count is the widest of the header and every row, so ragged
+     input renders instead of raising; missing cells are blank. *)
+  let cols =
+    List.fold_left
+      (fun acc row -> max acc (List.length row))
+      (List.length header) rows
   in
-  measure header;
-  List.iter measure rows;
-  let pad i cell =
-    let missing = widths.(i) - String.length cell in
-    cell ^ String.make (max 0 missing) ' '
-  in
-  let render row = String.concat "  " (List.mapi pad row) in
-  let rule =
-    String.make (Array.fold_left ( + ) (2 * (cols - 1)) widths) '-'
-  in
-  Format.fprintf ppf "@[<v>%s@,%s@,%s@," title (render header) rule;
-  List.iter (fun row -> Format.fprintf ppf "%s@," (render row)) rows;
-  Format.fprintf ppf "@]"
+  if cols = 0 then Format.fprintf ppf "@[<v>%s@,@]" title
+  else begin
+    let widths = Array.make cols 0 in
+    let measure row =
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row
+    in
+    measure header;
+    List.iter measure rows;
+    let pad i cell =
+      let missing = widths.(i) - String.length cell in
+      cell ^ String.make (max 0 missing) ' '
+    in
+    let fill row =
+      row @ List.init (cols - List.length row) (fun _ -> "")
+    in
+    let render row = String.concat "  " (List.mapi pad (fill row)) in
+    let rule =
+      String.make
+        (max 1 (Array.fold_left ( + ) (2 * (cols - 1)) widths))
+        '-'
+    in
+    Format.fprintf ppf "@[<v>%s@,%s@,%s@," title (render header) rule;
+    List.iter (fun row -> Format.fprintf ppf "%s@," (render row)) rows;
+    Format.fprintf ppf "@]"
+  end
 
 let schedule ppf sched = Mcs_sched.Schedule.pp ppf sched
 

@@ -412,13 +412,19 @@ let run ?method_ (design : Benchmarks.design) ~rate =
     invalid_arg "Simple_part.run: partitioning is not simple";
   let cons = Benchmarks.constraints_for design ~rate in
   let io_hook = hook ?method_ cdfg cons ~rate in
-  match Mcs_sched.List_sched.run cdfg mlib cons ~rate ~io_hook () with
+  match
+    Mcs_obs.Trace.with_span "ch3.schedule" (fun () ->
+        Mcs_sched.List_sched.run cdfg mlib cons ~rate ~io_hook ())
+  with
   | Error f ->
       Error
         (Printf.sprintf "scheduling failed at control step %d: %s"
            f.Mcs_sched.List_sched.at_cstep f.Mcs_sched.List_sched.reason)
   | Ok schedule -> (
-      let links = Theorem31.connect schedule in
+      let links =
+        Mcs_obs.Trace.with_span "ch3.connect" (fun () ->
+            Theorem31.connect schedule)
+      in
       match Theorem31.check schedule links with
       | Error m -> Error ("Theorem 3.1 connection check failed: " ^ m)
       | Ok () ->

@@ -2,6 +2,13 @@ open Mcs_cdfg
 module C = Mcs_connect.Connection
 module R = Mcs_connect.Reassign
 module LS = Mcs_sched.List_sched
+module M = Mcs_obs.Metrics
+module Log = Mcs_obs.Log
+
+let m_attempts = M.counter "subbus.attempts"
+let m_search_nodes = M.counter "subbus.search_nodes"
+let m_backtracks = M.counter "subbus.backtracks"
+let m_retired = M.counter "subbus.retired_buses"
 
 type sub = Lo | Hi | Whole
 
@@ -189,6 +196,7 @@ let search cdfg cons ~rate ?slot_cap () =
     | [] -> true
     | op :: rest ->
         incr nodes;
+        M.incr m_search_nodes;
         if !nodes > max_nodes then false
         else begin
           let width = Cdfg.io_width cdfg op in
@@ -302,6 +310,7 @@ let search cdfg cons ~rate ?slot_cap () =
             commit b op slice;
             if pins_viable (Hashtbl.mem assigned_to) && assign_rec rest then true
             else begin
+              M.incr m_backtracks;
               b.split <- saved_split;
               b.assigned <- saved_assigned;
               b.sports.(src) <- saved_src;
@@ -334,6 +343,7 @@ let search cdfg cons ~rate ?slot_cap () =
           commit b op Whole;
           if pins_viable (Hashtbl.mem assigned_to) && assign_rec rest then true
           else begin
+            M.incr m_backtracks;
             buses := List.filter (fun b' -> b' != b) !buses;
             pins_used.(src) <- pins_used.(src) - width;
             pins_used.(dst) <- pins_used.(dst) - width;
@@ -397,6 +407,7 @@ let search cdfg cons ~rate ?slot_cap () =
         allow_fresh := true;
         cap_limit := slot_cap;
         if ok then begin
+          M.incr m_retired;
           improved := true;
           true
         end
@@ -415,8 +426,7 @@ let search cdfg cons ~rate ?slot_cap () =
       Ok ()
     end
     else begin
-      if Sys.getenv_opt "MCS_DEBUG" <> None then
-        Printf.eprintf "[subbus] search failed after %d nodes\n%!" !nodes;
+      Log.debug "[subbus] search failed after %d nodes" !nodes;
       Error
         "Subbus.search: cannot place the I/O operations within the pin \
          budgets"
@@ -659,7 +669,12 @@ let allocation_of st =
   List.sort compare !rows
 
 let attempt cdfg mlib cons ~rate ~slot_cap ~dynamic =
-  match search cdfg cons ~rate ~slot_cap () with
+  M.incr m_attempts;
+  match
+    Mcs_obs.Trace.with_span "ch6.search"
+      ~attrs:[ ("slot_cap", string_of_int slot_cap) ]
+      (fun () -> search cdfg cons ~rate ~slot_cap ())
+  with
   | Error m -> Error m
   | Ok (real, assignment) -> (
       let st, hook = subbus_hook cdfg ~rate real assignment in
@@ -707,14 +722,16 @@ let attempt cdfg mlib cons ~rate ~slot_cap ~dynamic =
                 | None -> invalid_arg "Subbus: static commit without slot");
           }
       in
-      match LS.run cdfg mlib cons ~rate ~io_hook:hook () with
+      match
+        Mcs_obs.Trace.with_span "ch6.schedule" (fun () ->
+            LS.run cdfg mlib cons ~rate ~io_hook:hook ())
+      with
       | Error f ->
-          if Sys.getenv_opt "MCS_DEBUG" <> None then
+          if Log.enabled Log.Debug then
             List.iter
               (fun op ->
                 if not (Mcs_sched.Schedule.is_scheduled f.LS.partial op) then
-                  Printf.eprintf "[subbus] unscheduled: %s\n%!"
-                    (Cdfg.name cdfg op))
+                  Log.debug "[subbus] unscheduled: %s" (Cdfg.name cdfg op))
               (Cdfg.ops cdfg);
           Error
             (Printf.sprintf "scheduling failed at cstep %d: %s" f.LS.at_cstep
@@ -759,12 +776,11 @@ let run cdfg mlib cons ~rate () =
       (fun cap ->
         match attempt cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:true with
         | Ok (t, _) ->
-            if Sys.getenv_opt "MCS_DEBUG" <> None then
-              Printf.eprintf "[subbus] cap=%d: pins=%d pipe=%d splits=%d\n%!"
-                cap (total_pins t)
-                (Mcs_sched.Schedule.pipe_length t.schedule)
-                (List.length
-                   (List.filter (fun b -> b.split_at <> None) t.real_buses));
+            Log.debug "[subbus] cap=%d: pins=%d pipe=%d splits=%d" cap
+              (total_pins t)
+              (Mcs_sched.Schedule.pipe_length t.schedule)
+              (List.length
+                 (List.filter (fun b -> b.split_at <> None) t.real_buses));
             let static_pipe_length =
               match
                 attempt cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:false
@@ -774,8 +790,7 @@ let run cdfg mlib cons ~rate () =
             in
             Some { t with static_pipe_length }
         | Error m ->
-            if Sys.getenv_opt "MCS_DEBUG" <> None then
-              Printf.eprintf "[subbus] cap=%d: %s\n%!" cap m;
+            Log.debug "[subbus] cap=%d: %s" cap m;
             None)
       (List.rev (Mcs_util.Listx.range 1 (rate + 1)))
   in

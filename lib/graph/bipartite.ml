@@ -60,8 +60,15 @@ let force_pair t ~left ~right =
   t.ml.(left) <- right;
   t.mr.(right) <- left
 
+module M = Mcs_obs.Metrics
+
+let m_attempts = M.counter "bipartite.augment_attempts"
+let m_success = M.counter "bipartite.augment_success"
+let m_fail = M.counter "bipartite.augment_fail"
+
 (* One Kuhn phase from [l]: DFS over alternating paths. *)
 let augment_from t l =
+  M.incr m_attempts;
   let visited = Array.make t.n_right false in
   let rec dfs l =
     let try_right r =
@@ -78,7 +85,9 @@ let augment_from t l =
     in
     List.exists try_right (List.rev t.adj.(l))
   in
-  dfs l
+  let ok = dfs l in
+  M.incr (if ok then m_success else m_fail);
+  ok
 
 let try_augment t ~left =
   check_l t left;

@@ -4,19 +4,28 @@
 
 let inf = max_int / 4
 
+module M = Mcs_obs.Metrics
+
+let m_solves = M.counter "hungarian.solves"
+let m_augmentations = M.counter "hungarian.augmentations"
+let m_relabel_passes = M.counter "hungarian.relabel_passes"
+
 let solve_rect cost n m =
   (* n rows, m columns, n <= m; returns row -> column. *)
+  M.incr m_solves;
   let u = Array.make (n + 1) 0 in
   let v = Array.make (m + 1) 0 in
   let p = Array.make (m + 1) 0 in
   let way = Array.make (m + 1) 0 in
   for i = 1 to n do
+    M.incr m_augmentations;
     p.(0) <- i;
     let j0 = ref 0 in
     let minv = Array.make (m + 1) inf in
     let used = Array.make (m + 1) false in
     let continue = ref true in
     while !continue do
+      M.incr m_relabel_passes;
       used.(!j0) <- true;
       let i0 = p.(!j0) in
       let delta = ref inf in

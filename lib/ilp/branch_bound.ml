@@ -1,4 +1,13 @@
 module R = Mcs_util.Ratio
+module M = Mcs_obs.Metrics
+
+let m_solves = M.counter "bb.solves"
+let m_nodes = M.counter "bb.nodes"
+let m_prune_infeasible = M.counter "bb.prune_infeasible"
+let m_prune_bound = M.counter "bb.prune_bound"
+let m_incumbents = M.counter "bb.incumbents"
+let m_node_limit = M.counter "bb.node_limit"
+let g_depth_peak = M.gauge "bb.depth_peak"
 
 type result =
   | Optimal of Simplex.solution
@@ -27,6 +36,7 @@ let unit_row n i coef =
 let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
   if Array.length integer <> p.n_vars then
     invalid_arg "Branch_bound.solve: integer mask length mismatch";
+  M.incr m_solves;
   let incumbent = ref None in
   let nodes = ref 0 in
   let hit_limit = ref false in
@@ -41,11 +51,16 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
     if !hit_limit then ()
     else begin
       incr nodes;
-      if !nodes > max_nodes then hit_limit := true
+      M.incr m_nodes;
+      M.set_max g_depth_peak (float_of_int depth);
+      if !nodes > max_nodes then begin
+        hit_limit := true;
+        M.incr m_node_limit
+      end
       else
         let problem = { p with Simplex.rows = p.rows @ extra } in
         match Simplex.solve problem with
-        | Simplex.Infeasible -> ()
+        | Simplex.Infeasible -> M.incr m_prune_infeasible
         | Simplex.Unbounded ->
             (* Only possible at the root (children only tighten bounds on
                integer variables, but a still-unbounded child means the
@@ -53,9 +68,12 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
             if depth = 0 then root_unbounded := true
             else root_unbounded := true
         | Simplex.Optimal sol ->
-            if better sol.value then begin
+            if not (better sol.value) then M.incr m_prune_bound
+            else begin
               match first_fractional ~integer sol with
-              | None -> incumbent := Some (sol.value, sol)
+              | None ->
+                  M.incr m_incumbents;
+                  incumbent := Some (sol.value, sol)
               | Some i ->
                   let f = R.floor sol.x.(i) in
                   let le =

@@ -1,3 +1,9 @@
+module M = Mcs_obs.Metrics
+
+let m_solves = M.counter "gomory.solves"
+let m_cuts = M.counter "gomory.cuts"
+let m_gave_up = M.counter "gomory.gave_up"
+
 type result =
   | Optimal of Simplex.solution
   | Infeasible
@@ -5,6 +11,7 @@ type result =
   | Gave_up
 
 let solve ?(max_cuts = 500) p =
+  M.incr m_solves;
   match Simplex.Tab.of_problem p with
   | `Infeasible -> Infeasible
   | `Unbounded -> Unbounded
@@ -12,8 +19,11 @@ let solve ?(max_cuts = 500) p =
       let rec refine cuts =
         match Simplex.Tab.fractional_basic t with
         | None -> Optimal (Simplex.Tab.solution t)
-        | Some _ when cuts >= max_cuts -> Gave_up
+        | Some _ when cuts >= max_cuts ->
+            M.incr m_gave_up;
+            Gave_up
         | Some row -> (
+            M.incr m_cuts;
             Simplex.Tab.add_gomory_cut t row;
             match Simplex.Tab.reoptimize_dual t with
             | `Infeasible -> Infeasible

@@ -1,4 +1,16 @@
 module R = Mcs_util.Ratio
+module M = Mcs_obs.Metrics
+
+let m_solves = M.counter "simplex.solves"
+let m_pivots = M.counter "simplex.pivots"
+let m_degenerate = M.counter "simplex.degenerate_pivots"
+let m_primal_steps = M.counter "simplex.primal_steps"
+let m_dual_steps = M.counter "simplex.dual_steps"
+let m_cuts_added = M.counter "simplex.gomory_rows"
+
+let m_pivots_per_solve =
+  M.histogram "simplex.pivots_per_solve"
+    ~buckets:[| 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000 |]
 
 type rel = Le | Ge | Eq
 
@@ -67,6 +79,8 @@ let grow_rows t want =
 let pivot t r c =
   let piv = t.a.(r).(c) in
   assert (not (R.is_zero piv));
+  M.incr m_pivots;
+  if R.is_zero t.rhs.(r) then M.incr m_degenerate;
   let inv = R.inv piv in
   let row = t.a.(r) in
   for j = 0 to t.n - 1 do
@@ -92,6 +106,7 @@ let pivot t r c =
 (* Bland's rule: entering column = smallest eligible index; leaving row =
    lexicographic minimum ratio with smallest basic index as tie-break. *)
 let primal_step t =
+  M.incr m_primal_steps;
   let entering = ref (-1) in
   (try
      for j = 0 to t.n - 1 do
@@ -136,6 +151,7 @@ let rec primal_loop t =
 (* Dual simplex: leaving row = most negative rhs is the usual heuristic,
    but Bland-style smallest basic index guarantees termination. *)
 let dual_step t =
+  M.incr m_dual_steps;
   let leaving = ref (-1) in
   for i = t.m - 1 downto 0 do
     if R.sign t.rhs.(i) < 0 then
@@ -206,7 +222,7 @@ let delete_row t r =
 module Tab = struct
   type t = tab
 
-  let of_problem p =
+  let build p =
     if p.n_vars < 0 then invalid_arg "Simplex: negative n_vars";
     let rows = Array.of_list p.rows in
     let m = Array.length rows in
@@ -319,6 +335,13 @@ module Tab = struct
       | `Unbounded -> `Unbounded
     end
 
+  let of_problem p =
+    M.incr m_solves;
+    let pivots0 = M.count m_pivots in
+    let r = build p in
+    M.observe m_pivots_per_solve (M.count m_pivots - pivots0);
+    r
+
   let solution t =
     let x = Array.make t.n_struct R.zero in
     for i = 0 to t.m - 1 do
@@ -340,6 +363,7 @@ module Tab = struct
 
   let add_gomory_cut t r =
     if r < 0 || r >= t.m then invalid_arg "add_gomory_cut: bad row";
+    M.incr m_cuts_added;
     let f0 = R.frac t.rhs.(r) in
     if R.is_zero f0 then invalid_arg "add_gomory_cut: row is integral";
     (* Cut over the nonbasic variables:  sum_j frac(a_rj) x_j >= frac(b_r),

@@ -1,0 +1,52 @@
+type level = Debug | Info | Warn | Error | Quiet
+
+let severity = function
+  | Debug -> 0
+  | Info -> 1
+  | Warn -> 2
+  | Error -> 3
+  | Quiet -> 4
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+  | Quiet -> "quiet"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | "quiet" | "off" -> Some Quiet
+  | _ -> None
+
+let initial =
+  match Sys.getenv_opt "MCS_LOG" with
+  | Some s -> Option.value ~default:Warn (level_of_string s)
+  | None -> if Sys.getenv_opt "MCS_DEBUG" <> None then Debug else Warn
+
+let threshold = ref initial
+let set_level l = threshold := l
+let level () = !threshold
+let enabled l = l <> Quiet && severity l >= severity !threshold
+
+let out = Format.err_formatter
+
+let log l fmt =
+  if enabled l then begin
+    Format.fprintf out "[mcs:%s] " (level_to_string l);
+    Format.kfprintf
+      (fun ppf ->
+        Format.pp_print_newline ppf ();
+        Format.pp_print_flush ppf ())
+      out fmt
+  end
+  else Format.ifprintf out fmt
+
+let debug fmt = log Debug fmt
+let info fmt = log Info fmt
+let warn fmt = log Warn fmt
+let error fmt = log Error fmt

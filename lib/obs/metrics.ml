@@ -1,0 +1,152 @@
+type counter = { mutable c_count : int }
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  h_bounds : int array;
+  h_counts : int array; (* one slot per bound plus the overflow bucket *)
+  mutable h_sum : int;
+  mutable h_total : int;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : int array;
+      counts : int array;
+      sum : int;
+      total : int;
+    }
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let register name mk classify =
+  match Hashtbl.find_opt registry name with
+  | Some i -> classify i
+  | None ->
+      let i = mk () in
+      Hashtbl.add registry name i;
+      classify i
+
+let counter name =
+  register name
+    (fun () -> C { c_count = 0 })
+    (function
+      | C c -> c
+      | G _ | H _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter"))
+
+let gauge name =
+  register name
+    (fun () -> G { g_value = 0.0 })
+    (function
+      | G g -> g
+      | C _ | H _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge"))
+
+let histogram name ~buckets =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  register name
+    (fun () ->
+      {
+        h_bounds = Array.copy buckets;
+        h_counts = Array.make (Array.length buckets + 1) 0;
+        h_sum = 0;
+        h_total = 0;
+      }
+      |> fun h -> H h)
+    (function
+      | H h ->
+          if h.h_bounds <> buckets then
+            invalid_arg
+              ("Metrics.histogram: " ^ name
+             ^ " already registered with different buckets");
+          h
+      | C _ | G _ ->
+          invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram"))
+
+let incr ?(n = 1) c = c.c_count <- c.c_count + n
+let count c = c.c_count
+let set g v = g.g_value <- v
+let set_max g v = if v > g.g_value then g.g_value <- v
+
+let observe h v =
+  let nb = Array.length h.h_bounds in
+  let rec slot i = if i >= nb || v <= h.h_bounds.(i) then i else slot (i + 1) in
+  h.h_counts.(slot 0) <- h.h_counts.(slot 0) + 1;
+  h.h_sum <- h.h_sum + v;
+  h.h_total <- h.h_total + 1
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name i acc ->
+      let v =
+        match i with
+        | C c -> Counter c.c_count
+        | G g -> Gauge g.g_value
+        | H h ->
+            Histogram
+              {
+                bounds = Array.copy h.h_bounds;
+                counts = Array.copy h.h_counts;
+                sum = h.h_sum;
+                total = h.h_total;
+              }
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort compare
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c -> c.c_count <- 0
+      | G g -> g.g_value <- 0.0
+      | H h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0;
+          h.h_total <- 0)
+    registry
+
+let nonzero = function
+  | Counter 0 -> false
+  | Counter _ -> true
+  | Gauge g -> g <> 0.0
+  | Histogram { total; _ } -> total > 0
+
+let pp_summary ppf () =
+  let items = List.filter (fun (_, v) -> nonzero v) (snapshot ()) in
+  let width =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 6 items
+  in
+  Format.fprintf ppf "@[<v>%-*s  value@,%s@," width "metric"
+    (String.make (width + 7) '-');
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter c -> Format.fprintf ppf "%-*s  %d@," width name c
+      | Gauge g -> Format.fprintf ppf "%-*s  %g@," width name g
+      | Histogram { bounds; counts; sum; total } ->
+          let buckets =
+            String.concat " "
+              (List.mapi
+                 (fun i c ->
+                   let le =
+                     if i < Array.length bounds then
+                       string_of_int bounds.(i)
+                     else "inf"
+                   in
+                   Printf.sprintf "<=%s:%d" le c)
+                 (Array.to_list counts))
+          in
+          Format.fprintf ppf "%-*s  n=%d sum=%d [%s]@," width name total sum
+            buckets)
+    items;
+  Format.fprintf ppf "@]"

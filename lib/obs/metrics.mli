@@ -1,0 +1,62 @@
+(** Process-wide registry of solver counters, gauges and histograms.
+
+    Instruments the hot loops of the synthesis flows (simplex pivots,
+    branch-and-bound nodes, force evaluations, augmenting paths, ...).
+    Instruments are registered once at module-initialization time and
+    updated in place, so the hot-path cost of an update is a single
+    unboxed mutation — no allocation, no formatting, no branching on an
+    "enabled" flag.  Reading the registry ([snapshot], [pp_summary]) is
+    the only place any work happens. *)
+
+type counter
+(** Monotonically increasing event count. *)
+
+type gauge
+(** Last-written (or maximum) value of some quantity. *)
+
+type histogram
+(** Value distribution over fixed integer bucket boundaries. *)
+
+val counter : string -> counter
+(** [counter name] registers (or retrieves) the counter called [name].
+    Registration is idempotent: the same name always yields the same
+    instrument. *)
+
+val gauge : string -> gauge
+
+val histogram : string -> buckets:int array -> histogram
+(** [histogram name ~buckets] registers a histogram whose bucket upper
+    bounds are [buckets] (strictly increasing); an implicit overflow
+    bucket catches larger observations.  Raises [Invalid_argument] if
+    [buckets] is empty, not increasing, or disagrees with a previous
+    registration under the same name. *)
+
+val incr : ?n:int -> counter -> unit
+val count : counter -> int
+
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** [set_max g v] raises [g] to [v] if [v] is larger (peak tracking). *)
+
+val observe : histogram -> int -> unit
+
+(** Read-only view of one instrument, for reports. *)
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : int array;
+      counts : int array;  (** length [Array.length bounds + 1]; last = overflow *)
+      sum : int;
+      total : int;
+    }
+
+val snapshot : unit -> (string * value) list
+(** All registered instruments, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations persist).  Run
+    reports call this before a flow so counts are per-run. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Table of every instrument with a nonzero value. *)

@@ -1,0 +1,330 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* --- printing --- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      (* nan and infinities have no JSON spelling *)
+      if Float.is_finite f then Buffer.add_string b (float_repr f)
+      else Buffer.add_string b "null"
+  | Str s -> escape b s
+  | Arr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj l ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape b k;
+          Buffer.add_char b ':';
+          emit b v)
+        l;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  emit b v;
+  Buffer.contents b
+
+let rec pp ppf = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v ->
+      Format.pp_print_string ppf (to_string v)
+  | Arr [] -> Format.pp_print_string ppf "[]"
+  | Arr l ->
+      Format.fprintf ppf "@[<v 2>[@,%a@]@,]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+           pp)
+        l
+  | Obj [] -> Format.pp_print_string ppf "{}"
+  | Obj l ->
+      let field ppf (k, v) =
+        Format.fprintf ppf "%s: %a" (to_string (Str k)) pp v
+      in
+      Format.fprintf ppf "@[<v 2>{@,%a@]@,}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+           field)
+        l
+
+(* --- parsing --- *)
+
+exception Parse of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              (* Only the codepoints our printer emits (< 0x80). *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else fail "unsupported \\u escape";
+              pos := !pos + 4;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let acc = ref [ parse_value () ] in
+          let rec more () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                acc := parse_value () :: !acc;
+                more ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          more ();
+          Arr (List.rev !acc)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            (k, parse_value ())
+          in
+          let acc = ref [ field () ] in
+          let rec more () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                acc := field () :: !acc;
+                more ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          more ();
+          Obj (List.rev !acc)
+        end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse m -> Error m
+
+(* --- accessors --- *)
+
+let member key = function Obj l -> List.assoc_opt key l | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None
+
+(* --- report builders --- *)
+
+let metrics () =
+  Obj
+    (List.map
+       (fun (name, v) ->
+         let j =
+           match (v : Metrics.value) with
+           | Metrics.Counter c -> Int c
+           | Metrics.Gauge g -> Float g
+           | Metrics.Histogram { bounds; counts; sum; total } ->
+               Obj
+                 [
+                   ("count", Int total);
+                   ("sum", Int sum);
+                   ( "buckets",
+                     Arr
+                       (List.mapi
+                          (fun i c ->
+                            let le =
+                              if i < Array.length bounds then
+                                Int bounds.(i)
+                              else Str "inf"
+                            in
+                            Obj [ ("le", le); ("count", Int c) ])
+                          (Array.to_list counts)) );
+                 ]
+         in
+         (name, j))
+       (Metrics.snapshot ()))
+
+let phases () =
+  Arr
+    (List.map
+       (fun (name, (count, total)) ->
+         Obj
+           [
+             ("name", Str name);
+             ("count", Int count);
+             ("total_s", Float total);
+           ])
+       (Trace.collected ()))
+
+let run_report ~flow ~design ~rate ~status ?wall_s ?(result = []) () =
+  let status_fields =
+    match status with
+    | `Ok -> [ ("status", Str "ok") ]
+    | `Error m -> [ ("status", Str "error"); ("error", Str m) ]
+  in
+  Obj
+    ([
+       ("schema", Str "mcs-run/1");
+       ("flow", Str flow);
+       ("design", Str design);
+       ("rate", Int rate);
+     ]
+    @ status_fields
+    @ (match wall_s with Some w -> [ ("wall_s", Float w) ] | None -> [])
+    @ (if result = [] then [] else [ ("result", Obj result) ])
+    @ [ ("phases", phases ()); ("metrics", metrics ()) ])
+
+let write_file path v =
+  match open_out path with
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (to_string v);
+          output_char oc '\n');
+      Ok ()
+  | exception Sys_error m -> Error m

@@ -1,0 +1,60 @@
+(** Machine-readable run reports, dependency-free.
+
+    A minimal JSON abstract syntax with a printer and a parser (the
+    parser exists so tests and CI can round-trip emitted reports), plus
+    builders that package a synthesis run — status, per-phase wall
+    times, flow-specific result fields and the current
+    {!Metrics.snapshot} — into one JSON object. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) JSON. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented JSON, for humans. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset emitted by [to_string]/[pp]: no
+    trailing commas or comments; numbers without [.], [e] or [E] parse
+    as [Int]. *)
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] accepts both [Int] and [Float]. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+
+(** {2 Report builders} *)
+
+val metrics : unit -> t
+(** The current {!Metrics.snapshot} as one object: counters and gauges
+    map to numbers, histograms to [{"count","sum","buckets"}]. *)
+
+val phases : unit -> t
+(** The current {!Trace.collected} totals as an array of
+    [{"name","count","total_s"}] objects. *)
+
+val run_report :
+  flow:string ->
+  design:string ->
+  rate:int ->
+  status:[ `Ok | `Error of string ] ->
+  ?wall_s:float ->
+  ?result:(string * t) list ->
+  unit ->
+  t
+(** A full run report, embedding [metrics ()] and [phases ()]. *)
+
+val write_file : string -> t -> (unit, string) result

@@ -1,0 +1,104 @@
+type sink = Off | Tree of Format.formatter | Jsonl of Format.formatter
+
+type node = {
+  name : string;
+  attrs : (string * string) list;
+  depth : int;
+  mutable dur : float;
+  mutable children : node list; (* reverse order while open *)
+}
+
+let current_sink = ref Off
+let collect = ref false
+let stack : node list ref = ref []
+let totals : (string, int * float) Hashtbl.t = Hashtbl.create 32
+
+let set_sink s = current_sink := s
+let sink () = !current_sink
+let set_collect b = collect := b
+
+let collected () =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) totals []
+  |> List.sort compare
+
+let reset_collected () = Hashtbl.reset totals
+
+let record_total name dur =
+  let n, t = Option.value ~default:(0, 0.0) (Hashtbl.find_opt totals name) in
+  Hashtbl.replace totals name (n + 1, t +. dur)
+
+let pp_attrs ppf attrs =
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) attrs
+
+let rec print_tree ppf node =
+  Format.fprintf ppf "%s%-*s %8.3f ms%a@,"
+    (String.make (2 * node.depth) ' ')
+    (max 1 (36 - (2 * node.depth)))
+    node.name (1000.0 *. node.dur) pp_attrs node.attrs;
+  List.iter (print_tree ppf) (List.rev node.children)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_jsonl ppf node =
+  let attrs =
+    match node.attrs with
+    | [] -> ""
+    | l ->
+        Printf.sprintf ",\"attrs\":{%s}"
+          (String.concat ","
+             (List.map
+                (fun (k, v) ->
+                  Printf.sprintf "\"%s\":\"%s\"" (json_escape k)
+                    (json_escape v))
+                l))
+  in
+  Format.fprintf ppf "{\"span\":\"%s\",\"depth\":%d,\"dur_ms\":%.3f%s}@."
+    (json_escape node.name) node.depth (1000.0 *. node.dur) attrs
+
+let close_span node =
+  (match !stack with
+  | top :: rest when top == node -> stack := rest
+  | _ -> stack := []);
+  if !collect then record_total node.name node.dur;
+  match !current_sink with
+  | Off -> ()
+  | Jsonl ppf -> emit_jsonl ppf node
+  | Tree ppf ->
+      (match !stack with
+      | parent :: _ -> parent.children <- node :: parent.children
+      | [] -> Format.fprintf ppf "@[<v>%a@]%!" print_tree node)
+
+let with_span ?(attrs = []) name f =
+  if !current_sink = Off && not !collect then f ()
+  else begin
+    let node =
+      { name; attrs; depth = List.length !stack; dur = 0.0; children = [] }
+    in
+    stack := node :: !stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.dur <- Unix.gettimeofday () -. t0;
+        close_span node)
+      f
+  end
+
+(* Allow turning tracing on without touching the command line, e.g. under
+   `dune runtest` or the benchmark harness. *)
+let () =
+  match Sys.getenv_opt "MCS_TRACE" with
+  | Some "tree" -> current_sink := Tree Format.err_formatter
+  | Some "json" -> current_sink := Jsonl Format.err_formatter
+  | _ -> ()

@@ -1,0 +1,38 @@
+(** Nested timing spans over the synthesis phases.
+
+    A span measures one dynamic extent ([with_span "simplex.solve" f]) and
+    nests under whatever span is currently open.  Output goes to the
+    configured sink:
+
+    - [Off] (default): [with_span] is a tail call to its argument unless
+      collection is on — no clock reads, no allocation;
+    - [Tree ppf]: when a root span closes, its whole tree is printed as an
+      indented summary with per-span wall times;
+    - [Jsonl ppf]: each span is printed as one JSON object per line, at
+      the moment it closes (children before parents).
+
+    Independently of the sink, [set_collect true] accumulates per-name
+    call counts and total wall time, which run reports read via
+    [collected] — this is how the [--json] report learns the wall time
+    per phase without requiring a trace sink.
+
+    The sink honours the [MCS_TRACE] environment variable at program
+    start: [tree] and [json] select the corresponding sink on stderr. *)
+
+type sink = Off | Tree of Format.formatter | Jsonl of Format.formatter
+
+val set_sink : sink -> unit
+val sink : unit -> sink
+
+val set_collect : bool -> unit
+
+val collected : unit -> (string * (int * float)) list
+(** Per span name: (number of calls, total seconds), sorted by name. *)
+
+val reset_collected : unit -> unit
+
+val with_span :
+  ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and attributes its wall time to [name].
+    Exception-safe: the span closes (and is reported) even if [f]
+    raises. *)

@@ -133,7 +133,10 @@ let bind_registers sched =
 
 type source = Src_reg of int * int | Src_fu of int * string * int | Src_pin of string
 
+let m_builds = Mcs_obs.Metrics.counter "rtl.datapath_builds"
+
 let build sched cons =
+  Mcs_obs.Metrics.incr m_builds;
   let cdfg = Sched.cdfg sched in
   let rate = Sched.rate sched in
   match bind_fus sched cons with

@@ -1,4 +1,12 @@
 open Mcs_cdfg
+module M = Mcs_obs.Metrics
+
+let m_runs = M.counter "fds.runs"
+let m_frame_passes = M.counter "fds.frame_passes"
+let m_dg_builds = M.counter "fds.dg_builds"
+let m_force_evals = M.counter "fds.force_evals"
+let m_placements = M.counter "fds.placements"
+let m_rejected_fixes = M.counter "fds.rejected_fixes"
 
 (* --- Chaining-aware clamped timing passes --- *)
 
@@ -71,6 +79,7 @@ let frames cdfg mlib ~rate ~pipe_length ~fixed =
   while !feasible && !changed && !iters < 4 * n do
     changed := false;
     incr iters;
+    M.incr m_frame_passes;
     (* Forward pass tightens lower bounds. *)
     let e =
       clamped_earliest cdfg mlib ~order:(Cdfg.topo_order cdfg)
@@ -130,6 +139,7 @@ let contributions cdfg op =
 (* DG per (resource key, control-step group): each op spreads uniformly over
    its window, occupying [cycles] consecutive groups per candidate step. *)
 let build_dgs cdfg mlib ~rate (lb, ub) =
+  M.incr m_dg_builds;
   let dgs : (rkey, float array) Hashtbl.t = Hashtbl.create 16 in
   let dg key =
     match Hashtbl.find_opt dgs key with
@@ -159,6 +169,7 @@ let build_dgs cdfg mlib ~rate (lb, ub) =
 
 (* Self force of moving [op]'s window from [w0] to [w1]. *)
 let window_force cdfg mlib ~rate dgs op (lb0, ub0) (lb1, ub1) =
+  M.incr m_force_evals;
   let cyc = Timing.op_cycles cdfg mlib op in
   let delta = Array.make rate 0.0 in
   let spread (lo, hi) sign =
@@ -186,6 +197,7 @@ let window_force cdfg mlib ~rate dgs op (lb0, ub0) (lb1, ub1) =
     (contributions cdfg op)
 
 let run cdfg mlib ~rate ~pipe_length () =
+  M.incr m_runs;
   let n = Cdfg.n_ops cdfg in
   let fixed = Array.make n None in
   let cycles = Timing.op_cycles cdfg mlib in
@@ -292,8 +304,11 @@ let run cdfg mlib ~rate ~pipe_length () =
                | (_, op, s) :: rest -> (
                    fixed.(op) <- Some s;
                    match frames cdfg mlib ~rate ~pipe_length ~fixed with
-                   | Some fr -> current := fr
+                   | Some fr ->
+                       M.incr m_placements;
+                       current := fr
                    | None ->
+                       M.incr m_rejected_fixes;
                        fixed.(op) <- None;
                        try_fix rest)
              in

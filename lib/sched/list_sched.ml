@@ -1,4 +1,13 @@
 open Mcs_cdfg
+module M = Mcs_obs.Metrics
+
+let m_runs = M.counter "ls.runs"
+let m_csteps = M.counter "ls.csteps"
+let m_io_tests = M.counter "ls.io_feasibility_tests"
+let g_ready_peak = M.gauge "ls.ready_peak"
+
+let h_ready_size =
+  M.histogram "ls.ready_size" ~buckets:[| 0; 1; 2; 4; 8; 16; 32; 64 |]
 
 type io_hook = {
   io_can : Schedule.t -> Types.op_id -> cstep:int -> bool;
@@ -44,6 +53,7 @@ let deadlines sched cdfg mlib ~rate =
 
 let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
     ?priority_bias ?min_cstep () =
+  M.incr m_runs;
   let sched = Schedule.create cdfg mlib ~rate in
   let max_csteps =
     match max_csteps with
@@ -114,6 +124,9 @@ let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
                 && Schedule.earliest_start sched op <= !s)
               (Cdfg.ops cdfg)
           in
+          let n_ready = List.length ready in
+          M.observe h_ready_size n_ready;
+          M.set_max g_ready_peak (float_of_int n_ready);
           let ordered =
             List.sort
               (fun a b ->
@@ -148,6 +161,7 @@ let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
                         progress := true
                       end
                   | Types.Io _ ->
+                      M.incr m_io_tests;
                       if io_hook.io_can sched op ~cstep:!s then begin
                         io_hook.io_commit sched op ~cstep:!s;
                         Schedule.set sched op ~cstep:!s ~finish_ns;
@@ -158,6 +172,7 @@ let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
               end)
             ordered
         done;
+        M.incr m_csteps;
         incr s
       end
     end

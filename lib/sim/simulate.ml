@@ -173,7 +173,10 @@ let machine ?(semantics = default_semantics) sched ~bus_of ~bus_capable
   | Some m -> Error m
   | None -> Ok (outputs_of cdfg values ~instances)
 
+let m_equiv_checks = Mcs_obs.Metrics.counter "sim.equiv_checks"
+
 let check_equivalent ?semantics sched ~bus_of ~bus_capable ~seed ~instances =
+  Mcs_obs.Metrics.incr m_equiv_checks;
   let cdfg = Sched.cdfg sched in
   let inputs = random_inputs ~seed in
   let want = reference ?semantics cdfg ~inputs ~instances in

@@ -21,8 +21,11 @@ let mul_exact a b =
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
+let m_reductions = Mcs_obs.Metrics.counter "ratio.reductions"
+
 let make num den =
   if den = 0 then raise Division_by_zero;
+  Mcs_obs.Metrics.incr m_reductions;
   if num = 0 then { num = 0; den = 1 }
   else
     let s = if den < 0 then -1 else 1 in

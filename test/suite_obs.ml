@@ -1,0 +1,256 @@
+(* Unit tests for Mcs_obs: metrics semantics, span nesting, JSON
+   round-trips and the Report.table edge cases the library's reports rely
+   on. *)
+
+module M = Mcs_obs.Metrics
+module T = Mcs_obs.Trace
+module J = Mcs_obs.Report_json
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* --- Metrics --- *)
+
+let test_counter () =
+  let c = M.counter "test.counter" in
+  let before = M.count c in
+  M.incr c;
+  M.incr c ~n:4;
+  check "incr accumulates" (before + 5) (M.count c);
+  checkb "same name, same instrument"
+    true
+    (M.count (M.counter "test.counter") = M.count c)
+
+let test_counter_reset () =
+  let c = M.counter "test.reset_counter" in
+  M.incr c ~n:7;
+  M.reset ();
+  check "reset zeroes" 0 (M.count c);
+  M.incr c;
+  check "still usable after reset" 1 (M.count c)
+
+let test_gauge () =
+  let g = M.gauge "test.gauge" in
+  M.reset ();
+  M.set g 2.5;
+  M.set_max g 1.0;
+  M.set_max g 9.0;
+  match List.assoc "test.gauge" (M.snapshot ()) with
+  | M.Gauge v -> Alcotest.(check (float 1e-9)) "set_max keeps peak" 9.0 v
+  | _ -> Alcotest.fail "expected a gauge"
+
+let test_histogram () =
+  let h = M.histogram "test.hist" ~buckets:[| 1; 10; 100 |] in
+  M.reset ();
+  M.observe h 0;
+  M.observe h 1;
+  M.observe h 5;
+  M.observe h 100;
+  M.observe h 1000;
+  match List.assoc "test.hist" (M.snapshot ()) with
+  | M.Histogram { bounds; counts; sum; total } ->
+      Alcotest.(check (array int)) "bounds" [| 1; 10; 100 |] bounds;
+      Alcotest.(check (array int)) "bucket counts" [| 2; 1; 1; 1 |] counts;
+      check "sum" 1106 sum;
+      check "total" 5 total
+  | _ -> Alcotest.fail "expected a histogram"
+
+let test_instrument_type_clash () =
+  let (_ : M.counter) = M.counter "test.clash" in
+  Alcotest.check_raises "gauge under a counter name"
+    (Invalid_argument "Metrics.gauge: test.clash is not a gauge")
+    (fun () -> ignore (M.gauge "test.clash"))
+
+let test_histogram_bad_buckets () =
+  checkb "non-increasing rejected" true
+    (match M.histogram "test.bad_hist" ~buckets:[| 5; 5 |] with
+    | (_ : M.histogram) -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- Trace --- *)
+
+let test_span_transparent () =
+  T.set_sink T.Off;
+  T.set_collect false;
+  check "with_span returns f's value" 42 (T.with_span "t" (fun () -> 42))
+
+let test_span_nesting_order () =
+  (* Tree sink buffers until the root closes, then prints parent before
+     children, children in execution order. *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  T.set_sink (T.Tree ppf);
+  T.with_span "root" (fun () ->
+      T.with_span "first" (fun () -> ());
+      T.with_span "second" (fun () -> T.with_span "inner" (fun () -> ())));
+  Format.pp_print_flush ppf ();
+  T.set_sink T.Off;
+  let out = Buffer.contents buf in
+  let pos name =
+    match String.index_opt out name.[0] with
+    | _ -> (
+        let rec find i =
+          if i + String.length name > String.length out then None
+          else if String.sub out i (String.length name) = name then Some i
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i -> i
+        | None -> Alcotest.fail (Printf.sprintf "span %S not printed" name))
+  in
+  checkb "root before first" true (pos "root" < pos "first");
+  checkb "first before second" true (pos "first" < pos "second");
+  checkb "second before inner" true (pos "second" < pos "inner")
+
+let test_span_collect () =
+  T.set_sink T.Off;
+  T.reset_collected ();
+  T.set_collect true;
+  T.with_span "phase.a" (fun () -> ());
+  T.with_span "phase.a" (fun () -> ());
+  T.with_span "phase.b" (fun () -> ());
+  T.set_collect false;
+  let totals = T.collected () in
+  (match List.assoc_opt "phase.a" totals with
+  | Some (n, t) ->
+      check "phase.a count" 2 n;
+      checkb "nonnegative time" true (t >= 0.0)
+  | None -> Alcotest.fail "phase.a not collected");
+  check "phase.b count" 1
+    (match List.assoc_opt "phase.b" totals with
+    | Some (n, _) -> n
+    | None -> 0);
+  T.reset_collected ();
+  check "reset_collected empties" 0 (List.length (T.collected ()))
+
+let test_span_exception_safe () =
+  T.set_sink T.Off;
+  T.reset_collected ();
+  T.set_collect true;
+  (try T.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  T.set_collect false;
+  checkb "span closed despite raise" true
+    (List.mem_assoc "boom" (T.collected ()));
+  T.reset_collected ()
+
+(* --- JSON --- *)
+
+let test_json_print () =
+  checks "compact object" {|{"a":1,"b":[true,null],"c":"x"}|}
+    (J.to_string
+       (J.Obj
+          [
+            ("a", J.Int 1);
+            ("b", J.Arr [ J.Bool true; J.Null ]);
+            ("c", J.Str "x");
+          ]));
+  checks "escaping" {|"a\"b\\c\nd"|} (J.to_string (J.Str "a\"b\\c\nd"));
+  checks "control chars" {|"\u0001"|} (J.to_string (J.Str "\001"));
+  checks "non-finite floats are null" {|[null,null]|}
+    (J.to_string (J.Arr [ J.Float nan; J.Float infinity ]))
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("name", J.Str "run \"quoted\"\n");
+        ("n", J.Int (-42));
+        ("pi", J.Float 3.125);
+        ("flags", J.Arr [ J.Bool true; J.Bool false; J.Null ]);
+        ("nested", J.Obj [ ("empty_arr", J.Arr []); ("empty_obj", J.Obj []) ]);
+      ]
+  in
+  (match J.of_string (J.to_string v) with
+  | Ok v' -> checkb "round-trips" true (v = v')
+  | Error m -> Alcotest.fail m);
+  (* The indented printer parses back too. *)
+  match J.of_string (Format.asprintf "%a" J.pp v) with
+  | Ok v' -> checkb "pp round-trips" true (v = v')
+  | Error m -> Alcotest.fail m
+
+let test_json_parse_errors () =
+  let bad s =
+    match J.of_string s with Ok _ -> false | Error _ -> true
+  in
+  checkb "trailing garbage" true (bad "{} x");
+  checkb "unterminated string" true (bad {|"abc|});
+  checkb "missing colon" true (bad {|{"a" 1}|});
+  checkb "bare word" true (bad "nope");
+  checkb "empty input" true (bad "")
+
+let test_json_accessors () =
+  let v = J.Obj [ ("a", J.Int 3); ("b", J.Str "s") ] in
+  checkb "member hit" true (J.member "a" v = Some (J.Int 3));
+  checkb "member miss" true (J.member "z" v = None);
+  checkb "to_int" true (J.to_int (J.Int 7) = Some 7);
+  checkb "to_float accepts int" true (J.to_float (J.Int 7) = Some 7.0);
+  checkb "to_str mismatch" true (J.to_str (J.Int 7) = None)
+
+let test_json_metrics_embed () =
+  M.reset ();
+  let c = M.counter "test.embed" in
+  M.incr c ~n:3;
+  let j = J.metrics () in
+  match J.member "test.embed" j with
+  | Some (J.Int 3) -> ()
+  | _ -> Alcotest.fail "counter not embedded as Int 3"
+
+(* --- Report.table edge cases --- *)
+
+let table_str ~title ~header rows =
+  Format.asprintf "%a" (fun ppf () -> Mcs_core.Report.table ppf ~title ~header rows) ()
+
+let test_table_empty_header () =
+  (* Used to underflow String.make with a negative length. *)
+  let s = table_str ~title:"just a title" ~header:[] [] in
+  checkb "title survives" true
+    (String.length s >= String.length "just a title")
+
+let test_table_ragged_rows () =
+  (* Rows longer than the header used to raise Invalid_argument. *)
+  let s =
+    table_str ~title:"t" ~header:[ "A" ]
+      [ [ "1"; "extra"; "more" ]; [ "2" ]; [] ]
+  in
+  checkb "long row rendered" true
+    (let rec has i =
+       i + 5 <= String.length s
+       && (String.sub s i 5 = "extra" || has (i + 1))
+     in
+     has 0)
+
+let test_table_regular () =
+  let s = table_str ~title:"T" ~header:[ "x"; "yy" ] [ [ "1"; "2" ] ] in
+  checkb "has rule" true (String.contains s '-');
+  checkb "header present" true
+    (let rec has i =
+       i + 2 <= String.length s && (String.sub s i 2 = "yy" || has (i + 1))
+     in
+     has 0)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter" `Quick test_counter;
+      Alcotest.test_case "counter reset" `Quick test_counter_reset;
+      Alcotest.test_case "gauge set_max" `Quick test_gauge;
+      Alcotest.test_case "histogram buckets" `Quick test_histogram;
+      Alcotest.test_case "instrument type clash" `Quick
+        test_instrument_type_clash;
+      Alcotest.test_case "histogram bad buckets" `Quick
+        test_histogram_bad_buckets;
+      Alcotest.test_case "span transparent" `Quick test_span_transparent;
+      Alcotest.test_case "span nesting order" `Quick test_span_nesting_order;
+      Alcotest.test_case "span collection" `Quick test_span_collect;
+      Alcotest.test_case "span exception safety" `Quick
+        test_span_exception_safe;
+      Alcotest.test_case "json printing" `Quick test_json_print;
+      Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+      Alcotest.test_case "json accessors" `Quick test_json_accessors;
+      Alcotest.test_case "json metrics embed" `Quick test_json_metrics_embed;
+      Alcotest.test_case "table empty header" `Quick test_table_empty_header;
+      Alcotest.test_case "table ragged rows" `Quick test_table_ragged_rows;
+      Alcotest.test_case "table regular" `Quick test_table_regular;
+    ] )

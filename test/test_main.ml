@@ -12,4 +12,5 @@ let () =
       Suite_rtl.suite;
       Suite_partition.suite;
       Suite_integration.suite;
+      Suite_obs.suite;
     ]
