@@ -24,6 +24,14 @@ let want tag =
 
 let pipe_or sched = string_of_int (Sched.pipe_length sched)
 
+(* A sweep must survive one point raising (e.g. the elliptic filter at
+   L=5, expectedly unschedulable per §4.4.2.1): fold the exception into
+   an infeasible row and keep regenerating the remaining experiments. *)
+let attempt f =
+  try f () with
+  | Invalid_argument m | Failure m -> Error ("raised: " ^ m)
+  | e -> Error ("raised: " ^ Printexc.to_string e)
+
 let verify_or_die tag sched =
   match Sched.verify sched with
   | Ok () -> ()
@@ -66,11 +74,15 @@ let ch4_design tag (d : Benchmarks.design) mode rates =
   let cons_rows =
     List.map
       (fun rate ->
-        let cons =
-          match mode with
-          | C.Unidir -> Benchmarks.constraints_for d ~rate
-          | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate
-        in
+        match
+          attempt (fun () ->
+              Ok
+                (match mode with
+                | C.Unidir -> Benchmarks.constraints_for d ~rate
+                | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate))
+        with
+        | Error m -> [ string_of_int rate; "unavailable (" ^ m ^ ")" ]
+        | Ok cons ->
         string_of_int rate
         :: List.map
              (fun p ->
@@ -101,7 +113,7 @@ let ch4_design tag (d : Benchmarks.design) mode rates =
   let summary =
     List.map
       (fun rate ->
-        match Pre_connect.run_design d ~rate ~mode with
+        match attempt (fun () -> Pre_connect.run_design d ~rate ~mode) with
         | Error m ->
             Format.fprintf fmt "rate %d: FAILED (%s)@." rate m;
             [ string_of_int rate; "no schedule" ]
@@ -165,7 +177,10 @@ let ch5_grid tag (d : Benchmarks.design) mode ~rates ~pls =
       (fun rate ->
         List.map
           (fun pl ->
-            match Post_connect.run_design d ~rate ~pipe_length:pl ~mode with
+            match
+              attempt (fun () ->
+                  Post_connect.run_design d ~rate ~pipe_length:pl ~mode)
+            with
             | Error _ ->
                 [ string_of_int rate; string_of_int pl; "infeasible" ]
             | Ok r ->
@@ -210,15 +225,16 @@ let ch5_compare tag (d : Benchmarks.design) mode =
   let rows =
     List.map
       (fun rate ->
-        match Pre_connect.run_design d ~rate ~mode with
+        match attempt (fun () -> Pre_connect.run_design d ~rate ~mode) with
         | Error m -> [ string_of_int rate; "FAILED: " ^ m ]
         | Ok r ->
             (* The paper's parenthesized figures: the same flow after
                postponement/rerun improvement. *)
             let improved =
               match
-                Improve.pre_connect d.Benchmarks.cdfg d.Benchmarks.mlib
-                  (cons_of rate) ~rate ~mode ()
+                attempt (fun () ->
+                    Improve.pre_connect d.Benchmarks.cdfg d.Benchmarks.mlib
+                      (cons_of rate) ~rate ~mode ())
               with
               | Ok b ->
                   Printf.sprintf "(%d)"
@@ -256,12 +272,14 @@ let ch6 () =
     List.filter_map
       (fun rate ->
         let nosharing =
-          match Pre_connect.run_design d ~rate ~mode:C.Bidir with
+          match
+            attempt (fun () -> Pre_connect.run_design d ~rate ~mode:C.Bidir)
+          with
           | Ok r ->
               Some (Mcs_util.Listx.sum snd r.pins, Sched.pipe_length r.schedule)
           | Error _ -> None
         in
-        match Subbus.run_design d ~rate with
+        match attempt (fun () -> Subbus.run_design d ~rate) with
         | Error m ->
             Format.fprintf fmt "rate %d: sharing flow FAILED (%s)@." rate m;
             None
@@ -315,12 +333,14 @@ let ch6 () =
   Format.fprintf fmt "@.";
   let demo = Benchmarks.subbus_demo () in
   let ch4r =
-    match Pre_connect.run_design demo ~rate:3 ~mode:C.Bidir with
+    match
+      attempt (fun () -> Pre_connect.run_design demo ~rate:3 ~mode:C.Bidir)
+    with
     | Ok r ->
         Printf.sprintf "feasible (%d pins)" (Mcs_util.Listx.sum snd r.pins)
     | Error _ -> "infeasible"
   in
-  match Subbus.run_design demo ~rate:3 with
+  match attempt (fun () -> Subbus.run_design demo ~rate:3) with
   | Ok t ->
       verify_or_die "ch6-demo" t.schedule;
       Format.fprintf fmt
@@ -406,7 +426,7 @@ let rtl_and_verify () =
   section "E-RTL - data-path binding and functional verification";
   let rows = ref [] in
   let add_design (d : Benchmarks.design) ~rate ~mode =
-    match Pre_connect.run_design d ~rate ~mode with
+    match attempt (fun () -> Pre_connect.run_design d ~rate ~mode) with
     | Error m ->
         Format.fprintf fmt "%s rate %d: flow failed (%s)@." d.Benchmarks.tag
           rate m
@@ -480,7 +500,9 @@ let scaling () =
         let d = Benchmarks.ar_scaled ~sections ~chips in
         let rate = List.hd d.Benchmarks.rates in
         let t0 = Unix.gettimeofday () in
-        match Pre_connect.run_design d ~rate ~mode:C.Unidir with
+        match
+          attempt (fun () -> Pre_connect.run_design d ~rate ~mode:C.Unidir)
+        with
         | Error m ->
             [ d.Benchmarks.tag; "-"; "-"; "-"; "FAILED: " ^ m ]
         | Ok r ->
@@ -502,6 +524,64 @@ let scaling () =
     ~header:[ "Design"; "Ops"; "Total pins"; "Pipe"; "Wall time" ]
     rows;
   Format.fprintf fmt "@."
+
+(* ---- Design-space exploration through the engine ---- *)
+
+module E_job = Mcs_engine.Job
+module E_pool = Mcs_engine.Pool
+module E_outcome = Mcs_engine.Outcome
+
+(* The paper's AR-filter table sweeps (Tables 4.2, 4.10, 5.1 and the
+   Chapter 6 comparison) as one batch, run sequentially and then on four
+   forked workers: same results, measured wall-clock speedup. *)
+let dse () =
+  section "E-DSE - the paper's table sweeps as engine batch jobs";
+  let ar = E_job.Named "ar-general" in
+  let jobs =
+    E_job.grid ~designs:[ ar ]
+      ~flows:[ E_job.Ch4_unidir; E_job.Ch4_bidir ]
+      ~rates:[ 3; 4; 5 ] ()
+    @ E_job.grid ~designs:[ ar ] ~flows:[ E_job.Ch5 ] ~rates:[ 3; 4; 5 ]
+        ~pipe_lengths:[ 6; 7; 8; 9; 10 ] ()
+    @ E_job.grid ~designs:[ ar ] ~flows:[ E_job.Ch6 ] ~rates:[ 3; 4; 5 ] ()
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq = timed (fun () -> E_pool.run ~jobs:1 jobs) in
+  let par, t_par = timed (fun () -> E_pool.run ~jobs:4 jobs) in
+  let identical = List.for_all2 E_outcome.equal seq par in
+  let front = Mcs_engine.Pareto.frontier par in
+  Report.table fmt
+    ~title:
+      "Sweep results (pins / pipe length / functional units per point, * = \
+       Pareto-optimal)"
+    ~header:[ "Flow"; "Rate"; "PL req"; "Status"; "Pins"; "Pipe"; "FUs"; "" ]
+    (List.map
+       (fun (o : E_outcome.t) ->
+         let j = o.E_outcome.job in
+         let feas = E_outcome.is_feasible o in
+         [
+           E_job.flow_to_string j.E_job.flow;
+           string_of_int j.E_job.rate;
+           (match j.E_job.pipe_length with
+           | Some pl -> string_of_int pl
+           | None -> "-");
+           E_outcome.status_label o.E_outcome.status;
+           (if feas then string_of_int (E_outcome.pins_total o) else "-");
+           (if feas then string_of_int o.E_outcome.pipe_length else "-");
+           (if feas then string_of_int o.E_outcome.fu_count else "-");
+           (if List.memq o front then "*" else "");
+         ])
+       par);
+  Format.fprintf fmt
+    "@.%d jobs: sequential %.2f s, 4 workers %.2f s (speedup %.2fx); \
+     parallel results identical to sequential: %b@.@."
+    (List.length jobs) t_seq t_par
+    (t_seq /. Float.max 1e-9 t_par)
+    identical
 
 (* ---- Bechamel timing ---- *)
 
@@ -601,7 +681,7 @@ let json_report path =
   let record name design rate run =
     Mcs_obs.Metrics.reset ();
     let t0 = Unix.gettimeofday () in
-    let r = run () in
+    let r = attempt run in
     let wall = Unix.gettimeofday () -. t0 in
     let status, fields =
       match r with
@@ -683,5 +763,6 @@ let () =
   if want "ch7" then ch7 ();
   if want "rtl" then rtl_and_verify ();
   if want "scale" then scaling ();
+  if want "dse" then dse ();
   if not !skip_bechamel then bechamel ();
   Format.fprintf fmt "@.All experiments completed.@."

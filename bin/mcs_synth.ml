@@ -309,6 +309,172 @@ let synth design flow rate pipe_length ports listing trace metrics json_file
           if code <> 0 then code else json_code
         end
 
+(* ---- design-space exploration (the dse subcommand) ---- *)
+
+module E_job = Mcs_engine.Job
+module E_pool = Mcs_engine.Pool
+module E_cache = Mcs_engine.Cache
+module E_pareto = Mcs_engine.Pareto
+
+(* "3,4,5", "6-10" and mixtures like "3,6-8" *)
+let parse_int_list what s =
+  if s = "" then Ok []
+  else
+    try
+      Ok
+        (List.concat_map
+           (fun tok ->
+             match String.index_opt tok '-' with
+             | Some i when i > 0 ->
+                 let a = int_of_string (String.sub tok 0 i) in
+                 let b =
+                   int_of_string
+                     (String.sub tok (i + 1) (String.length tok - i - 1))
+                 in
+                 if b < a || a < 1 then failwith "range"
+                 else Mcs_util.Listx.range a (b + 1)
+             | _ ->
+                 let v = int_of_string tok in
+                 if v < 1 then failwith "positive" else [ v ])
+           (String.split_on_char ',' s))
+    with _ ->
+      Error
+        (Printf.sprintf "cannot parse %s %S (want e.g. \"3,4,5\" or \"6-10\")"
+           what s)
+
+let parse_flows s =
+  let names =
+    match s with
+    | "all" -> List.map E_job.flow_to_string E_job.all_flows
+    | s -> String.split_on_char ',' s
+  in
+  List.fold_left
+    (fun acc name ->
+      match (acc, E_job.flow_of_string name) with
+      | Error _, _ -> acc
+      | Ok _, Error m -> Error m
+      | Ok fs, Ok f -> Ok (fs @ [ f ]))
+    (Ok []) names
+
+let counter_count name = Mcs_obs.Metrics.(count (counter name))
+
+let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout json_file =
+  let ( let* ) = Result.bind in
+  let plan =
+    let* flows = parse_flows flows_s in
+    let* rates = parse_int_list "--rates" rates_s in
+    let* pls = parse_int_list "--pipe-lengths" pls_s in
+    let* designs =
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          match List.assoc_opt name E_job.named_designs with
+          | Some mk -> Ok (acc @ [ (name, mk ()) ])
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown design %S (known: %s)" name
+                   (String.concat ", " (List.map fst E_job.named_designs))))
+        (Ok [])
+        (String.split_on_char ',' designs_s)
+    in
+    (* With no --rates, each design sweeps the rates the paper evaluates
+       for it. *)
+    Ok
+      (List.concat_map
+         (fun (name, d) ->
+           let rates = if rates = [] then d.Benchmarks.rates else rates in
+           E_job.grid
+             ~designs:[ E_job.Named name ]
+             ~flows ~rates ~pipe_lengths:pls ())
+         designs)
+  in
+  match plan with
+  | Error m ->
+      Format.eprintf "dse: %s@." m;
+      2
+  | Ok [] ->
+      Format.eprintf "dse: empty job grid@.";
+      2
+  | Ok joblist ->
+      Mcs_obs.Metrics.reset ();
+      let cache = Option.map E_cache.open_dir cache_dir in
+      let t0 = Unix.gettimeofday () in
+      let outcomes = E_pool.run ~jobs ?timeout ?cache joblist in
+      let wall = Unix.gettimeofday () -. t0 in
+      let front = E_pareto.frontier outcomes in
+      Report.table fmt
+        ~title:
+          (Printf.sprintf
+             "Design-space exploration: %d jobs, %d worker%s, %.2f s"
+             (List.length joblist) (max 1 jobs)
+             (if max 1 jobs = 1 then "" else "s")
+             wall)
+        ~header:
+          [ "Design"; "Flow"; "Rate"; "PL req"; "Status"; "Pins"; "Pipe";
+            "FUs"; "Pareto" ]
+        (List.map
+           (fun (o : Mcs_engine.Outcome.t) ->
+             let j = o.Mcs_engine.Outcome.job in
+             let feas = Mcs_engine.Outcome.is_feasible o in
+             [
+               E_job.design_to_string j.E_job.design;
+               E_job.flow_to_string j.E_job.flow;
+               string_of_int j.E_job.rate;
+               (match j.E_job.pipe_length with
+               | Some pl -> string_of_int pl
+               | None -> "-");
+               Mcs_engine.Outcome.status_label o.Mcs_engine.Outcome.status;
+               (if feas then
+                  string_of_int (Mcs_engine.Outcome.pins_total o)
+                else "-");
+               (if feas then string_of_int o.Mcs_engine.Outcome.pipe_length
+                else "-");
+               (if feas then string_of_int o.Mcs_engine.Outcome.fu_count
+                else "-");
+               (if List.memq o front then "*" else "");
+             ])
+           outcomes);
+      let c name = counter_count ("engine." ^ name) in
+      Format.fprintf fmt
+        "@.workers forked: %d; crashes: %d; timeouts: %d@."
+        (c "pool.forks") (c "pool.crashes") (c "pool.timeouts");
+      if cache <> None then
+        Format.fprintf fmt "cache: %d hits, %d misses, %d stale@."
+          (c "cache.hits") (c "cache.misses") (c "cache.stale");
+      (match json_file with
+      | None -> 0
+      | Some path -> (
+          let report =
+            match E_pareto.report outcomes with
+            | J.Obj fields ->
+                (* Engine counters are deterministic for a fixed job list
+                   and cache state (unlike wall times, which stay out of
+                   the report): the warm-cache CI check reads them. *)
+                J.Obj
+                  (fields
+                  @ [
+                      ( "engine",
+                        J.Obj
+                          [
+                            ("cache_hits", J.Int (c "cache.hits"));
+                            ("cache_misses", J.Int (c "cache.misses"));
+                            ("cache_stale", J.Int (c "cache.stale"));
+                            ("forks", J.Int (c "pool.forks"));
+                            ("crashes", J.Int (c "pool.crashes"));
+                            ("timeouts", J.Int (c "pool.timeouts"));
+                          ] );
+                    ])
+            | r -> r
+          in
+          match J.write_file path report with
+          | Ok () ->
+              Format.fprintf fmt "wrote %s@." path;
+              0
+          | Error m ->
+              Format.eprintf "cannot write %s: %s@." path m;
+              3))
+
 open Cmdliner
 
 let design =
@@ -363,6 +529,71 @@ let log_level =
                quiet.  The $(b,MCS_LOG) environment variable sets the same \
                threshold.")
 
+let synth_term =
+  Term.(
+    const synth $ design $ flow $ rate $ pipe_length $ ports $ listing
+    $ trace $ metrics $ json_file $ log_level)
+
+let dse_cmd =
+  let designs =
+    Arg.(value & opt string "ar-general"
+         & info [ "designs" ] ~docv:"NAMES"
+             ~doc:"Comma-separated designs to sweep (see $(b,--list)).")
+  in
+  let flows =
+    Arg.(value & opt string "ch4-unidir,ch4-bidir,ch5,ch6"
+         & info [ "flows" ] ~docv:"FLOWS"
+             ~doc:"Comma-separated flows: ch3, ch4-unidir, ch4-bidir, ch5, \
+                   ch6, or $(b,all).")
+  in
+  let rates =
+    Arg.(value & opt string "" & info [ "rates" ] ~docv:"LIST"
+           ~doc:"Initiation rates, e.g. $(b,3,4,5) or $(b,3-5) (default: \
+                 each design's evaluated rates).")
+  in
+  let pipe_lengths =
+    Arg.(value & opt string "" & info [ "pipe-lengths" ] ~docv:"LIST"
+           ~doc:"Pipe lengths for ch5 jobs, e.g. $(b,6-10) (default: the \
+                 critical path).")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker processes to keep in flight.")
+  in
+  let cache =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Persistent result cache directory (created if missing); \
+                 identical jobs are served from it without forking a \
+                 worker.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-job wall-clock limit; an overrunning worker is killed \
+                 and its point reported as timed out.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable sweep report (schema \
+                 $(b,mcs-dse/1), deterministic for a fixed grid and cache \
+                 state) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "dse" ~doc:"explore a design-space grid with a worker pool"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Expands a (designs x flows x rates x pipe-lengths) grid into \
+              batch jobs, runs them on a pool of forked workers with crash \
+              isolation and per-job timeouts, and reports every point plus \
+              the (pins, pipe length, functional units) Pareto frontier.  A \
+              worker count of 1 and of N produce identical reports; a \
+              persistent $(b,--cache) makes repeated sweeps incremental.";
+         ])
+    Term.(
+      const dse $ designs $ flows $ rates $ pipe_lengths $ jobs $ cache
+      $ timeout $ json)
+
 let cmd =
   let doc = "high-level synthesis with pin constraints for multiple-chip designs" in
   let info =
@@ -376,12 +607,10 @@ let cmd =
              reproducing Hung's 1992 dissertation flows: pin-constrained \
              scheduling for simple partitionings, interchip-connection \
              synthesis before or after scheduling, and intra-cycle sub-bus \
-             sharing.";
+             sharing.  The $(b,dse) subcommand sweeps whole design-space \
+             grids in parallel.";
         ]
   in
-  Cmd.v info
-    Term.(
-      const synth $ design $ flow $ rate $ pipe_length $ ports $ listing
-      $ trace $ metrics $ json_file $ log_level)
+  Cmd.group ~default:synth_term info [ dse_cmd ]
 
 let () = exit (Cmd.eval' cmd)

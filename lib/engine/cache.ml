@@ -1,0 +1,79 @@
+let code_version = "mcs-engine/1"
+
+let hits = Mcs_obs.Metrics.counter "engine.cache.hits"
+let misses = Mcs_obs.Metrics.counter "engine.cache.misses"
+let stale = Mcs_obs.Metrics.counter "engine.cache.stale"
+
+type t = { dir : string; version : string }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir ?(version = code_version) dir =
+  (try mkdir_p dir
+   with Unix.Unix_error (e, _, _) ->
+     raise (Sys_error
+              (Printf.sprintf "cannot create cache directory %s: %s" dir
+                 (Unix.error_message e))));
+  { dir; version }
+
+let dir t = t.dir
+let version t = t.version
+
+let key t job = t.version ^ "\n" ^ Job.to_string job
+
+let entry_path t job =
+  Filename.concat t.dir (Digest.to_hex (Digest.string (key t job)) ^ ".mcs")
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ -> None
+
+(* Entry layout: version line, canonical job line, outcome JSON line. *)
+let lookup t job =
+  match read_file (entry_path t job) with
+  | None ->
+      Mcs_obs.Metrics.incr misses;
+      None
+  | Some body -> (
+      let fresh =
+        match String.split_on_char '\n' body with
+        | [ v; j; o ] | [ v; j; o; "" ]
+          when v = t.version && j = Job.to_string job -> (
+            match Outcome.of_string o with
+            | Ok outcome when Job.equal outcome.Outcome.job job -> Some outcome
+            | Ok _ | Error _ -> None)
+        | _ -> None
+      in
+      match fresh with
+      | Some outcome ->
+          Mcs_obs.Metrics.incr hits;
+          Some outcome
+      | None ->
+          Mcs_obs.Metrics.incr stale;
+          None)
+
+let store t job (o : Outcome.t) =
+  match o.Outcome.status with
+  | Outcome.Crashed _ | Outcome.Timed_out -> ()
+  | Outcome.Feasible | Outcome.Infeasible _ ->
+      let path = entry_path t job in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+      in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (key t job);
+          output_char oc '\n';
+          output_string oc (Outcome.to_string o);
+          output_char oc '\n');
+      Sys.rename tmp path

@@ -1,0 +1,40 @@
+(** Content-addressed persistent result cache.
+
+    An entry's address is the [Digest] (MD5) of the cache version tag
+    plus the job's canonical encoding, so identical work always maps to
+    the same file and a version bump silently invalidates everything
+    (old entries are simply never addressed again).  Each entry restates
+    the version and the full job encoding in cleartext and is verified
+    on every read: an entry whose header disagrees with the key that
+    addressed it, or whose body fails to parse, counts as {e stale} and
+    is treated as a miss.
+
+    Only settled outcomes ([Feasible] / [Infeasible]) are stored —
+    crashes and timeouts depend on the machine, not on the job.
+
+    Counters in {!Mcs_obs.Metrics}: [engine.cache.hits],
+    [engine.cache.misses], [engine.cache.stale]. *)
+
+type t
+
+val code_version : string
+(** The engine's current schema/code version tag.  Bump whenever a flow
+    or the outcome encoding changes meaning, so stale results are never
+    served. *)
+
+val open_dir : ?version:string -> string -> t
+(** [open_dir dir] opens (creating the directory if needed) a cache
+    rooted at [dir], keyed under [version] (default {!code_version}).
+    @raise Sys_error if the directory cannot be created. *)
+
+val dir : t -> string
+val version : t -> string
+
+val entry_path : t -> Job.t -> string
+(** Where the job's entry lives (whether or not it exists) — exposed for
+    tests and CI corruption checks. *)
+
+val lookup : t -> Job.t -> Outcome.t option
+val store : t -> Job.t -> Outcome.t -> unit
+(** Atomic (write-to-temp, rename).  Ignores crashed / timed-out
+    outcomes. *)

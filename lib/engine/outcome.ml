@@ -1,0 +1,93 @@
+module J = Mcs_obs.Report_json
+
+type status =
+  | Feasible
+  | Infeasible of string
+  | Crashed of string
+  | Timed_out
+
+type t = {
+  job : Job.t;
+  status : status;
+  pins : (int * int) list;
+  pipe_length : int;
+  fu_count : int;
+}
+
+let pins_total o = Mcs_util.Listx.sum snd o.pins
+let is_feasible o = o.status = Feasible
+
+let status_label = function
+  | Feasible -> "feasible"
+  | Infeasible _ -> "infeasible"
+  | Crashed _ -> "crashed"
+  | Timed_out -> "timeout"
+
+let to_json o =
+  let error =
+    match o.status with
+    | Infeasible m | Crashed m -> [ ("error", J.Str m) ]
+    | Feasible | Timed_out -> []
+  in
+  J.Obj
+    ([
+       ("job", J.Str (Job.to_string o.job));
+       ("status", J.Str (status_label o.status));
+     ]
+    @ error
+    @ [
+        ( "pins",
+          J.Arr
+            (List.map
+               (fun (p, n) ->
+                 J.Obj [ ("partition", J.Int p); ("pins", J.Int n) ])
+               o.pins) );
+        ("pipe_length", J.Int o.pipe_length);
+        ("fu_count", J.Int o.fu_count);
+      ])
+
+let ( let* ) = Result.bind
+let field name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "outcome: missing or bad field %S" name)
+
+let of_json j =
+  let* job_s = field "job" J.to_str j in
+  let* job = Job.of_string job_s in
+  let* status_s = field "status" J.to_str j in
+  let msg () =
+    match Option.bind (J.member "error" j) J.to_str with
+    | Some m -> m
+    | None -> ""
+  in
+  let* status =
+    match status_s with
+    | "feasible" -> Ok Feasible
+    | "infeasible" -> Ok (Infeasible (msg ()))
+    | "crashed" -> Ok (Crashed (msg ()))
+    | "timeout" -> Ok Timed_out
+    | s -> Error (Printf.sprintf "outcome: unknown status %S" s)
+  in
+  let* pins_j = field "pins" J.to_list j in
+  let* pins =
+    List.fold_left
+      (fun acc pj ->
+        let* acc = acc in
+        let* p = field "partition" J.to_int pj in
+        let* n = field "pins" J.to_int pj in
+        Ok ((p, n) :: acc))
+      (Ok []) pins_j
+    |> Result.map List.rev
+  in
+  let* pipe_length = field "pipe_length" J.to_int j in
+  let* fu_count = field "fu_count" J.to_int j in
+  Ok { job; status; pins; pipe_length; fu_count }
+
+let to_string o = J.to_string (to_json o)
+
+let of_string s =
+  let* j = J.of_string s in
+  of_json j
+
+let equal a b = to_string a = to_string b

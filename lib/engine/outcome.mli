@@ -1,0 +1,45 @@
+(** The result of one {!Job}, in a form every engine layer shares.
+
+    An outcome deliberately carries {e no} wall-clock time or other
+    environment-dependent data: the [mcs-dse/1] report must be
+    byte-identical whichever worker count (or cache state) produced it,
+    so timing lives with the {!Pool} and the caller, never here.  The
+    JSON codec below is both the pipe protocol between a forked worker
+    and the pool, and the on-disk format of {!Cache} entries. *)
+
+type status =
+  | Feasible
+  | Infeasible of string
+      (** the flow rejected the point (returned [Error] or raised
+          [Invalid_argument]/[Failure], the flows' input-rejection
+          convention) *)
+  | Crashed of string
+      (** the worker died (signal, uncaught exception, unparsable
+          reply): the point failed, the sweep survives *)
+  | Timed_out
+
+type t = {
+  job : Job.t;
+  status : status;
+  pins : (int * int) list;  (** per partition; [[]] unless [Feasible] *)
+  pipe_length : int;  (** 0 unless [Feasible] *)
+  fu_count : int;
+      (** total functional units: the constraint tables' allocation for
+          the resource-constrained flows, the FDS-implied counts for
+          Chapter 5; 0 unless [Feasible] *)
+}
+
+val pins_total : t -> int
+val is_feasible : t -> bool
+val equal : t -> t -> bool
+
+val status_label : status -> string
+(** ["feasible"], ["infeasible"], ["crashed"], ["timeout"]. *)
+
+val to_json : t -> Mcs_obs.Report_json.t
+val of_json : Mcs_obs.Report_json.t -> (t, string) result
+
+val to_string : t -> string
+(** Single-line JSON ({!to_json} compactly printed). *)
+
+val of_string : string -> (t, string) result

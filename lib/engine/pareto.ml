@@ -1,0 +1,113 @@
+module J = Mcs_obs.Report_json
+
+type point = { pins : int; pipe : int; fus : int }
+
+let point_of (o : Outcome.t) =
+  if Outcome.is_feasible o then
+    Some
+      {
+        pins = Outcome.pins_total o;
+        pipe = o.Outcome.pipe_length;
+        fus = o.Outcome.fu_count;
+      }
+  else None
+
+let dominates a b =
+  a.pins <= b.pins && a.pipe <= b.pipe && a.fus <= b.fus
+  && (a.pins < b.pins || a.pipe < b.pipe || a.fus < b.fus)
+
+let frontier outcomes =
+  let points = List.filter_map point_of outcomes in
+  List.filter
+    (fun o ->
+      match point_of o with
+      | None -> false
+      | Some p -> not (List.exists (fun q -> dominates q p) points))
+    outcomes
+
+let axes axis p =
+  match axis with
+  | `Pins -> (p.pins, p.pipe, p.fus)
+  | `Pipe -> (p.pipe, p.pins, p.fus)
+  | `Fus -> (p.fus, p.pins, p.pipe)
+
+let best outcomes axis =
+  List.fold_left
+    (fun acc o ->
+      match (point_of o, acc) with
+      | None, _ -> acc
+      | Some _, None -> Some o
+      | Some p, Some b ->
+          let bp = Option.get (point_of b) in
+          if axes axis p < axes axis bp then Some o else acc)
+    None outcomes
+
+let count pred l = List.length (List.filter pred l)
+
+let report outcomes =
+  let on_frontier =
+    let f = frontier outcomes in
+    fun o -> List.memq o f
+  in
+  let results =
+    List.map
+      (fun (o : Outcome.t) ->
+        let j = o.Outcome.job in
+        match Outcome.to_json o with
+        | J.Obj fields ->
+            J.Obj
+              (fields
+              @ [
+                  ("design", J.Str (Job.design_to_string j.Job.design));
+                  ("flow", J.Str (Job.flow_to_string j.Job.flow));
+                  ("rate", J.Int j.Job.rate);
+                  ( "pipe_length_req",
+                    match j.Job.pipe_length with
+                    | Some pl -> J.Int pl
+                    | None -> J.Null );
+                  ("pins_total", J.Int (Outcome.pins_total o));
+                  ("pareto", J.Bool (on_frontier o));
+                ])
+        | j -> j)
+      outcomes
+  in
+  let status_is label o = Outcome.status_label o.Outcome.status = label in
+  let best_j axis =
+    match best outcomes axis with
+    | None -> J.Null
+    | Some o ->
+        J.Obj
+          [
+            ("job", J.Str (Job.to_string o.Outcome.job));
+            ("pins_total", J.Int (Outcome.pins_total o));
+            ("pipe_length", J.Int o.Outcome.pipe_length);
+            ("fu_count", J.Int o.Outcome.fu_count);
+          ]
+  in
+  J.Obj
+    [
+      ("schema", J.Str "mcs-dse/1");
+      ("engine_version", J.Str Cache.code_version);
+      ( "summary",
+        J.Obj
+          [
+            ("jobs", J.Int (List.length outcomes));
+            ("feasible", J.Int (count (status_is "feasible") outcomes));
+            ("infeasible", J.Int (count (status_is "infeasible") outcomes));
+            ("crashed", J.Int (count (status_is "crashed") outcomes));
+            ("timed_out", J.Int (count (status_is "timeout") outcomes));
+          ] );
+      ("results", J.Arr results);
+      ( "pareto",
+        J.Arr
+          (List.map
+             (fun o -> J.Str (Job.to_string o.Outcome.job))
+             (frontier outcomes)) );
+      ( "best",
+        J.Obj
+          [
+            ("min_pins", best_j `Pins);
+            ("min_pipe", best_j `Pipe);
+            ("min_fus", best_j `Fus);
+          ] );
+    ]

@@ -1,0 +1,38 @@
+(** Pareto analysis over a sweep's outcomes, and the [mcs-dse/1] report.
+
+    The design space of the dissertation's tables trades three costs:
+    total data pins, pipe length (control steps) and functional units.
+    A feasible outcome is {e dominated} when another feasible outcome is
+    no worse on all three axes and strictly better on at least one; the
+    frontier is every undominated feasible point, in submission order.
+
+    The report deliberately contains nothing environment-dependent (no
+    wall times, no worker counts): for a fixed job list it is
+    byte-identical whatever [~jobs] or cache state produced the
+    outcomes. *)
+
+type point = { pins : int; pipe : int; fus : int }
+
+val point_of : Outcome.t -> point option
+(** [None] unless the outcome is feasible. *)
+
+val dominates : point -> point -> bool
+(** [dominates a b] — [a] is at least as good everywhere and strictly
+    better somewhere (minimization on all three axes). *)
+
+val frontier : Outcome.t list -> Outcome.t list
+(** Undominated feasible outcomes, stable in input order (duplicates of
+    the same point all survive — neither strictly dominates). *)
+
+val best :
+  Outcome.t list ->
+  [ `Pins | `Pipe | `Fus ] ->
+  Outcome.t option
+(** The feasible outcome minimizing the given axis; ties break toward
+    the other two axes (lexicographically), then toward submission
+    order, so the choice is deterministic. *)
+
+val report : Outcome.t list -> Mcs_obs.Report_json.t
+(** The [mcs-dse/1] JSON report: a summary by status, every outcome in
+    submission order (with a [pareto] flag), the frontier's canonical
+    job encodings, and per-axis best points. *)

@@ -1,0 +1,264 @@
+open Mcs_cdfg
+module C = Mcs_connect.Connection
+module M = Mcs_obs.Metrics
+
+let c_jobs = M.counter "engine.pool.jobs"
+let c_forks = M.counter "engine.pool.forks"
+let c_crashes = M.counter "engine.pool.crashes"
+let c_timeouts = M.counter "engine.pool.timeouts"
+let c_executed = M.counter "engine.jobs.executed"
+
+(* ---- in-process execution ---- *)
+
+(* The resource-constrained flows (ch3/ch4/ch6) run under the constraint
+   tables' functional-unit allocation; the schedule-first flow reports
+   the units its FDS schedule implies. *)
+let fus_of_constraints (d : Benchmarks.design) cons =
+  let tys = Module_lib.optypes d.Benchmarks.mlib in
+  Mcs_util.Listx.sum
+    (fun p ->
+      Mcs_util.Listx.sum
+        (fun ty -> Constraints.fu_count cons ~partition:p ~optype:ty)
+        tys)
+    (Mcs_util.Listx.range 1 (Cdfg.n_partitions d.Benchmarks.cdfg + 1))
+
+let feasible job ~pins ~pipe_length ~fu_count =
+  { Outcome.job; status = Outcome.Feasible; pins; pipe_length; fu_count }
+
+let settled job status =
+  { Outcome.job; status; pins = []; pipe_length = 0; fu_count = 0 }
+
+let exec (job : Job.t) =
+  M.incr c_executed;
+  let rate = job.Job.rate in
+  let outcome =
+    match Job.resolve job.Job.design with
+    | Error m -> settled job (Outcome.Infeasible m)
+    | Ok d -> (
+        let pipe sched = Mcs_sched.Schedule.pipe_length sched in
+        match job.Job.flow with
+        | Job.Ch3 -> (
+            match Mcs_core.Simple_part.run d ~rate with
+            | Error m -> settled job (Outcome.Infeasible m)
+            | Ok r ->
+                feasible job ~pins:r.Mcs_core.Simple_part.pins_needed
+                  ~pipe_length:(pipe r.Mcs_core.Simple_part.schedule)
+                  ~fu_count:
+                    (fus_of_constraints d (Benchmarks.constraints_for d ~rate)))
+        | Job.Ch4_unidir | Job.Ch4_bidir -> (
+            let mode =
+              if job.Job.flow = Job.Ch4_bidir then C.Bidir else C.Unidir
+            in
+            match Mcs_core.Pre_connect.run_design d ~rate ~mode with
+            | Error m -> settled job (Outcome.Infeasible m)
+            | Ok r ->
+                let cons =
+                  match mode with
+                  | C.Unidir -> Benchmarks.constraints_for d ~rate
+                  | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate
+                in
+                feasible job ~pins:r.Mcs_core.Pre_connect.pins
+                  ~pipe_length:(pipe r.Mcs_core.Pre_connect.schedule)
+                  ~fu_count:(fus_of_constraints d cons))
+        | Job.Ch5 -> (
+            let pipe_length =
+              match job.Job.pipe_length with
+              | Some pl -> pl
+              | None ->
+                  Timing.critical_path_csteps d.Benchmarks.cdfg
+                    d.Benchmarks.mlib
+            in
+            match
+              Mcs_core.Post_connect.run_design d ~rate ~pipe_length
+                ~mode:C.Bidir
+            with
+            | Error m -> settled job (Outcome.Infeasible m)
+            | Ok r ->
+                feasible job ~pins:r.Mcs_core.Post_connect.pins
+                  ~pipe_length:(pipe r.Mcs_core.Post_connect.schedule)
+                  ~fu_count:
+                    (Mcs_util.Listx.sum snd r.Mcs_core.Post_connect.fus))
+        | Job.Ch6 -> (
+            match Mcs_core.Subbus.run_design d ~rate with
+            | Error m -> settled job (Outcome.Infeasible m)
+            | Ok t ->
+                feasible job ~pins:t.Mcs_core.Subbus.pins
+                  ~pipe_length:(pipe t.Mcs_core.Subbus.schedule)
+                  ~fu_count:
+                    (fus_of_constraints d
+                       (Benchmarks.constraints_for_bidir d ~rate))))
+  in
+  outcome
+
+let exec job =
+  try exec job with
+  | Invalid_argument m | Failure m -> settled job (Outcome.Infeasible m)
+  | e -> settled job (Outcome.Crashed (Printexc.to_string e))
+
+(* ---- the fork pool ---- *)
+
+type worker_state = {
+  pid : int;
+  fd : Unix.file_descr;
+  idx : int;
+  buf : Buffer.t;
+  deadline : float option;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let rec waitpid_retry pid =
+  try snd (Unix.waitpid [] pid)
+  with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+  | Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+
+let rec select_retry fds tmo =
+  try Unix.select fds [] [] tmo
+  with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry fds tmo
+
+let status_msg = function
+  | Unix.WEXITED 0 -> "worker replied with an unparsable result"
+  | Unix.WEXITED c -> Printf.sprintf "worker exited with code %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "worker killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "worker stopped by signal %d" s
+
+let spawn worker job idx ~timeout =
+  (* Duplicated channel buffers in the child would replay the parent's
+     pending output; the child talks only through its pipe. *)
+  flush stdout;
+  flush stderr;
+  Format.pp_print_flush Format.std_formatter ();
+  Format.pp_print_flush Format.err_formatter ();
+  let r, w = Unix.pipe () in
+  M.incr c_forks;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      (match worker job with
+      | o ->
+          (try write_all w (Outcome.to_string o) with _ -> ());
+          (try Unix.close w with _ -> ());
+          Unix._exit 0
+      | exception _ -> Unix._exit 3)
+  | pid ->
+      Unix.close w;
+      {
+        pid;
+        fd = r;
+        idx;
+        buf = Buffer.create 256;
+        deadline =
+          Option.map (fun t -> Unix.gettimeofday () +. t) timeout;
+      }
+
+let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) joblist =
+  let slots = max 1 jobs in
+  let joblist = Array.of_list joblist in
+  let n = Array.length joblist in
+  M.incr c_jobs ~n;
+  let results = Array.make n None in
+  let fresh = Array.make n false in
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i job ->
+          match Cache.lookup c job with
+          | Some o -> results.(i) <- Some o
+          | None -> ())
+        joblist);
+  let pending =
+    ref (List.filter (fun i -> results.(i) = None) (Mcs_util.Listx.range 0 n))
+  in
+  let running = ref [] in
+  let finish wk outcome =
+    running := List.filter (fun w -> w.pid <> wk.pid) !running;
+    (try Unix.close wk.fd with Unix.Unix_error _ -> ());
+    results.(wk.idx) <- Some outcome;
+    fresh.(wk.idx) <- true
+  in
+  while !pending <> [] || !running <> [] do
+    while !pending <> [] && List.length !running < slots do
+      let idx = List.hd !pending in
+      pending := List.tl !pending;
+      running := spawn worker joblist.(idx) idx ~timeout :: !running
+    done;
+    (* Expiry first, and unconditionally: a worker past its deadline is
+       reported [Timed_out] even if its reply has already arrived, so a
+       zero timeout gives a deterministic outcome. *)
+    let now = Unix.gettimeofday () in
+    let expired =
+      List.filter
+        (fun wk ->
+          match wk.deadline with Some d -> d <= now | None -> false)
+        !running
+    in
+    List.iter
+      (fun wk ->
+        (try Unix.kill wk.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (waitpid_retry wk.pid);
+        M.incr c_timeouts;
+        finish wk (settled joblist.(wk.idx) Outcome.Timed_out))
+      expired;
+    if !running <> [] then begin
+      let tmo =
+        match List.filter_map (fun wk -> wk.deadline) !running with
+        | [] -> -1.0
+        | ds ->
+            Float.max 0.0
+              (List.fold_left Float.min Float.infinity ds
+              -. Unix.gettimeofday ())
+      in
+      let readable, _, _ =
+        select_retry (List.map (fun wk -> wk.fd) !running) tmo
+      in
+      let chunk = Bytes.create 4096 in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun wk -> wk.fd = fd) !running with
+          | None -> ()
+          | Some wk -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                  (* EOF: the worker wrote its reply (if any) and died. *)
+                  let st = waitpid_retry wk.pid in
+                  let outcome =
+                    match
+                      Outcome.of_string (String.trim (Buffer.contents wk.buf))
+                    with
+                    | Ok o when Job.equal o.Outcome.job joblist.(wk.idx) -> o
+                    | Ok _ | Error _ ->
+                        M.incr c_crashes;
+                        settled joblist.(wk.idx)
+                          (Outcome.Crashed (status_msg st))
+                  in
+                  finish wk outcome
+              | k -> Buffer.add_subbytes wk.buf chunk 0 k
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+        readable
+    end
+  done;
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i computed ->
+          if computed then
+            match results.(i) with
+            | Some o -> Cache.store c joblist.(i) o
+            | None -> ())
+        fresh);
+  Array.to_list
+    (Array.mapi
+       (fun i r ->
+         match r with
+         | Some o -> o
+         | None -> settled joblist.(i) (Outcome.Crashed "result lost"))
+       results)

@@ -1,0 +1,41 @@
+(** Fork-based worker pool: fans a batch of {!Job}s out over child
+    processes and collects {!Outcome}s.
+
+    Every job runs in its own [Unix.fork]ed worker (even at [~jobs:1]),
+    which buys three things at once: crash isolation (a worker dying on
+    one design point — signal, uncaught exception, OOM — yields a
+    [Crashed] outcome for that point while the sweep continues),
+    enforceable per-job timeouts ([SIGKILL] on the deadline, a
+    [Timed_out] outcome), and a clean-slate solver state per point.
+    A worker reports by writing its outcome's single-line JSON to a pipe
+    and [_exit]ing; the parent never deserializes anything richer.
+
+    Results come back in {e submission order}, regardless of completion
+    order or worker count: [run ~jobs:4] and [run ~jobs:1] return
+    identical lists for deterministic flows (a qcheck property in
+    [test/suite_engine.ml], and the byte-identical-report acceptance
+    check of the [dse] CLI).
+
+    With a {!Cache}, hits skip the fork entirely and fresh settled
+    results are stored back.  Counters in {!Mcs_obs.Metrics}:
+    [engine.pool.jobs], [engine.pool.forks], [engine.pool.crashes],
+    [engine.pool.timeouts], and [engine.jobs.executed] in whichever
+    process actually runs a flow. *)
+
+val exec : Job.t -> Outcome.t
+(** Run one job in the calling process.  Flow rejections ([Error],
+    [Invalid_argument], [Failure] — including an unknown design name)
+    become [Infeasible]; any other exception becomes [Crashed].  Never
+    raises. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?cache:Cache.t ->
+  ?worker:(Job.t -> Outcome.t) ->
+  Job.t list ->
+  Outcome.t list
+(** [run ~jobs:n js] keeps at most [n] (default 1, floored at 1) workers
+    in flight.  [timeout] is per job, in seconds.  [worker] (default
+    {!exec}) is what each child runs — overridable so tests can simulate
+    worker death. *)

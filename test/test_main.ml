@@ -13,4 +13,5 @@ let () =
       Suite_partition.suite;
       Suite_integration.suite;
       Suite_obs.suite;
+      Suite_engine.suite;
     ]
