@@ -525,6 +525,81 @@ let scaling () =
     rows;
   Format.fprintf fmt "@."
 
+(* ---- Warm-started ILP core ---- *)
+
+(* The two fixed pin-ILP instances the pivot budgets of test/budgets.ml
+   are pinned to; both searches are deterministic, so the pivot and node
+   counts below are exact machine-independent numbers. *)
+let ilp_cases () =
+  [
+    ("ar-general", Benchmarks.ar_general (), 3);
+    ("elliptic", Benchmarks.elliptic (), 6);
+  ]
+
+let m_pivots = Mcs_obs.Metrics.counter "simplex.pivots"
+let m_nodes = Mcs_obs.Metrics.counter "bb.nodes"
+
+let ilp_measure (d : Benchmarks.design) rate =
+  let cons = Benchmarks.constraints_for d ~rate in
+  let m = Simple_part.Pin_ilp.model d.Benchmarks.cdfg cons ~rate ~fixed:[] in
+  let p, integer = Mcs_ilp.Model.to_problem m in
+  let counted f =
+    let p0 = Mcs_obs.Metrics.count m_pivots
+    and n0 = Mcs_obs.Metrics.count m_nodes in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    ( r,
+      Mcs_obs.Metrics.count m_pivots - p0,
+      Mcs_obs.Metrics.count m_nodes - n0,
+      Unix.gettimeofday () -. t0 )
+  in
+  let warm, wp, wn, wt =
+    counted (fun () -> Mcs_ilp.Branch_bound.solve ~integer p)
+  in
+  let cold, cp, cn, ct =
+    counted (fun () -> Mcs_ilp.Branch_bound.solve_cold ~integer p)
+  in
+  let agree =
+    match (warm, cold) with
+    | Mcs_ilp.Branch_bound.Optimal a, Mcs_ilp.Branch_bound.Optimal b ->
+        Mcs_util.Ratio.equal a.Mcs_ilp.Simplex.value b.Mcs_ilp.Simplex.value
+    | Mcs_ilp.Branch_bound.Infeasible, Mcs_ilp.Branch_bound.Infeasible -> true
+    | _ -> false
+  in
+  (wp, wn, wt, cp, cn, ct, agree)
+
+let ilp () =
+  section "E-ILP - warm-started branch & bound vs cold re-solve (pin ILPs)";
+  let rows =
+    List.map
+      (fun (name, d, rate) ->
+        let wp, wn, wt, cp, cn, ct, agree = ilp_measure d rate in
+        [
+          name;
+          string_of_int rate;
+          string_of_int cp;
+          string_of_int cn;
+          Printf.sprintf "%.3f s" ct;
+          string_of_int wp;
+          string_of_int wn;
+          Printf.sprintf "%.3f s" wt;
+          Printf.sprintf "%.0fx" (float_of_int cp /. float_of_int (max 1 wp));
+          string_of_bool agree;
+        ])
+      (ilp_cases ())
+  in
+  Report.table fmt
+    ~title:
+      "Pivots and nodes to decide the Chapter 3 pin ILP: cold re-solve at \
+       every node vs dual-simplex warm start"
+    ~header:
+      [
+        "Design"; "Rate"; "Cold piv"; "Cold nodes"; "Cold wall"; "Warm piv";
+        "Warm nodes"; "Warm wall"; "Pivot ratio"; "Agree";
+      ]
+    rows;
+  Format.fprintf fmt "@."
+
 (* ---- Design-space exploration through the engine ---- *)
 
 module E_job = Mcs_engine.Job
@@ -730,6 +805,21 @@ let json_report path =
           | Error m -> Error m
           | Ok t -> Ok (result t.schedule t.pins));
     ]
+    @ List.map
+        (fun (name, d, rate) ->
+          record "ilp-warm-vs-cold" name rate (fun () ->
+              let wp, wn, wt, cp, cn, ct, agree = ilp_measure d rate in
+              Ok
+                [
+                  ("cold_pivots", J.Int cp);
+                  ("warm_pivots", J.Int wp);
+                  ("cold_nodes", J.Int cn);
+                  ("warm_nodes", J.Int wn);
+                  ("cold_wall_s", J.Float ct);
+                  ("warm_wall_s", J.Float wt);
+                  ("agree", J.Bool agree);
+                ]))
+        (ilp_cases ())
   in
   let report =
     J.Obj [ ("schema", J.Str "mcs-bench/1"); ("flows", J.Arr flows) ]
@@ -763,6 +853,7 @@ let () =
   if want "ch7" then ch7 ();
   if want "rtl" then rtl_and_verify ();
   if want "scale" then scaling ();
+  if want "ilp" then ilp ();
   if want "dse" then dse ();
   if not !skip_bechamel then bechamel ();
   Format.fprintf fmt "@.All experiments completed.@."

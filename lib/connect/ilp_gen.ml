@@ -120,7 +120,9 @@ module Ch4 = struct
   let solve ?method_ cdfg cons ~rate ~mode ~max_buses =
     let m, vars = model cdfg cons ~rate ~mode ~max_buses in
     match M.solve ?method_ m with
-    | M.Optimal sol ->
+    (* A budget-limited but integer-feasible solution is still a valid
+       bus assignment — only the bus-count objective may be sub-optimal. *)
+    | M.Optimal sol | M.Feasible sol ->
         let assignment =
           List.map
             (fun w ->
@@ -398,7 +400,7 @@ module Ch6 = struct
   let feasible cdfg cons ~rate ~max_buses ~subs =
     let m = model cdfg cons ~rate ~max_buses ~subs in
     match M.solve ~method_:`Branch_bound m with
-    | M.Optimal _ -> Some true
+    | M.Optimal _ | M.Feasible _ -> Some true
     | M.Infeasible -> Some false
     | M.Unbounded -> Some true
     | M.Unknown -> None

@@ -222,6 +222,9 @@ module Pin_ilp = struct
     let m = model cdfg cons ~rate ~fixed in
     match Model.solve ~method_ m with
     | Model.Optimal _ -> true
+    (* A feasibility model with an integer point in hand is feasible even
+       when the node budget ran out before proving it optimal. *)
+    | Model.Feasible _ -> true
     | Model.Infeasible -> false
     | Model.Unbounded -> true
     | Model.Unknown -> false

@@ -31,9 +31,10 @@ module Pin_ilp : sig
     Cdfg.t -> Constraints.t -> rate:int ->
     fixed:(Types.op_id * int) list -> bool
   (** Decides the model; [`Gomory] is the dissertation's §3.3 cutting-plane
-      route, [`Branch_bound] (default) the exact reference.  An undecided
-      budget exhaustion is treated as infeasible (safe for the scheduler:
-      the operation is merely postponed). *)
+      route, [`Branch_bound] (default) the exact reference.  A budget
+      exhaustion that already found an integer point counts as feasible; a
+      genuinely undecided exhaustion is treated as infeasible (safe for
+      the scheduler: the operation is merely postponed). *)
 end
 
 val hook :

@@ -7,6 +7,8 @@ let m_prune_infeasible = M.counter "bb.prune_infeasible"
 let m_prune_bound = M.counter "bb.prune_bound"
 let m_incumbents = M.counter "bb.incumbents"
 let m_node_limit = M.counter "bb.node_limit"
+let m_warm_restores = M.counter "bb.warm_restores"
+let m_child_unbounded = M.counter "bb.child_unbounded"
 let g_depth_peak = M.gauge "bb.depth_peak"
 
 type result =
@@ -14,6 +16,7 @@ type result =
   | Infeasible
   | Unbounded
   | Node_limit
+  | Limit_feasible of Simplex.solution
 
 let first_fractional ~integer (sol : Simplex.solution) =
   let n = Array.length sol.x in
@@ -28,14 +31,202 @@ let first_fractional ~integer (sol : Simplex.solution) =
    with Exit -> ());
   !found
 
+let half = R.make 1 2
+
+(* Most-fractional rule: branch on the integer variable whose fractional
+   part is closest to 1/2 (smallest index breaks ties), the variable whose
+   rounding the LP is least decided about.  Cheap now that a node costs a
+   handful of dual pivots rather than a full re-solve. *)
+let most_fractional ~integer (sol : Simplex.solution) =
+  let best = ref None in
+  Array.iteri
+    (fun i xi ->
+      if integer.(i) && not (R.is_integer xi) then begin
+        let dist = R.abs (R.sub (R.frac xi) half) in
+        match !best with
+        | Some (_, d) when R.compare dist d <= 0 -> ()
+        | _ -> best := Some (i, dist)
+      end)
+    sol.x;
+  match !best with Some (i, _) -> Some i | None -> None
+
 let unit_row n i coef =
   let row = Array.make n R.zero in
   row.(i) <- coef;
   row
 
+(* Max-heap on the parent's LP bound (best-bound node ordering); among
+   equal bounds the youngest node wins, so the search dives depth-first
+   within a bound plateau.  The tie-break matters: pure feasibility
+   models (zero objective, ubiquitous in the pin ILPs) make every bound
+   equal, and a FIFO tie-break would degenerate into breadth-first
+   search.  Either way the order — and therefore every pivot/node
+   counter — is deterministic. *)
+module Pq = struct
+  type 'a t = {
+    mutable heap : (R.t * int * 'a) array;
+    mutable len : int;
+    mutable seq : int;
+  }
+
+  let create () = { heap = [||]; len = 0; seq = 0 }
+
+  let before (b1, s1, _) (b2, s2, _) =
+    let c = R.compare b1 b2 in
+    c > 0 || (c = 0 && s1 > s2)
+
+  let swap q i j =
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(j);
+    q.heap.(j) <- tmp
+
+  let push q bound payload =
+    let e = (bound, q.seq, payload) in
+    q.seq <- q.seq + 1;
+    if q.len = Array.length q.heap then begin
+      let heap = Array.make (Stdlib.max 16 (2 * q.len)) e in
+      Array.blit q.heap 0 heap 0 q.len;
+      q.heap <- heap
+    end;
+    q.heap.(q.len) <- e;
+    q.len <- q.len + 1;
+    let i = ref (q.len - 1) in
+    let moving = ref true in
+    while !moving && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if before q.heap.(!i) q.heap.(p) then begin
+        swap q !i p;
+        i := p
+      end
+      else moving := false
+    done
+
+  let pop q =
+    if q.len = 0 then None
+    else begin
+      let top = q.heap.(0) in
+      q.len <- q.len - 1;
+      if q.len > 0 then begin
+        q.heap.(0) <- q.heap.(q.len);
+        let i = ref 0 in
+        let moving = ref true in
+        while !moving do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let best = ref !i in
+          if l < q.len && before q.heap.(l) q.heap.(!best) then best := l;
+          if r < q.len && before q.heap.(r) q.heap.(!best) then best := r;
+          if !best <> !i then begin
+            swap q !i !best;
+            i := !best
+          end
+          else moving := false
+        done
+      end;
+      Some top
+    end
+end
+
+type node = {
+  snap : Simplex.Tab.snapshot; (* parent's optimal tableau *)
+  var : int; (* branching variable *)
+  dir : [ `Le of int | `Ge of int ]; (* the single bound this child adds *)
+  depth : int;
+}
+
+(* Warm-started branch & bound: the root LP is solved once; every child
+   restores its parent's optimal tableau, appends its one branching bound
+   with [Tab.add_row] and re-optimizes with the dual simplex, so a node
+   costs a few pivots instead of a two-phase solve from scratch.  A child
+   can never be unbounded — its LP is the parent's (bounded, optimal) LP
+   plus one constraint — so [Unbounded] is decided at the root alone. *)
 let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
   if Array.length integer <> p.n_vars then
     invalid_arg "Branch_bound.solve: integer mask length mismatch";
+  M.incr m_solves;
+  M.incr m_nodes;
+  match Simplex.Tab.of_problem p with
+  | `Infeasible ->
+      M.incr m_prune_infeasible;
+      Infeasible
+  | `Unbounded -> Unbounded
+  | `Solved tab ->
+      let incumbent = ref None in
+      let better value =
+        match !incumbent with
+        | None -> true
+        | Some (v, _) -> R.compare value v > 0
+      in
+      let nodes = ref 1 in
+      let hit_limit = ref false in
+      let q = Pq.create () in
+      (* The LP optimum at a node: record it if integral, otherwise push
+         both children carrying a snapshot of this node's tableau. *)
+      let consider (sol : Simplex.solution) depth =
+        if not (better sol.value) then M.incr m_prune_bound
+        else
+          match most_fractional ~integer sol with
+          | None ->
+              M.incr m_incumbents;
+              incumbent := Some (sol.value, sol)
+          | Some i ->
+              let snap = Simplex.Tab.snapshot tab in
+              let f = R.floor sol.x.(i) in
+              (* Pushed ceil-then-floor so the LIFO tie-break dives into
+                 the floor branch first, like the cold reference. *)
+              Pq.push q sol.value
+                { snap; var = i; dir = `Ge (f + 1); depth = depth + 1 };
+              Pq.push q sol.value
+                { snap; var = i; dir = `Le f; depth = depth + 1 }
+      in
+      consider (Simplex.Tab.solution tab) 0;
+      let rec drain () =
+        match Pq.pop q with
+        | None -> ()
+        | Some (bound, _, node) ->
+            if not (better bound) then begin
+              (* Best-bound order makes this final: once the best open
+                 bound cannot beat the incumbent, no open node can. *)
+              M.incr m_prune_bound;
+              drain ()
+            end
+            else if !nodes >= max_nodes then begin
+              hit_limit := true;
+              M.incr m_node_limit
+            end
+            else begin
+              incr nodes;
+              M.incr m_nodes;
+              M.incr m_warm_restores;
+              M.set_max g_depth_peak (float_of_int node.depth);
+              Simplex.Tab.restore tab node.snap;
+              let coefs = unit_row p.n_vars node.var R.one in
+              (match node.dir with
+              | `Le b -> Simplex.Tab.add_row tab coefs Simplex.Le (R.of_int b)
+              | `Ge b -> Simplex.Tab.add_row tab coefs Simplex.Ge (R.of_int b));
+              (match Simplex.Tab.reoptimize_dual tab with
+              | `Infeasible -> M.incr m_prune_infeasible
+              | `Ok -> consider (Simplex.Tab.solution tab) node.depth);
+              drain ()
+            end
+      in
+      drain ();
+      (match (!incumbent, !hit_limit) with
+      | Some (_, sol), false -> Optimal sol
+      | Some (_, sol), true ->
+          (* Optimality is unproven, but the integer point is genuine:
+             hand it to the caller instead of discarding it. *)
+          Limit_feasible sol
+      | None, true -> Node_limit
+      | None, false -> Infeasible)
+
+(* Cold-start reference: re-solves the accumulated problem from scratch at
+   every node (depth-first, first-fractional, floor branch first) — the
+   pre-warm-start algorithm, kept as the baseline the budget regression
+   test and the bench [ilp] experiment measure the warm solver against,
+   and as an independent oracle for the property tests. *)
+let solve_cold ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
+  if Array.length integer <> p.n_vars then
+    invalid_arg "Branch_bound.solve_cold: integer mask length mismatch";
   M.incr m_solves;
   let incumbent = ref None in
   let nodes = ref 0 in
@@ -46,7 +237,6 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
     | Some (v, _) -> R.compare value v > 0
   in
   let root_unbounded = ref false in
-  (* Depth-first; [extra] accumulates the branching bounds. *)
   let rec explore extra depth =
     if !hit_limit then ()
     else begin
@@ -62,11 +252,15 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
         match Simplex.solve problem with
         | Simplex.Infeasible -> M.incr m_prune_infeasible
         | Simplex.Unbounded ->
-            (* Only possible at the root (children only tighten bounds on
-               integer variables, but a still-unbounded child means the
-               integer problem itself is unbounded too). *)
             if depth = 0 then root_unbounded := true
-            else root_unbounded := true
+            else
+              (* Unreachable: a child's LP is its parent's plus one more
+                 constraint, and the parent was solved to a (bounded)
+                 optimum before branching — adding constraints cannot
+                 unbound a bounded LP.  Counted rather than asserted so a
+                 latent simplex bug surfaces in metrics instead of
+                 silently mislabeling the root as unbounded. *)
+              M.incr m_child_unbounded
         | Simplex.Optimal sol ->
             if not (better sol.value) then M.incr m_prune_bound
             else begin
@@ -92,11 +286,7 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
   else
     match (!incumbent, !hit_limit) with
     | Some (_, sol), false -> Optimal sol
-    | Some (_, sol), true ->
-        (* An incumbent exists but optimality is unproven; report the limit
-           so callers cannot mistake it for an optimum. *)
-        ignore sol;
-        Node_limit
+    | Some (_, sol), true -> Limit_feasible sol
     | None, true -> Node_limit
     | None, false -> Infeasible
 
@@ -105,7 +295,7 @@ let feasible ?max_nodes ~integer p =
     { p with Simplex.objective = Array.make p.Simplex.n_vars R.zero }
   in
   match solve ?max_nodes ~integer p with
-  | Optimal _ -> Some true
+  | Optimal _ | Limit_feasible _ -> Some true
   | Infeasible -> Some false
   | Unbounded -> Some true
   | Node_limit -> None

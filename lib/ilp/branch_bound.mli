@@ -2,19 +2,50 @@
 
     Serves as the reference exact solver for the interchip-connection
     formulations of Chapters 4 and 6 (the dissertation submitted those to
-    Bozo / Lindo) and cross-checks the Gomory path in the test suite. *)
+    Bozo / Lindo) and cross-checks the Gomory path in the test suite.
+
+    The default {!solve} is {e warm-started}: the root LP relaxation is
+    solved once with the two-phase primal simplex, and every search node
+    thereafter restores its parent's optimal tableau
+    ({!Simplex.Tab.snapshot} / [restore]), appends its single branching
+    bound with {!Simplex.Tab.add_row} and re-optimizes with the dual
+    simplex — a few pivots per node instead of a from-scratch re-solve.
+    Nodes are explored in best-bound order and branch on the
+    most-fractional integer variable.  Because a child's LP is its
+    (bounded, optimal) parent's LP plus one constraint, children can never
+    be unbounded: [Unbounded] is decided at the root alone. *)
 
 type result =
   | Optimal of Simplex.solution
   | Infeasible
   | Unbounded  (** LP relaxation unbounded in the objective direction *)
-  | Node_limit  (** search stopped before proving optimality *)
+  | Node_limit
+      (** search stopped before proving optimality, with no integer point
+          in hand *)
+  | Limit_feasible of Simplex.solution
+      (** search stopped before proving optimality, but an integer-feasible
+          incumbent was found — a genuine (possibly sub-optimal) solution *)
 
 val solve :
   ?max_nodes:int -> integer:bool array -> Simplex.problem -> result
 (** [solve ~integer p] maximizes [p]'s objective with variables [i] such
-    that [integer.(i)] constrained to integer values.  Depth-first with
-    best-bound pruning; branches on the first fractional integer variable,
-    floor branch first.  [max_nodes] defaults to [200_000]. *)
+    that [integer.(i)] constrained to integer values.  Warm-started
+    best-bound search (see the module description); [max_nodes] defaults
+    to [200_000]. *)
 
-val feasible : ?max_nodes:int -> integer:bool array -> Simplex.problem -> bool option
+val solve_cold :
+  ?max_nodes:int -> integer:bool array -> Simplex.problem -> result
+(** Cold-start reference implementation: depth-first, first-fractional
+    branching, and a full two-phase re-solve of the accumulated problem at
+    every node.  Same results as {!solve} (statuses agree, optimal
+    objective values are equal; the optima themselves may differ when the
+    problem has several), at many times the pivot count — kept as the
+    baseline for the pivot-budget regression test and the bench [ilp]
+    experiment, and as an independent oracle for the property tests. *)
+
+val feasible :
+  ?max_nodes:int -> integer:bool array -> Simplex.problem -> bool option
+(** Pure integer-feasibility query (the objective is ignored).
+    [Some true] is also returned when the node budget ran out after an
+    integer point was already found ({!Limit_feasible}); [None] only when
+    the budget ran out with the question genuinely undecided. *)

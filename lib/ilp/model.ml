@@ -138,6 +138,7 @@ type solution = { objective : R.t; values : var -> R.t }
 
 type outcome =
   | Optimal of solution
+  | Feasible of solution
   | Infeasible
   | Unbounded
   | Unknown
@@ -162,6 +163,7 @@ let solve ?(method_ = `Branch_bound) t =
   | `Branch_bound -> (
       match Branch_bound.solve ~integer p with
       | Branch_bound.Optimal s -> Optimal (wrap_solution t s)
+      | Branch_bound.Limit_feasible s -> Feasible (wrap_solution t s)
       | Branch_bound.Infeasible -> Infeasible
       | Branch_bound.Unbounded -> Unbounded
       | Branch_bound.Node_limit -> Unknown)

@@ -71,9 +71,12 @@ type solution = { objective : Mcs_util.Ratio.t; values : var -> Mcs_util.Ratio.t
 
 type outcome =
   | Optimal of solution
+  | Feasible of solution
+      (** integer-feasible point found, but the solver's node budget ran
+          out before optimality was proven *)
   | Infeasible
   | Unbounded
-  | Unknown  (** solver budget exhausted *)
+  | Unknown  (** solver budget exhausted with no feasible point in hand *)
 
 val to_problem : t -> Simplex.problem * bool array
 (** Lower/upper bounds are materialized as constraint rows; variables are

@@ -83,17 +83,32 @@ let pivot t r c =
   if R.is_zero t.rhs.(r) then M.incr m_degenerate;
   let inv = R.inv piv in
   let row = t.a.(r) in
-  for j = 0 to t.n - 1 do
-    row.(j) <- R.mul row.(j) inv
+  let blocked = t.blocked in
+  (* Normalize the pivot row and collect its support.  Structurally zero
+     entries contribute nothing to the elimination below, and permanently
+     [blocked] columns are never read again (entering and dual ratio tests
+     both skip them), so neither is updated — their entries may go stale,
+     which every reader tolerates by skipping blocked columns too. *)
+  let support = ref [] in
+  for j = t.n - 1 downto 0 do
+    if not blocked.(j) then begin
+      let v = row.(j) in
+      if not (R.is_zero v) then begin
+        row.(j) <- R.mul v inv;
+        support := j :: !support
+      end
+    end
   done;
+  let support = !support in
   t.rhs.(r) <- R.mul t.rhs.(r) inv;
+  let prow_rhs = t.rhs.(r) in
   let eliminate target_row target_rhs_get target_rhs_set =
     let f = target_row.(c) in
     if not (R.is_zero f) then begin
-      for j = 0 to t.n - 1 do
-        target_row.(j) <- R.sub target_row.(j) (R.mul f row.(j))
-      done;
-      target_rhs_set (R.sub (target_rhs_get ()) (R.mul f t.rhs.(r)))
+      List.iter
+        (fun j -> target_row.(j) <- R.sub target_row.(j) (R.mul f row.(j)))
+        support;
+      target_rhs_set (R.sub (target_rhs_get ()) (R.mul f prow_rhs))
     end
   in
   for i = 0 to t.m - 1 do
@@ -361,25 +376,41 @@ module Tab = struct
      with Exit -> ());
     !found
 
+  (* Claim a fresh column (for the slack of an appended row) and a fresh
+     row slot.  The new column is scrubbed in every live row, the objective
+     and the blocked mask: capacity cells may hold stale values from a
+     [delete_row] recycling or a [restore] that shrank the tableau. *)
+  let claim_row_and_col t =
+    grow_cols t (t.n + 1);
+    grow_rows t (t.m + 1);
+    let slack = t.n in
+    t.n <- t.n + 1;
+    for i = 0 to t.m - 1 do
+      t.a.(i).(slack) <- R.zero
+    done;
+    t.obj.(slack) <- R.zero;
+    t.blocked.(slack) <- false;
+    let row = t.a.(t.m) in
+    Array.fill row 0 t.n R.zero;
+    slack
+
   let add_gomory_cut t r =
     if r < 0 || r >= t.m then invalid_arg "add_gomory_cut: bad row";
     M.incr m_cuts_added;
     let f0 = R.frac t.rhs.(r) in
     if R.is_zero f0 then invalid_arg "add_gomory_cut: row is integral";
     (* Cut over the nonbasic variables:  sum_j frac(a_rj) x_j >= frac(b_r),
-       appended in <=-with-slack form:  -sum frac(a_rj) x_j + s = -frac(b_r). *)
+       appended in <=-with-slack form:  -sum frac(a_rj) x_j + s = -frac(b_r).
+       Blocked columns are fixed at zero forever (and their tableau entries
+       may be stale), so they are left out of the cut. *)
     let basic = Array.make t.n false in
     for i = 0 to t.m - 1 do
       basic.(t.basis.(i)) <- true
     done;
-    grow_cols t (t.n + 1);
-    grow_rows t (t.m + 1);
-    let slack = t.n in
-    t.n <- t.n + 1;
+    let slack = claim_row_and_col t in
     let row = t.a.(t.m) in
-    Array.fill row 0 t.n R.zero;
     for j = 0 to slack - 1 do
-      if not basic.(j) then begin
+      if (not basic.(j)) && not t.blocked.(j) then begin
         let f = R.frac t.a.(r).(j) in
         if not (R.is_zero f) then row.(j) <- R.neg f
       end
@@ -387,11 +418,88 @@ module Tab = struct
     row.(slack) <- R.one;
     t.rhs.(t.m) <- R.neg f0;
     t.basis.(t.m) <- slack;
-    t.obj.(slack) <- R.zero;
-    t.blocked.(slack) <- false;
     t.m <- t.m + 1
 
+  let add_row t coefs rel b =
+    if Array.length coefs > t.n_struct then
+      invalid_arg "Simplex.Tab.add_row: more coefficients than variables";
+    let rec add coefs rel b =
+      match rel with
+      | Eq ->
+          add coefs Le b;
+          add coefs Ge b
+      | Le | Ge ->
+          let neg_it = rel = Ge in
+          let slack = claim_row_and_col t in
+          let row = t.a.(t.m) in
+          Array.iteri
+            (fun j c ->
+              if not (R.is_zero c) then row.(j) <- (if neg_it then R.neg c else c))
+            coefs;
+          let rhs = ref (if neg_it then R.neg b else b) in
+          (* Express the new row in the current basis: basis columns are
+             unit vectors, so one elimination pass per tableau row whose
+             basic variable appears in the new row suffices.  The objective
+             row is untouched (the new slack has reduced cost 0), so a
+             dual-feasible tableau stays dual-feasible. *)
+          for i = 0 to t.m - 1 do
+            let f = row.(t.basis.(i)) in
+            if not (R.is_zero f) then begin
+              let arow = t.a.(i) in
+              for j = 0 to t.n - 1 do
+                if not t.blocked.(j) then begin
+                  let v = arow.(j) in
+                  if not (R.is_zero v) then row.(j) <- R.sub row.(j) (R.mul f v)
+                end
+              done;
+              rhs := R.sub !rhs (R.mul f t.rhs.(i))
+            end
+          done;
+          row.(slack) <- R.one;
+          t.rhs.(t.m) <- !rhs;
+          t.basis.(t.m) <- slack;
+          t.m <- t.m + 1
+    in
+    add coefs rel b
+
   let reoptimize_dual t = dual_loop t
+
+  type snapshot = {
+    s_m : int;
+    s_n : int;
+    s_a : R.t array array;
+    s_rhs : R.t array;
+    s_basis : int array;
+    s_obj : R.t array;
+    s_obj_val : R.t;
+    s_blocked : bool array;
+  }
+
+  let snapshot t =
+    {
+      s_m = t.m;
+      s_n = t.n;
+      s_a = Array.init t.m (fun i -> Array.sub t.a.(i) 0 t.n);
+      s_rhs = Array.sub t.rhs 0 t.m;
+      s_basis = Array.sub t.basis 0 t.m;
+      s_obj = Array.sub t.obj 0 t.n;
+      s_obj_val = t.obj_val;
+      s_blocked = Array.sub t.blocked 0 t.n;
+    }
+
+  let restore t s =
+    grow_cols t s.s_n;
+    grow_rows t s.s_m;
+    t.m <- s.s_m;
+    t.n <- s.s_n;
+    for i = 0 to s.s_m - 1 do
+      Array.blit s.s_a.(i) 0 t.a.(i) 0 s.s_n
+    done;
+    Array.blit s.s_rhs 0 t.rhs 0 s.s_m;
+    Array.blit s.s_basis 0 t.basis 0 s.s_m;
+    Array.blit s.s_obj 0 t.obj 0 s.s_n;
+    t.obj_val <- s.s_obj_val;
+    Array.blit s.s_blocked 0 t.blocked 0 s.s_n
 end
 
 let solve p =

@@ -23,9 +23,18 @@ type status = Optimal of solution | Infeasible | Unbounded
 
 val solve : problem -> status
 
-(** Access to the solved tableau, for cutting-plane methods. *)
+(** Access to the solved tableau, for cutting-plane and branch-and-bound
+    methods that re-optimize incrementally instead of re-solving from a
+    cold start. *)
 module Tab : sig
   type t
+
+  type snapshot
+  (** Immutable copy of a tableau's live region (rows, columns, basis,
+      objective row).  Snapshots are cheap relative to a from-scratch
+      solve and may be restored any number of times, but only into the
+      tableau they were taken from (they do not carry the structural
+      problem definition). *)
 
   val of_problem : problem -> [ `Solved of t | `Infeasible | `Unbounded ]
   (** Runs both phases to optimality. *)
@@ -42,6 +51,26 @@ module Tab : sig
   (** Appends the Gomory fractional cut derived from the given row.  The
       tableau becomes primal-infeasible but stays dual-feasible. *)
 
+  val add_row : t -> Mcs_util.Ratio.t array -> rel -> Mcs_util.Ratio.t -> unit
+  (** [add_row t coefs rel b] appends the constraint [coefs . x (rel) b]
+      over the {e structural} variables ([coefs] has at most the problem's
+      [n_vars] entries; missing trailing entries are zero) to an optimal
+      tableau.  The row is re-expressed in the current basis and given a
+      fresh basic slack, so the tableau stays dual-feasible and a single
+      {!reoptimize_dual} re-optimizes — the warm-start primitive behind
+      branch-and-bound bound rows.  An [Eq] row is appended as the [Le]
+      and [Ge] pair. *)
+
   val reoptimize_dual : t -> [ `Ok | `Infeasible ]
-  (** Dual simplex until primal feasibility is restored. *)
+  (** Dual simplex until primal feasibility is restored.  A dual-feasible
+      tableau can never become unbounded here: re-optimization either
+      reaches an optimum or proves the added rows primal-infeasible. *)
+
+  val snapshot : t -> snapshot
+  (** Capture the current basis and tableau contents. *)
+
+  val restore : t -> snapshot -> unit
+  (** Roll the tableau back to a previously captured snapshot (rows and
+      columns added since are discarded).  The snapshot must have been
+      taken from [t]. *)
 end

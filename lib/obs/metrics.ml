@@ -83,7 +83,15 @@ let observe h v =
   h.h_sum <- h.h_sum + v;
   h.h_total <- h.h_total + 1
 
+(* Hooks run before any registry-wide read or reset, so modules that batch
+   updates locally (e.g. [Mcs_util.Ratio]'s reduction counter) can flush
+   their pending increments first. *)
+let pre_read_hooks : (unit -> unit) list ref = ref []
+let on_read f = pre_read_hooks := f :: !pre_read_hooks
+let run_pre_read_hooks () = List.iter (fun f -> f ()) !pre_read_hooks
+
 let snapshot () =
+  run_pre_read_hooks ();
   Hashtbl.fold
     (fun name i acc ->
       let v =
@@ -104,6 +112,7 @@ let snapshot () =
   |> List.sort compare
 
 let reset () =
+  run_pre_read_hooks ();
   Hashtbl.iter
     (fun _ i ->
       match i with

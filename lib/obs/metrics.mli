@@ -51,8 +51,15 @@ type value =
       total : int;
     }
 
+val on_read : (unit -> unit) -> unit
+(** [on_read f] registers [f] to run before every registry-wide read or
+    {!reset}.  Modules that keep an instrument's updates in a local
+    accumulator to stay off a hot path (e.g. the rational-arithmetic
+    reduction counter) register a flush here so reports remain exact. *)
+
 val snapshot : unit -> (string * value) list
-(** All registered instruments, sorted by name. *)
+(** All registered instruments, sorted by name (pre-read hooks run
+    first). *)
 
 val reset : unit -> unit
 (** Zero every registered instrument (registrations persist).  Run

@@ -1,0 +1,19 @@
+(* Deterministic solver-work budgets for the warm-started branch & bound.
+
+   Every algorithm on the path from a fixed ILP to its solution is
+   deterministic, so the `simplex.pivots` spent solving a fixed benchmark
+   is an exact, machine-independent number — a perf regression test with
+   no timers.  The budgets below leave ~25% headroom over the counts
+   measured when the warm-started solver landed, so incidental changes
+   (e.g. a different but equally good tie-break) don't trip the test,
+   while a return to cold-start behavior (20-50x more pivots) fails it
+   immediately.  `suite_ilp.ml` additionally checks the >= 2x win against
+   a live `Branch_bound.solve_cold` run, and `bench/main.exe --json`
+   reproduces both numbers in its mcs-bench/1 report.
+
+   Measured at introduction (warm / cold):
+     - AR filter (ar-general), pin ILP, rate 3:       79 / 1596 pivots
+     - elliptic filter, pin ILP, rate 6:             104 / 5117 pivots *)
+
+let ar_general_rate3_pivots = 100
+let elliptic_rate6_pivots = 130

@@ -116,6 +116,91 @@ let test_bb_feasibility () =
   Alcotest.(check (option bool)) "feasible" (Some true)
     (Branch_bound.feasible ~integer:[| true |] q)
 
+let test_snapshot_restore () =
+  let p =
+    lp 2 [ 3; 2 ] [ ([ 1; 1 ], Simplex.Le, 4); ([ 1; 3 ], Simplex.Le, 6) ]
+  in
+  match Simplex.Tab.of_problem p with
+  | `Solved tab ->
+      let v () = (Simplex.Tab.solution tab).Simplex.value in
+      checkb "root value 12" true (R.equal (v ()) (R.of_int 12));
+      let snap = Simplex.Tab.snapshot tab in
+      Simplex.Tab.add_row tab [| R.one; R.zero |] Simplex.Le (R.of_int 2);
+      (match Simplex.Tab.reoptimize_dual tab with
+      | `Ok -> checkb "with x<=2: 26/3" true (R.equal (v ()) (R.make 26 3))
+      | `Infeasible -> Alcotest.fail "x<=2 should stay feasible");
+      Simplex.Tab.restore tab snap;
+      checkb "restored value 12" true (R.equal (v ()) (R.of_int 12));
+      (* Re-grow the restored tableau with a contradictory bound: the
+         rows discarded by [restore] must not leak back in. *)
+      Simplex.Tab.add_row tab [| R.one; R.one |] Simplex.Ge (R.of_int 5);
+      checkb "x+y>=5 infeasible" true
+        (Simplex.Tab.reoptimize_dual tab = `Infeasible)
+  | _ -> Alcotest.fail "root LP should solve"
+
+(* [add_row] + dual re-optimization must agree with a cold solve of the
+   extended problem, for every relation kind. *)
+let test_add_row_matches_cold () =
+  let base =
+    lp 2 [ 3; 2 ] [ ([ 1; 1 ], Simplex.Le, 4); ([ 1; 3 ], Simplex.Le, 6) ]
+  in
+  List.iter
+    (fun (name, coefs, rel, b) ->
+      let row = (Array.map R.of_int (Array.of_list coefs), rel, R.of_int b) in
+      let warm =
+        match Simplex.Tab.of_problem base with
+        | `Solved tab ->
+            let c, r, b = row in
+            Simplex.Tab.add_row tab c r b;
+            (match Simplex.Tab.reoptimize_dual tab with
+            | `Ok -> Simplex.Optimal (Simplex.Tab.solution tab)
+            | `Infeasible -> Simplex.Infeasible)
+        | _ -> Alcotest.fail "base LP should solve"
+      in
+      let cold =
+        Simplex.solve { base with Simplex.rows = base.Simplex.rows @ [ row ] }
+      in
+      match (warm, cold) with
+      | Simplex.Optimal a, Simplex.Optimal b ->
+          checkb (name ^ " value agrees") true
+            (R.equal a.Simplex.value b.Simplex.value)
+      | Simplex.Infeasible, Simplex.Infeasible -> ()
+      | _ -> Alcotest.fail (name ^ ": warm and cold disagree"))
+    [
+      ("le", [ 1; 0 ], Simplex.Le, 2);
+      ("ge", [ 0; 1 ], Simplex.Ge, 1);
+      ("eq", [ 1; 1 ], Simplex.Eq, 3);
+      ("infeasible ge", [ 1; 1 ], Simplex.Ge, 5);
+    ]
+
+let test_bb_limit_feasible () =
+  (* max 5x+4y st 6x+4y<=24, x+2y<=6: fractional root, integer optimum 20.
+     Node counts are deterministic: one node cannot reach an integer
+     point, three nodes find one without proving optimality, and the full
+     search proves 20. *)
+  let p =
+    lp 2 [ 5; 4 ] [ ([ 6; 4 ], Simplex.Le, 24); ([ 1; 2 ], Simplex.Le, 6) ]
+  in
+  let integer = [| true; true |] in
+  (match Branch_bound.solve ~max_nodes:1 ~integer p with
+  | Branch_bound.Node_limit -> ()
+  | _ -> Alcotest.fail "expected Node_limit at 1 node");
+  (match Branch_bound.solve ~max_nodes:3 ~integer p with
+  | Branch_bound.Limit_feasible s ->
+      checkb "integral point" true (Array.for_all R.is_integer s.Simplex.x);
+      checkb "at most the optimum" true
+        (R.compare s.Simplex.value (R.of_int 20) <= 0)
+  | _ -> Alcotest.fail "expected Limit_feasible at 3 nodes");
+  (match Branch_bound.solve_cold ~max_nodes:3 ~integer p with
+  | Branch_bound.Limit_feasible s ->
+      checkb "cold integral point" true
+        (Array.for_all R.is_integer s.Simplex.x)
+  | _ -> Alcotest.fail "expected cold Limit_feasible at 3 nodes");
+  match Branch_bound.solve ~integer p with
+  | Branch_bound.Optimal s ->
+      checkb "unlimited optimum 20" true (R.equal s.Simplex.value (R.of_int 20))
+  | _ -> Alcotest.fail "expected Optimal without a limit"
+
 (* Random small integer programs: BB and Gomory must agree, and the BB
    optimum must satisfy every constraint. *)
 let random_ilp_arb =
@@ -174,6 +259,86 @@ let prop_lp_bounds_ilp =
       | Simplex.Infeasible, Branch_bound.Infeasible -> true
       | Simplex.Optimal _, Branch_bound.Infeasible -> true
       | _ -> false)
+
+(* Warm-started and cold branch & bound are different searches over the
+   same problem: statuses must agree and optima must be equal (the
+   witness points may differ when the optimum is not unique). *)
+let same_bb_result a b =
+  match (a, b) with
+  | Branch_bound.Optimal x, Branch_bound.Optimal y ->
+      R.equal x.Simplex.value y.Simplex.value
+  | Branch_bound.Infeasible, Branch_bound.Infeasible -> true
+  | Branch_bound.Unbounded, Branch_bound.Unbounded -> true
+  | Branch_bound.Node_limit, Branch_bound.Node_limit -> true
+  | Branch_bound.Limit_feasible _, Branch_bound.Limit_feasible _ -> true
+  | _ -> false
+
+let prop_warm_matches_cold =
+  QCheck.Test.make ~name:"warm-started BB matches cold BB" ~count:150
+    random_ilp_arb (fun p ->
+      same_bb_result
+        (Branch_bound.solve ~integer:[| true; true |] p)
+        (Branch_bound.solve_cold ~integer:[| true; true |] p))
+
+let prop_warm_matches_cold_mixed =
+  QCheck.Test.make ~name:"warm-started BB matches cold BB (mixed integer)"
+    ~count:150 random_ilp_arb (fun p ->
+      same_bb_result
+        (Branch_bound.solve ~integer:[| true; false |] p)
+        (Branch_bound.solve_cold ~integer:[| true; false |] p))
+
+(* --- Pivot budgets --- *)
+
+module Obs = Mcs_obs.Metrics
+
+let m_pivots = Obs.counter "simplex.pivots"
+
+let pivots_of f =
+  let before = Obs.count m_pivots in
+  let r = f () in
+  (r, Obs.count m_pivots - before)
+
+(* Perf regression test without timers: solving a fixed paper benchmark's
+   pin ILP is deterministic, so the pivot count is an exact number.  The
+   warm solver must stay inside the budget of [Budgets] and beat the cold
+   reference by at least the 2x the issue demands (measured: 20x and
+   49x). *)
+let test_pivot_budget () =
+  let bench name design rate budget =
+    let d = design () in
+    let cons = Mcs_cdfg.Benchmarks.constraints_for d ~rate in
+    let m =
+      Mcs_core.Simple_part.Pin_ilp.model d.Mcs_cdfg.Benchmarks.cdfg cons ~rate
+        ~fixed:[]
+    in
+    let p, integer = Model.to_problem m in
+    let warm, warm_pivots =
+      pivots_of (fun () -> Branch_bound.solve ~integer p)
+    in
+    let cold, cold_pivots =
+      pivots_of (fun () -> Branch_bound.solve_cold ~integer p)
+    in
+    (match (warm, cold) with
+    | Branch_bound.Optimal a, Branch_bound.Optimal b ->
+        checkb (name ^ ": warm and cold objectives equal") true
+          (R.equal a.Simplex.value b.Simplex.value)
+    | Branch_bound.Infeasible, Branch_bound.Infeasible -> ()
+    | _ -> Alcotest.fail (name ^ ": warm and cold disagree"));
+    checkb
+      (Printf.sprintf "%s: warm pivots %d within budget %d" name warm_pivots
+         budget)
+      true
+      (warm_pivots <= budget);
+    checkb
+      (Printf.sprintf "%s: warm pivots %d at least 2x under cold %d" name
+         warm_pivots cold_pivots)
+      true
+      (warm_pivots * 2 <= cold_pivots)
+  in
+  bench "ar-general rate 3" Mcs_cdfg.Benchmarks.ar_general 3
+    Budgets.ar_general_rate3_pivots;
+  bench "elliptic rate 6" Mcs_cdfg.Benchmarks.elliptic 6
+    Budgets.elliptic_rate6_pivots
 
 (* --- Model builder --- *)
 
@@ -299,6 +464,10 @@ let suite =
       Alcotest.test_case "bb matches gomory" `Quick test_bb_matches_gomory;
       Alcotest.test_case "bb mixed integer" `Quick test_bb_mixed_integer;
       Alcotest.test_case "bb feasibility" `Quick test_bb_feasibility;
+      Alcotest.test_case "tableau snapshot/restore" `Quick test_snapshot_restore;
+      Alcotest.test_case "add_row matches cold solve" `Quick test_add_row_matches_cold;
+      Alcotest.test_case "bb limit-feasible" `Quick test_bb_limit_feasible;
+      Alcotest.test_case "warm BB pivot budgets" `Quick test_pivot_budget;
       Alcotest.test_case "model knapsack" `Quick test_model_knapsack;
       Alcotest.test_case "model negative lower bounds" `Quick test_model_negative_lower_bound;
       Alcotest.test_case "model max of binaries" `Quick test_model_max_bin;
@@ -308,4 +477,10 @@ let suite =
       Alcotest.test_case "model via gomory" `Quick test_model_gomory_method;
     ]
     @ List.map QCheck_alcotest.to_alcotest
-        [ prop_bb_gomory_agree; prop_bb_solution_feasible; prop_lp_bounds_ilp ] )
+        [
+          prop_bb_gomory_agree;
+          prop_bb_solution_feasible;
+          prop_lp_bounds_ilp;
+          prop_warm_matches_cold;
+          prop_warm_matches_cold_mixed;
+        ] )

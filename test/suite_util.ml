@@ -56,6 +56,55 @@ let test_pp () =
   Alcotest.(check string) "int" "5" (R.to_string (R.of_int 5));
   Alcotest.(check string) "frac" "-3/2" (R.to_string (R.make 3 (-2)))
 
+(* The hot-path fast paths (den = 1, equal denominators, coprime
+   denominators, cross-reduced multiplication) must still produce fully
+   reduced results with positive denominators. *)
+let test_fast_paths () =
+  let reduced name r num den =
+    check (name ^ " num") num (R.num r);
+    check (name ^ " den") den (R.den r)
+  in
+  (* den = 1 on both sides: pure integer arithmetic. *)
+  reduced "int add" (R.add (R.of_int 3) (R.of_int (-5))) (-2) 1;
+  reduced "int mul" (R.mul (R.of_int 6) (R.of_int 7)) 42 1;
+  (* den = 1 on one side. *)
+  reduced "int + frac" (R.add (R.of_int 2) (R.make 1 3)) 7 3;
+  reduced "frac + int" (R.add (R.make 1 3) (R.of_int (-1))) (-2) 3;
+  (* Equal denominators, with and without a common factor in the sum. *)
+  reduced "1/4+1/4" (R.add (R.make 1 4) (R.make 1 4)) 1 2;
+  reduced "1/4+2/4" (R.add (R.make 1 4) (R.make 2 4)) 3 4;
+  reduced "3/4-3/4" (R.add (R.make 3 4) (R.make (-3) 4)) 0 1;
+  (* Coprime denominators (provably reduced, no gcd taken). *)
+  reduced "1/3+1/4" (R.add (R.make 1 3) (R.make 1 4)) 7 12;
+  (* Denominators sharing a factor (Knuth's two-gcd path). *)
+  reduced "1/6+1/10" (R.add (R.make 1 6) (R.make 1 10)) 4 15;
+  reduced "5/6+1/6" (R.add (R.make 5 6) (R.make 1 6)) 1 1;
+  (* Cross-reduced multiplication. *)
+  reduced "2/3*3/2" (R.mul (R.make 2 3) (R.make 3 2)) 1 1;
+  reduced "4/9*3/8" (R.mul (R.make 4 9) (R.make 3 8)) 1 6;
+  reduced "-2/3*3/4" (R.mul (R.make (-2) 3) (R.make 3 4)) (-1) 2;
+  (* Inverse keeps the denominator positive without renormalizing. *)
+  reduced "inv -2/3" (R.inv (R.make (-2) 3)) (-3) 2
+
+let test_overflow_still_raised () =
+  let raises f = Alcotest.check_raises "overflow" R.Overflow f in
+  raises (fun () -> ignore (R.add (R.of_int max_int) R.one));
+  raises (fun () -> ignore (R.mul (R.of_int max_int) (R.of_int 2)));
+  raises (fun () -> ignore (R.sub (R.of_int min_int) R.one));
+  (* Coprime-denominator addition overflows in the common denominator. *)
+  raises (fun () -> ignore (R.add (R.make 1 max_int) (R.make 1 (max_int - 1))));
+  (* Cross-reduction cannot save a genuinely huge product. *)
+  raises (fun () -> ignore (R.mul (R.make max_int 2) (R.make max_int 3)))
+
+let test_compare_fast_paths () =
+  checkb "equal dens" true (R.compare (R.make 1 3) (R.make 2 3) < 0);
+  checkb "int vs frac" true (R.compare (R.of_int 2) (R.make 7 3) < 0);
+  (* Differing signs decide without cross-multiplying — this pair would
+     overflow under naive cross-multiplication. *)
+  checkb "sign shortcut" true
+    (R.compare (R.make max_int 2) (R.make (-max_int) 3) > 0);
+  checkb "zero vs negative" true (R.compare R.zero (R.make (-1) 7) > 0)
+
 let small = QCheck.int_range (-50) 50
 let small_nz = QCheck.map (fun n -> if n = 0 then 1 else n) small
 
@@ -134,6 +183,9 @@ let suite =
       Alcotest.test_case "ratio compare" `Quick test_compare;
       Alcotest.test_case "ratio to_int" `Quick test_to_int;
       Alcotest.test_case "ratio printing" `Quick test_pp;
+      Alcotest.test_case "ratio fast paths stay reduced" `Quick test_fast_paths;
+      Alcotest.test_case "ratio overflow still raised" `Quick test_overflow_still_raised;
+      Alcotest.test_case "ratio compare fast paths" `Quick test_compare_fast_paths;
       Alcotest.test_case "listx range" `Quick test_listx_range;
       Alcotest.test_case "listx min/max" `Quick test_listx_minmax;
       Alcotest.test_case "listx group_by" `Quick test_listx_group_by;
