@@ -37,27 +37,47 @@ let verify_or_die tag sched =
   | Ok () -> ()
   | Error m -> failwith (Printf.sprintf "%s: invalid schedule: %s" tag m)
 
+module F = Mcs_flow.Flow
+module A = Mcs_flow.Artifact
+module Diag = Mcs_flow.Diag
+
+(* Every full-flow experiment goes through the unified checked pipeline:
+   one entry point, typed diagnostics, and (with MCS_CHECK=warn/strict)
+   the static analyzer auditing each regenerated table.  The direct
+   algorithm calls further down (Bechamel, the ILP study) deliberately
+   bypass it: they time one algorithm, not a pipeline. *)
+let run_flow ?pipe_length flow d ~rate ~mode =
+  attempt (fun () ->
+      match
+        Mcs_check.run flow (F.spec_of_design ?pipe_length ~mode ~flow d ~rate)
+      with
+      | Ok r -> Ok r
+      | Error dg -> Error (Diag.message dg))
+
 (* ---- Chapter 3: Figures 3.6 and 3.7 ---- *)
 
 let ch3 () =
   section "E3.6 - AR filter, simple partitioning (Figs. 3.5-3.7)";
   let d = Benchmarks.ar_simple () in
-  match Simple_part.run d ~rate:2 with
+  match run_flow F.Ch3 d ~rate:2 ~mode:C.Unidir with
   | Error m -> Format.fprintf fmt "FAILED: %s@." m
   | Ok r ->
-      verify_or_die "ch3" r.schedule;
+      verify_or_die "ch3" r.F.schedule;
       Format.fprintf fmt
         "Schedule of the simple-partition AR filter (cf. Fig. 3.6), \
          initiation rate 2:@.%a@."
-        Report.schedule r.schedule;
-      Format.fprintf fmt
-        "@.Interchip connection per Theorem 3.1 (cf. Fig. 3.7):@.%a@."
-        Report.bundles r.links;
+        Report.schedule r.F.schedule;
+      (match r.F.connection with
+      | A.Bundles links ->
+          Format.fprintf fmt
+            "@.Interchip connection per Theorem 3.1 (cf. Fig. 3.7):@.%a@."
+            Report.bundles links
+      | A.Buses _ | A.Subbuses _ -> ());
       Report.table fmt ~title:"Pins used per chip (budgets 112/48/48/32/32)"
         ~header:[ "P0"; "P1"; "P2"; "P3"; "P4" ]
-        [ Report.pins_row r.pins_needed ];
+        [ Report.pins_row r.F.pins ];
       Format.fprintf fmt "@.Pipe length: %s control steps@."
-        (pipe_or r.schedule)
+        (pipe_or r.F.schedule)
 
 (* ---- Chapter 4: Tables 4.1-4.19, Figures 4.8-4.28 ---- *)
 
@@ -113,32 +133,35 @@ let ch4_design tag (d : Benchmarks.design) mode rates =
   let summary =
     List.map
       (fun rate ->
-        match attempt (fun () -> Pre_connect.run_design d ~rate ~mode) with
+        match run_flow F.Ch4 d ~rate ~mode with
         | Error m ->
             Format.fprintf fmt "rate %d: FAILED (%s)@." rate m;
             [ string_of_int rate; "no schedule" ]
         | Ok r ->
-            verify_or_die "ch4" r.schedule;
-            Format.fprintf fmt
-              "-- Initiation rate %d: interchip connection (cf. Figs. \
-               4.8-4.10 / 4.14-4.16 / 4.21-4.26):@.%a@."
-              rate
-              (Report.connection d.Benchmarks.cdfg)
-              r.connection;
-            Format.fprintf fmt "@.";
-            Report.bus_assignment d.Benchmarks.cdfg fmt
-              ~initial:r.initial_assignment ~final:r.final_assignment;
-            Format.fprintf fmt "@.";
-            Report.bus_allocation d.Benchmarks.cdfg ~rate fmt r.allocation;
+            verify_or_die "ch4" r.F.schedule;
+            (match r.F.connection with
+            | A.Buses { conn; initial; assignment; allocation } ->
+                Format.fprintf fmt
+                  "-- Initiation rate %d: interchip connection (cf. Figs. \
+                   4.8-4.10 / 4.14-4.16 / 4.21-4.26):@.%a@."
+                  rate
+                  (Report.connection d.Benchmarks.cdfg)
+                  conn;
+                Format.fprintf fmt "@.";
+                Report.bus_assignment d.Benchmarks.cdfg fmt ~initial
+                  ~final:assignment;
+                Format.fprintf fmt "@.";
+                Report.bus_allocation d.Benchmarks.cdfg ~rate fmt allocation
+            | A.Bundles _ | A.Subbuses _ -> ());
             Format.fprintf fmt
               "@.Schedule (cf. Figs. 4.11-4.13 / 4.17-4.19 / \
                4.23-4.28):@.%a@.@."
-              Report.schedule r.schedule;
+              Report.schedule r.F.schedule;
             string_of_int rate
-            :: (Report.pins_row r.pins
+            :: (Report.pins_row r.F.pins
                @ [
-                   pipe_or r.schedule;
-                   (match r.static_pipe_length with
+                   pipe_or r.F.schedule;
+                   (match r.F.static_pipe_length with
                    | Some n -> string_of_int n
                    | None -> "fail");
                  ]))
@@ -177,25 +200,22 @@ let ch5_grid tag (d : Benchmarks.design) mode ~rates ~pls =
       (fun rate ->
         List.map
           (fun pl ->
-            match
-              attempt (fun () ->
-                  Post_connect.run_design d ~rate ~pipe_length:pl ~mode)
-            with
+            match run_flow F.Ch5 d ~rate ~pipe_length:pl ~mode with
             | Error _ ->
                 [ string_of_int rate; string_of_int pl; "infeasible" ]
             | Ok r ->
-                verify_or_die "ch5" r.schedule;
+                verify_or_die "ch5" r.F.schedule;
                 let fus ty =
                   String.concat "/"
                     (List.map
                        (fun p ->
-                         match List.assoc_opt (p, ty) r.fus with
+                         match List.assoc_opt (p, ty) r.F.fus with
                          | Some n -> string_of_int n
                          | None -> "0")
                        (List.tl parts))
                 in
                 [ string_of_int rate; string_of_int pl ]
-                @ Report.pins_row r.pins
+                @ Report.pins_row r.F.pins
                 @ [ fus "add"; fus "mul" ])
           pls)
       rates
@@ -225,7 +245,7 @@ let ch5_compare tag (d : Benchmarks.design) mode =
   let rows =
     List.map
       (fun rate ->
-        match attempt (fun () -> Pre_connect.run_design d ~rate ~mode) with
+        match run_flow F.Ch4 d ~rate ~mode with
         | Error m -> [ string_of_int rate; "FAILED: " ^ m ]
         | Ok r ->
             (* The paper's parenthesized figures: the same flow after
@@ -242,8 +262,8 @@ let ch5_compare tag (d : Benchmarks.design) mode =
               | Error _ -> "(-)"
             in
             string_of_int rate
-            :: (Report.pins_row r.pins
-               @ [ pipe_or r.schedule ^ " " ^ improved ]))
+            :: (Report.pins_row r.F.pins
+               @ [ pipe_or r.F.schedule ^ " " ^ improved ]))
       d.Benchmarks.rates
   in
   Report.table fmt
@@ -272,25 +292,29 @@ let ch6 () =
     List.filter_map
       (fun rate ->
         let nosharing =
-          match
-            attempt (fun () -> Pre_connect.run_design d ~rate ~mode:C.Bidir)
-          with
+          match run_flow F.Ch4 d ~rate ~mode:C.Bidir with
           | Ok r ->
-              Some (Mcs_util.Listx.sum snd r.pins, Sched.pipe_length r.schedule)
+              Some
+                (Mcs_util.Listx.sum snd r.F.pins, Sched.pipe_length r.F.schedule)
           | Error _ -> None
         in
-        match attempt (fun () -> Subbus.run_design d ~rate) with
+        match run_flow F.Ch6 d ~rate ~mode:C.Bidir with
         | Error m ->
             Format.fprintf fmt "rate %d: sharing flow FAILED (%s)@." rate m;
             None
         | Ok t ->
-            verify_or_die "ch6" t.schedule;
+            verify_or_die "ch6" t.F.schedule;
+            let buses, assignment =
+              match t.F.connection with
+              | A.Subbuses { buses; assignment; _ } -> (buses, assignment)
+              | A.Bundles _ | A.Buses _ -> ([], [])
+            in
             Format.fprintf fmt
               "-- Initiation rate %d: bus structure (cf. Figs. 6.2-6.4; ' \
                and '' mark sub-bus slices):@.%a@."
               rate
               (Report.real_buses d.Benchmarks.cdfg)
-              t.real_buses;
+              buses;
             (* Bus assignment with slices (cf. Tables 6.1-6.3). *)
             Report.table fmt
               ~title:"I/O operation to bus assignment (cf. Tables 6.1-6.3)"
@@ -305,10 +329,10 @@ let ch6 () =
                        | Subbus.Hi -> "''"
                        | Subbus.Whole -> "");
                    ])
-                 t.final_assignment);
+                 assignment);
             Format.fprintf fmt "@.Schedule (cf. Figs. 6.5-6.7):@.%a@.@."
-              Report.schedule t.schedule;
-            let sh_pins = Mcs_util.Listx.sum snd t.pins in
+              Report.schedule t.F.schedule;
+            let sh_pins = Mcs_util.Listx.sum snd t.F.pins in
             Some
               [
                 string_of_int rate;
@@ -319,7 +343,7 @@ let ch6 () =
                 | Some (_, l) -> string_of_int l
                 | None -> "-");
                 string_of_int sh_pins;
-                pipe_or t.schedule;
+                pipe_or t.F.schedule;
               ])
       d.Benchmarks.rates
   in
@@ -333,24 +357,27 @@ let ch6 () =
   Format.fprintf fmt "@.";
   let demo = Benchmarks.subbus_demo () in
   let ch4r =
-    match
-      attempt (fun () -> Pre_connect.run_design demo ~rate:3 ~mode:C.Bidir)
-    with
+    match run_flow F.Ch4 demo ~rate:3 ~mode:C.Bidir with
     | Ok r ->
-        Printf.sprintf "feasible (%d pins)" (Mcs_util.Listx.sum snd r.pins)
+        Printf.sprintf "feasible (%d pins)" (Mcs_util.Listx.sum snd r.F.pins)
     | Error _ -> "infeasible"
   in
-  match attempt (fun () -> Subbus.run_design demo ~rate:3) with
+  match run_flow F.Ch6 demo ~rate:3 ~mode:C.Bidir with
   | Ok t ->
-      verify_or_die "ch6-demo" t.schedule;
+      verify_or_die "ch6-demo" t.F.schedule;
+      let buses =
+        match t.F.connection with
+        | A.Subbuses { buses; _ } -> buses
+        | A.Bundles _ | A.Buses _ -> []
+      in
       Format.fprintf fmt
         "Sub-bus demo (one 32-bit + four 8-bit transfers, 40-pin budget): \
          without sharing: %s; with sharing: feasible (%d pins, pipe %s)@.%a@."
         ch4r
-        (Mcs_util.Listx.sum snd t.pins)
-        (pipe_or t.schedule)
+        (Mcs_util.Listx.sum snd t.F.pins)
+        (pipe_or t.F.schedule)
         (Report.real_buses demo.Benchmarks.cdfg)
-        t.real_buses
+        buses
   | Error m -> Format.fprintf fmt "sub-bus demo FAILED: %s@." m
 
 (* ---- Chapter 7 ---- *)
@@ -426,7 +453,7 @@ let rtl_and_verify () =
   section "E-RTL - data-path binding and functional verification";
   let rows = ref [] in
   let add_design (d : Benchmarks.design) ~rate ~mode =
-    match attempt (fun () -> Pre_connect.run_design d ~rate ~mode) with
+    match run_flow F.Ch4 d ~rate ~mode with
     | Error m ->
         Format.fprintf fmt "%s rate %d: flow failed (%s)@." d.Benchmarks.tag
           rate m
@@ -436,18 +463,24 @@ let rtl_and_verify () =
           | C.Unidir -> Benchmarks.constraints_for d ~rate
           | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate
         in
+        let conn, assignment =
+          match r.F.connection with
+          | A.Buses { conn; assignment; _ } -> (conn, assignment)
+          | A.Bundles _ | A.Subbuses _ ->
+              failwith "rtl: the Chapter 4 flow produces shared buses"
+        in
         let sim =
           match
-            Mcs_sim.Simulate.check_equivalent r.schedule
-              ~bus_of:(fun op -> [ List.assoc op r.final_assignment ])
+            Mcs_sim.Simulate.check_equivalent r.F.schedule
+              ~bus_of:(fun op -> [ List.assoc op assignment ])
               ~bus_capable:(fun bus op ->
-                C.capable r.connection d.Benchmarks.cdfg ~bus op)
+                C.capable conn d.Benchmarks.cdfg ~bus op)
               ~seed:2026 ~instances:8
           with
           | Ok () -> "machine == reference"
           | Error m -> "MISMATCH: " ^ m
         in
-        (match Mcs_rtl.Datapath.build r.schedule cons with
+        (match Mcs_rtl.Datapath.build r.F.schedule cons with
         | Error m ->
             Format.fprintf fmt "%s rate %d: binding failed (%s)@."
               d.Benchmarks.tag rate m
@@ -500,18 +533,16 @@ let scaling () =
         let d = Benchmarks.ar_scaled ~sections ~chips in
         let rate = List.hd d.Benchmarks.rates in
         let t0 = Unix.gettimeofday () in
-        match
-          attempt (fun () -> Pre_connect.run_design d ~rate ~mode:C.Unidir)
-        with
+        match run_flow F.Ch4 d ~rate ~mode:C.Unidir with
         | Error m ->
             [ d.Benchmarks.tag; "-"; "-"; "-"; "FAILED: " ^ m ]
         | Ok r ->
-            verify_or_die "scale" r.schedule;
+            verify_or_die "scale" r.F.schedule;
             [
               d.Benchmarks.tag;
               string_of_int (Cdfg.n_ops d.Benchmarks.cdfg);
-              string_of_int (Mcs_util.Listx.sum snd r.pins);
-              pipe_or r.schedule;
+              string_of_int (Mcs_util.Listx.sum snd r.F.pins);
+              pipe_or r.F.schedule;
               Printf.sprintf "%.2f s" (Unix.gettimeofday () -. t0);
             ])
       [ (4, 4); (8, 4); (16, 8); (32, 8); (48, 12) ]
@@ -783,27 +814,31 @@ let json_report path =
   let flows =
     [
       record "ch3" "ar-simple" 2 (fun () ->
-          match Simple_part.run (Benchmarks.ar_simple ()) ~rate:2 with
+          match
+            run_flow F.Ch3 (Benchmarks.ar_simple ()) ~rate:2 ~mode:C.Unidir
+          with
           | Error m -> Error m
-          | Ok r -> Ok (result r.schedule r.pins_needed));
+          | Ok r -> Ok (result r.F.schedule r.F.pins));
       record "ch4" "ar-general" 3 (fun () ->
           match
-            Pre_connect.run_design (Benchmarks.ar_general ()) ~rate:3
-              ~mode:C.Unidir
+            run_flow F.Ch4 (Benchmarks.ar_general ()) ~rate:3 ~mode:C.Unidir
           with
           | Error m -> Error m
-          | Ok r -> Ok (result r.schedule r.pins));
+          | Ok r -> Ok (result r.F.schedule r.F.pins));
       record "ch5" "ar-general" 4 (fun () ->
           match
-            Post_connect.run_design (Benchmarks.ar_general ()) ~rate:4
-              ~pipe_length:9 ~mode:C.Bidir
+            run_flow F.Ch5
+              (Benchmarks.ar_general ())
+              ~rate:4 ~pipe_length:9 ~mode:C.Bidir
           with
           | Error m -> Error m
-          | Ok r -> Ok (result r.schedule r.pins));
+          | Ok r -> Ok (result r.F.schedule r.F.pins));
       record "ch6" "ar-general" 3 (fun () ->
-          match Subbus.run_design (Benchmarks.ar_general ()) ~rate:3 with
+          match
+            run_flow F.Ch6 (Benchmarks.ar_general ()) ~rate:3 ~mode:C.Bidir
+          with
           | Error m -> Error m
-          | Ok t -> Ok (result t.schedule t.pins));
+          | Ok t -> Ok (result t.F.schedule t.F.pins));
     ]
     @ List.map
         (fun (name, d, rate) ->

@@ -4,7 +4,7 @@
      mcs-synth --design ar-general --rate 4 --flow ch4 --ports bidir
      mcs-synth --design ar-simple  --rate 2 --flow ch3
      mcs-synth --design elliptic   --rate 5 --flow ch5 --pipe-length 25
-     mcs-synth --design ar-general --rate 3 --flow ch6 --metrics
+     mcs-synth --design ar-general --rate 3 --flow ch6 --metrics\n     mcs-synth --design elliptic   --rate 6 --flow ch4 --check
      mcs-synth --design ar-general --rate 3 --flow ch4 --json run.json
      mcs-synth --list *)
 
@@ -48,135 +48,99 @@ let pins_json pins =
        (fun (p, n) -> J.Obj [ ("partition", J.Int p); ("pins", J.Int n) ])
        pins)
 
-(* Every flow reports its exit rendering plus the machine-readable result
-   fields and the schedule the pin-ILP cross-check replays. *)
-type flow_output = {
-  fields : (string * J.t) list;
-  schedule : Mcs_sched.Schedule.t;
-}
+module F = Mcs_flow.Flow
+module A = Mcs_flow.Artifact
+module Diag = Mcs_flow.Diag
+module Pass = Mcs_flow.Pass
 
-let run_ch3 d ~rate =
-  match Simple_part.run d ~rate with
-  | Error m -> Error m
-  | Ok r ->
-      Format.fprintf fmt "Schedule:@.%a@.@." Report.schedule r.schedule;
-      Format.fprintf fmt "Theorem 3.1 connection:@.%a@.@." Report.bundles r.links;
-      pins_table d r.pins_needed;
-      Ok
-        {
-          fields =
-            [
-              ("pins", pins_json r.pins_needed);
-              ( "pipe_length",
-                J.Int (Mcs_sched.Schedule.pipe_length r.schedule) );
-              ("bundles", J.Int (List.length r.links));
-            ];
-          schedule = r.schedule;
-        }
-
-let run_ch4 d ~rate ~mode =
-  match Pre_connect.run_design d ~rate ~mode with
-  | Error m -> Error m
-  | Ok r ->
-      Format.fprintf fmt "Interchip connection:@.%a@.@."
-        (Report.connection d.Benchmarks.cdfg)
-        r.connection;
-      Report.bus_assignment d.Benchmarks.cdfg fmt ~initial:r.initial_assignment
-        ~final:r.final_assignment;
-      Format.fprintf fmt "@.";
-      Report.bus_allocation d.Benchmarks.cdfg ~rate fmt r.allocation;
-      Format.fprintf fmt "@.Schedule:@.%a@.@." Report.schedule r.schedule;
-      pins_table d r.pins;
-      Format.fprintf fmt "@.pipe length: %d (static assignment: %s)@."
-        (Mcs_sched.Schedule.pipe_length r.schedule)
-        (match r.static_pipe_length with
-        | Some n -> string_of_int n
-        | None -> "unschedulable");
-      Ok
-        {
-          fields =
-            [
-              ("pins", pins_json r.pins);
-              ( "pipe_length",
-                J.Int (Mcs_sched.Schedule.pipe_length r.schedule) );
-              ( "static_pipe_length",
-                match r.static_pipe_length with
-                | Some n -> J.Int n
-                | None -> J.Null );
-              ("buses", J.Int (C.n_buses r.connection));
-              ("slot_cap", J.Int r.slot_cap);
-            ];
-          schedule = r.schedule;
-        }
-
-let run_ch5 d ~rate ~pipe_length ~mode =
-  match Post_connect.run_design d ~rate ~pipe_length ~mode with
-  | Error m -> Error m
-  | Ok r ->
+(* Rendering of the unified flow result, preserving the per-flow report
+   shapes of the dissertation's tables. *)
+let render (d : Benchmarks.design) (r : F.result) =
+  let cdfg = d.Benchmarks.cdfg in
+  match (r.F.flow, r.F.connection) with
+  | _, A.Bundles links ->
+      Format.fprintf fmt "Schedule:@.%a@.@." Report.schedule r.F.schedule;
+      Format.fprintf fmt "Theorem 3.1 connection:@.%a@.@." Report.bundles
+        links;
+      pins_table d r.F.pins
+  | F.Ch5, A.Buses { conn; _ } ->
       Format.fprintf fmt "Schedule (force-directed):@.%a@.@." Report.schedule
-        r.schedule;
+        r.F.schedule;
       Format.fprintf fmt "Connection (clique partitioning):@.%a@.@."
-        (Report.connection d.Benchmarks.cdfg)
-        r.connection;
-      pins_table d r.pins;
+        (Report.connection cdfg) conn;
+      pins_table d r.F.pins;
       Format.fprintf fmt "@.Functional units implied:@.";
       List.iter
         (fun ((p, ty), n) -> Format.fprintf fmt "  P%d: %d %s@." p n ty)
-        r.fus;
-      Ok
-        {
-          fields =
-            [
-              ("pins", pins_json r.pins);
-              ("pipe_length", J.Int pipe_length);
-              ("buses", J.Int (C.n_buses r.connection));
-              ( "fus",
-                J.Arr
-                  (List.map
-                     (fun ((p, ty), n) ->
-                       J.Obj
-                         [
-                           ("partition", J.Int p);
-                           ("optype", J.Str ty);
-                           ("count", J.Int n);
-                         ])
-                     r.fus) );
-            ];
-          schedule = r.schedule;
-        }
-
-let run_ch6 d ~rate =
-  match Subbus.run_design d ~rate with
-  | Error m -> Error m
-  | Ok t ->
+        r.F.fus
+  | _, A.Buses { conn; initial; assignment; allocation } ->
+      Format.fprintf fmt "Interchip connection:@.%a@.@."
+        (Report.connection cdfg) conn;
+      Report.bus_assignment cdfg fmt ~initial ~final:assignment;
+      Format.fprintf fmt "@.";
+      Report.bus_allocation cdfg ~rate:r.F.rate fmt allocation;
+      Format.fprintf fmt "@.Schedule:@.%a@.@." Report.schedule r.F.schedule;
+      pins_table d r.F.pins;
+      Format.fprintf fmt "@.pipe length: %d (static assignment: %s)@."
+        r.F.pipe_length
+        (match r.F.static_pipe_length with
+        | Some n -> string_of_int n
+        | None -> "unschedulable")
+  | _, A.Subbuses { buses; _ } ->
       Format.fprintf fmt "Bus structure (with sub-buses):@.%a@.@."
-        (Report.real_buses d.Benchmarks.cdfg)
-        t.real_buses;
-      Format.fprintf fmt "Schedule:@.%a@.@." Report.schedule t.schedule;
-      pins_table d t.pins;
-      Format.fprintf fmt "@.pipe length: %d@."
-        (Mcs_sched.Schedule.pipe_length t.schedule);
-      Ok
-        {
-          fields =
-            [
-              ("pins", pins_json t.pins);
-              ( "pipe_length",
-                J.Int (Mcs_sched.Schedule.pipe_length t.schedule) );
-              ( "static_pipe_length",
-                match t.static_pipe_length with
-                | Some n -> J.Int n
-                | None -> J.Null );
-              ("buses", J.Int (List.length t.real_buses));
-              ( "split_buses",
-                J.Int
-                  (List.length
-                     (List.filter
-                        (fun (b : Subbus.real_bus) -> b.split_at <> None)
-                        t.real_buses)) );
-            ];
-          schedule = t.schedule;
-        }
+        (Report.real_buses cdfg) buses;
+      Format.fprintf fmt "Schedule:@.%a@.@." Report.schedule r.F.schedule;
+      pins_table d r.F.pins;
+      Format.fprintf fmt "@.pipe length: %d@." r.F.pipe_length
+
+let fields_of (r : F.result) =
+  let static () =
+    [
+      ( "static_pipe_length",
+        match r.F.static_pipe_length with
+        | Some n -> J.Int n
+        | None -> J.Null );
+    ]
+  in
+  let fus () =
+    [
+      ( "fus",
+        J.Arr
+          (List.map
+             (fun ((p, ty), n) ->
+               J.Obj
+                 [
+                   ("partition", J.Int p);
+                   ("optype", J.Str ty);
+                   ("count", J.Int n);
+                 ])
+             r.F.fus) );
+    ]
+  in
+  let per_flow =
+    match r.F.connection with
+    | A.Bundles links -> [ ("bundles", J.Int (List.length links)) ]
+    | A.Buses { conn; _ } ->
+        [ ("buses", J.Int (C.n_buses conn)) ]
+        @ (if r.F.flow = F.Ch5 then fus () else static ())
+    | A.Subbuses { buses; _ } ->
+        [
+          ("buses", J.Int (List.length buses));
+          ( "split_buses",
+            J.Int
+              (List.length
+                 (List.filter
+                    (fun (b : Mcs_core.Subbus.real_bus) -> b.split_at <> None)
+                    buses)) );
+        ]
+        @ static ()
+  in
+  [
+    ("pins", pins_json r.F.pins);
+    ("pipe_length", J.Int r.F.pipe_length);
+    ("attempts", J.Int r.F.attempts);
+  ]
+  @ per_flow
 
 (* Under --metrics, replay the final schedule through the Chapter 3
    dedicated-port pin-allocation ILP with every I/O operation fixed at its
@@ -199,17 +163,13 @@ let ilp_cross_check d cons ~rate sched =
       Format.fprintf fmt "@.pin-allocation ILP cross-check: skipped (%s)@."
         (Printexc.to_string e)
 
-let cons_for flow d ~rate ~mode =
-  match flow with
-  | "ch3" -> Benchmarks.constraints_for d ~rate
-  | "ch6" -> Benchmarks.constraints_for_bidir d ~rate
-  | _ -> (
-      match mode with
-      | C.Unidir -> Benchmarks.constraints_for d ~rate
-      | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate)
+let level_label = function
+  | Pass.Off -> "off"
+  | Pass.Warn -> "warn"
+  | Pass.Strict -> "strict"
 
-let synth design flow rate pipe_length ports listing trace metrics json_file
-    log_level =
+let synth design flow rate pipe_length ports check strict listing trace
+    metrics json_file log_level =
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -227,87 +187,102 @@ let synth design flow rate pipe_length ports listing trace metrics json_file
   else
     match List.assoc_opt design designs with
     | None ->
-        Format.fprintf fmt
+        Format.eprintf
           "unknown design %S (use --list to see what is available)@." design;
         2
-    | Some mk ->
+    | Some mk -> (
         let d = mk () in
         let rate =
           match rate with Some r -> r | None -> List.hd d.Benchmarks.rates
         in
-        let mode = if ports = "bidir" then C.Bidir else C.Unidir in
-        let bad_flow = ref false in
-        Mcs_obs.Metrics.reset ();
-        if json_file <> None then begin
-          Mcs_obs.Trace.reset_collected ();
-          Mcs_obs.Trace.set_collect true
-        end;
-        let t0 = Unix.gettimeofday () in
-        let outcome =
-          (* A flow that rejects its input (e.g. ch3 on a non-simple
-             partitioning) raises; fold that into the run outcome so
-             [--json] still produces a report with status "error". *)
-          try
-            match flow with
-            | "ch3" -> run_ch3 d ~rate
-            | "ch4" -> run_ch4 d ~rate ~mode
-            | "ch5" ->
-                let pl =
-                  match pipe_length with
-                  | Some pl -> pl
-                  | None ->
-                      Timing.critical_path_csteps d.Benchmarks.cdfg
-                        d.Benchmarks.mlib
-                in
-                run_ch5 d ~rate ~pipe_length:pl ~mode
-            | "ch6" -> run_ch6 d ~rate
-            | f ->
-                Format.fprintf fmt "unknown flow %S (ch3|ch4|ch5|ch6)@." f;
-                bad_flow := true;
-                Error "unknown flow"
-          with
-          | Invalid_argument m | Failure m -> Error m
-        in
-        let wall = Unix.gettimeofday () -. t0 in
-        if !bad_flow then 2
-        else begin
-          let code =
-            match outcome with
-            | Ok _ -> 0
-            | Error m ->
-                Format.fprintf fmt "synthesis failed: %s@." m;
-                1
-          in
-          if metrics then begin
-            (match outcome with
-            | Ok fo ->
-                ilp_cross_check d (cons_for flow d ~rate ~mode) ~rate
-                  fo.schedule
-            | Error _ -> ());
-            Format.fprintf fmt "@.%a" Mcs_obs.Metrics.pp_summary ()
-          end;
-          let json_code =
-            match json_file with
-            | None -> 0
-            | Some path -> (
-                let status =
-                  match outcome with Ok _ -> `Ok | Error m -> `Error m
-                in
-                let result =
-                  match outcome with Ok fo -> fo.fields | Error _ -> []
-                in
-                let report =
-                  J.run_report ~flow ~design ~rate ~status ~wall_s:wall
-                    ~result ()
-                in
-                match J.write_file path report with
-                | Ok () -> 0
-                | Error m ->
-                    Format.eprintf "cannot write %s: %s@." path m;
-                    3)
-          in
-          if code <> 0 then code else json_code
-        end
+        match F.name_of_string flow with
+        | Error m ->
+            Format.eprintf "%s@." m;
+            2
+        | Ok flow_name ->
+            (* ch3 is defined on dedicated unidirectional ports and ch6 on
+               bidirectional ones; --ports selects the mode for ch4/ch5. *)
+            let mode =
+              match flow_name with
+              | F.Ch3 -> C.Unidir
+              | F.Ch6 -> C.Bidir
+              | F.Ch4 | F.Ch5 ->
+                  if ports = "bidir" then C.Bidir else C.Unidir
+            in
+            let level =
+              if strict then Pass.Strict
+              else if check then Pass.Warn
+              else Mcs_check.level_of_env ()
+            in
+            let spec =
+              F.spec_of_design ?pipe_length ~mode ~flow:flow_name d ~rate
+            in
+            let cdfg = d.Benchmarks.cdfg in
+            Mcs_obs.Metrics.reset ();
+            if json_file <> None then begin
+              Mcs_obs.Trace.reset_collected ();
+              Mcs_obs.Trace.set_collect true
+            end;
+            let t0 = Unix.gettimeofday () in
+            let outcome = Mcs_check.run ~level flow_name spec in
+            let wall = Unix.gettimeofday () -. t0 in
+            let diag_fields diags =
+              if level = Pass.Off && diags = [] then []
+              else
+                [
+                  ("check", J.Str (level_label level));
+                  ("diagnostics", J.Arr (List.map Diag.to_json diags));
+                ]
+            in
+            let code, fields =
+              match outcome with
+              | Ok r ->
+                  render d r;
+                  List.iter
+                    (fun dg -> Format.eprintf "%a@." (Diag.pp ~cdfg) dg)
+                    r.F.diags;
+                  let violations =
+                    List.length (List.filter Diag.is_error r.F.diags)
+                  in
+                  let code =
+                    if violations > 0 && level <> Pass.Off then begin
+                      Format.eprintf "check: %d violation(s)@." violations;
+                      1
+                    end
+                    else 0
+                  in
+                  (code, fields_of r @ diag_fields r.F.diags)
+              | Error dg ->
+                  Format.eprintf "%a@." (Diag.pp ~cdfg) dg;
+                  Format.eprintf "synthesis failed: %s@." (Diag.message dg);
+                  (1, diag_fields [ dg ])
+            in
+            if metrics then begin
+              (match outcome with
+              | Ok r -> ilp_cross_check d spec.F.cons ~rate r.F.schedule
+              | Error _ -> ());
+              Format.fprintf fmt "@.%a" Mcs_obs.Metrics.pp_summary ()
+            end;
+            let json_code =
+              match json_file with
+              | None -> 0
+              | Some path -> (
+                  let status =
+                    match outcome with
+                    | Ok _ -> `Ok
+                    | Error dg -> `Error (Diag.message dg)
+                  in
+                  let report =
+                    J.run_report ~flow ~design ~rate ~status ~wall_s:wall
+                      ~result:fields ()
+                  in
+                  match J.write_file path report with
+                  | Ok () -> 0
+                  | Error m ->
+                      Format.eprintf "cannot write %s: %s@." path m;
+                      3)
+            in
+            if code <> 0 then code else json_code)
 
 (* ---- design-space exploration (the dse subcommand) ---- *)
 
@@ -529,10 +504,25 @@ let log_level =
                quiet.  The $(b,MCS_LOG) environment variable sets the same \
                threshold.")
 
+let check =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Run the $(b,Mcs_check) static analysis on every phase \
+                 artifact and on the final result; violations go to stderr \
+                 as structured diagnostics and make the exit code nonzero.  \
+                 The $(b,MCS_CHECK) environment variable (off|warn|strict) \
+                 sets the same behaviour.")
+
+let strict =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Like $(b,--check), but the first violation aborts the flow \
+                 instead of being collected.")
+
 let synth_term =
   Term.(
-    const synth $ design $ flow $ rate $ pipe_length $ ports $ listing
-    $ trace $ metrics $ json_file $ log_level)
+    const synth $ design $ flow $ rate $ pipe_length $ ports $ check
+    $ strict $ listing $ trace $ metrics $ json_file $ log_level)
 
 let dse_cmd =
   let designs =

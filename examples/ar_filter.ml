@@ -9,21 +9,33 @@
 
 open Mcs_cdfg
 open Mcs_core
+module F = Mcs_flow.Flow
+module A = Mcs_flow.Artifact
 
 let fmt = Format.std_formatter
+
+(* Both flows run through the unified checked pipeline; the static
+   analyzer audits every phase ([Pass.Warn]: violations are reported on
+   [result.diags] without aborting). *)
+let run flow d ~rate =
+  Mcs_check.run ~level:Mcs_flow.Pass.Warn flow
+    (F.spec_of_design ~flow d ~rate)
 
 let () =
   (* --- Simple partitioning, Chapter 3 --- *)
   Format.printf "== AR filter, simple partitioning (Chapter 3) ==@.@.";
   let simple = Benchmarks.ar_simple () in
-  (match Simple_part.run simple ~rate:2 with
-  | Error m -> Format.printf "failed: %s@." m
+  (match run F.Ch3 simple ~rate:2 with
+  | Error dg -> Format.printf "failed: %s@." (Mcs_flow.Diag.message dg)
   | Ok r ->
-      Format.printf "Schedule:@.%a@.@." Report.schedule r.schedule;
-      Format.printf "Theorem 3.1 wire bundles:@.%a@." Report.bundles r.links;
+      Format.printf "Schedule:@.%a@.@." Report.schedule r.F.schedule;
+      (match r.F.connection with
+      | A.Bundles links ->
+          Format.printf "Theorem 3.1 wire bundles:@.%a@." Report.bundles links
+      | A.Buses _ | A.Subbuses _ -> ());
       Report.table fmt ~title:"Pins used (paper: 112/48/48/32/32)"
         ~header:[ "P0"; "P1"; "P2"; "P3"; "P4" ]
-        [ Report.pins_row r.pins_needed ]);
+        [ Report.pins_row r.F.pins ]);
 
   (* --- General partitioning, Chapter 4 --- *)
   Format.printf "@.== AR filter, general partitioning (Chapter 4) ==@.";
@@ -31,20 +43,21 @@ let () =
   List.iter
     (fun rate ->
       Format.printf "@.-- initiation rate %d --@." rate;
-      match
-        Pre_connect.run_design general ~rate ~mode:Mcs_connect.Connection.Unidir
-      with
-      | Error m -> Format.printf "failed: %s@." m
+      match run F.Ch4 general ~rate with
+      | Error dg -> Format.printf "failed: %s@." (Mcs_flow.Diag.message dg)
       | Ok r ->
-          Format.printf "%a@.@."
-            (Report.connection general.Benchmarks.cdfg)
-            r.connection;
-          Report.bus_assignment general.Benchmarks.cdfg fmt
-            ~initial:r.initial_assignment ~final:r.final_assignment;
+          (match r.F.connection with
+          | A.Buses { conn; initial; assignment; _ } ->
+              Format.printf "%a@.@."
+                (Report.connection general.Benchmarks.cdfg)
+                conn;
+              Report.bus_assignment general.Benchmarks.cdfg fmt ~initial
+                ~final:assignment
+          | A.Bundles _ | A.Subbuses _ -> ());
           Format.printf
             "@.pipe length %d with reassignment, %s without@."
-            (Mcs_sched.Schedule.pipe_length r.schedule)
-            (match r.static_pipe_length with
+            r.F.pipe_length
+            (match r.F.static_pipe_length with
             | Some n -> string_of_int n
             | None -> "unschedulable"))
     general.Benchmarks.rates

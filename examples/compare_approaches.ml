@@ -88,8 +88,14 @@ let () =
   Format.printf "@.Pareto-optimal (pins, pipe, FUs) points across all runs:@.";
   List.iter
     (fun (o : Outcome.t) ->
-      Format.printf "  %a -> %d pins, pipe %d, %d FUs@." Job.pp o.Outcome.job
-        (Outcome.pins_total o) o.Outcome.pipe_length o.Outcome.fu_count)
+      (* Every job ran through the unified Mcs_flow pipeline; with
+         MCS_CHECK=warn or strict in the environment the static
+         analyzer's verdict rides along on each outcome. *)
+      Format.printf "  %a -> %d pins, pipe %d, %d FUs%s@." Job.pp o.Outcome.job
+        (Outcome.pins_total o) o.Outcome.pipe_length o.Outcome.fu_count
+        (match o.Outcome.check with
+        | Some c -> ", check " ^ Outcome.check_label c
+        | None -> ""))
     (Pareto.frontier all);
   Format.printf
     "@.Reading: connection-first (Ch4) fixes pins before scheduling; \

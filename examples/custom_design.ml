@@ -66,16 +66,30 @@ let () =
     Constraints.create ~n_partitions:3 ~pins
       ~fus:(Constraints.min_fus cdfg mlib ~rate)
   in
-  match
-    Pre_connect.run cdfg mlib cons ~rate ~mode:Mcs_connect.Connection.Bidir ()
-  with
-  | Error m -> Format.printf "synthesis failed: %s@." m
+  (* Chapter-4 synthesis through the unified checked pipeline: strict
+     mode turns any static-analysis violation into an error. *)
+  let module F = Mcs_flow.Flow in
+  let spec =
+    {
+      F.tag = "custom-design";
+      cdfg;
+      mlib;
+      cons;
+      rate;
+      pipe_length = None;
+      mode = Mcs_connect.Connection.Bidir;
+    }
+  in
+  match Mcs_check.run ~level:Mcs_flow.Pass.Strict F.Ch4 spec with
+  | Error dg -> Format.printf "synthesis failed: %s@." (Mcs_flow.Diag.message dg)
   | Ok r ->
-      Format.printf "%a@.@." (Report.connection cdfg) r.connection;
-      Format.printf "%a@.@." Report.schedule r.schedule;
+      (match r.F.connection with
+      | Mcs_flow.Artifact.Buses { conn; _ } ->
+          Format.printf "%a@.@." (Report.connection cdfg) conn
+      | _ -> ());
+      Format.printf "%a@.@." Report.schedule r.F.schedule;
       Format.printf "pins used: %s; pipe length %d; schedule %s@."
-        (String.concat " " (Report.pins_row r.pins))
-        (Mcs_sched.Schedule.pipe_length r.schedule)
-        (match Mcs_sched.Schedule.verify r.schedule with
-        | Ok () -> "valid"
-        | Error e -> "INVALID: " ^ e)
+        (String.concat " " (Report.pins_row r.F.pins))
+        r.F.pipe_length
+        (if F.clean r then "valid (static analysis clean)"
+         else "INVALID: checker flagged the result")

@@ -9,6 +9,8 @@
 
 open Mcs_cdfg
 open Mcs_core
+module F = Mcs_flow.Flow
+module A = Mcs_flow.Artifact
 
 let () =
   let d = Benchmarks.elliptic () in
@@ -37,32 +39,41 @@ let () =
         (Mcs_sched.Schedule.pipe_length s)
   | Error m -> Format.printf "FDS failed: %s@.@." m);
 
-  (* Chapter 4 flow at the rates the paper evaluates. *)
+  (* Chapter 4 flow at the rates the paper evaluates, through the unified
+     checked pipeline. *)
+  let conn_of (r : F.result) =
+    match r.F.connection with
+    | A.Buses { conn; _ } -> Some conn
+    | A.Bundles _ | A.Subbuses _ -> None
+  in
   List.iter
     (fun rate ->
       Format.printf "-- Chapter 4 flow, rate %d --@." rate;
       match
-        Pre_connect.run_design d ~rate ~mode:Mcs_connect.Connection.Unidir
+        Mcs_check.run ~level:Mcs_flow.Pass.Warn F.Ch4
+          (F.spec_of_design ~flow:F.Ch4 d ~rate)
       with
-      | Error m -> Format.printf "failed: %s@.@." m
+      | Error dg -> Format.printf "failed: %s@.@." (Mcs_flow.Diag.message dg)
       | Ok r ->
-          Format.printf "%a@." (Report.connection cdfg) r.connection;
+          Option.iter
+            (Format.printf "%a@." (Report.connection cdfg))
+            (conn_of r);
           Report.table Format.std_formatter ~title:"Pins used"
             ~header:[ "P0"; "P1"; "P2"; "P3"; "P4"; "P5" ]
-            [ Report.pins_row r.pins ];
-          Format.printf "pipe length: %d@.@."
-            (Mcs_sched.Schedule.pipe_length r.schedule))
+            [ Report.pins_row r.F.pins ];
+          Format.printf "pipe length: %d@.@." r.F.pipe_length)
     [ 6; 7 ];
 
   (* Chapter 5 flow handles rate 5 end to end. *)
   Format.printf "-- Chapter 5 flow at the minimum rate --@.";
   match
-    Post_connect.run_design d ~rate:5 ~pipe_length:25
-      ~mode:Mcs_connect.Connection.Unidir
+    Mcs_check.run ~level:Mcs_flow.Pass.Warn F.Ch5
+      (F.spec_of_design ~pipe_length:25 ~mode:Mcs_connect.Connection.Unidir
+         ~flow:F.Ch5 d ~rate:5)
   with
-  | Error m -> Format.printf "failed: %s@." m
+  | Error dg -> Format.printf "failed: %s@." (Mcs_flow.Diag.message dg)
   | Ok r ->
-      Format.printf "%a@." (Report.connection cdfg) r.connection;
+      Option.iter (Format.printf "%a@." (Report.connection cdfg)) (conn_of r);
       Report.table Format.std_formatter ~title:"Pins used (schedule-first)"
         ~header:[ "P0"; "P1"; "P2"; "P3"; "P4"; "P5" ]
-        [ Report.pins_row r.pins ]
+        [ Report.pins_row r.F.pins ]

@@ -52,23 +52,40 @@ let () =
       ~pins:[ (0, 32); (1, 48); (2, 48) ]
       ~fus:(Constraints.min_fus cdfg mlib ~rate)
   in
-  match Pre_connect.run cdfg mlib cons ~rate ~mode:Mcs_connect.Connection.Unidir () with
-  | Error m -> Format.printf "synthesis failed: %s@." m
+  let module F = Mcs_flow.Flow in
+  let spec =
+    {
+      F.tag = "partition-flow";
+      cdfg;
+      mlib;
+      cons;
+      rate;
+      pipe_length = None;
+      mode = Mcs_connect.Connection.Unidir;
+    }
+  in
+  match Mcs_check.run ~level:Mcs_flow.Pass.Strict F.Ch4 spec with
+  | Error dg -> Format.printf "synthesis failed: %s@." (Mcs_flow.Diag.message dg)
   | Ok r -> (
-      Format.printf "Connection:@.%a@.@." (Report.connection cdfg) r.connection;
-      Format.printf "Schedule:@.%a@.@." Report.schedule r.schedule;
+      let conn, assignment =
+        match r.F.connection with
+        | Mcs_flow.Artifact.Buses { conn; assignment; _ } -> (conn, assignment)
+        | _ -> failwith "the Chapter 4 flow produces shared buses"
+      in
+      Format.printf "Connection:@.%a@.@." (Report.connection cdfg) conn;
+      Format.printf "Schedule:@.%a@.@." Report.schedule r.F.schedule;
       (* 4. RTL binding. *)
-      (match Mcs_rtl.Datapath.build r.schedule cons with
+      (match Mcs_rtl.Datapath.build r.F.schedule cons with
       | Error m -> Format.printf "binding failed: %s@." m
       | Ok rtl ->
           Format.printf "Data path:@.%a@.@." Mcs_rtl.Datapath.pp rtl;
           Format.printf "Verilog skeleton:@.%a@." Mcs_rtl.Datapath.pp_verilog rtl);
       (* 5. Functional check. *)
       match
-        Mcs_sim.Simulate.check_equivalent r.schedule
-          ~bus_of:(fun op -> [ List.assoc op r.final_assignment ])
+        Mcs_sim.Simulate.check_equivalent r.F.schedule
+          ~bus_of:(fun op -> [ List.assoc op assignment ])
           ~bus_capable:(fun bus op ->
-            Mcs_connect.Connection.capable r.connection cdfg ~bus op)
+            Mcs_connect.Connection.capable conn cdfg ~bus op)
           ~seed:1 ~instances:8
       with
       | Ok () -> Format.printf "machine == reference over 8 instances@."

@@ -5,6 +5,8 @@
 
 open Mcs_cdfg
 open Mcs_core
+module F = Mcs_flow.Flow
+module A = Mcs_flow.Artifact
 
 let () =
   (* 1. Describe the partitioned behaviour as a netlist.  Chip 1 computes a
@@ -37,23 +39,35 @@ let () =
       ~fus:(Constraints.min_fus cdfg mlib ~rate)
   in
 
-  (* 3. Chapter-4 flow: synthesize the interchip connection, then schedule
-     with dynamic bus reassignment. *)
-  match
-    Pre_connect.run cdfg mlib cons ~rate ~mode:Mcs_connect.Connection.Unidir ()
-  with
-  | Error m -> Format.printf "synthesis failed: %s@." m
+  (* 3. Chapter-4 flow through the unified pass pipeline: synthesize the
+     interchip connection, then schedule with dynamic bus reassignment.
+     [Mcs_check.run] also audits every phase artifact and the final
+     result with the static analyzer ([Pass.Strict]: any violation turns
+     the run into [Error]). *)
+  let spec =
+    {
+      F.tag = "quickstart";
+      cdfg;
+      mlib;
+      cons;
+      rate;
+      pipe_length = None;
+      mode = Mcs_connect.Connection.Unidir;
+    }
+  in
+  match Mcs_check.run ~level:Mcs_flow.Pass.Strict F.Ch4 spec with
+  | Error dg -> Format.printf "synthesis failed: %s@." (Mcs_flow.Diag.message dg)
   | Ok r ->
-      Format.printf "Interchip connection:@.%a@.@."
-        (Report.connection cdfg) r.connection;
+      (match r.F.connection with
+      | A.Buses { conn; _ } ->
+          Format.printf "Interchip connection:@.%a@.@."
+            (Report.connection cdfg) conn
+      | A.Bundles _ | A.Subbuses _ -> ());
       Format.printf "Schedule (initiation rate %d, pipe length %d):@.%a@.@."
-        rate
-        (Mcs_sched.Schedule.pipe_length r.schedule)
-        Report.schedule r.schedule;
+        rate r.F.pipe_length Report.schedule r.F.schedule;
       Report.table Format.std_formatter ~title:"Pins used"
         ~header:[ "P0 (world)"; "P1"; "P2" ]
-        [ Report.pins_row r.pins ];
+        [ Report.pins_row r.F.pins ];
       Format.printf "@.Schedule checked: %s@."
-        (match Mcs_sched.Schedule.verify r.schedule with
-        | Ok () -> "valid"
-        | Error e -> "INVALID: " ^ e)
+        (if F.clean r then "valid (static analysis clean)"
+         else "INVALID: checker flagged the result")

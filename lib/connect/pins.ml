@@ -1,0 +1,12 @@
+let tally ~n_partitions contributions =
+  let totals = Array.make (n_partitions + 1) 0 in
+  List.iter
+    (fun (p, wires) ->
+      if p >= 0 && p <= n_partitions then totals.(p) <- totals.(p) + wires)
+    contributions;
+  List.mapi (fun p n -> (p, n)) (Array.to_list totals)
+
+let of_connection conn =
+  List.map
+    (fun p -> (p, Connection.pins_used conn p))
+    (Mcs_util.Listx.range 0 (Connection.n_partitions conn + 1))

@@ -1,0 +1,18 @@
+(** Per-partition pin tallies.
+
+    Every flow ultimately reports "pins used per partition" as a complete
+    table over partitions [0..n] (0 is the outside world).  The four flows
+    derive that table from different connection structures — Theorem 3.1
+    wire bundles, shared buses, sub-bus port commitments — so the summing
+    lives here, once, and {!Mcs_check} replays the same function as the
+    single source of truth when auditing a flow's claim. *)
+
+val tally : n_partitions:int -> (int * int) list -> (int * int) list
+(** [tally ~n_partitions contributions] sums the [(partition, wires)]
+    contributions into a complete [(partition, pins)] table over partitions
+    [0..n_partitions] (missing partitions get 0).  Contributions outside
+    that range are ignored. *)
+
+val of_connection : Connection.t -> (int * int) list
+(** The complete per-partition table of a shared-bus connection
+    ({!Connection.pins_used} over [0..n_partitions]). *)

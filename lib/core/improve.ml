@@ -43,9 +43,7 @@ let pre_connect cdfg mlib cons ~rate ~mode ?(trials = 12) () =
     match H.search cdfg cons ~rate ~mode ~slot_cap () with
     | Error m -> if !first_err = "" then first_err := m
     | Ok res ->
-        let pins =
-          List.mapi (fun p used -> (p, used)) (H.pins_used_by_partition res)
-        in
+        let pins = Mcs_connect.Pins.of_connection res.H.conn in
         let static_pipe_length = ref None in
         (let st =
            R.create cdfg res.H.conn ~rate ~initial:res.H.assign ~dynamic:false

@@ -83,7 +83,7 @@ let cliques sched ~mode =
       in
       List.fold_left merge g0 rest
 
-let build_connection cdfg ~mode cls =
+let connection_of_cliques cdfg ~mode cls =
   let conn = C.create mode ~n_partitions:(Cdfg.n_partitions cdfg) in
   let assignment = ref [] in
   List.iter
@@ -109,12 +109,8 @@ let run cdfg mlib ~rate ~pipe_length ~mode () =
         Mcs_obs.Trace.with_span "ch5.clique_partition" (fun () ->
             cliques schedule ~mode)
       in
-      let connection, assignment = build_connection cdfg ~mode cls in
-      let pins =
-        List.map
-          (fun p -> (p, C.pins_used connection p))
-          (Mcs_util.Listx.range 0 (Cdfg.n_partitions cdfg + 1))
-      in
+      let connection, assignment = connection_of_cliques cdfg ~mode cls in
+      let pins = Mcs_connect.Pins.of_connection connection in
       Ok
         {
           schedule;

@@ -31,6 +31,15 @@ val cliques :
   Types.op_id list list
 (** The clique partitioning of the scheduled I/O operations. *)
 
+val connection_of_cliques :
+  Cdfg.t ->
+  mode:Mcs_connect.Connection.mode ->
+  Types.op_id list list ->
+  Mcs_connect.Connection.t * (Types.op_id * int) list
+(** Materialize a clique partitioning as one bus per clique, each wide
+    enough for every member at both endpoints, plus the operation-to-bus
+    assignment. *)
+
 val run :
   Cdfg.t ->
   Module_lib.t ->

@@ -45,11 +45,7 @@ let attempt cdfg mlib cons ~rate ~mode ~branching ~slot_cap =
                 | Ok s -> Some (Mcs_sched.Schedule.pipe_length s)
                 | Error _ -> None)
           in
-          let pins =
-            List.mapi
-              (fun p used -> (p, used))
-              (H.pins_used_by_partition res)
-          in
+          let pins = Mcs_connect.Pins.of_connection res.H.conn in
           Ok
             {
               connection = res.H.conn;

@@ -27,6 +27,19 @@ type t = {
   slot_cap : int;  (** per-bus value cap the successful attempt used *)
 }
 
+val attempt :
+  Cdfg.t ->
+  Module_lib.t ->
+  Constraints.t ->
+  rate:int ->
+  mode:Mcs_connect.Connection.mode ->
+  branching:int ->
+  slot_cap:int ->
+  (t, string) result
+(** One search + schedule round at a fixed per-bus value cap (no retry
+    loop), for callers — the {!Mcs_flow} pass manager — that orchestrate
+    the cap sweep themselves. *)
+
 val run :
   Cdfg.t ->
   Module_lib.t ->

@@ -431,16 +431,11 @@ let run ?method_ (design : Benchmarks.design) ~rate =
       match Theorem31.check schedule links with
       | Error m -> Error ("Theorem 3.1 connection check failed: " ^ m)
       | Ok () ->
-          let n = Cdfg.n_partitions cdfg in
           let pins_needed =
-            List.map
-              (fun p ->
-                ( p,
-                  Mcs_util.Listx.sum
-                    (fun (b : Theorem31.bundle) ->
-                      match b.owner with
-                      | `Out q | `In q -> if q = p then b.wires else 0)
-                    links ))
-              (Mcs_util.Listx.range 0 (n + 1))
+            Mcs_connect.Pins.tally ~n_partitions:(Cdfg.n_partitions cdfg)
+              (List.map
+                 (fun (b : Theorem31.bundle) ->
+                   ((match b.owner with `Out q | `In q -> q), b.wires))
+                 links)
           in
           Ok { schedule; links; pins_needed })

@@ -668,17 +668,9 @@ let allocation_of st =
     st.halves;
   List.sort compare !rows
 
-let attempt cdfg mlib cons ~rate ~slot_cap ~dynamic =
-  M.incr m_attempts;
-  match
-    Mcs_obs.Trace.with_span "ch6.search"
-      ~attrs:[ ("slot_cap", string_of_int slot_cap) ]
-      (fun () -> search cdfg cons ~rate ~slot_cap ())
-  with
-  | Error m -> Error m
-  | Ok (real, assignment) -> (
-      let st, hook = subbus_hook cdfg ~rate real assignment in
-      let hook =
+let schedule_over cdfg mlib cons ~rate ~dynamic (real, assignment) =
+  let st, hook = subbus_hook cdfg ~rate real assignment in
+  let hook =
         if dynamic then hook
         else
           (* Static baseline: only the initially assigned slice counts. *)
@@ -738,32 +730,33 @@ let attempt cdfg mlib cons ~rate ~slot_cap ~dynamic =
                f.LS.reason)
       | Ok schedule ->
           let pins =
-            List.map
-              (fun p ->
-                ( p,
-                  Mcs_util.Listx.sum
-                    (fun (rb : real_bus) ->
-                      Mcs_util.Listx.sum
-                        (fun (q, r) -> if q = p then r else 0)
-                        rb.ports)
-                    real ))
-              (Mcs_util.Listx.range 0 (Cdfg.n_partitions cdfg + 1))
+            Mcs_connect.Pins.tally ~n_partitions:(Cdfg.n_partitions cdfg)
+              (List.concat_map (fun (rb : real_bus) -> rb.ports) real)
           in
           let final =
             Hashtbl.fold (fun op slot acc -> (op, slot) :: acc) st.ss_committed []
             |> List.sort compare
           in
           Ok
-            ( {
-                real_buses = real;
-                initial_assignment = assignment;
-                final_assignment = final;
-                allocation = allocation_of st;
-                schedule;
-                pins;
-                static_pipe_length = None;
-              },
-              st ))
+            {
+              real_buses = real;
+              initial_assignment = assignment;
+              final_assignment = final;
+              allocation = allocation_of st;
+              schedule;
+              pins;
+              static_pipe_length = None;
+            }
+
+let attempt cdfg mlib cons ~rate ~slot_cap ~dynamic =
+  M.incr m_attempts;
+  match
+    Mcs_obs.Trace.with_span "ch6.search"
+      ~attrs:[ ("slot_cap", string_of_int slot_cap) ]
+      (fun () -> search cdfg cons ~rate ~slot_cap ())
+  with
+  | Error m -> Error m
+  | Ok ra -> schedule_over cdfg mlib cons ~rate ~dynamic ra
 
 let total_pins t = Mcs_util.Listx.sum snd t.pins
 
@@ -775,7 +768,7 @@ let run cdfg mlib cons ~rate () =
     List.filter_map
       (fun cap ->
         match attempt cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:true with
-        | Ok (t, _) ->
+        | Ok t ->
             Log.debug "[subbus] cap=%d: pins=%d pipe=%d splits=%d" cap
               (total_pins t)
               (Mcs_sched.Schedule.pipe_length t.schedule)
@@ -785,7 +778,7 @@ let run cdfg mlib cons ~rate () =
               match
                 attempt cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:false
               with
-              | Ok (t', _) -> Some (Mcs_sched.Schedule.pipe_length t'.schedule)
+              | Ok t' -> Some (Mcs_sched.Schedule.pipe_length t'.schedule)
               | Error _ -> None
             in
             Some { t with static_pipe_length }

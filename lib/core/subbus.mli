@@ -45,6 +45,31 @@ val search :
 (** Connection synthesis alone: buses (with splits) plus the tentative
     assignment of each I/O operation to (bus, slice). *)
 
+val schedule_over :
+  Cdfg.t ->
+  Module_lib.t ->
+  Constraints.t ->
+  rate:int ->
+  dynamic:bool ->
+  real_bus list * (Types.op_id * (int * sub)) list ->
+  (t, string) result
+(** List scheduling over an already-synthesized bus structure (a {!search}
+    result): builds the sub-slot hook — restricted reassignment when
+    [dynamic], the initially assigned slice only otherwise — and returns
+    the full flow record ([static_pipe_length] left [None]).  Lets a pass
+    manager run connection synthesis and scheduling as separate phases
+    without re-searching. *)
+
+val attempt :
+  Cdfg.t ->
+  Module_lib.t ->
+  Constraints.t ->
+  rate:int ->
+  slot_cap:int ->
+  dynamic:bool ->
+  (t, string) result
+(** {!search} at one slot cap followed by {!schedule_over}. *)
+
 val run :
   Cdfg.t ->
   Module_lib.t ->

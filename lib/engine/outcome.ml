@@ -6,12 +6,15 @@ type status =
   | Crashed of string
   | Timed_out
 
+type check = Clean | Violations of int
+
 type t = {
   job : Job.t;
   status : status;
   pins : (int * int) list;
   pipe_length : int;
   fu_count : int;
+  check : check option;
 }
 
 let pins_total o = Mcs_util.Listx.sum snd o.pins
@@ -22,6 +25,22 @@ let status_label = function
   | Infeasible _ -> "infeasible"
   | Crashed _ -> "crashed"
   | Timed_out -> "timeout"
+
+let check_label = function
+  | Clean -> "clean"
+  | Violations n -> Printf.sprintf "violations:%d" n
+
+let check_of_label s =
+  match s with
+  | "clean" -> Ok Clean
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i
+        when String.sub s 0 i = "violations" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some n when n > 0 -> Ok (Violations n)
+          | _ -> Error (Printf.sprintf "outcome: bad check %S" s))
+      | _ -> Error (Printf.sprintf "outcome: bad check %S" s))
 
 let to_json o =
   let error =
@@ -44,7 +63,11 @@ let to_json o =
                o.pins) );
         ("pipe_length", J.Int o.pipe_length);
         ("fu_count", J.Int o.fu_count);
-      ])
+      ]
+    @
+    match o.check with
+    | None -> []
+    | Some c -> [ ("check", J.Str (check_label c)) ])
 
 let ( let* ) = Result.bind
 let field name conv j =
@@ -82,7 +105,13 @@ let of_json j =
   in
   let* pipe_length = field "pipe_length" J.to_int j in
   let* fu_count = field "fu_count" J.to_int j in
-  Ok { job; status; pins; pipe_length; fu_count }
+  let* check =
+    (* absent = produced with checking off; tolerated for old entries *)
+    match Option.bind (J.member "check" j) J.to_str with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (check_of_label s)
+  in
+  Ok { job; status; pins; pipe_length; fu_count; check }
 
 let to_string o = J.to_string (to_json o)
 

@@ -18,6 +18,9 @@ type status =
           reply): the point failed, the sweep survives *)
   | Timed_out
 
+(** Verdict of the {!Mcs_check} static analysis on a feasible result. *)
+type check = Clean | Violations of int  (** count of error diagnostics *)
+
 type t = {
   job : Job.t;
   status : status;
@@ -27,6 +30,9 @@ type t = {
       (** total functional units: the constraint tables' allocation for
           the resource-constrained flows, the FDS-implied counts for
           Chapter 5; 0 unless [Feasible] *)
+  check : check option;
+      (** [None] when the job ran with checking off ([MCS_CHECK] unset);
+          cached in [mcs-dse/1] reports like every other field *)
 }
 
 val pins_total : t -> int
@@ -35,6 +41,9 @@ val equal : t -> t -> bool
 
 val status_label : status -> string
 (** ["feasible"], ["infeasible"], ["crashed"], ["timeout"]. *)
+
+val check_label : check -> string
+(** ["clean"] or ["violations:<n>"]. *)
 
 val to_json : t -> Mcs_obs.Report_json.t
 val of_json : Mcs_obs.Report_json.t -> (t, string) result

@@ -1,5 +1,6 @@
-open Mcs_cdfg
 module C = Mcs_connect.Connection
+module F = Mcs_flow.Flow
+module Diag = Mcs_flow.Diag
 module M = Mcs_obs.Metrics
 
 let c_jobs = M.counter "engine.pool.jobs"
@@ -10,85 +11,46 @@ let c_executed = M.counter "engine.jobs.executed"
 
 (* ---- in-process execution ---- *)
 
-(* The resource-constrained flows (ch3/ch4/ch6) run under the constraint
-   tables' functional-unit allocation; the schedule-first flow reports
-   the units its FDS schedule implies. *)
-let fus_of_constraints (d : Benchmarks.design) cons =
-  let tys = Module_lib.optypes d.Benchmarks.mlib in
-  Mcs_util.Listx.sum
-    (fun p ->
-      Mcs_util.Listx.sum
-        (fun ty -> Constraints.fu_count cons ~partition:p ~optype:ty)
-        tys)
-    (Mcs_util.Listx.range 1 (Cdfg.n_partitions d.Benchmarks.cdfg + 1))
-
-let feasible job ~pins ~pipe_length ~fu_count =
-  { Outcome.job; status = Outcome.Feasible; pins; pipe_length; fu_count }
+let feasible job ~pins ~pipe_length ~fu_count ~check =
+  { Outcome.job; status = Outcome.Feasible; pins; pipe_length; fu_count; check }
 
 let settled job status =
-  { Outcome.job; status; pins = []; pipe_length = 0; fu_count = 0 }
+  { Outcome.job; status; pins = []; pipe_length = 0; fu_count = 0; check = None }
 
+(* Every job routes through the unified flow API; the checker level comes
+   from MCS_CHECK (inherited by forked workers, so a sweep's verdicts are
+   uniform), and its verdict rides on the outcome into caches and
+   mcs-dse/1 reports. *)
 let exec (job : Job.t) =
   M.incr c_executed;
-  let rate = job.Job.rate in
-  let outcome =
-    match Job.resolve job.Job.design with
-    | Error m -> settled job (Outcome.Infeasible m)
-    | Ok d -> (
-        let pipe sched = Mcs_sched.Schedule.pipe_length sched in
+  match Job.resolve job.Job.design with
+  | Error m -> settled job (Outcome.Infeasible m)
+  | Ok d -> (
+      let flow, mode =
         match job.Job.flow with
-        | Job.Ch3 -> (
-            match Mcs_core.Simple_part.run d ~rate with
-            | Error m -> settled job (Outcome.Infeasible m)
-            | Ok r ->
-                feasible job ~pins:r.Mcs_core.Simple_part.pins_needed
-                  ~pipe_length:(pipe r.Mcs_core.Simple_part.schedule)
-                  ~fu_count:
-                    (fus_of_constraints d (Benchmarks.constraints_for d ~rate)))
-        | Job.Ch4_unidir | Job.Ch4_bidir -> (
-            let mode =
-              if job.Job.flow = Job.Ch4_bidir then C.Bidir else C.Unidir
-            in
-            match Mcs_core.Pre_connect.run_design d ~rate ~mode with
-            | Error m -> settled job (Outcome.Infeasible m)
-            | Ok r ->
-                let cons =
-                  match mode with
-                  | C.Unidir -> Benchmarks.constraints_for d ~rate
-                  | C.Bidir -> Benchmarks.constraints_for_bidir d ~rate
-                in
-                feasible job ~pins:r.Mcs_core.Pre_connect.pins
-                  ~pipe_length:(pipe r.Mcs_core.Pre_connect.schedule)
-                  ~fu_count:(fus_of_constraints d cons))
-        | Job.Ch5 -> (
-            let pipe_length =
-              match job.Job.pipe_length with
-              | Some pl -> pl
-              | None ->
-                  Timing.critical_path_csteps d.Benchmarks.cdfg
-                    d.Benchmarks.mlib
-            in
-            match
-              Mcs_core.Post_connect.run_design d ~rate ~pipe_length
-                ~mode:C.Bidir
-            with
-            | Error m -> settled job (Outcome.Infeasible m)
-            | Ok r ->
-                feasible job ~pins:r.Mcs_core.Post_connect.pins
-                  ~pipe_length:(pipe r.Mcs_core.Post_connect.schedule)
-                  ~fu_count:
-                    (Mcs_util.Listx.sum snd r.Mcs_core.Post_connect.fus))
-        | Job.Ch6 -> (
-            match Mcs_core.Subbus.run_design d ~rate with
-            | Error m -> settled job (Outcome.Infeasible m)
-            | Ok t ->
-                feasible job ~pins:t.Mcs_core.Subbus.pins
-                  ~pipe_length:(pipe t.Mcs_core.Subbus.schedule)
-                  ~fu_count:
-                    (fus_of_constraints d
-                       (Benchmarks.constraints_for_bidir d ~rate))))
-  in
-  outcome
+        | Job.Ch3 -> (F.Ch3, C.Unidir)
+        | Job.Ch4_unidir -> (F.Ch4, C.Unidir)
+        | Job.Ch4_bidir -> (F.Ch4, C.Bidir)
+        | Job.Ch5 -> (F.Ch5, C.Bidir)
+        | Job.Ch6 -> (F.Ch6, C.Bidir)
+      in
+      let spec =
+        F.spec_of_design ?pipe_length:job.Job.pipe_length ~mode ~flow d
+          ~rate:job.Job.rate
+      in
+      let level = Mcs_check.level_of_env () in
+      match Mcs_check.run ~level flow spec with
+      | Error dg -> settled job (Outcome.Infeasible (Diag.message dg))
+      | Ok r ->
+          let check =
+            match level with
+            | Mcs_flow.Pass.Off -> None
+            | Mcs_flow.Pass.Warn | Mcs_flow.Pass.Strict ->
+                let n = List.length (List.filter Diag.is_error r.F.diags) in
+                Some (if n = 0 then Outcome.Clean else Outcome.Violations n)
+          in
+          feasible job ~pins:r.F.pins ~pipe_length:r.F.pipe_length
+            ~fu_count:(F.fus_total r) ~check)
 
 let exec job =
   try exec job with

@@ -1,0 +1,111 @@
+open Mcs_cdfg
+module J = Mcs_obs.Report_json
+
+type severity = Info | Warning | Error
+
+type code =
+  | Invalid_input
+  | Unschedulable
+  | No_connection
+  | Precedence_violation
+  | Rate_violation
+  | Fu_overuse
+  | Pin_budget_overflow
+  | Connection_conflict
+  | Bus_conflict
+  | Subbus_misfit
+  | Clique_invalid
+  | Result_mismatch
+  | Internal
+
+type t = {
+  severity : severity;
+  code : code;
+  phase : string;
+  message : string;
+  ops : Types.op_id list;
+  csteps : int list;
+  partitions : int list;
+}
+
+let make severity ?(ops = []) ?(csteps = []) ?(partitions = []) ~code ~phase
+    fmt =
+  Format.kasprintf
+    (fun message -> { severity; code; phase; message; ops; csteps; partitions })
+    fmt
+
+let error ?ops ?csteps ?partitions ~code ~phase fmt =
+  make Error ?ops ?csteps ?partitions ~code ~phase fmt
+
+let warning ?ops ?csteps ?partitions ~code ~phase fmt =
+  make Warning ?ops ?csteps ?partitions ~code ~phase fmt
+
+let info ?ops ?csteps ?partitions ~code ~phase fmt =
+  make Info ?ops ?csteps ?partitions ~code ~phase fmt
+
+let is_error d = d.severity = Error
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let code_to_string = function
+  | Invalid_input -> "invalid-input"
+  | Unschedulable -> "unschedulable"
+  | No_connection -> "no-connection"
+  | Precedence_violation -> "precedence-violation"
+  | Rate_violation -> "rate-violation"
+  | Fu_overuse -> "fu-overuse"
+  | Pin_budget_overflow -> "pin-budget-overflow"
+  | Connection_conflict -> "connection-conflict"
+  | Bus_conflict -> "bus-conflict"
+  | Subbus_misfit -> "subbus-misfit"
+  | Clique_invalid -> "clique-invalid"
+  | Result_mismatch -> "result-mismatch"
+  | Internal -> "internal"
+
+let message d =
+  Printf.sprintf "%s: %s [%s]" d.phase d.message (code_to_string d.code)
+
+let pp ?cdfg ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s"
+    (match d.severity with
+    | Error -> "error"
+    | Warning -> "warning"
+    | Info -> "info")
+    (code_to_string d.code) d.phase d.message;
+  (match d.ops with
+  | [] -> ()
+  | ops ->
+      let name op =
+        match cdfg with
+        | Some g -> Cdfg.name g op
+        | None -> "#" ^ string_of_int op
+      in
+      Format.fprintf ppf " (ops: %s)" (String.concat " " (List.map name ops)));
+  (match d.csteps with
+  | [] -> ()
+  | cs ->
+      Format.fprintf ppf " (csteps: %s)"
+        (String.concat " " (List.map string_of_int cs)));
+  match d.partitions with
+  | [] -> ()
+  | ps ->
+      Format.fprintf ppf " (partitions: %s)"
+        (String.concat " " (List.map string_of_int ps))
+
+let to_json d =
+  let ints name = function
+    | [] -> []
+    | xs -> [ (name, J.Arr (List.map (fun i -> J.Int i) xs)) ]
+  in
+  J.Obj
+    ([
+       ("severity", J.Str (severity_to_string d.severity));
+       ("code", J.Str (code_to_string d.code));
+       ("phase", J.Str d.phase);
+       ("message", J.Str d.message);
+     ]
+    @ ints "ops" d.ops @ ints "csteps" d.csteps
+    @ ints "partitions" d.partitions)

@@ -1,0 +1,80 @@
+(** Typed diagnostics for the synthesis flows.
+
+    Every recoverable failure — an input a flow rejects, a phase that finds
+    no solution, a static-analysis violation {!Mcs_check} detects — is one
+    of these records instead of a bare string or a [Failure]/
+    [Invalid_argument] raise.  A diagnostic names the phase that produced
+    it, a machine-matchable {!code}, and the offending operations, control
+    steps and partitions when they are known, so callers (CLI, engine,
+    tests) can route, count and assert on failures without parsing prose. *)
+
+open Mcs_cdfg
+
+type severity = Info | Warning | Error
+
+type code =
+  | Invalid_input  (** the design violates a flow's precondition *)
+  | Unschedulable  (** no schedule exists under the given resources *)
+  | No_connection  (** connection synthesis found no bus structure *)
+  | Precedence_violation  (** schedule breaks a data dependence *)
+  | Rate_violation  (** initiation-rate (group-wheel) overload *)
+  | Fu_overuse  (** more functional units used than allocated *)
+  | Pin_budget_overflow  (** a partition exceeds its pin budget *)
+  | Connection_conflict  (** Theorem 3.1 replay found a conflict *)
+  | Bus_conflict  (** two values on one bus in one control step *)
+  | Subbus_misfit  (** a transfer does not fit its sub-bus slice *)
+  | Clique_invalid  (** incompatible operations share a clique *)
+  | Result_mismatch  (** a result field disagrees with its artifacts *)
+  | Internal  (** an invariant failure folded into a diagnostic *)
+
+type t = {
+  severity : severity;
+  code : code;
+  phase : string;  (** e.g. ["ch4.connect"], ["ch5.final"] *)
+  message : string;
+  ops : Types.op_id list;  (** offending operations, when known *)
+  csteps : int list;  (** offending control steps, when known *)
+  partitions : int list;  (** offending partitions, when known *)
+}
+
+val error :
+  ?ops:Types.op_id list ->
+  ?csteps:int list ->
+  ?partitions:int list ->
+  code:code ->
+  phase:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val warning :
+  ?ops:Types.op_id list ->
+  ?csteps:int list ->
+  ?partitions:int list ->
+  code:code ->
+  phase:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val info :
+  ?ops:Types.op_id list ->
+  ?csteps:int list ->
+  ?partitions:int list ->
+  code:code ->
+  phase:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val is_error : t -> bool
+
+val severity_to_string : severity -> string
+val code_to_string : code -> string
+
+val message : t -> string
+(** ["phase: message [code]"] — the one-line rendering used where a plain
+    string is still needed (engine outcomes, legacy callers). *)
+
+val pp : ?cdfg:Cdfg.t -> Format.formatter -> t -> unit
+(** One line per diagnostic; with [cdfg], offending operations print by
+    name rather than id. *)
+
+val to_json : t -> Mcs_obs.Report_json.t

@@ -1,0 +1,415 @@
+open Mcs_cdfg
+module C = Mcs_connect.Connection
+module H = Mcs_connect.Heuristic
+module R = Mcs_connect.Reassign
+module LS = Mcs_sched.List_sched
+module Sched = Mcs_sched.Schedule
+module SP = Mcs_core.Simple_part
+module SB = Mcs_core.Subbus
+
+type name = Ch3 | Ch4 | Ch5 | Ch6
+
+let all = [ Ch3; Ch4; Ch5; Ch6 ]
+
+let name_to_string = function
+  | Ch3 -> "ch3"
+  | Ch4 -> "ch4"
+  | Ch5 -> "ch5"
+  | Ch6 -> "ch6"
+
+let name_of_string = function
+  | "ch3" -> Ok Ch3
+  | "ch4" -> Ok Ch4
+  | "ch5" -> Ok Ch5
+  | "ch6" -> Ok Ch6
+  | s -> Error (Printf.sprintf "unknown flow %S (ch3|ch4|ch5|ch6)" s)
+
+type spec = {
+  tag : string;
+  cdfg : Cdfg.t;
+  mlib : Module_lib.t;
+  cons : Constraints.t;
+  rate : int;
+  pipe_length : int option;
+  mode : C.mode;
+}
+
+let spec_of_design ?pipe_length ?mode ~flow (d : Benchmarks.design) ~rate =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> ( match flow with Ch6 -> C.Bidir | Ch3 | Ch4 | Ch5 -> C.Unidir)
+  in
+  let cons =
+    match (flow, mode) with
+    | Ch3, _ -> Benchmarks.constraints_for d ~rate
+    | Ch6, _ -> Benchmarks.constraints_for_bidir d ~rate
+    | _, C.Unidir -> Benchmarks.constraints_for d ~rate
+    | _, C.Bidir -> Benchmarks.constraints_for_bidir d ~rate
+  in
+  {
+    tag = d.Benchmarks.tag;
+    cdfg = d.Benchmarks.cdfg;
+    mlib = d.Benchmarks.mlib;
+    cons;
+    rate;
+    pipe_length;
+    mode;
+  }
+
+type result = {
+  flow : name;
+  tag : string;
+  rate : int;
+  mode : C.mode;
+  schedule : Sched.t;
+  connection : Artifact.connection;
+  pins : (int * int) list;
+  fus : ((int * string) * int) list;
+  pipe_length : int;
+  static_pipe_length : int option;
+  attempts : int;
+  diags : Diag.t list;
+}
+
+let pins_of ~n_partitions (c : Artifact.connection) =
+  match c with
+  | Artifact.Bundles links ->
+      Mcs_connect.Pins.tally ~n_partitions
+        (List.map
+           (fun (b : SP.Theorem31.bundle) ->
+             ((match b.owner with `Out q | `In q -> q), b.wires))
+           links)
+  | Artifact.Buses { conn; _ } -> Mcs_connect.Pins.of_connection conn
+  | Artifact.Subbuses { buses; _ } ->
+      Mcs_connect.Pins.tally ~n_partitions
+        (List.concat_map (fun (rb : SB.real_bus) -> rb.ports) buses)
+
+let fus_of_constraints cdfg mlib cons =
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (fun ty ->
+          let n = Constraints.fu_count cons ~partition:p ~optype:ty in
+          if n > 0 then Some ((p, ty), n) else None)
+        (Module_lib.optypes mlib))
+    (Mcs_util.Listx.range 1 (Cdfg.n_partitions cdfg + 1))
+
+let pins_total r = Mcs_util.Listx.sum snd r.pins
+let fus_total r = Mcs_util.Listx.sum snd r.fus
+let clean r = not (List.exists Diag.is_error r.diags)
+
+let ( let* ) = Result.bind
+
+let assemble ~flow (s : spec) ~schedule ~connection ~fus ~static_pipe_length =
+  {
+    flow;
+    tag = s.tag;
+    rate = s.rate;
+    mode = s.mode;
+    schedule;
+    connection;
+    pins = pins_of ~n_partitions:(Cdfg.n_partitions s.cdfg) connection;
+    fus;
+    pipe_length = Sched.pipe_length schedule;
+    static_pipe_length;
+    attempts = 0;
+    (* filled in by [run] *)
+    diags = [];
+  }
+
+(* ---- Chapter 3: simple partitioning ---- *)
+
+let run_ch3 pass (s : spec) =
+  Pass.attempt pass;
+  let* () =
+    Pass.phase pass "validate" (fun () ->
+        match SP.violations s.cdfg with
+        | [] -> Ok ()
+        | v :: _ ->
+            Error
+              (Diag.error ~code:Diag.Invalid_input ~phase:"ch3.validate"
+                 "partitioning is not simple: %s" v))
+  in
+  let* schedule =
+    Pass.phase pass "schedule"
+      ~artifact:(fun sch -> Artifact.Schedule sch)
+      (fun () ->
+        let io_hook = SP.hook s.cdfg s.cons ~rate:s.rate in
+        match LS.run s.cdfg s.mlib s.cons ~rate:s.rate ~io_hook () with
+        | Ok sch -> Ok sch
+        | Error f ->
+            Error
+              (Diag.error ~code:Diag.Unschedulable ~phase:"ch3.schedule"
+                 ~csteps:[ f.LS.at_cstep ]
+                 "scheduling failed at control step %d: %s" f.LS.at_cstep
+                 f.LS.reason))
+  in
+  let* links =
+    Pass.phase pass "connect"
+      ~artifact:(fun links -> Artifact.Connection (Artifact.Bundles links))
+      (fun () ->
+        let links = SP.Theorem31.connect schedule in
+        match SP.Theorem31.check schedule links with
+        | Ok () -> Ok links
+        | Error m ->
+            Error
+              (Diag.error ~code:Diag.Connection_conflict ~phase:"ch3.connect"
+                 "Theorem 3.1 connection check failed: %s" m))
+  in
+  Ok
+    (assemble ~flow:Ch3 s ~schedule ~connection:(Artifact.Bundles links)
+       ~fus:(fus_of_constraints s.cdfg s.mlib s.cons)
+       ~static_pipe_length:None)
+
+(* ---- Chapter 4: connection synthesis before scheduling ---- *)
+
+let run_ch4 pass (s : spec) =
+  let attempt_cap cap =
+    Pass.attempt pass;
+    let* res =
+      Pass.phase pass "connect"
+        ~artifact:(fun (r : H.result) ->
+          Artifact.Connection
+            (Artifact.Buses
+               {
+                 conn = r.H.conn;
+                 initial = r.H.assign;
+                 assignment = r.H.assign;
+                 allocation = [];
+               }))
+        (fun () ->
+          match
+            H.search s.cdfg s.cons ~rate:s.rate ~mode:s.mode ~slot_cap:cap
+              ~branching:2 ()
+          with
+          | Ok r -> Ok r
+          | Error m ->
+              Error
+                (Diag.error ~code:Diag.No_connection ~phase:"ch4.connect" "%s"
+                   m))
+    in
+    let dyn =
+      R.create s.cdfg res.H.conn ~rate:s.rate ~initial:res.H.assign
+        ~dynamic:true
+    in
+    let* schedule =
+      Pass.phase pass "schedule"
+        ~artifact:(fun sch -> Artifact.Schedule sch)
+        (fun () ->
+          match
+            LS.run s.cdfg s.mlib s.cons ~rate:s.rate ~io_hook:(R.hook dyn) ()
+          with
+          | Ok sch -> Ok sch
+          | Error f ->
+              Error
+                (Diag.error ~code:Diag.Unschedulable ~phase:"ch4.schedule"
+                   ~csteps:[ f.LS.at_cstep ]
+                   "scheduling failed at control step %d: %s" f.LS.at_cstep
+                   f.LS.reason))
+    in
+    (* Paper's comparison baseline: same connection, static assignment. *)
+    let static_pipe_length =
+      Mcs_obs.Trace.with_span "flow.ch4.baseline" (fun () ->
+          let st =
+            R.create s.cdfg res.H.conn ~rate:s.rate ~initial:res.H.assign
+              ~dynamic:false
+          in
+          match
+            LS.run s.cdfg s.mlib s.cons ~rate:s.rate ~io_hook:(R.hook st) ()
+          with
+          | Ok sch -> Some (Sched.pipe_length sch)
+          | Error _ | (exception Invalid_argument _) -> None)
+    in
+    let connection =
+      Artifact.Buses
+        {
+          conn = res.H.conn;
+          initial = res.H.assign;
+          assignment = R.final_assignment dyn;
+          allocation = R.allocation_table dyn;
+        }
+    in
+    Ok
+      (assemble ~flow:Ch4 s ~schedule ~connection
+         ~fus:(fus_of_constraints s.cdfg s.mlib s.cons)
+         ~static_pipe_length)
+  in
+  (* The first (loosest-cap) failure names the real obstacle; lower-cap
+     retries only trade pins for bandwidth. *)
+  let rec try_cap cap first =
+    if cap < 1 then
+      Error
+        (match first with
+        | Some d ->
+            Diag.error ~code:d.Diag.code ~phase:"ch4"
+              "no schedulable interchip connection found (first: %s)"
+              d.Diag.message
+        | None ->
+            Diag.error ~code:Diag.No_connection ~phase:"ch4"
+              "no schedulable interchip connection found")
+    else
+      match attempt_cap cap with
+      | Ok r -> Ok r
+      | Error d ->
+          if Pass.check_failed pass then Error d
+          else try_cap (cap - 1) (Some (Option.value first ~default:d))
+  in
+  try_cap s.rate None
+
+(* ---- Chapter 5: scheduling before connection synthesis ---- *)
+
+let run_ch5 pass (s : spec) =
+  Pass.attempt pass;
+  let pl =
+    match s.pipe_length with
+    | Some pl -> pl
+    | None -> Timing.critical_path_csteps s.cdfg s.mlib
+  in
+  let* schedule =
+    Pass.phase pass "schedule"
+      ~artifact:(fun sch -> Artifact.Schedule sch)
+      (fun () ->
+        match Mcs_sched.Fds.run s.cdfg s.mlib ~rate:s.rate ~pipe_length:pl () with
+        | Ok sch -> Ok sch
+        | Error m ->
+            Error
+              (Diag.error ~code:Diag.Unschedulable ~phase:"ch5.schedule" "%s" m))
+  in
+  let* conn, assignment =
+    Pass.phase pass "connect"
+      ~artifact:(fun (conn, assignment) ->
+        Artifact.Connection
+          (Artifact.Buses
+             { conn; initial = assignment; assignment; allocation = [] }))
+      (fun () ->
+        let cls = Mcs_core.Post_connect.cliques schedule ~mode:s.mode in
+        Ok (Mcs_core.Post_connect.connection_of_cliques s.cdfg ~mode:s.mode cls))
+  in
+  Ok
+    (assemble ~flow:Ch5 s ~schedule
+       ~connection:
+         (Artifact.Buses
+            { conn; initial = assignment; assignment; allocation = [] })
+       ~fus:(Mcs_sched.Fds.fu_requirements schedule)
+       ~static_pipe_length:None)
+
+(* ---- Chapter 6: sub-bus sharing ---- *)
+
+let run_ch6 pass (s : spec) =
+  let attempt_cap cap =
+    Pass.attempt pass;
+    let* ra =
+      Pass.phase pass "connect"
+        ~artifact:(fun (real, assignment) ->
+          Artifact.Connection
+            (Artifact.Subbuses
+               {
+                 buses = real;
+                 initial = assignment;
+                 assignment;
+                 allocation = [];
+               }))
+        (fun () ->
+          match SB.search s.cdfg s.cons ~rate:s.rate ~slot_cap:cap () with
+          | Ok ra -> Ok ra
+          | Error m ->
+              Error
+                (Diag.error ~code:Diag.No_connection ~phase:"ch6.connect" "%s"
+                   m))
+    in
+    let* t =
+      Pass.phase pass "schedule"
+        ~artifact:(fun (t : SB.t) -> Artifact.Schedule t.SB.schedule)
+        (fun () ->
+          match
+            SB.schedule_over s.cdfg s.mlib s.cons ~rate:s.rate ~dynamic:true ra
+          with
+          | Ok t -> Ok t
+          | Error m ->
+              Error
+                (Diag.error ~code:Diag.Unschedulable ~phase:"ch6.schedule" "%s"
+                   m))
+    in
+    let static_pipe_length =
+      Mcs_obs.Trace.with_span "flow.ch6.baseline" (fun () ->
+          match
+            SB.schedule_over s.cdfg s.mlib s.cons ~rate:s.rate ~dynamic:false
+              ra
+          with
+          | Ok t' -> Some (Sched.pipe_length t'.SB.schedule)
+          | Error _ | (exception Invalid_argument _) -> None)
+    in
+    Ok { t with SB.static_pipe_length }
+  in
+  (* Pin minimization is Chapter 6's whole point: sweep the per-bus value
+     cap and keep the schedulable result with fewest pins (shorter pipe
+     breaks ties) — unless a Strict checker aborted, which ends the run. *)
+  let rec sweep cap acc =
+    if cap < 1 then Ok acc
+    else
+      match attempt_cap cap with
+      | Ok t -> sweep (cap - 1) (t :: acc)
+      | Error d -> if Pass.check_failed pass then Error d else sweep (cap - 1) acc
+  in
+  let* candidates = sweep s.rate [] in
+  let total t = Mcs_util.Listx.sum snd t.SB.pins in
+  match
+    Mcs_util.Listx.min_by
+      (fun t -> (1000 * total t) + Sched.pipe_length t.SB.schedule)
+      candidates
+  with
+  | None ->
+      Error
+        (Diag.error ~code:Diag.No_connection ~phase:"ch6"
+           "no schedulable sub-bus connection found at any slot cap")
+  | Some best ->
+      Ok
+        (assemble ~flow:Ch6 s ~schedule:best.SB.schedule
+           ~connection:
+             (Artifact.Subbuses
+                {
+                  buses = best.SB.real_buses;
+                  initial = best.SB.initial_assignment;
+                  assignment = best.SB.final_assignment;
+                  allocation = best.SB.allocation;
+                })
+           ~fus:(fus_of_constraints s.cdfg s.mlib s.cons)
+           ~static_pipe_length:best.SB.static_pipe_length)
+
+(* ---- the unified entry point ---- *)
+
+let m_runs = Mcs_obs.Metrics.counter "flow.runs"
+let m_final_violations = Mcs_obs.Metrics.counter "flow.check.violations"
+
+let run ?(level = Pass.Off) ?checker ?check_result ?dump name spec =
+  Mcs_obs.Metrics.incr m_runs;
+  let pass = Pass.create ~level ?checker ?dump ~flow:(name_to_string name) () in
+  let drive =
+    match name with
+    | Ch3 -> run_ch3
+    | Ch4 -> run_ch4
+    | Ch5 -> run_ch5
+    | Ch6 -> run_ch6
+  in
+  match
+    Mcs_obs.Trace.with_span ("flow." ^ name_to_string name) (fun () ->
+        drive pass spec)
+  with
+  | Error d -> Error d
+  | Ok r -> (
+      let final_diags =
+        match (level, check_result) with
+        | Pass.Off, _ | _, None -> []
+        | (Pass.Warn | Pass.Strict), Some check ->
+            let ds = check r in
+            let errs = List.length (List.filter Diag.is_error ds) in
+            if errs > 0 then Mcs_obs.Metrics.incr m_final_violations ~n:errs;
+            ds
+      in
+      let diags = Pass.diags pass @ final_diags in
+      let r = { r with attempts = Pass.attempts pass; diags } in
+      match level with
+      | Pass.Strict when not (clean r) ->
+          Error (List.find Diag.is_error diags)
+      | _ -> Ok r)

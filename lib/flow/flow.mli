@@ -1,0 +1,95 @@
+(** The unified synthesis flow API.
+
+    All four dissertation flows — Ch. 3 pin-constrained scheduling on a
+    simple partitioning, Ch. 4 connection-first, Ch. 5 schedule-first,
+    Ch. 6 sub-bus sharing — run through one entry point ({!run}) on one
+    input shape ({!spec}) and produce one result shape ({!result}).  Each
+    flow is decomposed into phases executed by the {!Pass} manager, so
+    every run gets spans, metrics, typed diagnostics, optional artifact
+    dumping and (when a checker is injected, see {!Mcs_check}) static
+    analysis between phases and on the final result — uniformly, with no
+    per-flow glue in the callers. *)
+
+open Mcs_cdfg
+
+type name = Ch3 | Ch4 | Ch5 | Ch6
+
+val all : name list
+val name_to_string : name -> string
+val name_of_string : string -> (name, string) result
+
+type spec = {
+  tag : string;  (** design name, for reports *)
+  cdfg : Cdfg.t;
+  mlib : Module_lib.t;
+  cons : Constraints.t;
+  rate : int;
+  pipe_length : int option;
+      (** Ch. 5 target pipe length (default: the critical path); ignored
+          by the other flows *)
+  mode : Mcs_connect.Connection.mode;
+}
+
+val spec_of_design :
+  ?pipe_length:int ->
+  ?mode:Mcs_connect.Connection.mode ->
+  flow:name ->
+  Benchmarks.design ->
+  rate:int ->
+  spec
+(** Builds the spec the paper's experiments use for [flow] on a bundled
+    benchmark: unidirectional pin budgets for Ch. 3 (and by default Ch. 4
+    and Ch. 5), bidirectional for Ch. 6 (its experiments' assumption), and
+    the design's minimal functional units. *)
+
+type result = {
+  flow : name;
+  tag : string;
+  rate : int;
+  mode : Mcs_connect.Connection.mode;
+  schedule : Mcs_sched.Schedule.t;
+  connection : Artifact.connection;
+  pins : (int * int) list;  (** per partition, complete over [0..n] *)
+  fus : ((int * string) * int) list;
+      (** per (partition, optype): the constraint tables' allocation for
+          the resource-constrained flows, FDS-implied counts for Ch. 5 *)
+  pipe_length : int;
+  static_pipe_length : int option;
+      (** Ch. 4/6 static-assignment baseline, when it completes *)
+  attempts : int;  (** retry-loop iterations the flow needed *)
+  diags : Diag.t list;
+      (** diagnostics collected during the run; under {!Pass.Warn} this
+          includes checker violations (severity [Error]) that did not
+          abort the flow *)
+}
+
+val pins_of : n_partitions:int -> Artifact.connection -> (int * int) list
+(** Recompute the per-partition pin table from the connection structure
+    alone (via {!Mcs_connect.Pins}, the single source of truth): wire
+    bundles by owner, shared buses by port width, sub-buses by port
+    commitment. *)
+
+val fus_of_constraints :
+  Cdfg.t -> Module_lib.t -> Constraints.t -> ((int * string) * int) list
+(** The constraint tables' functional-unit allocation as a per
+    [(partition, optype)] list (only nonzero entries). *)
+
+val pins_total : result -> int
+val fus_total : result -> int
+val clean : result -> bool
+(** No [Error]-severity diagnostic on the result. *)
+
+val run :
+  ?level:Pass.level ->
+  ?checker:Artifact.t Pass.checker ->
+  ?check_result:(result -> Diag.t list) ->
+  ?dump:(phase:string -> Artifact.t -> unit) ->
+  name ->
+  spec ->
+  (result, Diag.t) Stdlib.result
+(** Run one flow through the pass manager.  [checker] audits each phase's
+    artifact, [check_result] the assembled result; both run only when
+    [level] is [Warn] or [Strict] (default [Off]).  Under [Strict] the
+    first violation anywhere turns the run into [Error]; under [Warn]
+    violations are collected on [result.diags].  [dump] receives every
+    phase artifact regardless of [level]. *)

@@ -1,0 +1,68 @@
+module M = Mcs_obs.Metrics
+
+type level = Off | Warn | Strict
+type 'a checker = phase:string -> 'a -> Diag.t list
+
+type 'a t = {
+  flow : string;
+  lvl : level;
+  checker : 'a checker option;
+  dump : (phase:string -> 'a -> unit) option;
+  mutable n_attempts : int;
+  mutable collected : Diag.t list;  (* reverse emission order *)
+  mutable failed_check : bool;
+}
+
+let m_phases = M.counter "flow.phases"
+let m_violations = M.counter "flow.check.violations"
+let m_aborts = M.counter "flow.check.aborts"
+
+let create ?(level = Off) ?checker ?dump ~flow () =
+  {
+    flow;
+    lvl = level;
+    checker;
+    dump;
+    n_attempts = 0;
+    collected = [];
+    failed_check = false;
+  }
+
+let level t = t.lvl
+let attempt t = t.n_attempts <- t.n_attempts + 1
+let attempts t = t.n_attempts
+let record t d = t.collected <- d :: t.collected
+let diags t = List.rev t.collected
+let check_failed t = t.failed_check
+
+let phase t name ?artifact f =
+  let phase_id = t.flow ^ "." ^ name in
+  M.incr m_phases;
+  let guarded () =
+    try f () with
+    | Invalid_argument m | Failure m ->
+        Error (Diag.error ~code:Diag.Internal ~phase:phase_id "%s" m)
+  in
+  match Mcs_obs.Trace.with_span ("flow." ^ phase_id) guarded with
+  | Error d -> Error d
+  | Ok v -> (
+      match artifact with
+      | None -> Ok v
+      | Some to_artifact -> (
+          let a = lazy (to_artifact v) in
+          (match t.dump with
+          | Some dump -> dump ~phase:phase_id (Lazy.force a)
+          | None -> ());
+          match (t.lvl, t.checker) with
+          | Off, _ | _, None -> Ok v
+          | (Warn | Strict), Some check ->
+              let ds = check ~phase:phase_id (Lazy.force a) in
+              let errs = List.filter Diag.is_error ds in
+              if errs <> [] then M.incr m_violations ~n:(List.length errs);
+              List.iter (record t) ds;
+              if t.lvl = Strict && errs <> [] then begin
+                t.failed_check <- true;
+                M.incr m_aborts;
+                Error (List.hd errs)
+              end
+              else Ok v))

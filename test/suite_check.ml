@@ -1,0 +1,257 @@
+(* The static-analysis layer (Mcs_check) over the unified flows (Mcs_flow):
+   mutation tests seed one violation of each family into an otherwise-valid
+   result and assert the checker reports it as the right structured
+   diagnostic; the property sweep runs all four flows on the paper
+   benchmarks at the paper's rates and asserts every result the flows
+   produce passes the full checker clean. *)
+
+open Mcs_cdfg
+module F = Mcs_flow.Flow
+module Diag = Mcs_flow.Diag
+module Pass = Mcs_flow.Pass
+module A = Mcs_flow.Artifact
+module Sched = Mcs_sched.Schedule
+module SB = Mcs_core.Subbus
+
+let checkb = Alcotest.(check bool)
+
+let has_error code diags =
+  List.exists (fun d -> Diag.is_error d && d.Diag.code = code) diags
+
+let run_ok ?level ?pipe_length flow design ~rate =
+  let spec = F.spec_of_design ?pipe_length ~flow design ~rate in
+  match Mcs_check.run ?level flow spec with
+  | Ok r -> (spec, r)
+  | Error d ->
+      Alcotest.failf "%s on %s rate %d failed: %s" (F.name_to_string flow)
+        design.Benchmarks.tag rate (Diag.message d)
+
+(* ---- seeded violations ---- *)
+
+let test_mutation_precedence_inversion () =
+  let d = Benchmarks.ar_simple () in
+  let spec, r = run_ok ~level:Pass.Off F.Ch3 d ~rate:2 in
+  let sch = r.F.schedule in
+  let cdfg = spec.F.cdfg in
+  (* Swap the endpoints of a cross-step dependence: the consumer now starts
+     before its producer finishes. *)
+  let edge =
+    List.find_opt
+      (fun { Types.e_src; e_dst; degree } ->
+        degree = 0
+        && Sched.is_scheduled sch e_src
+        && Sched.is_scheduled sch e_dst
+        && Sched.cstep sch e_src <> Sched.cstep sch e_dst)
+      (Cdfg.edges cdfg)
+  in
+  match edge with
+  | None -> Alcotest.fail "no cross-step dependence to invert"
+  | Some { Types.e_src; e_dst; _ } ->
+      let s_src = Sched.cstep sch e_src
+      and s_dst = Sched.cstep sch e_dst
+      and f_src = Sched.finish_ns sch e_src
+      and f_dst = Sched.finish_ns sch e_dst in
+      Sched.set sch e_src ~cstep:s_dst ~finish_ns:f_src;
+      Sched.set sch e_dst ~cstep:s_src ~finish_ns:f_dst;
+      let diags =
+        Mcs_check.schedule_diags spec.F.cons ~phase:"mut.precedence" sch
+      in
+      checkb "inverted dependence is flagged" true
+        (has_error Diag.Precedence_violation diags);
+      let named =
+        List.find
+          (fun dg -> dg.Diag.code = Diag.Precedence_violation)
+          diags
+      in
+      checkb "diagnostic names the offending operations" true
+        (List.mem e_src named.Diag.ops && List.mem e_dst named.Diag.ops)
+
+let test_mutation_pin_budget_overflow () =
+  let d = Benchmarks.ar_general () in
+  let spec, r = run_ok ~level:Pass.Off F.Ch4 d ~rate:3 in
+  (* Same connection, partition 1's budget revoked. *)
+  let starved = Constraints.with_pins spec.F.cons [ (1, 0) ] in
+  let diags =
+    Mcs_check.connection_diags spec.F.cdfg starved ~phase:"mut.pins"
+      r.F.connection
+  in
+  checkb "overflow is flagged" true (has_error Diag.Pin_budget_overflow diags);
+  let named =
+    List.find (fun dg -> dg.Diag.code = Diag.Pin_budget_overflow) diags
+  in
+  checkb "diagnostic names partition 1" true (List.mem 1 named.Diag.partitions);
+  checkb "untouched budgets stay clean" false
+    (has_error Diag.Pin_budget_overflow
+       (Mcs_check.connection_diags spec.F.cdfg spec.F.cons ~phase:"mut.pins"
+          r.F.connection))
+
+let test_mutation_two_values_one_bus () =
+  let d = Benchmarks.ar_general () in
+  let spec, r = run_ok ~level:Pass.Off F.Ch4 d ~rate:3 in
+  let sch = r.F.schedule and cdfg = spec.F.cdfg in
+  let conn =
+    match r.F.connection with
+    | A.Buses { conn; _ } -> conn
+    | _ -> Alcotest.fail "Ch4 result is not bus-structured"
+  in
+  (* Two transfers of different values in one control-step group, forced
+     onto the same bus. *)
+  let ios = List.filter (Sched.is_scheduled sch) (Cdfg.io_ops cdfg) in
+  let clash =
+    List.find_map
+      (fun a ->
+        List.find_map
+          (fun b ->
+            if
+              a <> b
+              && Sched.group sch a = Sched.group sch b
+              && Cdfg.io_value cdfg a <> Cdfg.io_value cdfg b
+            then Some (a, b)
+            else None)
+          ios)
+      ios
+  in
+  match clash with
+  | None -> Alcotest.fail "no two distinct values share a group"
+  | Some (a, b) ->
+      let seeded =
+        A.Buses
+          { conn; initial = []; assignment = [ (a, 0); (b, 0) ]; allocation = [] }
+      in
+      let diags =
+        Mcs_check.occupancy_diags cdfg sch ~phase:"mut.bus" seeded
+      in
+      checkb "shared bus slot is flagged" true
+        (has_error Diag.Bus_conflict diags);
+      let named = List.find (fun dg -> dg.Diag.code = Diag.Bus_conflict) diags in
+      checkb "diagnostic names both transfers" true
+        (List.mem a named.Diag.ops && List.mem b named.Diag.ops)
+
+let test_mutation_subbus_misfit () =
+  let d = Benchmarks.subbus_demo () in
+  let cdfg = d.Benchmarks.cdfg in
+  let wide =
+    match
+      List.find_opt (fun op -> Cdfg.io_width cdfg op = 32) (Cdfg.io_ops cdfg)
+    with
+    | Some op -> op
+    | None -> Alcotest.fail "subbus-demo lost its 32-bit value"
+  in
+  (* A 32-bit transfer pinned to the 24-bit high slice of a split bus. *)
+  let rb =
+    {
+      SB.width = 32;
+      split_at = Some 8;
+      ports = [ (Cdfg.io_src cdfg wide, 32); (Cdfg.io_dst cdfg wide, 32) ];
+      carried = [ (wide, SB.Hi) ];
+    }
+  in
+  let seeded =
+    A.Subbuses { buses = [ rb ]; initial = []; assignment = []; allocation = [] }
+  in
+  let cons = Benchmarks.constraints_for_bidir d ~rate:3 in
+  let diags = Mcs_check.connection_diags cdfg cons ~phase:"mut.subbus" seeded in
+  checkb "ill-fit slice is flagged" true (has_error Diag.Subbus_misfit diags);
+  let whole = { rb with SB.carried = [ (wide, SB.Whole) ] } in
+  let refit =
+    A.Subbuses
+      { buses = [ whole ]; initial = []; assignment = []; allocation = [] }
+  in
+  checkb "whole-bus use of the same transfer is clean" false
+    (has_error Diag.Subbus_misfit
+       (Mcs_check.connection_diags cdfg cons ~phase:"mut.subbus" refit))
+
+(* ---- the clean property ---- *)
+
+let paper_specs () =
+  let designs =
+    [
+      Benchmarks.ar_simple ();
+      Benchmarks.ar_general ();
+      Benchmarks.elliptic ();
+      Benchmarks.cond_demo ();
+      Benchmarks.subbus_demo ();
+    ]
+  in
+  List.concat_map
+    (fun (d : Benchmarks.design) ->
+      let simple = Mcs_core.Simple_part.is_simple d.Benchmarks.cdfg in
+      let flows = if simple then F.all else [ F.Ch4; F.Ch5; F.Ch6 ] in
+      List.concat_map
+        (fun flow ->
+          List.map
+            (fun rate ->
+              let pipe_length =
+                if flow = F.Ch5 && d.Benchmarks.tag = "elliptic" then Some 25
+                else None
+              in
+              (d, flow, rate, pipe_length))
+            d.Benchmarks.rates)
+        flows)
+    designs
+
+let test_property_paper_benchmarks_pass_clean () =
+  let succeeded = Hashtbl.create 8 in
+  List.iter
+    (fun ((d : Benchmarks.design), flow, rate, pipe_length) ->
+      let spec = F.spec_of_design ?pipe_length ~flow d ~rate in
+      let label =
+        Printf.sprintf "%s on %s rate %d" (F.name_to_string flow)
+          d.Benchmarks.tag rate
+      in
+      match Mcs_check.run ~level:Pass.Warn flow spec with
+      | Error _ -> () (* rates a flow cannot handle are covered elsewhere *)
+      | Ok r ->
+          Hashtbl.replace succeeded flow ();
+          checkb (label ^ " passes the checker clean") true (F.clean r);
+          checkb
+            (label ^ " passes Schedule.verify")
+            true
+            (Sched.verify r.F.schedule = Ok ());
+          checkb
+            (label ^ " keeps the claimed rate")
+            true
+            (Sched.rate r.F.schedule = rate))
+    (paper_specs ());
+  List.iter
+    (fun flow ->
+      checkb
+        (F.name_to_string flow ^ " succeeded on some paper benchmark")
+        true
+        (Hashtbl.mem succeeded flow))
+    F.all
+
+let test_strict_clean_flow_is_ok () =
+  (* Strict mode only aborts on violations; a clean run sails through. *)
+  let d = Benchmarks.ar_simple () in
+  let _, r = run_ok ~level:Pass.Strict F.Ch3 d ~rate:2 in
+  checkb "strict run is clean" true (F.clean r);
+  checkb "attempts are counted" true (r.F.attempts >= 1)
+
+let test_level_parsing () =
+  let checkl = Alcotest.(check bool) in
+  checkl "off" true (Mcs_check.level_of_string "off" = Pass.Off);
+  checkl "empty" true (Mcs_check.level_of_string "" = Pass.Off);
+  checkl "0" true (Mcs_check.level_of_string "0" = Pass.Off);
+  checkl "strict" true (Mcs_check.level_of_string "STRICT" = Pass.Strict);
+  checkl "warn" true (Mcs_check.level_of_string "warn" = Pass.Warn);
+  checkl "unknown words mean warn" true
+    (Mcs_check.level_of_string "yes-please" = Pass.Warn)
+
+let suite =
+  ( "check",
+    [
+      Alcotest.test_case "mutation: precedence inversion" `Quick
+        test_mutation_precedence_inversion;
+      Alcotest.test_case "mutation: pin-budget overflow" `Quick
+        test_mutation_pin_budget_overflow;
+      Alcotest.test_case "mutation: two values on one bus" `Quick
+        test_mutation_two_values_one_bus;
+      Alcotest.test_case "mutation: ill-fit sub-bus split" `Quick
+        test_mutation_subbus_misfit;
+      Alcotest.test_case "property: paper benchmarks pass clean" `Slow
+        test_property_paper_benchmarks_pass_clean;
+      Alcotest.test_case "strict level passes a clean flow" `Quick
+        test_strict_clean_flow_is_ok;
+      Alcotest.test_case "level parsing" `Quick test_level_parsing;
+    ] )

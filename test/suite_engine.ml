@@ -32,8 +32,8 @@ let job ?pipe_length ?(design = Job.Named "ar-general") ?(flow = Job.Ch4_unidir)
   Job.make ?pipe_length ~design ~flow ~rate ()
 
 let outcome ?(status = Outcome.Feasible) ?(pins = [ (0, 8); (1, 16) ])
-    ?(pipe_length = 7) ?(fu_count = 4) j =
-  { Outcome.job = j; status; pins; pipe_length; fu_count }
+    ?(pipe_length = 7) ?(fu_count = 4) ?check j =
+  { Outcome.job = j; status; pins; pipe_length; fu_count; check }
 
 (* --- Job codec --- *)
 
@@ -116,6 +116,8 @@ let test_outcome_roundtrip () =
       outcome ~status:(Outcome.Crashed "worker killed by signal 9") ~pins:[]
         (job ~rate:7 ());
       outcome ~status:Outcome.Timed_out ~pins:[] (job ~flow:Job.Ch6 ());
+      outcome ~check:Outcome.Clean (job ());
+      outcome ~check:(Outcome.Violations 2) (job ~flow:Job.Ch3 ());
     ]
 
 (* --- Pool --- *)

@@ -14,4 +14,5 @@ let () =
       Suite_integration.suite;
       Suite_obs.suite;
       Suite_engine.suite;
+      Suite_check.suite;
     ]
