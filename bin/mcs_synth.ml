@@ -140,6 +140,9 @@ let fields_of (r : F.result) =
     ("pipe_length", J.Int r.F.pipe_length);
     ("attempts", J.Int r.F.attempts);
   ]
+  @ (match r.F.degraded with
+    | [] -> []
+    | steps -> [ ("degraded", J.Arr (List.map (fun m -> J.Str m) steps)) ])
   @ per_flow
 
 (* Under --metrics, replay the final schedule through the Chapter 3
@@ -168,8 +171,8 @@ let level_label = function
   | Pass.Warn -> "warn"
   | Pass.Strict -> "strict"
 
-let synth design flow rate pipe_length ports check strict listing trace
-    metrics json_file log_level =
+let synth design flow rate pipe_length ports check strict deadline_ms
+    no_fallback listing trace metrics json_file log_level =
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -224,7 +227,20 @@ let synth design flow rate pipe_length ports check strict listing trace
               Mcs_obs.Trace.set_collect true
             end;
             let t0 = Unix.gettimeofday () in
-            let outcome = Mcs_check.run ~level flow_name spec in
+            (* The budget's deadline clock starts here, right before the
+               run it bounds. *)
+            let policy =
+              {
+                F.default_policy with
+                F.budget =
+                  (match deadline_ms with
+                  | Some ms when ms > 0. ->
+                      Mcs_resilience.Budget.make ~deadline_ms:ms ()
+                  | Some _ | None -> Mcs_resilience.Budget.unlimited);
+                F.fallback = not no_fallback;
+              }
+            in
+            let outcome = Mcs_check.run ~level ~policy flow_name spec in
             let wall = Unix.gettimeofday () -. t0 in
             let diag_fields diags =
               if level = Pass.Off && diags = [] then []
@@ -241,6 +257,12 @@ let synth design flow rate pipe_length ports check strict listing trace
                   List.iter
                     (fun dg -> Format.eprintf "%a@." (Diag.pp ~cdfg) dg)
                     r.F.diags;
+                  if F.is_degraded r then
+                    Format.eprintf
+                      "synthesis degraded (%d ladder step%s): %s@."
+                      (List.length r.F.degraded)
+                      (if List.length r.F.degraded = 1 then "" else "s")
+                      (String.concat "; " r.F.degraded);
                   let violations =
                     List.length (List.filter Diag.is_error r.F.diags)
                   in
@@ -333,7 +355,8 @@ let parse_flows s =
 
 let counter_count name = Mcs_obs.Metrics.(count (counter name))
 
-let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout json_file =
+let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
+    retry json_file =
   let ( let* ) = Result.bind in
   let plan =
     let* flows = parse_flows flows_s in
@@ -374,8 +397,14 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout json_file =
   | Ok joblist ->
       Mcs_obs.Metrics.reset ();
       let cache = Option.map E_cache.open_dir cache_dir in
+      (match deadline_ms with
+      | Some ms when ms > 0. ->
+          (* Forked workers inherit the environment; MCS_DEADLINE_MS is
+             how each one gets its own fresh per-job budget. *)
+          Unix.putenv "MCS_DEADLINE_MS" (Printf.sprintf "%.0f" ms)
+      | Some _ | None -> ());
       let t0 = Unix.gettimeofday () in
-      let outcomes = E_pool.run ~jobs ?timeout ?cache joblist in
+      let outcomes = E_pool.run ~jobs ?timeout ?cache ~retry joblist in
       let wall = Unix.gettimeofday () -. t0 in
       let front = E_pareto.frontier outcomes in
       Report.table fmt
@@ -412,8 +441,9 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout json_file =
            outcomes);
       let c name = counter_count ("engine." ^ name) in
       Format.fprintf fmt
-        "@.workers forked: %d; crashes: %d; timeouts: %d@."
-        (c "pool.forks") (c "pool.crashes") (c "pool.timeouts");
+        "@.workers forked: %d; crashes: %d; timeouts: %d; retries: %d@."
+        (c "pool.forks") (c "pool.crashes") (c "pool.timeouts")
+        (c "pool.retries");
       if cache <> None then
         Format.fprintf fmt "cache: %d hits, %d misses, %d stale@."
           (c "cache.hits") (c "cache.misses") (c "cache.stale");
@@ -438,6 +468,7 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout json_file =
                             ("forks", J.Int (c "pool.forks"));
                             ("crashes", J.Int (c "pool.crashes"));
                             ("timeouts", J.Int (c "pool.timeouts"));
+                            ("retries", J.Int (c "pool.retries"));
                           ] );
                     ])
             | r -> r
@@ -519,10 +550,25 @@ let strict =
            ~doc:"Like $(b,--check), but the first violation aborts the flow \
                  instead of being collected.")
 
+let deadline_ms =
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock budget for the whole run, in milliseconds.  Every \
+               solver the flow invokes shares it; when it runs out the flow \
+               steps down its degradation ladder (see $(b,--no-fallback)) \
+               and the result is flagged degraded.")
+
+let no_fallback =
+  Arg.(value & flag
+       & info [ "no-fallback" ]
+           ~doc:"Disable the degradation ladder: budget exhaustion becomes \
+               a typed $(b,exhausted) diagnostic (nonzero exit) instead of \
+               a degraded result.")
+
 let synth_term =
   Term.(
     const synth $ design $ flow $ rate $ pipe_length $ ports $ check
-    $ strict $ listing $ trace $ metrics $ json_file $ log_level)
+    $ strict $ deadline_ms $ no_fallback $ listing $ trace $ metrics
+    $ json_file $ log_level)
 
 let dse_cmd =
   let designs =
@@ -561,6 +607,19 @@ let dse_cmd =
            ~doc:"Per-job wall-clock limit; an overrunning worker is killed \
                  and its point reported as timed out.")
   in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-job solver budget in wall milliseconds (exported to \
+                   workers as $(b,MCS_DEADLINE_MS)); jobs that exhaust it \
+                   degrade instead of overrunning.")
+  in
+  let retry =
+    Arg.(value & flag
+         & info [ "retry" ]
+             ~doc:"Re-run each crashed or timed-out job once with a halved \
+                   budget (degraded mode) before reporting it.")
+  in
   let json =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the machine-readable sweep report (schema \
@@ -582,7 +641,7 @@ let dse_cmd =
          ])
     Term.(
       const dse $ designs $ flows $ rates $ pipe_lengths $ jobs $ cache
-      $ timeout $ json)
+      $ timeout $ deadline_ms $ retry $ json)
 
 let cmd =
   let doc = "high-level synthesis with pin constraints for multiple-chip designs" in

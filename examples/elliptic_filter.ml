@@ -37,7 +37,8 @@ let () =
       Format.printf
         "force-directed scheduling finds a rate-5 schedule (pipe %d)@.@."
         (Mcs_sched.Schedule.pipe_length s)
-  | Error m -> Format.printf "FDS failed: %s@.@." m);
+  | Error m ->
+      Format.printf "FDS failed: %s@.@." (Mcs_sched.Fds.error_message cdfg m));
 
   (* Chapter 4 flow at the rates the paper evaluates, through the unified
      checked pipeline. *)

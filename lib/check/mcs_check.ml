@@ -380,11 +380,31 @@ let check_result cdfg _mlib cons (r : F.result) =
           (Sched.rate r.F.schedule) r.F.rate;
       ]
   in
-  sched @ structure @ occupancy @ pins @ fus @ rate
+  (* [degraded] must mirror the [Degraded] warnings, one note per ladder
+     step.  Inside {!Mcs_flow.Flow.run} the diagnostics are attached after
+     this check runs, so the comparison only fires on completed results
+     (diags nonempty) — i.e. when a caller re-audits one. *)
+  let degraded =
+    if r.F.diags = [] then []
+    else
+      let noted =
+        List.filter
+          (fun (d : Diag.t) -> d.Diag.code = Diag.Degraded)
+          r.F.diags
+      in
+      if List.length noted = List.length r.F.degraded then []
+      else
+        [
+          Diag.error ~code:Diag.Result_mismatch ~phase
+            "result lists %d degradation steps but carries %d Degraded              diagnostics"
+            (List.length r.F.degraded) (List.length noted);
+        ]
+  in
+  sched @ structure @ occupancy @ pins @ fus @ rate @ degraded
 
-let run ?level ?dump name (spec : F.spec) =
+let run ?level ?dump ?policy name (spec : F.spec) =
   let level = match level with Some l -> l | None -> level_of_env () in
   F.run ~level
     ~checker:(artifact_checker ~flow:name spec.F.cdfg spec.F.mlib spec.F.cons)
     ~check_result:(check_result spec.F.cdfg spec.F.mlib spec.F.cons)
-    ?dump name spec
+    ?dump ?policy name spec

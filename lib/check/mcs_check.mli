@@ -85,12 +85,14 @@ val check_result :
   Mcs_flow.Flow.result ->
   Diag.t list
 (** Everything, on the assembled result: schedule legality, connection
-    structure, conflict freedom, and claimed-versus-recomputed pin and FU
-    tables ([Result_mismatch]). *)
+    structure, conflict freedom, claimed-versus-recomputed pin and FU
+    tables ([Result_mismatch]), and — on completed results — agreement
+    between the [degraded] step list and the [Degraded] diagnostics. *)
 
 val run :
   ?level:Mcs_flow.Pass.level ->
   ?dump:(phase:string -> Mcs_flow.Artifact.t -> unit) ->
+  ?policy:Mcs_flow.Flow.policy ->
   Mcs_flow.Flow.name ->
   Mcs_flow.Flow.spec ->
   (Mcs_flow.Flow.result, Diag.t) result

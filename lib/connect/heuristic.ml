@@ -1,5 +1,7 @@
 open Mcs_cdfg
 module M = Mcs_obs.Metrics
+module Budget = Mcs_resilience.Budget
+module Fault = Mcs_resilience.Fault
 
 let m_searches = M.counter "heuristic.searches"
 let m_nodes = M.counter "heuristic.nodes"
@@ -11,10 +13,18 @@ type result = {
   assign : (Types.op_id * int) list;
 }
 
+type error = Infeasible | Exhausted of Budget.exhausted
+
+let error_message = function
+  | Infeasible ->
+      "Heuristic.search: no interchip connection satisfies the pin \
+       constraints"
+  | Exhausted e -> "Heuristic.search: " ^ Budget.message e
+
 exception Budget_exhausted
 
-let search cdfg cons ~rate ~mode ?slot_cap ?(branching = 2)
-    ?(max_nodes = 200_000) () =
+let search ?(budget = Budget.unlimited) cdfg cons ~rate ~mode ?slot_cap
+    ?(branching = 2) ?(max_nodes = 200_000) () =
   let slot_cap =
     match slot_cap with
     | None -> rate
@@ -175,6 +185,7 @@ let search cdfg cons ~rate ~mode ?slot_cap ?(branching = 2)
     | w :: rest ->
         incr nodes;
         M.incr m_nodes;
+        Budget.spend_node budget;
         if !nodes > max_nodes then raise Budget_exhausted;
         let src = Cdfg.io_src cdfg w
         and dst = Cdfg.io_dst cdfg w
@@ -226,14 +237,20 @@ let search cdfg cons ~rate ~mode ?slot_cap ?(branching = 2)
           false
         end
   in
-  match assign_nodes ops with
+  match
+    match Fault.exhaust_heuristic () with
+    | Some e -> raise (Budget.Out_of_budget e)
+    | None -> assign_nodes ops
+  with
   | exception Budget_exhausted ->
       M.incr m_budget_exhausted;
-      Error "Heuristic.search: node budget exhausted"
-  | false ->
       Error
-        "Heuristic.search: no interchip connection satisfies the pin \
-         constraints"
+        (Exhausted
+           { Budget.resource = Budget.Nodes; limit = max_nodes; spent = !nodes })
+  | exception Budget.Out_of_budget e ->
+      M.incr m_budget_exhausted;
+      Error (Exhausted e)
+  | false -> Error Infeasible
   | true ->
       let assign =
         List.map (fun w -> (w, Hashtbl.find assigned w)) (Cdfg.io_ops cdfg)

@@ -15,7 +15,16 @@ type result = {
   assign : (Types.op_id * int) list;  (** I/O operation -> bus id *)
 }
 
+type error =
+  | Infeasible  (** no connection satisfies the pin constraints *)
+  | Exhausted of Mcs_resilience.Budget.exhausted
+      (** node/wall budget ran out (either [max_nodes], an explicit
+          budget, or the [exhaust-heuristic] fault) *)
+
+val error_message : error -> string
+
 val search :
+  ?budget:Mcs_resilience.Budget.t ->
   Cdfg.t ->
   Constraints.t ->
   rate:int ->
@@ -24,7 +33,7 @@ val search :
   ?branching:int ->
   ?max_nodes:int ->
   unit ->
-  (result, string) Stdlib.result
+  (result, error) Stdlib.result
 (** [branching] defaults to 2, [max_nodes] (search-tree node budget) to
     200_000.  [slot_cap] (default [rate]) caps the values tentatively packed
     onto one bus; lowering it below the initiation rate forces a

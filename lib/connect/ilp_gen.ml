@@ -117,9 +117,9 @@ module Ch4 = struct
     in
     (m, { y; pins_of })
 
-  let solve ?method_ cdfg cons ~rate ~mode ~max_buses =
+  let solve ?budget ?method_ cdfg cons ~rate ~mode ~max_buses =
     let m, vars = model cdfg cons ~rate ~mode ~max_buses in
-    match M.solve ?method_ m with
+    match M.solve ?budget ?method_ m with
     (* A budget-limited but integer-feasible solution is still a valid
        bus assignment — only the bus-count objective may be sub-optimal. *)
     | M.Optimal sol | M.Feasible sol ->
@@ -138,6 +138,7 @@ module Ch4 = struct
     | M.Infeasible -> `Unsat
     | M.Unbounded -> `Unknown
     | M.Unknown -> `Unknown
+    | M.Exhausted e -> `Exhausted e
 end
 
 module Ch6 = struct
@@ -397,11 +398,11 @@ module Ch6 = struct
       parts;
     m
 
-  let feasible cdfg cons ~rate ~max_buses ~subs =
+  let feasible ?budget cdfg cons ~rate ~max_buses ~subs =
     let m = model cdfg cons ~rate ~max_buses ~subs in
-    match M.solve ~method_:`Branch_bound m with
+    match M.solve ?budget ~method_:`Branch_bound m with
     | M.Optimal _ | M.Feasible _ -> Some true
     | M.Infeasible -> Some false
     | M.Unbounded -> Some true
-    | M.Unknown -> None
+    | M.Unknown | M.Exhausted _ -> None
 end

@@ -19,13 +19,15 @@ module Ch4 : sig
     max_buses:int -> Mcs_ilp.Model.t * vars
 
   val solve :
+    ?budget:Mcs_resilience.Budget.t ->
     ?method_:[ `Branch_bound | `Gomory ] ->
     Cdfg.t -> Constraints.t -> rate:int -> mode:Connection.mode ->
     max_buses:int ->
     [ `Sat of (Types.op_id * int) list * (int * int) list
       (** assignment and per-partition pins used *)
     | `Unsat
-    | `Unknown ]
+    | `Unknown
+    | `Exhausted of Mcs_resilience.Budget.exhausted ]
 end
 
 (** Chapter 6 (§6.1.1): sub-slot assignment with buses divided into [subs]
@@ -37,6 +39,7 @@ module Ch6 : sig
     Mcs_ilp.Model.t
 
   val feasible :
+    ?budget:Mcs_resilience.Budget.t ->
     Cdfg.t -> Constraints.t -> rate:int -> max_buses:int -> subs:int ->
     bool option
   (** [None] when the solver budget runs out. *)

@@ -20,13 +20,15 @@ type t = {
   conn : Connection.t;
   rate : int;
   dynamic : bool;
+  budget : Mcs_resilience.Budget.t;
   alloc : (int * int, entry) Hashtbl.t; (* (bus, group) -> committed slot *)
   tentative : (Types.op_id, int) Hashtbl.t; (* unscheduled ops only *)
   committed : (Types.op_id, int) Hashtbl.t;
   mutable pending : plan option;
 }
 
-let create cdfg conn ~rate ~initial ~dynamic =
+let create ?(budget = Mcs_resilience.Budget.unlimited) cdfg conn ~rate ~initial
+    ~dynamic =
   let tentative = Hashtbl.create 64 in
   List.iter (fun (op, h) -> Hashtbl.replace tentative op h) initial;
   List.iter
@@ -39,6 +41,7 @@ let create cdfg conn ~rate ~initial ~dynamic =
     conn;
     rate;
     dynamic;
+    budget;
     alloc = Hashtbl.create 64;
     tentative;
     committed = Hashtbl.create 64;
@@ -150,7 +153,9 @@ let repack t ~except ~consumed_bus =
           end
       | _ -> ())
     demands;
-  let size = Mcs_graph.Bipartite.max_matching bip in
+  (* Exhaustion propagates out of the io_hook; List_sched.run converts it
+     into a typed [Exhausted] failure. *)
+  let size = Mcs_graph.Bipartite.max_matching ~budget:t.budget bip in
   if size < Array.length demands then begin
     M.incr m_repack_failures;
     None

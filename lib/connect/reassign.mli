@@ -13,6 +13,7 @@ open Mcs_cdfg
 type t
 
 val create :
+  ?budget:Mcs_resilience.Budget.t ->
   Cdfg.t ->
   Connection.t ->
   rate:int ->
@@ -20,7 +21,10 @@ val create :
   dynamic:bool ->
   t
 (** [dynamic:false] reproduces the paper's static-assignment baseline: an
-    I/O operation may only ever use the bus it was initially assigned. *)
+    I/O operation may only ever use the bus it was initially assigned.
+    [budget] bounds the repacking matchings; exhaustion raises
+    {!Mcs_resilience.Budget.Out_of_budget} out of the {!hook}, which
+    [List_sched.run] converts into a typed failure. *)
 
 val hook : t -> Mcs_sched.List_sched.io_hook
 

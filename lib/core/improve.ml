@@ -41,7 +41,7 @@ let pre_connect cdfg mlib cons ~rate ~mode ?(trials = 12) () =
   in
   let try_cap slot_cap =
     match H.search cdfg cons ~rate ~mode ~slot_cap () with
-    | Error m -> if !first_err = "" then first_err := m
+    | Error e -> if !first_err = "" then first_err := H.error_message e
     | Ok res ->
         let pins = Mcs_connect.Pins.of_connection res.H.conn in
         let static_pipe_length = ref None in

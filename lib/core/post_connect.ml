@@ -31,29 +31,33 @@ let super_weight cdfg ~mode s1 s2 =
       List.fold_left (fun acc w2 -> acc + weight cdfg ~mode w1 w2) acc s2)
     0 s1
 
-let cliques sched ~mode =
+(* The per-group supernodes, before any merging: each is a valid clique on
+   its own (same value in the same control step, or a singleton). *)
+let supernode_groups sched =
   let cdfg = Sched.cdfg sched in
   let rate = Sched.rate sched in
+  List.filter_map
+    (fun k ->
+      let members =
+        List.filter (fun w -> Sched.group sched w = k) (Cdfg.io_ops cdfg)
+      in
+      if members = [] then None
+      else
+        Some
+          (List.map snd
+             (Mcs_util.Listx.group_by
+                (fun w -> (Cdfg.io_value cdfg w, Sched.cstep sched w))
+                members)))
+    (Mcs_util.Listx.range 0 rate)
+
+let cliques_trivial sched = List.concat (supernode_groups sched)
+
+let cliques ?budget sched ~mode =
+  let cdfg = Sched.cdfg sched in
   (* Group G_k per control-step group; inside a group, operations
      transferring the same value in the same control step form one
      supernode (they can share a slot), everything else is singleton. *)
-  let groups =
-    List.filter_map
-      (fun k ->
-        let members =
-          List.filter
-            (fun w -> Sched.group sched w = k)
-            (Cdfg.io_ops cdfg)
-        in
-        if members = [] then None
-        else
-          Some
-            (List.map snd
-               (Mcs_util.Listx.group_by
-                  (fun w -> (Cdfg.io_value cdfg w, Sched.cstep sched w))
-                  members)))
-      (Mcs_util.Listx.range 0 rate)
-  in
+  let groups = supernode_groups sched in
   (* Largest group first; repeatedly merge the head group with the next by
      maximum-weight bipartite matching. *)
   let sorted =
@@ -65,9 +69,10 @@ let cliques sched ~mode =
       let merge acc g =
         let a = Array.of_list acc and b = Array.of_list g in
         let pairs =
-          Mcs_graph.Hungarian.max_weight_matching ~n_left:(Array.length a)
-            ~n_right:(Array.length b)
+          Mcs_graph.Hungarian.max_weight_matching ?budget
+            ~n_left:(Array.length a) ~n_right:(Array.length b)
             ~weight:(fun i j -> Some (super_weight cdfg ~mode a.(i) b.(j)))
+            ()
         in
         let matched_right = List.map snd pairs in
         let a' =
@@ -103,7 +108,7 @@ let run cdfg mlib ~rate ~pipe_length ~mode () =
     Mcs_obs.Trace.with_span "ch5.fds" (fun () ->
         Mcs_sched.Fds.run cdfg mlib ~rate ~pipe_length ())
   with
-  | Error m -> Error m
+  | Error e -> Error (Mcs_sched.Fds.error_message cdfg e)
   | Ok schedule ->
       let cls =
         Mcs_obs.Trace.with_span "ch5.clique_partition" (fun () ->

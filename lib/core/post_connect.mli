@@ -27,9 +27,19 @@ val weight :
     endpoint.  In bidirectional mode endpoints compare as unordered sets. *)
 
 val cliques :
+  ?budget:Mcs_resilience.Budget.t ->
   Mcs_sched.Schedule.t -> mode:Mcs_connect.Connection.mode ->
   Types.op_id list list
-(** The clique partitioning of the scheduled I/O operations. *)
+(** The clique partitioning of the scheduled I/O operations.  [budget]
+    bounds the Hungarian merge passes; exhaustion (and the
+    [exhaust-hungarian] fault) raises
+    {!Mcs_resilience.Budget.Out_of_budget}. *)
+
+val cliques_trivial : Mcs_sched.Schedule.t -> Types.op_id list list
+(** The unmerged supernodes (same value in the same control step, else
+    singleton) — every one a valid clique, no Hungarian passes.  The
+    degraded fallback when {!cliques} runs out of budget: more buses and
+    pins, but always available in linear time. *)
 
 val connection_of_cliques :
   Cdfg.t ->

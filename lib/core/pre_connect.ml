@@ -21,7 +21,7 @@ let attempt cdfg mlib cons ~rate ~mode ~branching ~slot_cap =
       ~attrs:[ ("slot_cap", string_of_int slot_cap) ]
       (fun () -> H.search cdfg cons ~rate ~mode ~slot_cap ~branching ())
   with
-  | Error m -> Error m
+  | Error e -> Error (H.error_message e)
   | Ok res -> (
       let dyn = R.create cdfg res.H.conn ~rate ~initial:res.H.assign ~dynamic:true in
       match

@@ -218,9 +218,9 @@ module Pin_ilp = struct
       fixed_merged;
     m
 
-  let feasible ?(method_ = `Branch_bound) cdfg cons ~rate ~fixed =
+  let feasible ?budget ?(method_ = `Branch_bound) cdfg cons ~rate ~fixed =
     let m = model cdfg cons ~rate ~fixed in
-    match Model.solve ~method_ m with
+    match Model.solve ?budget ~method_ m with
     | Model.Optimal _ -> true
     (* A feasibility model with an integer point in hand is feasible even
        when the node budget ran out before proving it optimal. *)
@@ -228,14 +228,21 @@ module Pin_ilp = struct
     | Model.Infeasible -> false
     | Model.Unbounded -> true
     | Model.Unknown -> false
+    | Model.Exhausted e ->
+        (* Unlike [Unknown] (the solver's own node cap, where postponing
+           the operation is safe and convergence is still plausible), an
+           exhausted caller budget means the whole schedule attempt is out
+           of time: propagate so [List_sched.run] fails typed and the
+           flow's degradation ladder can take over. *)
+        raise (Mcs_resilience.Budget.Out_of_budget e)
 end
 
-let hook ?method_ cdfg cons ~rate =
+let hook ?budget ?method_ cdfg cons ~rate =
   let committed = ref [] in
   let io_can sched op ~cstep =
     ignore sched;
     let k = cstep mod rate in
-    Pin_ilp.feasible ?method_ cdfg cons ~rate
+    Pin_ilp.feasible ?budget ?method_ cdfg cons ~rate
       ~fixed:((op, k) :: !committed)
   in
   let io_commit sched op ~cstep =

@@ -27,17 +27,22 @@ module Pin_ilp : sig
       pins already-scheduled I/O operations to their control-step groups. *)
 
   val feasible :
+    ?budget:Mcs_resilience.Budget.t ->
     ?method_:[ `Branch_bound | `Gomory ] ->
     Cdfg.t -> Constraints.t -> rate:int ->
     fixed:(Types.op_id * int) list -> bool
   (** Decides the model; [`Gomory] is the dissertation's §3.3 cutting-plane
-      route, [`Branch_bound] (default) the exact reference.  A budget
-      exhaustion that already found an integer point counts as feasible; a
-      genuinely undecided exhaustion is treated as infeasible (safe for
-      the scheduler: the operation is merely postponed). *)
+      route, [`Branch_bound] (default) the exact reference.  A solver node
+      limit that already found an integer point counts as feasible; a
+      genuinely undecided node limit is treated as infeasible (safe for
+      the scheduler: the operation is merely postponed).  Exhaustion of an
+      explicit [budget] (or the [exhaust-ilp] fault), by contrast, raises
+      {!Mcs_resilience.Budget.Out_of_budget} — the schedule attempt is out
+      of time and the caller's degradation ladder decides what's next. *)
 end
 
 val hook :
+  ?budget:Mcs_resilience.Budget.t ->
   ?method_:[ `Branch_bound | `Gomory ] ->
   Cdfg.t -> Constraints.t -> rate:int -> Mcs_sched.List_sched.io_hook
 (** The safety checker of Fig. 3.4: before an I/O operation is scheduled in

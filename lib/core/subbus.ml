@@ -4,6 +4,8 @@ module R = Mcs_connect.Reassign
 module LS = Mcs_sched.List_sched
 module M = Mcs_obs.Metrics
 module Log = Mcs_obs.Log
+module Budget = Mcs_resilience.Budget
+module Fault = Mcs_resilience.Fault
 
 let m_attempts = M.counter "subbus.attempts"
 let m_search_nodes = M.counter "subbus.search_nodes"
@@ -57,7 +59,10 @@ let slice_load cdfg b slice =
   | Lo | Hi -> half_load cdfg b slice
   | Whole -> max (half_load cdfg b Lo) (half_load cdfg b Hi)
 
-let search cdfg cons ~rate ?slot_cap () =
+let search ?(budget = Budget.unlimited) cdfg cons ~rate ?slot_cap () =
+  (match Fault.exhaust_heuristic () with
+  | Some e -> raise (Budget.Out_of_budget e)
+  | None -> ());
   let slot_cap = Option.value ~default:rate slot_cap in
   (* The cap spreads load during the constructive phase; compaction packs
      up to the physical limit (the initiation rate). *)
@@ -65,7 +70,7 @@ let search cdfg cons ~rate ?slot_cap () =
   let n = Cdfg.n_partitions cdfg in
   let buses : sbus list ref = ref [] in
   let pins_used = Array.make (n + 1) 0 in
-  let budget p = Constraints.pins cons p in
+  let pin_cap p = Constraints.pins cons p in
   let ops =
     List.sort
       (fun a b ->
@@ -105,8 +110,8 @@ let search cdfg cons ~rate ?slot_cap () =
       || slice_load cdfg b slice < !cap_limit
     in
     slice_ok && cap_ok
-    && pins_used.(src) + ds <= budget src
-    && pins_used.(dst) + dd <= budget dst
+    && pins_used.(src) + ds <= pin_cap src
+    && pins_used.(dst) + dd <= pin_cap dst
   in
   let commit b op slice =
     let ds, dd = extra b op slice in
@@ -181,7 +186,7 @@ let search cdfg cons ~rate ?slot_cap () =
             in
             widest + fresh_cost (burn !cap_limit rem)
       in
-      pins_used.(p) + fresh_cost leftovers <= budget p
+      pins_used.(p) + fresh_cost leftovers <= pin_cap p
     in
     List.for_all ok (Mcs_util.Listx.range 0 (n + 1))
   in
@@ -197,6 +202,7 @@ let search cdfg cons ~rate ?slot_cap () =
     | op :: rest ->
         incr nodes;
         M.incr m_search_nodes;
+        Budget.spend_node budget;
         if !nodes > max_nodes then false
         else begin
           let width = Cdfg.io_width cdfg op in
@@ -328,8 +334,8 @@ let search cdfg cons ~rate ?slot_cap () =
           ||
           (* Fresh bus of exactly this operation's width. *)
           (!allow_fresh
-          && pins_used.(src) + width <= budget src
-          && pins_used.(dst) + width <= budget dst
+          && pins_used.(src) + width <= pin_cap src
+          && pins_used.(dst) + width <= pin_cap dst
           &&
           let b =
             {
@@ -478,6 +484,7 @@ type sched_state = {
   halves : (int * sub * int, entry) Hashtbl.t;
   ss_tentative : (Types.op_id, int * sub) Hashtbl.t;
   ss_committed : (Types.op_id, int * sub) Hashtbl.t;
+  ss_budget : Budget.t;
 }
 
 let slices_of (rb : real_bus) =
@@ -578,9 +585,10 @@ let sub_repack st cdfg ~rate ~except ~slot:(si, sslice) ~cstep unscheduled =
             Mcs_graph.Bipartite.add_edge bip ~left:l ~right:r)
         units)
     demands;
-  Mcs_graph.Bipartite.max_matching bip = Array.length demands
+  Mcs_graph.Bipartite.max_matching ~budget:st.ss_budget bip
+  = Array.length demands
 
-let subbus_hook cdfg ~rate real assignment =
+let subbus_hook ?(budget = Budget.unlimited) cdfg ~rate real assignment =
   let st =
     {
       ss_real = Array.of_list real;
@@ -588,6 +596,7 @@ let subbus_hook cdfg ~rate real assignment =
       halves = Hashtbl.create 64;
       ss_tentative = Hashtbl.create 64;
       ss_committed = Hashtbl.create 64;
+      ss_budget = budget;
     }
   in
   List.iter
@@ -668,8 +677,9 @@ let allocation_of st =
     st.halves;
   List.sort compare !rows
 
-let schedule_over cdfg mlib cons ~rate ~dynamic (real, assignment) =
-  let st, hook = subbus_hook cdfg ~rate real assignment in
+let schedule_over ?(budget = Budget.unlimited) cdfg mlib cons ~rate ~dynamic
+    (real, assignment) =
+  let st, hook = subbus_hook ~budget cdfg ~rate real assignment in
   let hook =
         if dynamic then hook
         else
@@ -716,18 +726,24 @@ let schedule_over cdfg mlib cons ~rate ~dynamic (real, assignment) =
       in
       match
         Mcs_obs.Trace.with_span "ch6.schedule" (fun () ->
-            LS.run cdfg mlib cons ~rate ~io_hook:hook ())
+            LS.run ~budget cdfg mlib cons ~rate ~io_hook:hook ())
       with
-      | Error f ->
-          if Log.enabled Log.Debug then
-            List.iter
-              (fun op ->
-                if not (Mcs_sched.Schedule.is_scheduled f.LS.partial op) then
-                  Log.debug "[subbus] unscheduled: %s" (Cdfg.name cdfg op))
-              (Cdfg.ops cdfg);
-          Error
-            (Printf.sprintf "scheduling failed at cstep %d: %s" f.LS.at_cstep
-               f.LS.reason)
+      | Error f -> (
+          match f.LS.kind with
+          | LS.Exhausted e ->
+              (* Budget exhaustion is not a property of this bus structure:
+                 surface it typed so the caller's ladder stops the sweep. *)
+              raise (Budget.Out_of_budget e)
+          | _ ->
+              if Log.enabled Log.Debug then
+                List.iter
+                  (fun op ->
+                    if not (Mcs_sched.Schedule.is_scheduled f.LS.partial op)
+                    then Log.debug "[subbus] unscheduled: %s" (Cdfg.name cdfg op))
+                  (Cdfg.ops cdfg);
+              Error
+                (Printf.sprintf "scheduling failed at cstep %d: %s"
+                   f.LS.at_cstep f.LS.reason))
       | Ok schedule ->
           let pins =
             Mcs_connect.Pins.tally ~n_partitions:(Cdfg.n_partitions cdfg)
@@ -748,26 +764,27 @@ let schedule_over cdfg mlib cons ~rate ~dynamic (real, assignment) =
               static_pipe_length = None;
             }
 
-let attempt cdfg mlib cons ~rate ~slot_cap ~dynamic =
+let attempt ?(budget = Budget.unlimited) cdfg mlib cons ~rate ~slot_cap
+    ~dynamic =
   M.incr m_attempts;
   match
     Mcs_obs.Trace.with_span "ch6.search"
       ~attrs:[ ("slot_cap", string_of_int slot_cap) ]
-      (fun () -> search cdfg cons ~rate ~slot_cap ())
+      (fun () -> search ~budget cdfg cons ~rate ~slot_cap ())
   with
   | Error m -> Error m
-  | Ok ra -> schedule_over cdfg mlib cons ~rate ~dynamic ra
+  | Ok ra -> schedule_over ~budget cdfg mlib cons ~rate ~dynamic ra
 
 let total_pins t = Mcs_util.Listx.sum snd t.pins
 
 (* Pin minimization is Chapter 6's whole point, so sweep the per-bus value
    cap over its range and keep the schedulable result with fewest pins
    (shorter pipe breaks ties). *)
-let run cdfg mlib cons ~rate () =
+let run ?(budget = Budget.unlimited) cdfg mlib cons ~rate () =
   let results =
     List.filter_map
       (fun cap ->
-        match attempt cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:true with
+        match attempt ~budget cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:true with
         | Ok t ->
             Log.debug "[subbus] cap=%d: pins=%d pipe=%d splits=%d" cap
               (total_pins t)
@@ -776,7 +793,8 @@ let run cdfg mlib cons ~rate () =
                  (List.filter (fun b -> b.split_at <> None) t.real_buses));
             let static_pipe_length =
               match
-                attempt cdfg mlib cons ~rate ~slot_cap:cap ~dynamic:false
+                attempt ~budget cdfg mlib cons ~rate ~slot_cap:cap
+                  ~dynamic:false
               with
               | Ok t' -> Some (Mcs_sched.Schedule.pipe_length t'.schedule)
               | Error _ -> None

@@ -36,6 +36,7 @@ type t = {
 }
 
 val search :
+  ?budget:Mcs_resilience.Budget.t ->
   Cdfg.t ->
   Constraints.t ->
   rate:int ->
@@ -43,9 +44,13 @@ val search :
   unit ->
   (real_bus list * (Types.op_id * (int * sub)) list, string) result
 (** Connection synthesis alone: buses (with splits) plus the tentative
-    assignment of each I/O operation to (bus, slice). *)
+    assignment of each I/O operation to (bus, slice).  [budget] bounds the
+    backtracking search; exhaustion (and the [exhaust-heuristic] fault)
+    raises {!Mcs_resilience.Budget.Out_of_budget} so the caller's
+    degradation ladder can take over. *)
 
 val schedule_over :
+  ?budget:Mcs_resilience.Budget.t ->
   Cdfg.t ->
   Module_lib.t ->
   Constraints.t ->
@@ -58,9 +63,12 @@ val schedule_over :
     [dynamic], the initially assigned slice only otherwise — and returns
     the full flow record ([static_pipe_length] left [None]).  Lets a pass
     manager run connection synthesis and scheduling as separate phases
-    without re-searching. *)
+    without re-searching.  [budget] exhaustion inside the scheduler raises
+    {!Mcs_resilience.Budget.Out_of_budget} (it is not a property of this
+    bus structure); other scheduling failures return [Error]. *)
 
 val attempt :
+  ?budget:Mcs_resilience.Budget.t ->
   Cdfg.t ->
   Module_lib.t ->
   Constraints.t ->
@@ -71,6 +79,7 @@ val attempt :
 (** {!search} at one slot cap followed by {!schedule_over}. *)
 
 val run :
+  ?budget:Mcs_resilience.Budget.t ->
   Cdfg.t ->
   Module_lib.t ->
   Constraints.t ->

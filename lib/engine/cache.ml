@@ -3,6 +3,7 @@ let code_version = "mcs-engine/2"
 let hits = Mcs_obs.Metrics.counter "engine.cache.hits"
 let misses = Mcs_obs.Metrics.counter "engine.cache.misses"
 let stale = Mcs_obs.Metrics.counter "engine.cache.stale"
+let quarantined = Mcs_obs.Metrics.counter "engine.cache.quarantined"
 
 type t = { dir : string; version : string }
 
@@ -57,23 +58,38 @@ let lookup t job =
           Mcs_obs.Metrics.incr hits;
           Some outcome
       | None ->
+          (* Corrupt or stale: move the entry aside instead of re-reading
+             (and re-rejecting) it on every lookup.  The quarantined file
+             keeps the evidence for a post-mortem. *)
           Mcs_obs.Metrics.incr stale;
+          let path = entry_path t job in
+          (try
+             Sys.rename path (path ^ ".bad");
+             Mcs_obs.Metrics.incr quarantined
+           with Sys_error _ | Unix.Unix_error _ -> ());
           None)
 
 let store t job (o : Outcome.t) =
   match o.Outcome.status with
   | Outcome.Crashed _ | Outcome.Timed_out -> ()
-  | Outcome.Feasible | Outcome.Infeasible _ ->
+  | Outcome.Feasible | Outcome.Infeasible _ -> (
       let path = entry_path t job in
       let tmp =
         Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
       in
-      let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc (key t job);
-          output_char oc '\n';
-          output_string oc (Outcome.to_string o);
-          output_char oc '\n');
-      Sys.rename tmp path
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (key t job);
+            output_char oc '\n';
+            if Mcs_resilience.Fault.corrupt_cache () then
+              output_string oc "\x00corrupt\x00"
+            else output_string oc (Outcome.to_string o);
+            output_char oc '\n');
+        Sys.rename tmp path
+      with Sys_error _ | Unix.Unix_error _ ->
+        (* A failed store must not leave a half-written temp file around
+           (and must not take the sweep down with it). *)
+        (try Sys.remove tmp with Sys_error _ -> ()))

@@ -7,13 +7,16 @@
     the version and the full job encoding in cleartext and is verified
     on every read: an entry whose header disagrees with the key that
     addressed it, or whose body fails to parse, counts as {e stale} and
-    is treated as a miss.
+    is treated as a miss — and is {e quarantined}: renamed to
+    [<hash>.mcs.bad] so it is never re-read, with the evidence kept on
+    disk.
 
     Only settled outcomes ([Feasible] / [Infeasible]) are stored —
     crashes and timeouts depend on the machine, not on the job.
 
     Counters in {!Mcs_obs.Metrics}: [engine.cache.hits],
-    [engine.cache.misses], [engine.cache.stale]. *)
+    [engine.cache.misses], [engine.cache.stale],
+    [engine.cache.quarantined]. *)
 
 type t
 
@@ -37,4 +40,7 @@ val entry_path : t -> Job.t -> string
 val lookup : t -> Job.t -> Outcome.t option
 val store : t -> Job.t -> Outcome.t -> unit
 (** Atomic (write-to-temp, rename).  Ignores crashed / timed-out
-    outcomes. *)
+    outcomes.  A write error removes the temp file and is swallowed: a
+    full disk degrades the cache, never the sweep.  The [corrupt-cache]
+    fault ({!Mcs_resilience.Fault}) writes a garbage body instead, so
+    tests can exercise the quarantine path end to end. *)

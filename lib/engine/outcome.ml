@@ -15,6 +15,7 @@ type t = {
   pipe_length : int;
   fu_count : int;
   check : check option;
+  degraded : string list;
 }
 
 let pins_total o = Mcs_util.Listx.sum snd o.pins
@@ -64,10 +65,13 @@ let to_json o =
         ("pipe_length", J.Int o.pipe_length);
         ("fu_count", J.Int o.fu_count);
       ]
+    @ (match o.check with
+      | None -> []
+      | Some c -> [ ("check", J.Str (check_label c)) ])
     @
-    match o.check with
-    | None -> []
-    | Some c -> [ ("check", J.Str (check_label c)) ])
+    match o.degraded with
+    | [] -> []
+    | steps -> [ ("degraded", J.Arr (List.map (fun m -> J.Str m) steps)) ])
 
 let ( let* ) = Result.bind
 let field name conv j =
@@ -111,7 +115,13 @@ let of_json j =
     | None -> Ok None
     | Some s -> Result.map Option.some (check_of_label s)
   in
-  Ok { job; status; pins; pipe_length; fu_count; check }
+  let degraded =
+    (* absent = full quality (and every pre-resilience entry) *)
+    match Option.bind (J.member "degraded" j) J.to_list with
+    | None -> []
+    | Some l -> List.filter_map J.to_str l
+  in
+  Ok { job; status; pins; pipe_length; fu_count; check; degraded }
 
 let to_string o = J.to_string (to_json o)
 

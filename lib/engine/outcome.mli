@@ -33,6 +33,11 @@ type t = {
   check : check option;
       (** [None] when the job ran with checking off ([MCS_CHECK] unset);
           cached in [mcs-dse/1] reports like every other field *)
+  degraded : string list;
+      (** the flow's degradation-ladder steps ({!Mcs_flow.Flow.result}
+          [degraded]); empty for a full-quality result.  Serialized only
+          when nonempty, and absent parses as empty, so pre-resilience
+          cache entries and reports stay valid *)
 }
 
 val pins_total : t -> int

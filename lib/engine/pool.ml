@@ -7,15 +7,49 @@ let c_jobs = M.counter "engine.pool.jobs"
 let c_forks = M.counter "engine.pool.forks"
 let c_crashes = M.counter "engine.pool.crashes"
 let c_timeouts = M.counter "engine.pool.timeouts"
+let c_retries = M.counter "engine.pool.retries"
 let c_executed = M.counter "engine.jobs.executed"
 
 (* ---- in-process execution ---- *)
 
-let feasible job ~pins ~pipe_length ~fu_count ~check =
-  { Outcome.job; status = Outcome.Feasible; pins; pipe_length; fu_count; check }
+let feasible job ~pins ~pipe_length ~fu_count ~check ~degraded =
+  {
+    Outcome.job;
+    status = Outcome.Feasible;
+    pins;
+    pipe_length;
+    fu_count;
+    check;
+    degraded;
+  }
 
 let settled job status =
-  { Outcome.job; status; pins = []; pipe_length = 0; fu_count = 0; check = None }
+  {
+    Outcome.job;
+    status;
+    pins = [];
+    pipe_length = 0;
+    fu_count = 0;
+    check = None;
+    degraded = [];
+  }
+
+(* Workers are forked, so the only channel for a per-job budget is the
+   environment: MCS_DEADLINE_MS (wall milliseconds) makes every solver in
+   the flow share one deadline, with the degradation ladder behind it.
+   Unset, empty or unparsable means unlimited — a budget mishap must
+   never change what a job computes. *)
+let policy_of_env () =
+  match Sys.getenv_opt "MCS_DEADLINE_MS" with
+  | None -> F.default_policy
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some ms when ms > 0. ->
+          {
+            F.default_policy with
+            F.budget = Mcs_resilience.Budget.make ~deadline_ms:ms ();
+          }
+      | Some _ | None -> F.default_policy)
 
 (* Every job routes through the unified flow API; the checker level comes
    from MCS_CHECK (inherited by forked workers, so a sweep's verdicts are
@@ -39,7 +73,7 @@ let exec (job : Job.t) =
           ~rate:job.Job.rate
       in
       let level = Mcs_check.level_of_env () in
-      match Mcs_check.run ~level flow spec with
+      match Mcs_check.run ~level ~policy:(policy_of_env ()) flow spec with
       | Error dg -> settled job (Outcome.Infeasible (Diag.message dg))
       | Ok r ->
           let check =
@@ -50,7 +84,7 @@ let exec (job : Job.t) =
                 Some (if n = 0 then Outcome.Clean else Outcome.Violations n)
           in
           feasible job ~pins:r.F.pins ~pipe_length:r.F.pipe_length
-            ~fu_count:(F.fus_total r) ~check)
+            ~fu_count:(F.fus_total r) ~check ~degraded:r.F.degraded)
 
 let exec job =
   try exec job with
@@ -91,7 +125,7 @@ let status_msg = function
   | Unix.WSIGNALED s -> Printf.sprintf "worker killed by signal %d" s
   | Unix.WSTOPPED s -> Printf.sprintf "worker stopped by signal %d" s
 
-let spawn worker job idx ~timeout =
+let spawn ?(crash = false) worker job idx ~timeout =
   (* Duplicated channel buffers in the child would replay the parent's
      pending output; the child talks only through its pipe. *)
   flush stdout;
@@ -103,6 +137,7 @@ let spawn worker job idx ~timeout =
   match Unix.fork () with
   | 0 ->
       Unix.close r;
+      if crash then Unix._exit 3;
       (match worker job with
       | o ->
           (try write_all w (Outcome.to_string o) with _ -> ());
@@ -120,7 +155,7 @@ let spawn worker job idx ~timeout =
           Option.map (fun t -> Unix.gettimeofday () +. t) timeout;
       }
 
-let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) joblist =
+let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) ?(retry = false) joblist =
   let slots = max 1 jobs in
   let joblist = Array.of_list joblist in
   let n = Array.length joblist in
@@ -136,9 +171,11 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) joblist =
           | Some o -> results.(i) <- Some o
           | None -> ())
         joblist);
-  let pending =
-    ref (List.filter (fun i -> results.(i) = None) (Mcs_util.Listx.range 0 n))
-  in
+  (* The crash-worker:N fault kills the first N forked workers on entry;
+     with [retry] the pool then demonstrates recovery. *)
+  let crashes_left = ref (Mcs_resilience.Fault.crash_workers ()) in
+  let drain indices =
+  let pending = ref indices in
   let running = ref [] in
   let finish wk outcome =
     running := List.filter (fun w -> w.pid <> wk.pid) !running;
@@ -150,7 +187,9 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) joblist =
     while !pending <> [] && List.length !running < slots do
       let idx = List.hd !pending in
       pending := List.tl !pending;
-      running := spawn worker joblist.(idx) idx ~timeout :: !running
+      let crash = !crashes_left > 0 in
+      if crash then decr crashes_left;
+      running := spawn ~crash worker joblist.(idx) idx ~timeout :: !running
     done;
     (* Expiry first, and unconditionally: a worker past its deadline is
        reported [Timed_out] even if its reply has already arrived, so a
@@ -206,7 +245,42 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) joblist =
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
         readable
     end
-  done;
+  done
+  in
+  drain (List.filter (fun i -> results.(i) = None) (Mcs_util.Listx.range 0 n));
+  (if retry then
+     let failed =
+       List.filter
+         (fun i ->
+           match results.(i) with
+           | Some { Outcome.status = Outcome.Crashed _ | Outcome.Timed_out; _ }
+             ->
+               true
+           | _ -> false)
+         (Mcs_util.Listx.range 0 n)
+     in
+     if failed <> [] then begin
+       M.incr c_retries ~n:(List.length failed);
+       (* One retry, in degraded mode: half the deadline (or half the pool
+          timeout when no deadline was set) so the flows' ladders have
+          room to land inside the original allowance. *)
+       let prev = Sys.getenv_opt "MCS_DEADLINE_MS" in
+       let halved =
+         match Option.bind prev float_of_string_opt with
+         | Some ms when ms > 0. -> Some (ms /. 2.)
+         | Some _ | None -> Option.map (fun t -> t *. 1000. /. 2.) timeout
+       in
+       (match halved with
+       | Some ms -> Unix.putenv "MCS_DEADLINE_MS" (Printf.sprintf "%.0f" ms)
+       | None -> ());
+       Fun.protect
+         ~finally:(fun () ->
+           match prev with
+           | Some v -> Unix.putenv "MCS_DEADLINE_MS" v
+           | None ->
+               if halved <> None then Unix.putenv "MCS_DEADLINE_MS" "")
+         (fun () -> drain failed)
+     end);
   (match cache with
   | None -> ()
   | Some c ->

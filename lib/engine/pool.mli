@@ -33,9 +33,17 @@ val run :
   ?timeout:float ->
   ?cache:Cache.t ->
   ?worker:(Job.t -> Outcome.t) ->
+  ?retry:bool ->
   Job.t list ->
   Outcome.t list
 (** [run ~jobs:n js] keeps at most [n] (default 1, floored at 1) workers
     in flight.  [timeout] is per job, in seconds.  [worker] (default
     {!exec}) is what each child runs — overridable so tests can simulate
-    worker death. *)
+    worker death.
+
+    [retry] (default [false], so fork and cache counts stay exactly
+    reproducible) re-runs each [Crashed]/[Timed_out] job once in degraded
+    mode: the worker's [MCS_DEADLINE_MS] budget — or, absent one, the
+    pool [timeout] — is halved for the retry, so the flows' degradation
+    ladders get a real chance to land a (degraded) result inside the
+    original allowance.  Counter: [engine.pool.retries]. *)

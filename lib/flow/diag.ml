@@ -16,6 +16,8 @@ type code =
   | Subbus_misfit
   | Clique_invalid
   | Result_mismatch
+  | Exhausted
+  | Degraded
   | Internal
 
 type t = {
@@ -63,6 +65,8 @@ let code_to_string = function
   | Subbus_misfit -> "subbus-misfit"
   | Clique_invalid -> "clique-invalid"
   | Result_mismatch -> "result-mismatch"
+  | Exhausted -> "exhausted"
+  | Degraded -> "degraded"
   | Internal -> "internal"
 
 let message d =

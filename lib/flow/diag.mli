@@ -25,6 +25,8 @@ type code =
   | Subbus_misfit  (** a transfer does not fit its sub-bus slice *)
   | Clique_invalid  (** incompatible operations share a clique *)
   | Result_mismatch  (** a result field disagrees with its artifacts *)
+  | Exhausted  (** a solver ran out of its {!Mcs_resilience.Budget} *)
+  | Degraded  (** a degradation-ladder step was taken (severity Warning) *)
   | Internal  (** an invariant failure folded into a diagnostic *)
 
 type t = {

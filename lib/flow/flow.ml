@@ -6,6 +6,7 @@ module LS = Mcs_sched.List_sched
 module Sched = Mcs_sched.Schedule
 module SP = Mcs_core.Simple_part
 module SB = Mcs_core.Subbus
+module Budget = Mcs_resilience.Budget
 
 type name = Ch3 | Ch4 | Ch5 | Ch6
 
@@ -57,6 +58,15 @@ let spec_of_design ?pipe_length ?mode ~flow (d : Benchmarks.design) ~rate =
     mode;
   }
 
+type policy = {
+  budget : Budget.t;
+  fallback : bool;
+  exact_first : bool;
+}
+
+let default_policy =
+  { budget = Budget.unlimited; fallback = true; exact_first = false }
+
 type result = {
   flow : name;
   tag : string;
@@ -70,6 +80,7 @@ type result = {
   static_pipe_length : int option;
   attempts : int;
   diags : Diag.t list;
+  degraded : string list;
 }
 
 let pins_of ~n_partitions (c : Artifact.connection) =
@@ -98,6 +109,7 @@ let fus_of_constraints cdfg mlib cons =
 let pins_total r = Mcs_util.Listx.sum snd r.pins
 let fus_total r = Mcs_util.Listx.sum snd r.fus
 let clean r = not (List.exists Diag.is_error r.diags)
+let is_degraded r = r.degraded <> []
 
 let ( let* ) = Result.bind
 
@@ -116,11 +128,76 @@ let assemble ~flow (s : spec) ~schedule ~connection ~fus ~static_pipe_length =
     attempts = 0;
     (* filled in by [run] *)
     diags = [];
+    degraded = [];
   }
+
+let diag_of_ls_failure ~phase (f : LS.failure) =
+  let code =
+    match f.LS.kind with
+    | LS.Exhausted _ -> Diag.Exhausted
+    | LS.Horizon _ | LS.Deadline_missed _ | LS.Missing_fu _ ->
+        Diag.Unschedulable
+  in
+  Diag.error ~code ~phase
+    ~csteps:[ f.LS.at_cstep ]
+    "scheduling failed at control step %d: %s" f.LS.at_cstep f.LS.reason
+
+let is_exhausted (d : Diag.t) = d.Diag.code = Diag.Exhausted
+
+(* The terminal rung shared by the resource-constrained flows: schedule
+   without any communication hook (functional units and recursions only,
+   which list scheduling handles in polynomial time), then give every
+   transfer dedicated wires by the constructive proof of Theorem 3.1 and
+   verify the result — conflict freedom by replay, pin usage against the
+   budgets (the hook normally guarantees the latter; here nothing does). *)
+let dedicated_bus_fallback pass ~flow (s : spec) =
+  let fp = name_to_string flow in
+  Pass.attempt pass;
+  let* schedule =
+    Pass.phase pass "schedule-fallback"
+      ~artifact:(fun sch -> Artifact.Schedule sch)
+      (fun () ->
+        match LS.run s.cdfg s.mlib s.cons ~rate:s.rate () with
+        | Ok sch -> Ok sch
+        | Error f -> Error (diag_of_ls_failure ~phase:(fp ^ ".schedule-fallback") f))
+  in
+  let* links =
+    Pass.phase pass "connect-fallback"
+      ~artifact:(fun links -> Artifact.Connection (Artifact.Bundles links))
+      (fun () ->
+        let phase = fp ^ ".connect-fallback" in
+        let links = SP.Theorem31.connect schedule in
+        match SP.Theorem31.check schedule links with
+        | Error m ->
+            Error
+              (Diag.error ~code:Diag.Connection_conflict ~phase
+                 "Theorem 3.1 connection check failed: %s" m)
+        | Ok () -> (
+            let used =
+              pins_of ~n_partitions:(Cdfg.n_partitions s.cdfg)
+                (Artifact.Bundles links)
+            in
+            match
+              List.filter (fun (p, n) -> n > Constraints.pins s.cons p) used
+            with
+            | [] -> Ok links
+            | over ->
+                Error
+                  (Diag.error ~code:Diag.Pin_budget_overflow ~phase
+                     ~partitions:(List.map fst over)
+                     "dedicated-bus fallback needs more pins than budgeted \
+                      on partition(s) %s"
+                     (String.concat ", "
+                        (List.map (fun (p, _) -> string_of_int p) over)))))
+  in
+  Ok
+    (assemble ~flow s ~schedule ~connection:(Artifact.Bundles links)
+       ~fus:(fus_of_constraints s.cdfg s.mlib s.cons)
+       ~static_pipe_length:None)
 
 (* ---- Chapter 3: simple partitioning ---- *)
 
-let run_ch3 pass (s : spec) =
+let run_ch3 pass policy (s : spec) =
   Pass.attempt pass;
   let* () =
     Pass.phase pass "validate" (fun () ->
@@ -131,40 +208,148 @@ let run_ch3 pass (s : spec) =
               (Diag.error ~code:Diag.Invalid_input ~phase:"ch3.validate"
                  "partitioning is not simple: %s" v))
   in
-  let* schedule =
+  let scheduled =
     Pass.phase pass "schedule"
       ~artifact:(fun sch -> Artifact.Schedule sch)
       (fun () ->
-        let io_hook = SP.hook s.cdfg s.cons ~rate:s.rate in
-        match LS.run s.cdfg s.mlib s.cons ~rate:s.rate ~io_hook () with
+        let io_hook =
+          SP.hook ~budget:policy.budget s.cdfg s.cons ~rate:s.rate
+        in
+        match
+          LS.run ~budget:policy.budget s.cdfg s.mlib s.cons ~rate:s.rate
+            ~io_hook ()
+        with
         | Ok sch -> Ok sch
-        | Error f ->
-            Error
-              (Diag.error ~code:Diag.Unschedulable ~phase:"ch3.schedule"
-                 ~csteps:[ f.LS.at_cstep ]
-                 "scheduling failed at control step %d: %s" f.LS.at_cstep
-                 f.LS.reason))
+        | Error f -> Error (diag_of_ls_failure ~phase:"ch3.schedule" f))
   in
-  let* links =
-    Pass.phase pass "connect"
-      ~artifact:(fun links -> Artifact.Connection (Artifact.Bundles links))
-      (fun () ->
-        let links = SP.Theorem31.connect schedule in
-        match SP.Theorem31.check schedule links with
-        | Ok () -> Ok links
-        | Error m ->
-            Error
-              (Diag.error ~code:Diag.Connection_conflict ~phase:"ch3.connect"
-                 "Theorem 3.1 connection check failed: %s" m))
-  in
-  Ok
-    (assemble ~flow:Ch3 s ~schedule ~connection:(Artifact.Bundles links)
-       ~fus:(fus_of_constraints s.cdfg s.mlib s.cons)
-       ~static_pipe_length:None)
+  match scheduled with
+  | Error d when is_exhausted d && policy.fallback && not (Pass.check_failed pass) ->
+      (* Ladder: the pin-allocation ILP ran out of budget.  Schedule
+         without the checker, then let Theorem 3.1 construct and verify
+         the connection — checked, or a typed diagnostic. *)
+      Pass.degrade pass ~phase:"ch3.schedule"
+        "pin-allocation ILP budget exhausted: rescheduled without the \
+         checker, dedicated buses by Theorem 3.1";
+      dedicated_bus_fallback pass ~flow:Ch3 s
+  | Error d -> Error d
+  | Ok schedule ->
+      let* links =
+        Pass.phase pass "connect"
+          ~artifact:(fun links -> Artifact.Connection (Artifact.Bundles links))
+          (fun () ->
+            let links = SP.Theorem31.connect schedule in
+            match SP.Theorem31.check schedule links with
+            | Ok () -> Ok links
+            | Error m ->
+                Error
+                  (Diag.error ~code:Diag.Connection_conflict
+                     ~phase:"ch3.connect"
+                     "Theorem 3.1 connection check failed: %s" m))
+      in
+      Ok
+        (assemble ~flow:Ch3 s ~schedule ~connection:(Artifact.Bundles links)
+           ~fus:(fus_of_constraints s.cdfg s.mlib s.cons)
+           ~static_pipe_length:None)
 
 (* ---- Chapter 4: connection synthesis before scheduling ---- *)
 
-let run_ch4 pass (s : spec) =
+let run_ch4 pass policy (s : spec) =
+  let budget = policy.budget in
+  (* Shared tail: dynamic-reassignment scheduling over a synthesized
+     connection, static baseline, assembly. *)
+  let finish conn initial =
+    let dyn = R.create ~budget s.cdfg conn ~rate:s.rate ~initial ~dynamic:true in
+    let* schedule =
+      Pass.phase pass "schedule"
+        ~artifact:(fun sch -> Artifact.Schedule sch)
+        (fun () ->
+          match
+            LS.run ~budget s.cdfg s.mlib s.cons ~rate:s.rate
+              ~io_hook:(R.hook dyn) ()
+          with
+          | Ok sch -> Ok sch
+          | Error f -> Error (diag_of_ls_failure ~phase:"ch4.schedule" f))
+    in
+    (* Paper's comparison baseline: same connection, static assignment. *)
+    let static_pipe_length =
+      Mcs_obs.Trace.with_span "flow.ch4.baseline" (fun () ->
+          let st = R.create ~budget s.cdfg conn ~rate:s.rate ~initial ~dynamic:false in
+          match
+            LS.run ~budget s.cdfg s.mlib s.cons ~rate:s.rate
+              ~io_hook:(R.hook st) ()
+          with
+          | Ok sch -> Some (Sched.pipe_length sch)
+          | Error _ | (exception Invalid_argument _) -> None
+          | exception Budget.Out_of_budget _ -> None)
+    in
+    let connection =
+      Artifact.Buses
+        {
+          conn;
+          initial;
+          assignment = R.final_assignment dyn;
+          allocation = R.allocation_table dyn;
+        }
+    in
+    Ok
+      (assemble ~flow:Ch4 s ~schedule ~connection
+         ~fus:(fus_of_constraints s.cdfg s.mlib s.cons)
+         ~static_pipe_length)
+  in
+  (* Top rung (opt-in): the exact ILP formulation of §4.1.1. *)
+  let attempt_exact () =
+    Pass.attempt pass;
+    let* conn, assignment =
+      Pass.phase pass "connect-exact"
+        ~artifact:(fun (conn, assignment) ->
+          Artifact.Connection
+            (Artifact.Buses
+               { conn; initial = assignment; assignment; allocation = [] }))
+        (fun () ->
+          let phase = "ch4.connect-exact" in
+          match
+            Mcs_connect.Ilp_gen.Ch4.solve ~budget s.cdfg s.cons ~rate:s.rate
+              ~mode:s.mode ~max_buses:s.rate
+          with
+          | `Exhausted e ->
+              Error
+                (Diag.error ~code:Diag.Exhausted ~phase "exact ILP: %s"
+                   (Budget.message e))
+          | `Unsat ->
+              Error
+                (Diag.error ~code:Diag.No_connection ~phase
+                   "exact ILP: no bus assignment satisfies the constraints")
+          | `Unknown ->
+              Error
+                (Diag.error ~code:Diag.No_connection ~phase
+                   "exact ILP: solver gave up before deciding")
+          | `Sat (assign, _pins) ->
+              (* Materialize the model's bus indices as a connection. *)
+              let conn =
+                C.create s.mode ~n_partitions:(Cdfg.n_partitions s.cdfg)
+              in
+              let handles = Hashtbl.create 8 in
+              let assignment =
+                List.map
+                  (fun (op, b) ->
+                    let h =
+                      match Hashtbl.find_opt handles b with
+                      | Some h -> h
+                      | None ->
+                          let h = C.new_bus conn in
+                          Hashtbl.add handles b h;
+                          h
+                    in
+                    C.widen_for conn ~bus:h ~src:(Cdfg.io_src s.cdfg op)
+                      ~dst:(Cdfg.io_dst s.cdfg op)
+                      ~width:(Cdfg.io_width s.cdfg op);
+                    (op, h))
+                  assign
+              in
+              Ok (conn, assignment))
+    in
+    finish conn assignment
+  in
   let attempt_cap cap =
     Pass.attempt pass;
     let* res =
@@ -180,63 +365,24 @@ let run_ch4 pass (s : spec) =
                }))
         (fun () ->
           match
-            H.search s.cdfg s.cons ~rate:s.rate ~mode:s.mode ~slot_cap:cap
-              ~branching:2 ()
+            H.search ~budget s.cdfg s.cons ~rate:s.rate ~mode:s.mode
+              ~slot_cap:cap ~branching:2 ()
           with
           | Ok r -> Ok r
-          | Error m ->
+          | Error (H.Exhausted _ as e) ->
+              Error
+                (Diag.error ~code:Diag.Exhausted ~phase:"ch4.connect" "%s"
+                   (H.error_message e))
+          | Error (H.Infeasible as e) ->
               Error
                 (Diag.error ~code:Diag.No_connection ~phase:"ch4.connect" "%s"
-                   m))
+                   (H.error_message e)))
     in
-    let dyn =
-      R.create s.cdfg res.H.conn ~rate:s.rate ~initial:res.H.assign
-        ~dynamic:true
-    in
-    let* schedule =
-      Pass.phase pass "schedule"
-        ~artifact:(fun sch -> Artifact.Schedule sch)
-        (fun () ->
-          match
-            LS.run s.cdfg s.mlib s.cons ~rate:s.rate ~io_hook:(R.hook dyn) ()
-          with
-          | Ok sch -> Ok sch
-          | Error f ->
-              Error
-                (Diag.error ~code:Diag.Unschedulable ~phase:"ch4.schedule"
-                   ~csteps:[ f.LS.at_cstep ]
-                   "scheduling failed at control step %d: %s" f.LS.at_cstep
-                   f.LS.reason))
-    in
-    (* Paper's comparison baseline: same connection, static assignment. *)
-    let static_pipe_length =
-      Mcs_obs.Trace.with_span "flow.ch4.baseline" (fun () ->
-          let st =
-            R.create s.cdfg res.H.conn ~rate:s.rate ~initial:res.H.assign
-              ~dynamic:false
-          in
-          match
-            LS.run s.cdfg s.mlib s.cons ~rate:s.rate ~io_hook:(R.hook st) ()
-          with
-          | Ok sch -> Some (Sched.pipe_length sch)
-          | Error _ | (exception Invalid_argument _) -> None)
-    in
-    let connection =
-      Artifact.Buses
-        {
-          conn = res.H.conn;
-          initial = res.H.assign;
-          assignment = R.final_assignment dyn;
-          allocation = R.allocation_table dyn;
-        }
-    in
-    Ok
-      (assemble ~flow:Ch4 s ~schedule ~connection
-         ~fus:(fus_of_constraints s.cdfg s.mlib s.cons)
-         ~static_pipe_length)
+    finish res.H.conn res.H.assign
   in
   (* The first (loosest-cap) failure names the real obstacle; lower-cap
-     retries only trade pins for bandwidth. *)
+     retries only trade pins for bandwidth.  Budget exhaustion anywhere in
+     the sweep ends it: later caps would only spend budget that is gone. *)
   let rec try_cap cap first =
     if cap < 1 then
       Error
@@ -253,28 +399,76 @@ let run_ch4 pass (s : spec) =
       | Ok r -> Ok r
       | Error d ->
           if Pass.check_failed pass then Error d
+          else if is_exhausted d then
+            if policy.fallback then begin
+              Pass.degrade pass ~phase:"ch4.connect"
+                "heuristic connection search budget exhausted: dedicated \
+                 buses by Theorem 3.1";
+              dedicated_bus_fallback pass ~flow:Ch4 s
+            end
+            else Error d
           else try_cap (cap - 1) (Some (Option.value first ~default:d))
   in
-  try_cap s.rate None
+  let heuristic () = try_cap s.rate None in
+  if not policy.exact_first then heuristic ()
+  else
+    match attempt_exact () with
+    | Ok r -> Ok r
+    | Error d when Pass.check_failed pass -> Error d
+    | Error d when is_exhausted d && not policy.fallback -> Error d
+    | Error d ->
+        Pass.degrade pass ~phase:"ch4.connect-exact"
+          (Printf.sprintf "exact ILP rung failed (%s): heuristic search"
+             (Diag.code_to_string d.Diag.code));
+        heuristic ()
 
 (* ---- Chapter 5: scheduling before connection synthesis ---- *)
 
-let run_ch5 pass (s : spec) =
+let run_ch5 pass policy (s : spec) =
   Pass.attempt pass;
   let pl =
     match s.pipe_length with
     | Some pl -> pl
     | None -> Timing.critical_path_csteps s.cdfg s.mlib
   in
-  let* schedule =
+  let scheduled =
     Pass.phase pass "schedule"
       ~artifact:(fun sch -> Artifact.Schedule sch)
       (fun () ->
-        match Mcs_sched.Fds.run s.cdfg s.mlib ~rate:s.rate ~pipe_length:pl () with
+        match
+          Mcs_sched.Fds.run ~budget:policy.budget s.cdfg s.mlib ~rate:s.rate
+            ~pipe_length:pl ()
+        with
         | Ok sch -> Ok sch
-        | Error m ->
+        | Error e ->
+            let code =
+              match e with
+              | Mcs_sched.Fds.Exhausted _ -> Diag.Exhausted
+              | Mcs_sched.Fds.Infeasible _
+              | Mcs_sched.Fds.Chaining_overflow _ ->
+                  Diag.Unschedulable
+            in
             Error
-              (Diag.error ~code:Diag.Unschedulable ~phase:"ch5.schedule" "%s" m))
+              (Diag.error ~code ~phase:"ch5.schedule" "%s"
+                 (Mcs_sched.Fds.error_message s.cdfg e)))
+  in
+  let* schedule =
+    match scheduled with
+    | Ok sch -> Ok sch
+    | Error d when is_exhausted d && policy.fallback && not (Pass.check_failed pass) ->
+        (* Ladder: force-directed scheduling ran out of budget; list
+           scheduling under the same resource tables is the cheap rung. *)
+        Pass.degrade pass ~phase:"ch5.schedule"
+          "force-directed scheduling budget exhausted: list scheduling";
+        Pass.attempt pass;
+        Pass.phase pass "schedule-fallback"
+          ~artifact:(fun sch -> Artifact.Schedule sch)
+          (fun () ->
+            match LS.run s.cdfg s.mlib s.cons ~rate:s.rate () with
+            | Ok sch -> Ok sch
+            | Error f ->
+                Error (diag_of_ls_failure ~phase:"ch5.schedule-fallback" f))
+    | Error d -> Error d
   in
   let* conn, assignment =
     Pass.phase pass "connect"
@@ -283,7 +477,15 @@ let run_ch5 pass (s : spec) =
           (Artifact.Buses
              { conn; initial = assignment; assignment; allocation = [] }))
       (fun () ->
-        let cls = Mcs_core.Post_connect.cliques schedule ~mode:s.mode in
+        let cls =
+          try Mcs_core.Post_connect.cliques ~budget:policy.budget schedule ~mode:s.mode
+          with Budget.Out_of_budget _ when policy.fallback ->
+            (* Ladder: keep the unmerged supernodes — every one a valid
+               clique, just more buses (and pins) than the merged optimum. *)
+            Pass.degrade pass ~phase:"ch5.connect"
+              "clique-merging budget exhausted: unmerged supernode cliques";
+            Mcs_core.Post_connect.cliques_trivial schedule
+        in
         Ok (Mcs_core.Post_connect.connection_of_cliques s.cdfg ~mode:s.mode cls))
   in
   Ok
@@ -296,7 +498,8 @@ let run_ch5 pass (s : spec) =
 
 (* ---- Chapter 6: sub-bus sharing ---- *)
 
-let run_ch6 pass (s : spec) =
+let run_ch6 pass policy (s : spec) =
+  let budget = policy.budget in
   let attempt_cap cap =
     Pass.attempt pass;
     let* ra =
@@ -311,7 +514,7 @@ let run_ch6 pass (s : spec) =
                  allocation = [];
                }))
         (fun () ->
-          match SB.search s.cdfg s.cons ~rate:s.rate ~slot_cap:cap () with
+          match SB.search ~budget s.cdfg s.cons ~rate:s.rate ~slot_cap:cap () with
           | Ok ra -> Ok ra
           | Error m ->
               Error
@@ -323,7 +526,8 @@ let run_ch6 pass (s : spec) =
         ~artifact:(fun (t : SB.t) -> Artifact.Schedule t.SB.schedule)
         (fun () ->
           match
-            SB.schedule_over s.cdfg s.mlib s.cons ~rate:s.rate ~dynamic:true ra
+            SB.schedule_over ~budget s.cdfg s.mlib s.cons ~rate:s.rate
+              ~dynamic:true ra
           with
           | Ok t -> Ok t
           | Error m ->
@@ -334,35 +538,56 @@ let run_ch6 pass (s : spec) =
     let static_pipe_length =
       Mcs_obs.Trace.with_span "flow.ch6.baseline" (fun () ->
           match
-            SB.schedule_over s.cdfg s.mlib s.cons ~rate:s.rate ~dynamic:false
-              ra
+            SB.schedule_over ~budget s.cdfg s.mlib s.cons ~rate:s.rate
+              ~dynamic:false ra
           with
           | Ok t' -> Some (Sched.pipe_length t'.SB.schedule)
-          | Error _ | (exception Invalid_argument _) -> None)
+          | Error _ | (exception Invalid_argument _) -> None
+          | exception Budget.Out_of_budget _ -> None)
     in
     Ok { t with SB.static_pipe_length }
   in
   (* Pin minimization is Chapter 6's whole point: sweep the per-bus value
      cap and keep the schedulable result with fewest pins (shorter pipe
-     breaks ties) — unless a Strict checker aborted, which ends the run. *)
+     breaks ties) — unless a Strict checker aborted, which ends the run.
+     Budget exhaustion truncates the sweep (remaining caps would only
+     spend budget that is gone) but keeps what it already produced. *)
   let rec sweep cap acc =
-    if cap < 1 then Ok acc
+    if cap < 1 then Ok (acc, None)
     else
       match attempt_cap cap with
       | Ok t -> sweep (cap - 1) (t :: acc)
-      | Error d -> if Pass.check_failed pass then Error d else sweep (cap - 1) acc
+      | Error d ->
+          if Pass.check_failed pass then Error d
+          else if is_exhausted d then Ok (acc, Some d)
+          else sweep (cap - 1) acc
   in
-  let* candidates = sweep s.rate [] in
+  let* candidates, exhausted = sweep s.rate [] in
+  (match exhausted with
+  | Some _ when candidates <> [] ->
+      Pass.degrade pass ~phase:"ch6.connect"
+        "slot-cap sweep budget exhausted: kept the best completed cap"
+  | _ -> ());
   let total t = Mcs_util.Listx.sum snd t.SB.pins in
   match
     Mcs_util.Listx.min_by
       (fun t -> (1000 * total t) + Sched.pipe_length t.SB.schedule)
       candidates
   with
-  | None ->
-      Error
-        (Diag.error ~code:Diag.No_connection ~phase:"ch6"
-           "no schedulable sub-bus connection found at any slot cap")
+  | None -> (
+      match exhausted with
+      | Some d when policy.fallback ->
+          Pass.degrade pass ~phase:"ch6.connect"
+            (Printf.sprintf
+               "sub-bus search budget exhausted (%s): dedicated buses by \
+                Theorem 3.1"
+               d.Diag.message);
+          dedicated_bus_fallback pass ~flow:Ch6 s
+      | Some d -> Error d
+      | None ->
+          Error
+            (Diag.error ~code:Diag.No_connection ~phase:"ch6"
+               "no schedulable sub-bus connection found at any slot cap"))
   | Some best ->
       Ok
         (assemble ~flow:Ch6 s ~schedule:best.SB.schedule
@@ -382,7 +607,8 @@ let run_ch6 pass (s : spec) =
 let m_runs = Mcs_obs.Metrics.counter "flow.runs"
 let m_final_violations = Mcs_obs.Metrics.counter "flow.check.violations"
 
-let run ?(level = Pass.Off) ?checker ?check_result ?dump name spec =
+let run ?(level = Pass.Off) ?checker ?check_result ?dump
+    ?(policy = default_policy) name spec =
   Mcs_obs.Metrics.incr m_runs;
   let pass = Pass.create ~level ?checker ?dump ~flow:(name_to_string name) () in
   let drive =
@@ -392,12 +618,28 @@ let run ?(level = Pass.Off) ?checker ?check_result ?dump name spec =
     | Ch5 -> run_ch5
     | Ch6 -> run_ch6
   in
+  let guarded () =
+    (* The flow-level safety net of the resilience invariant: whatever a
+       solver lets escape, the caller sees a typed diagnostic. *)
+    try drive pass policy spec
+    with Budget.Out_of_budget e ->
+      Error
+        (Diag.error ~code:Diag.Exhausted
+           ~phase:(name_to_string name)
+           "%s" (Budget.message e))
+  in
   match
-    Mcs_obs.Trace.with_span ("flow." ^ name_to_string name) (fun () ->
-        drive pass spec)
+    Mcs_obs.Trace.with_span ("flow." ^ name_to_string name) guarded
   with
   | Error d -> Error d
   | Ok r -> (
+      let r =
+        {
+          r with
+          attempts = Pass.attempts pass;
+          degraded = Pass.degraded pass;
+        }
+      in
       let final_diags =
         match (level, check_result) with
         | Pass.Off, _ | _, None -> []
@@ -408,7 +650,7 @@ let run ?(level = Pass.Off) ?checker ?check_result ?dump name spec =
             ds
       in
       let diags = Pass.diags pass @ final_diags in
-      let r = { r with attempts = Pass.attempts pass; diags } in
+      let r = { r with diags } in
       match level with
       | Pass.Strict when not (clean r) ->
           Error (List.find Diag.is_error diags)

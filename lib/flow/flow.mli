@@ -30,6 +30,24 @@ type spec = {
   mode : Mcs_connect.Connection.mode;
 }
 
+type policy = {
+  budget : Mcs_resilience.Budget.t;
+      (** shared by every solver the flow invokes (scheduling, pin ILP,
+          connection search, matchings); one deadline and one set of
+          counters for the whole run *)
+  fallback : bool;
+      (** engage the degradation ladder on budget exhaustion (default
+          [true]); with [false], exhaustion is a [Diag.Exhausted] error *)
+  exact_first : bool;
+      (** Ch. 4 only: try the exact ILP formulation of §4.1.1 before the
+          heuristic search (default [false]) *)
+}
+
+val default_policy : policy
+(** Unlimited budget, [fallback = true], [exact_first = false] — with no
+    budget and no injected fault nothing ever exhausts, so the ladder
+    never engages and results are bit-identical to a policy-less run. *)
+
 val spec_of_design :
   ?pipe_length:int ->
   ?mode:Mcs_connect.Connection.mode ->
@@ -61,6 +79,10 @@ type result = {
       (** diagnostics collected during the run; under {!Pass.Warn} this
           includes checker violations (severity [Error]) that did not
           abort the flow *)
+  degraded : string list;
+      (** degradation-ladder steps taken, in order; empty for a
+          full-quality result.  Each step is also a [Warning]-severity
+          [Diag.Degraded] diagnostic on [diags]. *)
 }
 
 val pins_of : n_partitions:int -> Artifact.connection -> (int * int) list
@@ -79,11 +101,15 @@ val fus_total : result -> int
 val clean : result -> bool
 (** No [Error]-severity diagnostic on the result. *)
 
+val is_degraded : result -> bool
+(** At least one degradation-ladder step was taken. *)
+
 val run :
   ?level:Pass.level ->
   ?checker:Artifact.t Pass.checker ->
   ?check_result:(result -> Diag.t list) ->
   ?dump:(phase:string -> Artifact.t -> unit) ->
+  ?policy:policy ->
   name ->
   spec ->
   (result, Diag.t) Stdlib.result
@@ -92,4 +118,15 @@ val run :
     [level] is [Warn] or [Strict] (default [Off]).  Under [Strict] the
     first violation anywhere turns the run into [Error]; under [Warn]
     violations are collected on [result.diags].  [dump] receives every
-    phase artifact regardless of [level]. *)
+    phase artifact regardless of [level].
+
+    [policy] bounds the run and controls the degradation ladder.  When the
+    shared budget exhausts (or a {!Mcs_resilience.Fault} injects
+    exhaustion), each flow steps down — Ch. 3: pin-checked scheduling to
+    unchecked scheduling with Theorem 3.1 dedicated buses; Ch. 4: exact
+    ILP (when [exact_first]) to heuristic search to dedicated buses;
+    Ch. 5: force-directed to list scheduling, merged to unmerged cliques;
+    Ch. 6: sub-bus sweep to best-completed-cap to dedicated buses — with
+    every step on [result.degraded].  The invariant: the caller always
+    gets a (possibly degraded) result whose artifacts verify, or a typed
+    diagnostic; never an exception, never an unbounded run. *)

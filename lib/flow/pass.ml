@@ -11,6 +11,7 @@ type 'a t = {
   mutable n_attempts : int;
   mutable collected : Diag.t list;  (* reverse emission order *)
   mutable failed_check : bool;
+  mutable degraded_steps : string list;  (* reverse emission order *)
 }
 
 let m_phases = M.counter "flow.phases"
@@ -26,6 +27,7 @@ let create ?(level = Off) ?checker ?dump ~flow () =
     n_attempts = 0;
     collected = [];
     failed_check = false;
+    degraded_steps = [];
   }
 
 let level t = t.lvl
@@ -35,6 +37,15 @@ let record t d = t.collected <- d :: t.collected
 let diags t = List.rev t.collected
 let check_failed t = t.failed_check
 
+let m_degraded = M.counter "flow.degraded_steps"
+
+let degrade t ~phase note =
+  t.degraded_steps <- note :: t.degraded_steps;
+  M.incr m_degraded;
+  record t (Diag.warning ~code:Diag.Degraded ~phase "%s" note)
+
+let degraded t = List.rev t.degraded_steps
+
 let phase t name ?artifact f =
   let phase_id = t.flow ^ "." ^ name in
   M.incr m_phases;
@@ -42,6 +53,10 @@ let phase t name ?artifact f =
     try f () with
     | Invalid_argument m | Failure m ->
         Error (Diag.error ~code:Diag.Internal ~phase:phase_id "%s" m)
+    | Mcs_resilience.Budget.Out_of_budget e ->
+        Error
+          (Diag.error ~code:Diag.Exhausted ~phase:phase_id "%s"
+             (Mcs_resilience.Budget.message e))
   in
   match Mcs_obs.Trace.with_span ("flow." ^ phase_id) guarded with
   | Error d -> Error d

@@ -1,6 +1,8 @@
 (** The pass manager: every flow phase runs through {!phase}, which gives
     it a {!Mcs_obs} span and counter automatically, folds recoverable
-    raises ([Invalid_argument]/[Failure]) into {!Diag.t} errors, offers the
+    raises ([Invalid_argument]/[Failure], and
+    {!Mcs_resilience.Budget.Out_of_budget} as a [Diag.Exhausted]) into
+    {!Diag.t} errors, offers the
     phase's artifact to an injected checker (and, under {!Strict}, aborts
     the flow on the first violation), and optionally dumps the artifact.
 
@@ -56,3 +58,10 @@ val diags : _ t -> Diag.t list
 
 val check_failed : _ t -> bool
 (** True once a [Strict] checker violation aborted a phase. *)
+
+val degrade : _ t -> phase:string -> string -> unit
+(** Record one degradation-ladder step: the note joins {!degraded} and a
+    [Warning]-severity [Diag.Degraded] diagnostic joins {!diags}. *)
+
+val degraded : _ t -> string list
+(** Degradation steps taken, in emission order. *)

@@ -93,9 +93,12 @@ let try_augment t ~left =
   check_l t left;
   if t.ml.(left) >= 0 then true else augment_from t left
 
-let max_matching t =
+let max_matching ?(budget = Mcs_resilience.Budget.unlimited) t =
   for l = 0 to t.n_left - 1 do
-    if t.ml.(l) = -1 then ignore (augment_from t l)
+    if t.ml.(l) = -1 then begin
+      Mcs_resilience.Budget.spend_augment budget;
+      ignore (augment_from t l)
+    end
   done;
   Array.fold_left (fun acc r -> if r >= 0 then acc + 1 else acc) 0 t.ml
 

@@ -20,9 +20,11 @@ val force_pair : t -> left:int -> right:int -> unit
     partners (their match is cleared, not rerouted).
     @raise Invalid_argument if the edge is absent. *)
 
-val max_matching : t -> int
+val max_matching : ?budget:Mcs_resilience.Budget.t -> t -> int
 (** Augments the current matching to maximum cardinality and returns its
-    size.  Deterministic: left vertices are processed in increasing order. *)
+    size.  Deterministic: left vertices are processed in increasing order.
+    [budget] charges one augment per attempted augmenting path; exhaustion
+    raises {!Mcs_resilience.Budget.Out_of_budget}. *)
 
 val try_augment : t -> left:int -> bool
 (** Attempts to add the single unmatched left vertex to the matching by an

@@ -5,12 +5,23 @@
 let inf = max_int / 4
 
 module M = Mcs_obs.Metrics
+module Budget = Mcs_resilience.Budget
+module Fault = Mcs_resilience.Fault
 
 let m_solves = M.counter "hungarian.solves"
 let m_augmentations = M.counter "hungarian.augmentations"
 let m_relabel_passes = M.counter "hungarian.relabel_passes"
 
-let solve_rect cost n m =
+(* The exhaust-hungarian fault and budget exhaustion surface as
+   [Budget.Out_of_budget]: the results here are plain arrays/lists, so a
+   typed outcome would ripple through every caller; instead the (few)
+   budgeted call sites catch the exception at their own boundary. *)
+let inject () =
+  match Fault.exhaust_hungarian () with
+  | Some e -> raise (Budget.Out_of_budget e)
+  | None -> ()
+
+let solve_rect ?(budget = Budget.unlimited) cost n m =
   (* n rows, m columns, n <= m; returns row -> column. *)
   M.incr m_solves;
   let u = Array.make (n + 1) 0 in
@@ -19,6 +30,7 @@ let solve_rect cost n m =
   let way = Array.make (m + 1) 0 in
   for i = 1 to n do
     M.incr m_augmentations;
+    Budget.spend_augment budget;
     p.(0) <- i;
     let j0 = ref 0 in
     let minv = Array.make (m + 1) inf in
@@ -26,6 +38,7 @@ let solve_rect cost n m =
     let continue = ref true in
     while !continue do
       M.incr m_relabel_passes;
+      Budget.spend_pass budget;
       used.(!j0) <- true;
       let i0 = p.(!j0) in
       let delta = ref inf in
@@ -66,7 +79,8 @@ let solve_rect cost n m =
   done;
   result
 
-let assignment cost =
+let assignment ?budget cost =
+  inject ();
   let n = Array.length cost in
   if n = 0 then invalid_arg "Hungarian.assignment: empty matrix";
   Array.iter
@@ -74,9 +88,10 @@ let assignment cost =
       if Array.length row <> n then
         invalid_arg "Hungarian.assignment: matrix not square")
     cost;
-  solve_rect cost n n
+  solve_rect ?budget cost n n
 
-let max_weight_matching ~n_left ~n_right ~weight =
+let max_weight_matching ?budget ~n_left ~n_right ~weight () =
+  inject ();
   if n_left = 0 || n_right = 0 then []
   else begin
     (* Maximize by minimizing (wmax - w); forbidden pairs get a cost high
@@ -104,7 +119,7 @@ let max_weight_matching ~n_left ~n_right ~weight =
               | None -> forbidden
               | Some w -> !wmax - w))
     in
-    let assigned = solve_rect cost n m in
+    let assigned = solve_rect ?budget cost n m in
     let acc = ref [] in
     Array.iteri
       (fun i j ->

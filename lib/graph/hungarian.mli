@@ -5,16 +5,22 @@
     weighted matchings between control-step groups; this module provides that
     matching. *)
 
-val assignment : int array array -> int array
+val assignment :
+  ?budget:Mcs_resilience.Budget.t -> int array array -> int array
 (** [assignment cost] solves the square min-cost assignment problem:
     [cost.(i).(j)] is the cost of giving row [i] column [j]; the result maps
-    each row to its assigned column (a permutation).
+    each row to its assigned column (a permutation).  [budget] charges one
+    augment per row and one pass per relabeling step; exhaustion (and the
+    [exhaust-hungarian] fault) raises {!Mcs_resilience.Budget.Out_of_budget}
+    — budgeted callers catch it at their own boundary.
     @raise Invalid_argument if the matrix is empty or not square. *)
 
 val max_weight_matching :
+  ?budget:Mcs_resilience.Budget.t ->
   n_left:int ->
   n_right:int ->
   weight:(int -> int -> int option) ->
+  unit ->
   (int * int) list
 (** Maximum-total-weight matching of a (possibly rectangular) bipartite
     graph.  [weight l r] is [None] when [l] and [r] may not be paired, and

@@ -1,5 +1,7 @@
 module R = Mcs_util.Ratio
 module M = Mcs_obs.Metrics
+module Budget = Mcs_resilience.Budget
+module Fault = Mcs_resilience.Fault
 
 let m_solves = M.counter "bb.solves"
 let m_nodes = M.counter "bb.nodes"
@@ -17,6 +19,7 @@ type result =
   | Unbounded
   | Node_limit
   | Limit_feasible of Simplex.solution
+  | Exhausted of Budget.exhausted
 
 let first_fractional ~integer (sol : Simplex.solution) =
   let n = Array.length sol.x in
@@ -139,16 +142,21 @@ type node = {
    costs a few pivots instead of a two-phase solve from scratch.  A child
    can never be unbounded — its LP is the parent's (bounded, optimal) LP
    plus one constraint — so [Unbounded] is decided at the root alone. *)
-let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
+let solve ?(budget = Budget.unlimited) ?(max_nodes = 200_000) ~integer
+    (p : Simplex.problem) =
   if Array.length integer <> p.n_vars then
     invalid_arg "Branch_bound.solve: integer mask length mismatch";
   M.incr m_solves;
   M.incr m_nodes;
-  match Simplex.Tab.of_problem p with
+  match Fault.exhaust_ilp () with
+  | Some e -> Exhausted e
+  | None -> (
+  match Simplex.Tab.of_problem ~budget p with
   | `Infeasible ->
       M.incr m_prune_infeasible;
       Infeasible
   | `Unbounded -> Unbounded
+  | `Exhausted e -> Exhausted e
   | `Solved tab ->
       let incumbent = ref None in
       let better value =
@@ -158,6 +166,7 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
       in
       let nodes = ref 1 in
       let hit_limit = ref false in
+      let exhausted = ref None in
       let q = Pq.create () in
       (* The LP optimum at a node: record it if integral, otherwise push
          both children carrying a snapshot of this node's tableau. *)
@@ -178,7 +187,6 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
               Pq.push q sol.value
                 { snap; var = i; dir = `Le f; depth = depth + 1 }
       in
-      consider (Simplex.Tab.solution tab) 0;
       let rec drain () =
         match Pq.pop q with
         | None -> ()
@@ -195,6 +203,7 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
             end
             else begin
               incr nodes;
+              Budget.spend_node budget;
               M.incr m_nodes;
               M.incr m_warm_restores;
               M.set_max g_depth_peak (float_of_int node.depth);
@@ -203,34 +212,45 @@ let solve ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
               (match node.dir with
               | `Le b -> Simplex.Tab.add_row tab coefs Simplex.Le (R.of_int b)
               | `Ge b -> Simplex.Tab.add_row tab coefs Simplex.Ge (R.of_int b));
-              (match Simplex.Tab.reoptimize_dual tab with
-              | `Infeasible -> M.incr m_prune_infeasible
-              | `Ok -> consider (Simplex.Tab.solution tab) node.depth);
-              drain ()
+              match Simplex.Tab.reoptimize_dual tab with
+              | `Infeasible ->
+                  M.incr m_prune_infeasible;
+                  drain ()
+              | `Exhausted e -> exhausted := Some e
+              | `Ok ->
+                  consider (Simplex.Tab.solution tab) node.depth;
+                  drain ()
             end
       in
-      drain ();
-      (match (!incumbent, !hit_limit) with
-      | Some (_, sol), false -> Optimal sol
-      | Some (_, sol), true ->
-          (* Optimality is unproven, but the integer point is genuine:
-             hand it to the caller instead of discarding it. *)
+      (try
+         consider (Simplex.Tab.solution tab) 0;
+         drain ()
+       with Budget.Out_of_budget e -> exhausted := Some e);
+      (match (!incumbent, !exhausted, !hit_limit) with
+      | Some (_, sol), None, false -> Optimal sol
+      | Some (_, sol), _, _ ->
+          (* Optimality is unproven (node limit or budget), but the
+             integer point is genuine: hand it to the caller instead of
+             discarding it. *)
           Limit_feasible sol
-      | None, true -> Node_limit
-      | None, false -> Infeasible)
+      | None, Some e, _ -> Exhausted e
+      | None, None, true -> Node_limit
+      | None, None, false -> Infeasible))
 
 (* Cold-start reference: re-solves the accumulated problem from scratch at
    every node (depth-first, first-fractional, floor branch first) — the
    pre-warm-start algorithm, kept as the baseline the budget regression
    test and the bench [ilp] experiment measure the warm solver against,
    and as an independent oracle for the property tests. *)
-let solve_cold ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
+let solve_cold ?(budget = Budget.unlimited) ?(max_nodes = 200_000) ~integer
+    (p : Simplex.problem) =
   if Array.length integer <> p.n_vars then
     invalid_arg "Branch_bound.solve_cold: integer mask length mismatch";
   M.incr m_solves;
   let incumbent = ref None in
   let nodes = ref 0 in
   let hit_limit = ref false in
+  let exhausted = ref None in
   let better value =
     match !incumbent with
     | None -> true
@@ -238,9 +258,10 @@ let solve_cold ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
   in
   let root_unbounded = ref false in
   let rec explore extra depth =
-    if !hit_limit then ()
+    if !hit_limit || !exhausted <> None then ()
     else begin
       incr nodes;
+      Budget.spend_node budget;
       M.incr m_nodes;
       M.set_max g_depth_peak (float_of_int depth);
       if !nodes > max_nodes then begin
@@ -249,7 +270,8 @@ let solve_cold ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
       end
       else
         let problem = { p with Simplex.rows = p.rows @ extra } in
-        match Simplex.solve problem with
+        match Simplex.solve ~budget problem with
+        | Simplex.Exhausted e -> exhausted := Some e
         | Simplex.Infeasible -> M.incr m_prune_infeasible
         | Simplex.Unbounded ->
             if depth = 0 then root_unbounded := true
@@ -281,21 +303,26 @@ let solve_cold ?(max_nodes = 200_000) ~integer (p : Simplex.problem) =
             end
     end
   in
-  explore [] 0;
+  (match Fault.exhaust_ilp () with
+  | Some e -> exhausted := Some e
+  | None -> (
+      try explore [] 0
+      with Budget.Out_of_budget e -> exhausted := Some e));
   if !root_unbounded then Unbounded
   else
-    match (!incumbent, !hit_limit) with
-    | Some (_, sol), false -> Optimal sol
-    | Some (_, sol), true -> Limit_feasible sol
-    | None, true -> Node_limit
-    | None, false -> Infeasible
+    match (!incumbent, !exhausted, !hit_limit) with
+    | Some (_, sol), None, false -> Optimal sol
+    | Some (_, sol), _, _ -> Limit_feasible sol
+    | None, Some e, _ -> Exhausted e
+    | None, None, true -> Node_limit
+    | None, None, false -> Infeasible
 
-let feasible ?max_nodes ~integer p =
+let feasible ?budget ?max_nodes ~integer p =
   let p =
     { p with Simplex.objective = Array.make p.Simplex.n_vars R.zero }
   in
-  match solve ?max_nodes ~integer p with
+  match solve ?budget ?max_nodes ~integer p with
   | Optimal _ | Limit_feasible _ -> Some true
   | Infeasible -> Some false
   | Unbounded -> Some true
-  | Node_limit -> None
+  | Node_limit | Exhausted _ -> None

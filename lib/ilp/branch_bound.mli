@@ -25,16 +25,30 @@ type result =
   | Limit_feasible of Simplex.solution
       (** search stopped before proving optimality, but an integer-feasible
           incumbent was found — a genuine (possibly sub-optimal) solution *)
+  | Exhausted of Mcs_resilience.Budget.exhausted
+      (** the node/pivot/wall budget ran out (or the [exhaust-ilp] fault
+          is injected) with no integer point in hand; with an incumbent in
+          hand, exhaustion reports [Limit_feasible] instead *)
 
 val solve :
-  ?max_nodes:int -> integer:bool array -> Simplex.problem -> result
+  ?budget:Mcs_resilience.Budget.t ->
+  ?max_nodes:int ->
+  integer:bool array ->
+  Simplex.problem ->
+  result
 (** [solve ~integer p] maximizes [p]'s objective with variables [i] such
     that [integer.(i)] constrained to integer values.  Warm-started
     best-bound search (see the module description); [max_nodes] defaults
-    to [200_000]. *)
+    to [200_000].  [budget] (default unlimited) charges one node per
+    expanded search node and one pivot per simplex pivot across the whole
+    tree. *)
 
 val solve_cold :
-  ?max_nodes:int -> integer:bool array -> Simplex.problem -> result
+  ?budget:Mcs_resilience.Budget.t ->
+  ?max_nodes:int ->
+  integer:bool array ->
+  Simplex.problem ->
+  result
 (** Cold-start reference implementation: depth-first, first-fractional
     branching, and a full two-phase re-solve of the accumulated problem at
     every node.  Same results as {!solve} (statuses agree, optimal
@@ -44,7 +58,11 @@ val solve_cold :
     experiment, and as an independent oracle for the property tests. *)
 
 val feasible :
-  ?max_nodes:int -> integer:bool array -> Simplex.problem -> bool option
+  ?budget:Mcs_resilience.Budget.t ->
+  ?max_nodes:int ->
+  integer:bool array ->
+  Simplex.problem ->
+  bool option
 (** Pure integer-feasibility query (the objective is ignored).
     [Some true] is also returned when the node budget ran out after an
     integer point was already found ({!Limit_feasible}); [None] only when

@@ -10,11 +10,14 @@ type result =
   | Unbounded
   | Gave_up
 
-let solve ?(max_cuts = 500) p =
+let solve ?budget ?(max_cuts = 500) p =
   M.incr m_solves;
-  match Simplex.Tab.of_problem p with
+  match Simplex.Tab.of_problem ?budget p with
   | `Infeasible -> Infeasible
   | `Unbounded -> Unbounded
+  | `Exhausted _ ->
+      M.incr m_gave_up;
+      Gave_up
   | `Solved t ->
       let rec refine cuts =
         match Simplex.Tab.fractional_basic t with
@@ -27,15 +30,18 @@ let solve ?(max_cuts = 500) p =
             Simplex.Tab.add_gomory_cut t row;
             match Simplex.Tab.reoptimize_dual t with
             | `Infeasible -> Infeasible
+            | `Exhausted _ ->
+                M.incr m_gave_up;
+                Gave_up
             | `Ok -> refine (cuts + 1))
       in
       refine 0
 
-let feasible ?max_cuts p =
+let feasible ?budget ?max_cuts p =
   (* Feasibility does not depend on the objective, but a zero objective
      converges fastest. *)
   let p = { p with Simplex.objective = Array.map (fun _ -> Mcs_util.Ratio.zero) p.Simplex.objective } in
-  match solve ?max_cuts p with
+  match solve ?budget ?max_cuts p with
   | Optimal _ -> Some true
   | Infeasible -> Some false
   | Unbounded -> Some true (* nonempty integer region *)

@@ -142,6 +142,7 @@ type outcome =
   | Infeasible
   | Unbounded
   | Unknown
+  | Exhausted of Mcs_resilience.Budget.exhausted
 
 let wrap_solution t (s : Simplex.solution) =
   let infos = Array.of_list (List.rev t.vars) in
@@ -157,18 +158,19 @@ let wrap_solution t (s : Simplex.solution) =
         R.add s.x.(x) (R.of_int infos.(x).lo));
   }
 
-let solve ?(method_ = `Branch_bound) t =
+let solve ?budget ?(method_ = `Branch_bound) t =
   let p, integer = to_problem t in
   match method_ with
   | `Branch_bound -> (
-      match Branch_bound.solve ~integer p with
+      match Branch_bound.solve ?budget ~integer p with
       | Branch_bound.Optimal s -> Optimal (wrap_solution t s)
       | Branch_bound.Limit_feasible s -> Feasible (wrap_solution t s)
       | Branch_bound.Infeasible -> Infeasible
       | Branch_bound.Unbounded -> Unbounded
-      | Branch_bound.Node_limit -> Unknown)
+      | Branch_bound.Node_limit -> Unknown
+      | Branch_bound.Exhausted e -> Exhausted e)
   | `Gomory -> (
-      match Gomory.solve p with
+      match Gomory.solve ?budget p with
       | Gomory.Optimal s -> Optimal (wrap_solution t s)
       | Gomory.Infeasible -> Infeasible
       | Gomory.Unbounded -> Unbounded
@@ -180,6 +182,7 @@ let lp_relaxation t =
   | Simplex.Optimal s -> Optimal (wrap_solution t s)
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
+  | Simplex.Exhausted e -> Exhausted e
 
 let int_value sol x =
   let value = sol.values x in

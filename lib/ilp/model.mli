@@ -76,15 +76,24 @@ type outcome =
           out before optimality was proven *)
   | Infeasible
   | Unbounded
-  | Unknown  (** solver budget exhausted with no feasible point in hand *)
+  | Unknown  (** solver node/cut limit hit with no feasible point in hand *)
+  | Exhausted of Mcs_resilience.Budget.exhausted
+      (** an explicit {!Mcs_resilience.Budget.t} ran out (or the
+          [exhaust-ilp] fault is injected) before any feasible point *)
 
 val to_problem : t -> Simplex.problem * bool array
 (** Lower/upper bounds are materialized as constraint rows; variables are
     shifted so that the simplex sees [x >= 0] (negative lower bounds are
     supported). *)
 
-val solve : ?method_:[ `Branch_bound | `Gomory ] -> t -> outcome
-(** Defaults to branch & bound. *)
+val solve :
+  ?budget:Mcs_resilience.Budget.t ->
+  ?method_:[ `Branch_bound | `Gomory ] ->
+  t ->
+  outcome
+(** Defaults to branch & bound.  With the [`Gomory] method, budget
+    exhaustion reports [Unknown] (the cutting-plane loop cannot produce a
+    partial incumbent). *)
 
 val lp_relaxation : t -> outcome
 val int_value : solution -> var -> int

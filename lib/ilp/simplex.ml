@@ -1,5 +1,6 @@
 module R = Mcs_util.Ratio
 module M = Mcs_obs.Metrics
+module Budget = Mcs_resilience.Budget
 
 let m_solves = M.counter "simplex.solves"
 let m_pivots = M.counter "simplex.pivots"
@@ -21,7 +22,12 @@ type problem = {
 }
 
 type solution = { value : R.t; x : R.t array }
-type status = Optimal of solution | Infeasible | Unbounded
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Exhausted of Budget.exhausted
 
 (* Growable exact-rational tableau.
 
@@ -39,6 +45,7 @@ type tab = {
   mutable obj : R.t array;
   mutable obj_val : R.t;
   mutable blocked : bool array; (* columns that may never (re)enter *)
+  budget : Budget.t; (* shared pivot/wall budget; raises Out_of_budget *)
 }
 
 let grow_cols t want =
@@ -77,6 +84,7 @@ let grow_rows t want =
   end
 
 let pivot t r c =
+  Budget.spend_pivot t.budget;
   let piv = t.a.(r).(c) in
   assert (not (R.is_zero piv));
   M.incr m_pivots;
@@ -237,7 +245,7 @@ let delete_row t r =
 module Tab = struct
   type t = tab
 
-  let build p =
+  let build ?(budget = Budget.unlimited) p =
     if p.n_vars < 0 then invalid_arg "Simplex: negative n_vars";
     let rows = Array.of_list p.rows in
     let m = Array.length rows in
@@ -276,6 +284,7 @@ module Tab = struct
         obj = Array.make (max n 1) R.zero;
         obj_val = R.zero;
         blocked = Array.make (max n 1) false;
+        budget;
       }
     in
     let next_slack = ref p.n_vars in
@@ -350,10 +359,13 @@ module Tab = struct
       | `Unbounded -> `Unbounded
     end
 
-  let of_problem p =
+  let of_problem ?budget p =
     M.incr m_solves;
     let pivots0 = M.count m_pivots in
-    let r = build p in
+    let r =
+      try build ?budget p
+      with Budget.Out_of_budget e -> `Exhausted e
+    in
     M.observe m_pivots_per_solve (M.count m_pivots - pivots0);
     r
 
@@ -462,7 +474,9 @@ module Tab = struct
     in
     add coefs rel b
 
-  let reoptimize_dual t = dual_loop t
+  let reoptimize_dual t =
+    try (dual_loop t :> [ `Ok | `Infeasible | `Exhausted of Budget.exhausted ])
+    with Budget.Out_of_budget e -> `Exhausted e
 
   type snapshot = {
     s_m : int;
@@ -502,8 +516,9 @@ module Tab = struct
     Array.blit s.s_blocked 0 t.blocked 0 s.s_n
 end
 
-let solve p =
-  match Tab.of_problem p with
+let solve ?budget p =
+  match Tab.of_problem ?budget p with
   | `Infeasible -> Infeasible
   | `Unbounded -> Unbounded
+  | `Exhausted e -> Exhausted e
   | `Solved t -> Optimal (Tab.solution t)

@@ -19,9 +19,19 @@ type problem = {
 }
 
 type solution = { value : Mcs_util.Ratio.t; x : Mcs_util.Ratio.t array }
-type status = Optimal of solution | Infeasible | Unbounded
 
-val solve : problem -> status
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Exhausted of Mcs_resilience.Budget.exhausted
+      (** The pivot or wall budget ran out before the tableau reached
+          optimality; the problem's status is unknown. *)
+
+val solve : ?budget:Mcs_resilience.Budget.t -> problem -> status
+(** [budget] (default {!Mcs_resilience.Budget.unlimited}) charges one
+    pivot per simplex pivot and is shared with every later re-optimization
+    of the same tableau. *)
 
 (** Access to the solved tableau, for cutting-plane and branch-and-bound
     methods that re-optimize incrementally instead of re-solving from a
@@ -36,8 +46,17 @@ module Tab : sig
       tableau they were taken from (they do not carry the structural
       problem definition). *)
 
-  val of_problem : problem -> [ `Solved of t | `Infeasible | `Unbounded ]
-  (** Runs both phases to optimality. *)
+  val of_problem :
+    ?budget:Mcs_resilience.Budget.t ->
+    problem ->
+    [ `Solved of t
+    | `Infeasible
+    | `Unbounded
+    | `Exhausted of Mcs_resilience.Budget.exhausted ]
+  (** Runs both phases to optimality.  The [budget] is retained by the
+      tableau, so pivots spent by {!reoptimize_dual} keep drawing on the
+      same pool — branch-and-bound charges its whole tree against one
+      budget. *)
 
   val solution : t -> solution
 
@@ -61,10 +80,12 @@ module Tab : sig
       branch-and-bound bound rows.  An [Eq] row is appended as the [Le]
       and [Ge] pair. *)
 
-  val reoptimize_dual : t -> [ `Ok | `Infeasible ]
+  val reoptimize_dual :
+    t -> [ `Ok | `Infeasible | `Exhausted of Mcs_resilience.Budget.exhausted ]
   (** Dual simplex until primal feasibility is restored.  A dual-feasible
       tableau can never become unbounded here: re-optimization either
-      reaches an optimum or proves the added rows primal-infeasible. *)
+      reaches an optimum, proves the added rows primal-infeasible, or runs
+      out of the budget the tableau was built with. *)
 
   val snapshot : t -> snapshot
   (** Capture the current basis and tableau contents. *)

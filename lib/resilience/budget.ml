@@ -1,0 +1,143 @@
+type resource = Wall | Nodes | Pivots | Passes | Augments
+
+type exhausted = { resource : resource; limit : int; spent : int }
+
+(* [deadline] is absolute (gettimeofday); [deadline_ms] keeps the original
+   allowance so [halve] and diagnostics can reconstruct it.  Counters are
+   mutable so one budget can be shared across nested solver calls (e.g.
+   branch & bound charging every per-node dual reoptimization against a
+   single pivot pool). *)
+type t = {
+  deadline : float option;
+  allowance_ms : float option;
+  nodes : int option;
+  pivots : int option;
+  passes : int option;
+  augments : int option;
+  mutable n_nodes : int;
+  mutable n_pivots : int;
+  mutable n_passes : int;
+  mutable n_augments : int;
+  mutable tick : int;
+}
+
+exception Out_of_budget of exhausted
+
+let unlimited =
+  {
+    deadline = None;
+    allowance_ms = None;
+    nodes = None;
+    pivots = None;
+    passes = None;
+    augments = None;
+    n_nodes = 0;
+    n_pivots = 0;
+    n_passes = 0;
+    n_augments = 0;
+    tick = 0;
+  }
+
+let make ?deadline_ms ?nodes ?pivots ?passes ?augments () =
+  let deadline =
+    Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) deadline_ms
+  in
+  {
+    deadline;
+    allowance_ms = deadline_ms;
+    nodes;
+    pivots;
+    passes;
+    augments;
+    n_nodes = 0;
+    n_pivots = 0;
+    n_passes = 0;
+    n_augments = 0;
+    tick = 0;
+  }
+
+let halve t =
+  let half_int n = max 1 (n / 2) in
+  make
+    ?deadline_ms:(Option.map (fun ms -> max 1. (ms /. 2.)) t.allowance_ms)
+    ?nodes:(Option.map half_int t.nodes)
+    ?pivots:(Option.map half_int t.pivots)
+    ?passes:(Option.map half_int t.passes)
+    ?augments:(Option.map half_int t.augments)
+    ()
+
+let is_limited t =
+  t.deadline <> None || t.nodes <> None || t.pivots <> None
+  || t.passes <> None || t.augments <> None
+
+let deadline_ms t = t.allowance_ms
+
+let m_exhausted = Mcs_obs.Metrics.counter "resilience.budget.exhausted"
+
+let check_wall t =
+  match t.deadline with
+  | None -> ()
+  | Some dl ->
+      let now = Unix.gettimeofday () in
+      if now > dl then begin
+        let limit =
+          match t.allowance_ms with Some ms -> int_of_float ms | None -> 0
+        in
+        let spent = limit + int_of_float ((now -. dl) *. 1000.) in
+        Mcs_obs.Metrics.incr m_exhausted;
+        raise (Out_of_budget { resource = Wall; limit; spent })
+      end
+
+(* The wall clock is consulted every [wall_stride] spends so the gettimeofday
+   syscall stays off the solvers' hot paths. *)
+let wall_stride = 32
+
+let tick_wall t =
+  if t.deadline <> None then begin
+    t.tick <- t.tick + 1;
+    if t.tick >= wall_stride then begin
+      t.tick <- 0;
+      check_wall t
+    end
+  end
+
+let spend resource limit spent =
+  if spent > limit then begin
+    Mcs_obs.Metrics.incr m_exhausted;
+    raise (Out_of_budget { resource; limit; spent })
+  end
+
+let spend_node t =
+  t.n_nodes <- t.n_nodes + 1;
+  (match t.nodes with Some l -> spend Nodes l t.n_nodes | None -> ());
+  tick_wall t
+
+let spend_pivot t =
+  t.n_pivots <- t.n_pivots + 1;
+  (match t.pivots with Some l -> spend Pivots l t.n_pivots | None -> ());
+  tick_wall t
+
+let spend_pass t =
+  t.n_passes <- t.n_passes + 1;
+  (match t.passes with Some l -> spend Passes l t.n_passes | None -> ());
+  tick_wall t
+
+let spend_augment t =
+  t.n_augments <- t.n_augments + 1;
+  (match t.augments with Some l -> spend Augments l t.n_augments | None -> ());
+  tick_wall t
+
+let exhausted resource = { resource; limit = 0; spent = 0 }
+
+let resource_to_string = function
+  | Wall -> "wall"
+  | Nodes -> "nodes"
+  | Pivots -> "pivots"
+  | Passes -> "passes"
+  | Augments -> "augments"
+
+let message e =
+  let unit_ = match e.resource with Wall -> " ms" | _ -> "" in
+  Printf.sprintf "%s budget exhausted (%d of %d%s)"
+    (resource_to_string e.resource)
+    e.spent e.limit unit_

@@ -1,0 +1,79 @@
+type t =
+  | Exhaust_ilp
+  | Exhaust_fds
+  | Exhaust_heuristic
+  | Exhaust_hungarian
+  | Crash_worker of int
+  | Corrupt_cache
+
+let to_string = function
+  | Exhaust_ilp -> "exhaust-ilp"
+  | Exhaust_fds -> "exhaust-fds"
+  | Exhaust_heuristic -> "exhaust-heuristic"
+  | Exhaust_hungarian -> "exhaust-hungarian"
+  | Crash_worker n -> Printf.sprintf "crash-worker:%d" n
+  | Corrupt_cache -> "corrupt-cache"
+
+let parse_one s =
+  match String.trim s with
+  | "exhaust-ilp" -> Ok Exhaust_ilp
+  | "exhaust-fds" -> Ok Exhaust_fds
+  | "exhaust-heuristic" -> Ok Exhaust_heuristic
+  | "exhaust-hungarian" -> Ok Exhaust_hungarian
+  | "corrupt-cache" -> Ok Corrupt_cache
+  | s when String.length s > 13 && String.sub s 0 13 = "crash-worker:" -> (
+      let n = String.sub s 13 (String.length s - 13) in
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> Ok (Crash_worker n)
+      | _ -> Error (Printf.sprintf "MCS_FAULT: bad worker count %S" n))
+  | "" -> Error "MCS_FAULT: empty mode"
+  | s -> Error (Printf.sprintf "MCS_FAULT: unknown mode %S" s)
+
+let parse s =
+  if String.trim s = "" then Ok []
+  else
+    String.split_on_char ',' s
+    |> List.fold_left
+         (fun acc piece ->
+           match (acc, parse_one piece) with
+           | Error _, _ -> acc
+           | Ok _, Error e -> Error e
+           | Ok fs, Ok f -> Ok (f :: fs))
+         (Ok [])
+    |> Result.map List.rev
+
+(* Memoized on the raw env value so tests can flip MCS_FAULT with
+   Unix.putenv and injection points see the change on the next call. *)
+let memo : (string * t list) option ref = ref None
+
+let active () =
+  let raw = match Sys.getenv_opt "MCS_FAULT" with Some s -> s | None -> "" in
+  match !memo with
+  | Some (r, fs) when String.equal r raw -> fs
+  | _ ->
+      let fs =
+        match parse raw with
+        | Ok fs -> fs
+        | Error e ->
+            Mcs_obs.Log.warn "%s (fault injection disabled)" e;
+            []
+      in
+      memo := Some (raw, fs);
+      fs
+
+let has f = List.mem f (active ())
+
+let exhaust_if fault resource =
+  if has fault then Some (Budget.exhausted resource) else None
+
+let exhaust_ilp () = exhaust_if Exhaust_ilp Budget.Nodes
+let exhaust_fds () = exhaust_if Exhaust_fds Budget.Passes
+let exhaust_heuristic () = exhaust_if Exhaust_heuristic Budget.Nodes
+let exhaust_hungarian () = exhaust_if Exhaust_hungarian Budget.Augments
+
+let crash_workers () =
+  List.fold_left
+    (fun acc -> function Crash_worker n -> max acc n | _ -> acc)
+    0 (active ())
+
+let corrupt_cache () = has Corrupt_cache

@@ -1,0 +1,51 @@
+(** Deterministic fault injection, driven by the [MCS_FAULT] environment
+    variable.
+
+    Grammar: a comma-separated list of modes —
+    {v
+      MCS_FAULT=exhaust-ilp,exhaust-fds,exhaust-heuristic,exhaust-hungarian,
+                crash-worker:N,corrupt-cache
+    v}
+
+    - [exhaust-ilp] — branch & bound reports [Exhausted] immediately.
+    - [exhaust-fds] — force-directed scheduling reports [Exhausted].
+    - [exhaust-heuristic] — the Ch4 connection search reports [Exhausted].
+    - [exhaust-hungarian] — Hungarian assignment/matching raises
+      {!Budget.Out_of_budget} at entry.
+    - [crash-worker:N] — the first [N] engine pool jobs exit abnormally on
+      their first attempt (they succeed when retried).
+    - [corrupt-cache] — the engine cache writes a corrupt body on [store],
+      so the next [lookup] must quarantine it.
+
+    The injection points re-read the environment lazily (memoized on the
+    variable's value) so tests can flip faults with [Unix.putenv]. *)
+
+type t =
+  | Exhaust_ilp
+  | Exhaust_fds
+  | Exhaust_heuristic
+  | Exhaust_hungarian
+  | Crash_worker of int
+  | Corrupt_cache
+
+val parse : string -> (t list, string) result
+(** Parse a comma-separated [MCS_FAULT] value.  The empty string parses to
+    []. *)
+
+val to_string : t -> string
+
+val active : unit -> t list
+(** Faults currently enabled via [MCS_FAULT].  An unparseable value
+    disables all faults (and logs a warning once per distinct value) —
+    fault injection must never be able to crash a flow by itself. *)
+
+val exhaust_ilp : unit -> Budget.exhausted option
+val exhaust_fds : unit -> Budget.exhausted option
+val exhaust_heuristic : unit -> Budget.exhausted option
+val exhaust_hungarian : unit -> Budget.exhausted option
+(** [Some e] when the corresponding exhaustion fault is enabled. *)
+
+val crash_workers : unit -> int
+(** Number of pool jobs to crash on first attempt; 0 when disabled. *)
+
+val corrupt_cache : unit -> bool

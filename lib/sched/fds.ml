@@ -1,5 +1,17 @@
 open Mcs_cdfg
 module M = Mcs_obs.Metrics
+module Budget = Mcs_resilience.Budget
+module Fault = Mcs_resilience.Fault
+
+type error =
+  | Infeasible of string
+  | Chaining_overflow of Types.op_id
+  | Exhausted of Budget.exhausted
+
+(* The schedule-materialization chaining overflow used to escape as
+   [Failure]; a dedicated exception keeps the op id typed on its way to
+   the boundary [Error]. *)
+exception Chaining of Types.op_id
 
 let m_runs = M.counter "fds.runs"
 let m_frame_passes = M.counter "fds.frame_passes"
@@ -196,22 +208,27 @@ let window_force cdfg mlib ~rate dgs op (lb0, ub0) (lb1, ub1) =
     0.0
     (contributions cdfg op)
 
-let run cdfg mlib ~rate ~pipe_length () =
+let run ?(budget = Budget.unlimited) cdfg mlib ~rate ~pipe_length () =
   M.incr m_runs;
+  match Fault.exhaust_fds () with
+  | Some e -> Error (Exhausted e)
+  | None -> (
   let n = Cdfg.n_ops cdfg in
   let fixed = Array.make n None in
   let cycles = Timing.op_cycles cdfg mlib in
   match frames cdfg mlib ~rate ~pipe_length ~fixed with
   | None ->
       Error
-        (Printf.sprintf
-           "FDS: no schedule of pipe length %d at initiation rate %d"
-           pipe_length rate)
+        (Infeasible
+           (Printf.sprintf
+              "FDS: no schedule of pipe length %d at initiation rate %d"
+              pipe_length rate))
   | Some first ->
       let current = ref first in
       let result = ref None in
       (try
          while !result = None do
+           Budget.spend_pass budget;
            let lb, ub = !current in
            let unplaced =
              List.filter
@@ -236,10 +253,7 @@ let run cdfg mlib ~rate ~pipe_length () =
                          else acc)
                        0 (Cdfg.preds cdfg v)
                    in
-                   if offset + dv > stage then
-                     failwith
-                       (Printf.sprintf "FDS: chaining overflow at %s"
-                          (Cdfg.name cdfg v));
+                   if offset + dv > stage then raise (Chaining v);
                    finish.(v) <- offset + dv
                  end)
                (Cdfg.topo_order cdfg);
@@ -256,6 +270,7 @@ let run cdfg mlib ~rate ~pipe_length () =
              List.iter
                (fun op ->
                  for s = lb.(op) to ub.(op) do
+                   Budget.spend_pass budget;
                    let self =
                      window_force cdfg mlib ~rate dgs op
                        (lb.(op), ub.(op))
@@ -300,7 +315,9 @@ let run cdfg mlib ~rate ~pipe_length () =
                | [] ->
                    result :=
                      Some
-                       (Error "FDS: every candidate assignment is infeasible")
+                       (Error
+                          (Infeasible
+                             "FDS: every candidate assignment is infeasible"))
                | (_, op, s) :: rest -> (
                    fixed.(op) <- Some s;
                    match frames cdfg mlib ~rate ~pipe_length ~fixed with
@@ -316,7 +333,15 @@ let run cdfg mlib ~rate ~pipe_length () =
            end
          done;
          match !result with Some r -> r | None -> assert false
-       with Failure msg -> Error msg)
+       with
+      | Chaining v -> Error (Chaining_overflow v)
+      | Budget.Out_of_budget e -> Error (Exhausted e)))
+
+let error_message cdfg = function
+  | Infeasible msg -> msg
+  | Chaining_overflow v ->
+      Printf.sprintf "FDS: chaining overflow at %s" (Cdfg.name cdfg v)
+  | Exhausted e -> "FDS: " ^ Budget.message e
 
 let fu_requirements sched =
   let cdfg = Schedule.cdfg sched in

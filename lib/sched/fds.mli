@@ -13,15 +13,29 @@
 
 open Mcs_cdfg
 
+type error =
+  | Infeasible of string
+      (** no schedule exists under the (rate, pipe length) pair *)
+  | Chaining_overflow of Types.op_id
+      (** schedule materialization found an operation whose chained delay
+          exceeds the stage time — a malformed module library or design *)
+  | Exhausted of Mcs_resilience.Budget.exhausted
+      (** the pass/wall budget ran out (or the [exhaust-fds] fault is
+          injected) before the scheduler converged *)
+
+val error_message : Cdfg.t -> error -> string
+
 val run :
+  ?budget:Mcs_resilience.Budget.t ->
   Cdfg.t ->
   Module_lib.t ->
   rate:int ->
   pipe_length:int ->
   unit ->
-  (Schedule.t, string) result
+  (Schedule.t, error) result
 (** Fails when the pipe length cannot accommodate the critical path or the
-    recursive-edge maximum time constraints. *)
+    recursive-edge maximum time constraints.  [budget] charges one pass
+    per placement round and one per candidate force evaluation. *)
 
 val fu_requirements : Schedule.t -> ((int * string) * int) list
 (** Functional units needed to execute the schedule, per (partition,

@@ -1,5 +1,6 @@
 open Mcs_cdfg
 module M = Mcs_obs.Metrics
+module Budget = Mcs_resilience.Budget
 
 let m_runs = M.counter "ls.runs"
 let m_csteps = M.counter "ls.csteps"
@@ -17,7 +18,23 @@ type io_hook = {
 let unconstrained_io =
   { io_can = (fun _ _ ~cstep:_ -> true); io_commit = (fun _ _ ~cstep:_ -> ()) }
 
-type failure = { reason : string; at_cstep : int; partial : Schedule.t }
+type kind =
+  | Horizon of int
+  | Deadline_missed of Types.op_id * int
+  | Missing_fu of int * string
+  | Exhausted of Budget.exhausted
+
+type failure = {
+  kind : kind;
+  reason : string;
+  at_cstep : int;
+  partial : Schedule.t;
+}
+
+(* A missing functional-unit allocation is detected deep inside the wheel
+   lookup; carried to the boundary as an exception so it becomes a typed
+   [failure] instead of the [Invalid_argument] it used to escape as. *)
+exception No_fu of int * string
 
 let priorities cdfg mlib =
   let n = Cdfg.n_ops cdfg in
@@ -51,8 +68,8 @@ let deadlines sched cdfg mlib ~rate =
     (List.rev (Cdfg.topo_order cdfg));
   dl
 
-let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
-    ?priority_bias ?min_cstep () =
+let run ?(budget = Budget.unlimited) cdfg mlib cons ~rate ?max_csteps
+    ?(io_hook = unconstrained_io) ?priority_bias ?min_cstep () =
   M.incr m_runs;
   let sched = Schedule.create cdfg mlib ~rate in
   let max_csteps =
@@ -67,11 +84,7 @@ let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
     | Some w -> w
     | None ->
         let fus = Constraints.fu_count cons ~partition ~optype in
-        if fus = 0 then
-          invalid_arg
-            (Printf.sprintf
-               "List_sched: no %s units allocated in partition %d" optype
-               partition);
+        if fus = 0 then raise (No_fu (partition, optype));
         let w = Alloc_wheel.create ~fus ~rate in
         Hashtbl.add wheels (partition, optype) w;
         w
@@ -87,13 +100,18 @@ let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
   let n = Cdfg.n_ops cdfg in
   let remaining = ref n in
   let failure = ref None in
-  let fail reason at_cstep =
-    if !failure = None then failure := Some { reason; at_cstep; partial = sched }
+  let fail kind reason at_cstep =
+    if !failure = None then
+      failure := Some { kind; reason; at_cstep; partial = sched }
   in
   let s = ref 0 in
+  (try
   while !remaining > 0 && !failure = None do
+    Budget.spend_pass budget;
     if !s > max_csteps then
-      fail (Printf.sprintf "no schedule within %d control steps" max_csteps) !s
+      fail (Horizon max_csteps)
+        (Printf.sprintf "no schedule within %d control steps" max_csteps)
+        !s
     else begin
       let dl = deadlines sched cdfg mlib ~rate in
       (* Deadline already missed? *)
@@ -101,6 +119,7 @@ let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
         (fun op ->
           if (not (Schedule.is_scheduled sched op)) && dl.(op) < !s then
             fail
+              (Deadline_missed (op, dl.(op)))
               (Printf.sprintf
                  "maximum time constraint unsatisfiable: %s needed by cstep \
                   %d"
@@ -176,7 +195,18 @@ let run cdfg mlib cons ~rate ?max_csteps ?(io_hook = unconstrained_io)
         incr s
       end
     end
-  done;
+  done
+  with
+  | No_fu (partition, optype) ->
+      fail
+        (Missing_fu (partition, optype))
+        (Printf.sprintf "no %s units allocated in partition %d" optype
+           partition)
+        !s
+  | Budget.Out_of_budget e ->
+      (* Raised by our own pass budget or from inside an [io_hook] (the
+         pin-ILP feasibility query, bus reassignment matching). *)
+      fail (Exhausted e) ("list scheduling: " ^ Budget.message e) !s);
   match !failure with
   | Some f -> Error f
   | None -> Ok sched

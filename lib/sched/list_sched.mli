@@ -26,13 +26,27 @@ type io_hook = {
 val unconstrained_io : io_hook
 (** Accepts everything (pure functional-unit-constrained scheduling). *)
 
+type kind =
+  | Horizon of int  (** no schedule within this many control steps *)
+  | Deadline_missed of Types.op_id * int
+      (** recursive max-time constraint unsatisfiable: op needed by cstep *)
+  | Missing_fu of int * string
+      (** a functional operation has no functional unit at all in its
+          (partition, optype) — a constraint-set bug rather than a
+          scheduling failure, but reported as a typed failure instead of
+          the [Invalid_argument] it used to raise *)
+  | Exhausted of Mcs_resilience.Budget.exhausted
+      (** the pass/wall budget ran out, here or inside an [io_hook] *)
+
 type failure = {
-  reason : string;
+  kind : kind;
+  reason : string;  (** human-readable rendering of [kind] *)
   at_cstep : int;
   partial : Schedule.t;  (** state at the point of failure, for diagnosis *)
 }
 
 val run :
+  ?budget:Mcs_resilience.Budget.t ->
   Cdfg.t ->
   Module_lib.t ->
   Constraints.t ->
@@ -47,9 +61,9 @@ val run :
     [min_cstep] forbids scheduling an operation before the given control
     step — the paper's manual trick of "postponing some of the operations
     ... and rerunning" (§5.3), mechanized by [Mcs_core.Improve].
-    @raise Invalid_argument when a functional operation has no functional
-    unit at all in its partition (a constraint-set bug rather than a
-    scheduling failure). *)
+    [budget] charges one pass per control step; a
+    {!Mcs_resilience.Budget.Out_of_budget} escaping the [io_hook] is also
+    caught here and reported as an [Exhausted] failure. *)
 
 val priorities : Cdfg.t -> Module_lib.t -> int array
 (** The static priority function: longest path (in cycles) from each

@@ -104,7 +104,7 @@ let test_bounds_bidir_halves () =
 
 let heuristic_invariants (d : Benchmarks.design) cons ~rate ~mode =
   match Heuristic.search d.Benchmarks.cdfg cons ~rate ~mode () with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Heuristic.error_message m)
   | Ok res ->
       let cdfg = d.Benchmarks.cdfg in
       (* Every operation's bus is capable of carrying it. *)
@@ -167,7 +167,7 @@ let test_heuristic_slot_cap () =
         ~slot_cap:cap ()
     with
     | Ok res -> Connection.n_buses res.Heuristic.conn
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Heuristic.error_message m)
   in
   checkb "lower cap, more buses" true (buses 4 >= buses 6)
 
@@ -180,7 +180,7 @@ let run_with_reassign (d : Benchmarks.design) ~rate ~mode ~dynamic =
     | Connection.Bidir -> Benchmarks.constraints_for_bidir d ~rate
   in
   match Heuristic.search d.Benchmarks.cdfg cons ~rate ~mode () with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Heuristic.error_message m)
   | Ok res ->
       let ra =
         Reassign.create d.Benchmarks.cdfg res.Heuristic.conn ~rate
@@ -267,7 +267,8 @@ let test_ch4_ilp_small () =
           checkb "ILP respects budgets" true (used <= Constraints.pins cons p))
         pins
   | `Unsat -> Alcotest.fail "ILP claims infeasible but the heuristic succeeds"
-  | `Unknown -> Alcotest.fail "ILP budget exhausted"
+  | `Unknown -> Alcotest.fail "ILP gave up"
+  | `Exhausted _ -> Alcotest.fail "unlimited budget exhausted"
 
 let test_ch4_ilp_detects_infeasible () =
   let d = Benchmarks.cond_demo () in
@@ -311,7 +312,7 @@ let test_heuristic_deterministic () =
   let go () =
     match Heuristic.search d.Benchmarks.cdfg cons ~rate:4 ~mode:Connection.Unidir () with
     | Ok res -> (Connection.n_buses res.Heuristic.conn, res.Heuristic.assign)
-    | Error m -> Alcotest.fail m
+    | Error m -> Alcotest.fail (Heuristic.error_message m)
   in
   checkb "two runs agree" true (go () = go ())
 

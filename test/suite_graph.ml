@@ -202,7 +202,7 @@ let test_hungarian_rect_matching () =
   let w = [| [| 3; 0 |]; [| 0; 4 |]; [| 5; 1 |] |] in
   let pairs =
     H.max_weight_matching ~n_left:3 ~n_right:2 ~weight:(fun l r ->
-        Some w.(l).(r))
+        Some w.(l).(r)) ()
   in
   let total =
     Mcs_util.Listx.sum (fun (l, r) -> w.(l).(r)) pairs
@@ -212,7 +212,7 @@ let test_hungarian_rect_matching () =
 let test_hungarian_forbidden () =
   let pairs =
     H.max_weight_matching ~n_left:2 ~n_right:2 ~weight:(fun l r ->
-        if l = r then Some 1 else None)
+        if l = r then Some 1 else None) ()
   in
   Alcotest.(check (list (pair int int))) "only diagonal" [ (0, 0); (1, 1) ] pairs
 

@@ -128,7 +128,8 @@ let test_snapshot_restore () =
       Simplex.Tab.add_row tab [| R.one; R.zero |] Simplex.Le (R.of_int 2);
       (match Simplex.Tab.reoptimize_dual tab with
       | `Ok -> checkb "with x<=2: 26/3" true (R.equal (v ()) (R.make 26 3))
-      | `Infeasible -> Alcotest.fail "x<=2 should stay feasible");
+      | `Infeasible -> Alcotest.fail "x<=2 should stay feasible"
+      | `Exhausted _ -> Alcotest.fail "unlimited budget exhausted");
       Simplex.Tab.restore tab snap;
       checkb "restored value 12" true (R.equal (v ()) (R.of_int 12));
       (* Re-grow the restored tableau with a contradictory bound: the
@@ -154,7 +155,8 @@ let test_add_row_matches_cold () =
             Simplex.Tab.add_row tab c r b;
             (match Simplex.Tab.reoptimize_dual tab with
             | `Ok -> Simplex.Optimal (Simplex.Tab.solution tab)
-            | `Infeasible -> Simplex.Infeasible)
+            | `Infeasible -> Simplex.Infeasible
+            | `Exhausted _ -> Alcotest.fail "unlimited budget exhausted")
         | _ -> Alcotest.fail "base LP should solve"
       in
       let cold =

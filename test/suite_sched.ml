@@ -148,10 +148,9 @@ let test_list_sched_missing_fu () =
       ~fus:[ (1, "add", 1) ] (* no multipliers anywhere *)
   in
   checkb "raises on missing FU type" true
-    (try
-       ignore (List_sched.run d.Benchmarks.cdfg d.Benchmarks.mlib cons ~rate:2 ());
-       false
-     with Invalid_argument _ -> true)
+    (match List_sched.run d.Benchmarks.cdfg d.Benchmarks.mlib cons ~rate:2 () with
+    | Error { List_sched.kind = List_sched.Missing_fu (_, "mul"); _ } -> true
+    | Error _ | Ok _ -> false)
 
 let test_list_sched_io_hook_postpones () =
   let d = Benchmarks.ar_simple () in
@@ -206,7 +205,7 @@ let test_fds_respects_pipe_length () =
   List.iter
     (fun (rate, pl) ->
       match Fds.run d.Benchmarks.cdfg d.Benchmarks.mlib ~rate ~pipe_length:pl () with
-      | Error m -> Alcotest.fail m
+      | Error m -> Alcotest.fail (Fds.error_message d.Benchmarks.cdfg m)
       | Ok s ->
           checkb "verifies" true (Schedule.verify s = Ok ());
           checkb "within pipe length" true (Schedule.pipe_length s <= pl))
@@ -224,13 +223,13 @@ let test_fds_rate5_schedules_ewf () =
      scheduling misses. *)
   let d = Benchmarks.elliptic () in
   match Fds.run d.Benchmarks.cdfg d.Benchmarks.mlib ~rate:5 ~pipe_length:25 () with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Fds.error_message d.Benchmarks.cdfg m)
   | Ok s -> checkb "valid at rate 5" true (Schedule.verify s = Ok ())
 
 let test_fds_fu_requirements () =
   let d = Benchmarks.ar_general () in
   match Fds.run d.Benchmarks.cdfg d.Benchmarks.mlib ~rate:4 ~pipe_length:9 () with
-  | Error m -> Alcotest.fail m
+  | Error m -> Alcotest.fail (Fds.error_message d.Benchmarks.cdfg m)
   | Ok s ->
       let fus = Fds.fu_requirements s in
       (* Lower bound: P1 has 9 muls at rate 4 -> at least 3 multipliers. *)

@@ -14,5 +14,6 @@ let () =
       Suite_integration.suite;
       Suite_obs.suite;
       Suite_engine.suite;
+      Suite_resilience.suite;
       Suite_check.suite;
     ]
