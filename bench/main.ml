@@ -3,9 +3,18 @@
    times the core algorithms with Bechamel.
 
    Usage: main.exe [--skip-bechamel] [--only PREFIX] [--json FILE]
+                   [--baseline FILE] [--compare FILE] [--reps N]
+                   [--noise PCT] [--trace-out FILE]
    e.g. --only ch4 runs only the Chapter 4 experiments; --json FILE skips
    the tables and instead writes one machine-readable record per flow
-   (wall time plus solver counters, schema mcs-bench/1) to FILE. *)
+   (wall time plus solver counters, schema mcs-bench/1) to FILE.
+
+   --baseline FILE measures the paper benchmarks (median-of---reps wall
+   times, deterministic solver counters) and writes an
+   mcs-bench-baseline/1 file; --compare FILE re-measures and gates
+   against a committed baseline: hard metrics (pivots, nodes, pins, pipe
+   lengths) fail on any increase, wall times only warn beyond --noise
+   (default 25%).  --trace-out FILE records a Chrome trace of the run. *)
 
 open Mcs_cdfg
 open Mcs_core
@@ -812,49 +821,67 @@ let json_report path =
     ]
   in
   let flows =
-    [
-      record "ch3" "ar-simple" 2 (fun () ->
-          match
-            run_flow F.Ch3 (Benchmarks.ar_simple ()) ~rate:2 ~mode:C.Unidir
-          with
-          | Error m -> Error m
-          | Ok r -> Ok (result r.F.schedule r.F.pins));
-      record "ch4" "ar-general" 3 (fun () ->
-          match
-            run_flow F.Ch4 (Benchmarks.ar_general ()) ~rate:3 ~mode:C.Unidir
-          with
-          | Error m -> Error m
-          | Ok r -> Ok (result r.F.schedule r.F.pins));
-      record "ch5" "ar-general" 4 (fun () ->
-          match
-            run_flow F.Ch5
-              (Benchmarks.ar_general ())
-              ~rate:4 ~pipe_length:9 ~mode:C.Bidir
-          with
-          | Error m -> Error m
-          | Ok r -> Ok (result r.F.schedule r.F.pins));
-      record "ch6" "ar-general" 3 (fun () ->
-          match
-            run_flow F.Ch6 (Benchmarks.ar_general ()) ~rate:3 ~mode:C.Bidir
-          with
-          | Error m -> Error m
-          | Ok t -> Ok (result t.F.schedule t.F.pins));
-    ]
-    @ List.map
-        (fun (name, d, rate) ->
-          record "ilp-warm-vs-cold" name rate (fun () ->
-              let wp, wn, wt, cp, cn, ct, agree = ilp_measure d rate in
-              Ok
-                [
-                  ("cold_pivots", J.Int cp);
-                  ("warm_pivots", J.Int wp);
-                  ("cold_nodes", J.Int cn);
-                  ("warm_nodes", J.Int wn);
-                  ("cold_wall_s", J.Float ct);
-                  ("warm_wall_s", J.Float wt);
-                  ("agree", J.Bool agree);
-                ]))
-        (ilp_cases ())
+    (if not (want "ch3") then []
+     else
+       [
+         record "ch3" "ar-simple" 2 (fun () ->
+             match
+               run_flow F.Ch3 (Benchmarks.ar_simple ()) ~rate:2 ~mode:C.Unidir
+             with
+             | Error m -> Error m
+             | Ok r -> Ok (result r.F.schedule r.F.pins));
+       ])
+    @ (if not (want "ch4") then []
+       else
+         [
+           record "ch4" "ar-general" 3 (fun () ->
+               match
+                 run_flow F.Ch4 (Benchmarks.ar_general ()) ~rate:3
+                   ~mode:C.Unidir
+               with
+               | Error m -> Error m
+               | Ok r -> Ok (result r.F.schedule r.F.pins));
+         ])
+    @ (if not (want "ch5") then []
+       else
+         [
+           record "ch5" "ar-general" 4 (fun () ->
+               match
+                 run_flow F.Ch5
+                   (Benchmarks.ar_general ())
+                   ~rate:4 ~pipe_length:9 ~mode:C.Bidir
+               with
+               | Error m -> Error m
+               | Ok r -> Ok (result r.F.schedule r.F.pins));
+         ])
+    @ (if not (want "ch6") then []
+       else
+         [
+           record "ch6" "ar-general" 3 (fun () ->
+               match
+                 run_flow F.Ch6 (Benchmarks.ar_general ()) ~rate:3
+                   ~mode:C.Bidir
+               with
+               | Error m -> Error m
+               | Ok t -> Ok (result t.F.schedule t.F.pins));
+         ])
+    @ (if not (want "ilp") then []
+       else
+         List.map
+           (fun (name, d, rate) ->
+             record "ilp-warm-vs-cold" name rate (fun () ->
+                 let wp, wn, wt, cp, cn, ct, agree = ilp_measure d rate in
+                 Ok
+                   [
+                     ("cold_pivots", J.Int cp);
+                     ("warm_pivots", J.Int wp);
+                     ("cold_nodes", J.Int cn);
+                     ("warm_nodes", J.Int wn);
+                     ("cold_wall_s", J.Float ct);
+                     ("warm_wall_s", J.Float wt);
+                     ("agree", J.Bool agree);
+                   ]))
+           (ilp_cases ()))
   in
   let report =
     J.Obj [ ("schema", J.Str "mcs-bench/1"); ("flows", J.Arr flows) ]
@@ -867,28 +894,195 @@ let json_report path =
       Format.eprintf "cannot write %s: %s@." path m;
       1
 
+(* ---- Baseline measurement and CI gating (mcs-bench-baseline/1) ---- *)
+
+module B = Mcs_prof.Baseline
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> 0.0
+  | s -> List.nth s (List.length s / 2)
+
+(* The same measurements json_report takes, reduced to baseline records:
+   deterministic counters and result metrics are hard gates, wall times
+   (median of [reps] repetitions, to shave scheduler noise) are soft. *)
+let baseline_records ~reps () =
+  let reps = max 1 reps in
+  let recs = ref [] in
+  let add experiment metric value hard =
+    recs := { B.experiment; metric; value; hard } :: !recs
+  in
+  let flow_case tag design_name rate run =
+    if want tag then begin
+      let experiment = Printf.sprintf "%s.%s.r%d" tag design_name rate in
+      let runs =
+        List.init reps (fun _ ->
+            Mcs_obs.Metrics.reset ();
+            let t0 = Unix.gettimeofday () in
+            let r = attempt run in
+            (r, Unix.gettimeofday () -. t0))
+      in
+      match fst (List.hd runs) with
+      | Error m -> Format.eprintf "baseline: %s FAILED (%s)@." experiment m
+      | Ok (pins, pipe) ->
+          add experiment "pins" (float_of_int pins) true;
+          add experiment "pipe" (float_of_int pipe) true;
+          add experiment "wall_s" (median (List.map snd runs)) false
+    end
+  in
+  let totals (r : F.result) =
+    (Mcs_util.Listx.sum snd r.F.pins, Sched.pipe_length r.F.schedule)
+  in
+  flow_case "ch3" "ar-simple" 2 (fun () ->
+      Result.map totals
+        (run_flow F.Ch3 (Benchmarks.ar_simple ()) ~rate:2 ~mode:C.Unidir));
+  flow_case "ch4" "ar-general" 3 (fun () ->
+      Result.map totals
+        (run_flow F.Ch4 (Benchmarks.ar_general ()) ~rate:3 ~mode:C.Unidir));
+  flow_case "ch5" "ar-general" 4 (fun () ->
+      Result.map totals
+        (run_flow F.Ch5
+           (Benchmarks.ar_general ())
+           ~rate:4 ~pipe_length:9 ~mode:C.Bidir));
+  flow_case "ch6" "ar-general" 3 (fun () ->
+      Result.map totals
+        (run_flow F.Ch6 (Benchmarks.ar_general ()) ~rate:3 ~mode:C.Bidir));
+  if want "ilp" then
+    List.iter
+      (fun (name, d, rate) ->
+        let experiment = Printf.sprintf "ilp.%s.r%d" name rate in
+        let runs = List.init reps (fun _ -> ilp_measure d rate) in
+        let wp, wn, _, cp, cn, _, _ = List.hd runs in
+        add experiment "warm_pivots" (float_of_int wp) true;
+        add experiment "warm_nodes" (float_of_int wn) true;
+        add experiment "cold_pivots" (float_of_int cp) true;
+        add experiment "cold_nodes" (float_of_int cn) true;
+        add experiment "warm_wall_s"
+          (median (List.map (fun (_, _, wt, _, _, _, _) -> wt) runs))
+          false;
+        add experiment "cold_wall_s"
+          (median (List.map (fun (_, _, _, _, _, ct, _) -> ct) runs))
+          false)
+      (ilp_cases ());
+  List.rev !recs
+
+let baseline_mode path reps =
+  let recs = baseline_records ~reps () in
+  if recs = [] then begin
+    Format.eprintf "baseline: no experiments selected@.";
+    2
+  end
+  else
+    match B.save path recs with
+    | Ok () ->
+        Format.fprintf fmt "wrote %s (%d records)@." path (List.length recs);
+        0
+    | Error m ->
+        Format.eprintf "cannot write %s: %s@." path m;
+        2
+
+let compare_mode path reps noise =
+  match B.load path with
+  | Error m ->
+      Format.eprintf "cannot load baseline %s: %s@." path m;
+      2
+  | Ok baseline ->
+      (* Honour --only symmetrically: gate only the baseline records
+         whose experiment the current invocation re-measures. *)
+      let baseline = List.filter (fun r -> want r.B.experiment) baseline in
+      let current = baseline_records ~reps () in
+      let cs = B.compare ~noise ~baseline ~current () in
+      List.iter (fun c -> Format.fprintf fmt "%a@." B.pp_comparison c) cs;
+      let hard = B.failures cs in
+      let soft = B.soft_regressions cs in
+      if soft <> [] then
+        Format.fprintf fmt
+          "warning: %d wall-time regression(s) beyond the %.0f%% noise \
+           threshold (soft, not gating)@."
+          (List.length soft) (noise *. 100.);
+      if hard <> [] then begin
+        Format.fprintf fmt
+          "FAIL: %d hard regression(s) against %s@."
+          (List.length hard) path;
+        1
+      end
+      else begin
+        Format.fprintf fmt "baseline OK: %d record(s) compared against %s@."
+          (List.length cs) path;
+        0
+      end
+
 let () =
   let args = Array.to_list Sys.argv in
   let json_file = ref None in
+  let baseline_file = ref None in
+  let compare_file = ref None in
+  let trace_out = ref None in
+  let reps = ref 3 in
+  let noise = ref 0.25 in
   List.iteri
     (fun i a ->
-      if a = "--only" && i + 1 < List.length args then
-        only := List.nth args (i + 1);
-      if a = "--json" && i + 1 < List.length args then
-        json_file := Some (List.nth args (i + 1));
+      let arg_of k = if a = k && i + 1 < List.length args then
+          Some (List.nth args (i + 1)) else None in
+      (match arg_of "--only" with Some v -> only := v | None -> ());
+      (match arg_of "--json" with Some v -> json_file := Some v | None -> ());
+      (match arg_of "--baseline" with
+      | Some v -> baseline_file := Some v
+      | None -> ());
+      (match arg_of "--compare" with
+      | Some v -> compare_file := Some v
+      | None -> ());
+      (match arg_of "--trace-out" with
+      | Some v -> trace_out := Some v
+      | None -> ());
+      (match Option.bind (arg_of "--reps") int_of_string_opt with
+      | Some n when n > 0 -> reps := n
+      | Some _ | None -> ());
+      (match Option.bind (arg_of "--noise") float_of_string_opt with
+      | Some p when p > 0. -> noise := p /. 100.
+      | Some _ | None -> ());
       if a = "--skip-bechamel" then skip_bechamel := true)
     args;
-  match !json_file with
-  | Some path -> exit (json_report path)
-  | None ->
-  if want "ch3" then ch3 ();
-  if want "ch4" then ch4 ();
-  if want "ch5" then ch5 ();
-  if want "ch6" then ch6 ();
-  if want "ch7" then ch7 ();
-  if want "rtl" then rtl_and_verify ();
-  if want "scale" then scaling ();
-  if want "ilp" then ilp ();
-  if want "dse" then dse ();
-  if not !skip_bechamel then bechamel ();
-  Format.fprintf fmt "@.All experiments completed.@."
+  (match !trace_out with
+  | Some _ ->
+      Mcs_obs.Events.clear ();
+      Mcs_prof.Chrome_trace.start ()
+  | None -> ());
+  let finish code =
+    (match !trace_out with
+    | Some path -> (
+        match Mcs_prof.Chrome_trace.write path with
+        | Ok () -> Format.fprintf fmt "wrote %s@." path
+        | Error m -> Format.eprintf "cannot write %s: %s@." path m)
+    | None -> ());
+    exit code
+  in
+  match (!json_file, !baseline_file, !compare_file) with
+  | None, None, None ->
+      if want "ch3" then ch3 ();
+      if want "ch4" then ch4 ();
+      if want "ch5" then ch5 ();
+      if want "ch6" then ch6 ();
+      if want "ch7" then ch7 ();
+      if want "rtl" then rtl_and_verify ();
+      if want "scale" then scaling ();
+      if want "ilp" then ilp ();
+      if want "dse" then dse ();
+      if not !skip_bechamel then bechamel ();
+      Format.fprintf fmt "@.All experiments completed.@.";
+      finish 0
+  | _ ->
+      let json_code =
+        match !json_file with Some p -> json_report p | None -> 0
+      in
+      let baseline_code =
+        match !baseline_file with
+        | Some p -> baseline_mode p !reps
+        | None -> 0
+      in
+      let compare_code =
+        match !compare_file with
+        | Some p -> compare_mode p !reps !noise
+        | None -> 0
+      in
+      finish (max json_code (max baseline_code compare_code))

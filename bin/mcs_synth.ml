@@ -172,7 +172,7 @@ let level_label = function
   | Pass.Strict -> "strict"
 
 let synth design flow rate pipe_length ports check strict deadline_ms
-    no_fallback listing trace metrics json_file log_level =
+    no_fallback listing trace trace_out metrics json_file log_level =
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -224,7 +224,15 @@ let synth design flow rate pipe_length ports check strict deadline_ms
             Mcs_obs.Metrics.reset ();
             if json_file <> None then begin
               Mcs_obs.Trace.reset_collected ();
-              Mcs_obs.Trace.set_collect true
+              Mcs_obs.Trace.set_collect true;
+              (* The event journal rides on the report whenever the run
+                 degrades, exhausts or fails its checks. *)
+              Mcs_obs.Events.clear ();
+              Mcs_obs.Events.set_enabled true
+            end;
+            if trace_out <> None then begin
+              Mcs_obs.Events.clear ();
+              Mcs_prof.Chrome_trace.start ()
             end;
             let t0 = Unix.gettimeofday () in
             (* The budget's deadline clock starts here, right before the
@@ -294,9 +302,28 @@ let synth design flow rate pipe_length ports check strict deadline_ms
                     | Ok _ -> `Ok
                     | Error dg -> `Error (Diag.message dg)
                   in
+                  (* Exhausted, degraded or checker-dirty runs carry the
+                     solver event journal, so the report alone explains
+                     which solver tripped which budget axis. *)
+                  let journal_worthy =
+                    Mcs_prof.Journal.exhausted_axis () <> None
+                    || (match outcome with
+                       | Error dg -> dg.Diag.code = Diag.Exhausted
+                       | Ok r ->
+                           F.is_degraded r
+                           || List.exists Diag.is_error r.F.diags)
+                  in
+                  let journal_fields =
+                    if journal_worthy then
+                      [ ("journal", Mcs_prof.Journal.to_json ()) ]
+                      @ (match Mcs_prof.Journal.exhausted_axis () with
+                        | Some a -> [ ("exhausted_axis", J.Str a) ]
+                        | None -> [])
+                    else []
+                  in
                   let report =
                     J.run_report ~flow ~design ~rate ~status ~wall_s:wall
-                      ~result:fields ()
+                      ~result:(fields @ journal_fields) ()
                   in
                   match J.write_file path report with
                   | Ok () -> 0
@@ -304,7 +331,19 @@ let synth design flow rate pipe_length ports check strict deadline_ms
                       Format.eprintf "cannot write %s: %s@." path m;
                       3)
             in
-            if code <> 0 then code else json_code)
+            let trace_code =
+              match trace_out with
+              | None -> 0
+              | Some path -> (
+                  match Mcs_prof.Chrome_trace.write path with
+                  | Ok () -> 0
+                  | Error m ->
+                      Format.eprintf "cannot write %s: %s@." path m;
+                      3)
+            in
+            if code <> 0 then code
+            else if json_code <> 0 then json_code
+            else trace_code)
 
 (* ---- design-space exploration (the dse subcommand) ---- *)
 
@@ -356,7 +395,7 @@ let parse_flows s =
 let counter_count name = Mcs_obs.Metrics.(count (counter name))
 
 let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
-    retry json_file =
+    retry json_file trace_out =
   let ( let* ) = Result.bind in
   let plan =
     let* flows = parse_flows flows_s in
@@ -396,6 +435,10 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
       2
   | Ok joblist ->
       Mcs_obs.Metrics.reset ();
+      if trace_out <> None then begin
+        Mcs_obs.Events.clear ();
+        Mcs_prof.Chrome_trace.start ()
+      end;
       let cache = Option.map E_cache.open_dir cache_dir in
       (match deadline_ms with
       | Some ms when ms > 0. ->
@@ -447,7 +490,20 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
       if cache <> None then
         Format.fprintf fmt "cache: %d hits, %d misses, %d stale@."
           (c "cache.hits") (c "cache.misses") (c "cache.stale");
-      (match json_file with
+      let trace_code =
+        match trace_out with
+        | None -> 0
+        | Some path -> (
+            match Mcs_prof.Chrome_trace.write path with
+            | Ok () ->
+                Format.fprintf fmt "wrote %s@." path;
+                0
+            | Error m ->
+                Format.eprintf "cannot write %s: %s@." path m;
+                3)
+      in
+      let json_code =
+        match json_file with
       | None -> 0
       | Some path -> (
           let report =
@@ -479,7 +535,9 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
               0
           | Error m ->
               Format.eprintf "cannot write %s: %s@." path m;
-              3))
+              3)
+      in
+      if json_code <> 0 then json_code else trace_code
 
 open Cmdliner
 
@@ -514,6 +572,14 @@ let trace =
            ~doc:"Emit per-phase timing spans to stderr: $(b,tree) (indented \
                  summary, the default when no MODE is given) or $(b,json) \
                  (one JSON object per span).")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Record a Chrome trace (phase spans plus solver events: \
+               branch-and-bound nodes, simplex pivot batches, FDS passes, \
+               Hungarian augments, cache and pool activity, ladder steps) \
+               and write it to $(docv), loadable in chrome://tracing or \
+               ui.perfetto.dev.")
 
 let metrics =
   Arg.(value & flag
@@ -567,8 +633,8 @@ let no_fallback =
 let synth_term =
   Term.(
     const synth $ design $ flow $ rate $ pipe_length $ ports $ check
-    $ strict $ deadline_ms $ no_fallback $ listing $ trace $ metrics
-    $ json_file $ log_level)
+    $ strict $ deadline_ms $ no_fallback $ listing $ trace $ trace_out
+    $ metrics $ json_file $ log_level)
 
 let dse_cmd =
   let designs =
@@ -641,7 +707,7 @@ let dse_cmd =
          ])
     Term.(
       const dse $ designs $ flows $ rates $ pipe_lengths $ jobs $ cache
-      $ timeout $ deadline_ms $ retry $ json)
+      $ timeout $ deadline_ms $ retry $ json $ trace_out)
 
 let cmd =
   let doc = "high-level synthesis with pin constraints for multiple-chip designs" in

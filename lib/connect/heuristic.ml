@@ -244,6 +244,14 @@ let search ?(budget = Budget.unlimited) cdfg cons ~rate ~mode ?slot_cap
   with
   | exception Budget_exhausted ->
       M.incr m_budget_exhausted;
+      if Mcs_obs.Events.on () then
+        Mcs_obs.Events.emit ~cat:"heuristic" "exhausted"
+          ~args:
+            [
+              ("resource", Mcs_obs.Events.Str "nodes");
+              ("limit", Mcs_obs.Events.Int max_nodes);
+              ("spent", Mcs_obs.Events.Int !nodes);
+            ];
       Error
         (Exhausted
            { Budget.resource = Budget.Nodes; limit = max_nodes; spent = !nodes })

@@ -53,6 +53,7 @@ let supernode_groups sched =
 let cliques_trivial sched = List.concat (supernode_groups sched)
 
 let cliques ?budget sched ~mode =
+  Mcs_obs.Trace.with_span "cliques.merge" @@ fun () ->
   let cdfg = Sched.cdfg sched in
   (* Group G_k per control-step group; inside a group, operations
      transferring the same value in the same control step form one

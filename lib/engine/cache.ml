@@ -5,6 +5,11 @@ let misses = Mcs_obs.Metrics.counter "engine.cache.misses"
 let stale = Mcs_obs.Metrics.counter "engine.cache.stale"
 let quarantined = Mcs_obs.Metrics.counter "engine.cache.quarantined"
 
+let event name job =
+  if Mcs_obs.Events.on () then
+    Mcs_obs.Events.emit ~cat:"cache" name
+      ~args:[ ("job", Mcs_obs.Events.Str (Job.to_string job)) ]
+
 type t = { dir : string; version : string }
 
 let rec mkdir_p dir =
@@ -42,6 +47,7 @@ let lookup t job =
   match read_file (entry_path t job) with
   | None ->
       Mcs_obs.Metrics.incr misses;
+      event "miss" job;
       None
   | Some body -> (
       let fresh =
@@ -56,12 +62,14 @@ let lookup t job =
       match fresh with
       | Some outcome ->
           Mcs_obs.Metrics.incr hits;
+          event "hit" job;
           Some outcome
       | None ->
           (* Corrupt or stale: move the entry aside instead of re-reading
              (and re-rejecting) it on every lookup.  The quarantined file
              keeps the evidence for a post-mortem. *)
           Mcs_obs.Metrics.incr stale;
+          event "stale" job;
           let path = entry_path t job in
           (try
              Sys.rename path (path ^ ".bad");

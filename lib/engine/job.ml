@@ -129,6 +129,9 @@ let of_string s =
 
 let equal a b = to_string a = to_string b
 
+let hash j =
+  String.sub (Digest.to_hex (Digest.string (to_string j))) 0 12
+
 let pp ppf j =
   Format.fprintf ppf "%s %s r%d%s"
     (design_to_string j.design)

@@ -57,6 +57,11 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 val equal : t -> t -> bool
+
+val hash : t -> string
+(** Short (12 hex chars) content digest of the canonical encoding; used
+    to tag structured log lines and trace events with a job identity. *)
+
 val pp : Format.formatter -> t -> unit
 (** Short human form, e.g. [ar-general ch5 r4 pl8]. *)
 

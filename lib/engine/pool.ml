@@ -137,6 +137,9 @@ let spawn ?(crash = false) worker job idx ~timeout =
   match Unix.fork () with
   | 0 ->
       Unix.close r;
+      (* The child's log lines interleave with the parent's on stderr;
+         the job hash makes them attributable. *)
+      Mcs_obs.Log.set_field "job" (Job.hash job);
       if crash then Unix._exit 3;
       (match worker job with
       | o ->
@@ -146,6 +149,13 @@ let spawn ?(crash = false) worker job idx ~timeout =
       | exception _ -> Unix._exit 3)
   | pid ->
       Unix.close w;
+      if Mcs_obs.Events.on () then
+        Mcs_obs.Events.emit ~cat:"pool" "fork"
+          ~args:
+            [
+              ("job", Mcs_obs.Events.Str (Job.hash job));
+              ("pid", Mcs_obs.Events.Int pid);
+            ];
       {
         pid;
         fd = r;
@@ -180,6 +190,20 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) ?(retry = false) joblist =
   let finish wk outcome =
     running := List.filter (fun w -> w.pid <> wk.pid) !running;
     (try Unix.close wk.fd with Unix.Unix_error _ -> ());
+    if Mcs_obs.Events.on () then
+      Mcs_obs.Events.emit ~cat:"pool" "join"
+        ~args:
+          [
+            ("job", Mcs_obs.Events.Str (Job.hash joblist.(wk.idx)));
+            ("pid", Mcs_obs.Events.Int wk.pid);
+            ( "status",
+              Mcs_obs.Events.Str
+                (match outcome.Outcome.status with
+                | Outcome.Feasible -> "feasible"
+                | Outcome.Infeasible _ -> "infeasible"
+                | Outcome.Crashed _ -> "crashed"
+                | Outcome.Timed_out -> "timed-out") );
+          ];
     results.(wk.idx) <- Some outcome;
     fresh.(wk.idx) <- true
   in
@@ -261,6 +285,12 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) ?(retry = false) joblist =
      in
      if failed <> [] then begin
        M.incr c_retries ~n:(List.length failed);
+       if Mcs_obs.Events.on () then
+         List.iter
+           (fun i ->
+             Mcs_obs.Events.emit ~cat:"pool" "retry"
+               ~args:[ ("job", Mcs_obs.Events.Str (Job.hash joblist.(i))) ])
+           failed;
        (* One retry, in degraded mode: half the deadline (or half the pool
           timeout when no deadline was set) so the flows' ladders have
           room to land inside the original allowance. *)

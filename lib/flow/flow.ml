@@ -629,7 +629,8 @@ let run ?(level = Pass.Off) ?checker ?check_result ?dump
            "%s" (Budget.message e))
   in
   match
-    Mcs_obs.Trace.with_span ("flow." ^ name_to_string name) guarded
+    Mcs_obs.Log.with_field "flow" (name_to_string name) (fun () ->
+        Mcs_obs.Trace.with_span ("flow." ^ name_to_string name) guarded)
   with
   | Error d -> Error d
   | Ok r -> (

@@ -42,6 +42,14 @@ let m_degraded = M.counter "flow.degraded_steps"
 let degrade t ~phase note =
   t.degraded_steps <- note :: t.degraded_steps;
   M.incr m_degraded;
+  if Mcs_obs.Events.on () then
+    Mcs_obs.Events.emit ~cat:"ladder" "degrade"
+      ~args:
+        [
+          ("flow", Mcs_obs.Events.Str t.flow);
+          ("phase", Mcs_obs.Events.Str phase);
+          ("note", Mcs_obs.Events.Str note);
+        ];
   record t (Diag.warning ~code:Diag.Degraded ~phase "%s" note)
 
 let degraded t = List.rev t.degraded_steps

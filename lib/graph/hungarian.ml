@@ -30,6 +30,9 @@ let solve_rect ?(budget = Budget.unlimited) cost n m =
   let way = Array.make (m + 1) 0 in
   for i = 1 to n do
     M.incr m_augmentations;
+    if Mcs_obs.Events.on () then
+      Mcs_obs.Events.emit ~cat:"hungarian" "augment"
+        ~args:[ ("row", Mcs_obs.Events.Int i); ("of", Mcs_obs.Events.Int n) ];
     Budget.spend_augment budget;
     p.(0) <- i;
     let j0 = ref 0 in

@@ -1,5 +1,6 @@
 module R = Mcs_util.Ratio
 module M = Mcs_obs.Metrics
+module E = Mcs_obs.Events
 module Budget = Mcs_resilience.Budget
 module Fault = Mcs_resilience.Fault
 
@@ -12,6 +13,11 @@ let m_node_limit = M.counter "bb.node_limit"
 let m_warm_restores = M.counter "bb.warm_restores"
 let m_child_unbounded = M.counter "bb.child_unbounded"
 let g_depth_peak = M.gauge "bb.depth_peak"
+
+(* Same instrument as Simplex's pivot counter (registration is
+   idempotent): node.close journal events report the pivots each dual
+   reoptimization cost as the delta across the node. *)
+let m_pivots = M.counter "simplex.pivots"
 
 type result =
   | Optimal of Simplex.solution
@@ -176,6 +182,9 @@ let solve ?(budget = Budget.unlimited) ?(max_nodes = 200_000) ~integer
           match most_fractional ~integer sol with
           | None ->
               M.incr m_incumbents;
+              if E.on () then
+                E.emit ~cat:"bb" "incumbent"
+                  ~args:[ ("node", E.Int !nodes); ("depth", E.Int depth) ];
               incumbent := Some (sol.value, sol)
           | Some i ->
               let snap = Simplex.Tab.snapshot tab in
@@ -207,6 +216,31 @@ let solve ?(budget = Budget.unlimited) ?(max_nodes = 200_000) ~integer
               M.incr m_nodes;
               M.incr m_warm_restores;
               M.set_max g_depth_peak (float_of_int node.depth);
+              let journaling = E.on () in
+              let pivots0 = if journaling then M.count m_pivots else 0 in
+              if journaling then
+                E.emit ~cat:"bb" "node.open"
+                  ~args:
+                    [
+                      ("node", E.Int !nodes);
+                      ("depth", E.Int node.depth);
+                      ("var", E.Int node.var);
+                      ( "branch",
+                        E.Str
+                          (match node.dir with
+                          | `Le b -> Printf.sprintf "x%d<=%d" node.var b
+                          | `Ge b -> Printf.sprintf "x%d>=%d" node.var b) );
+                    ];
+              let close outcome =
+                if journaling then
+                  E.emit ~cat:"bb" "node.close"
+                    ~args:
+                      [
+                        ("node", E.Int !nodes);
+                        ("outcome", E.Str outcome);
+                        ("pivots", E.Int (M.count m_pivots - pivots0));
+                      ]
+              in
               Simplex.Tab.restore tab node.snap;
               let coefs = unit_row p.n_vars node.var R.one in
               (match node.dir with
@@ -215,9 +249,13 @@ let solve ?(budget = Budget.unlimited) ?(max_nodes = 200_000) ~integer
               match Simplex.Tab.reoptimize_dual tab with
               | `Infeasible ->
                   M.incr m_prune_infeasible;
+                  close "infeasible";
                   drain ()
-              | `Exhausted e -> exhausted := Some e
+              | `Exhausted e ->
+                  close "exhausted";
+                  exhausted := Some e
               | `Ok ->
+                  close "solved";
                   consider (Simplex.Tab.solution tab) node.depth;
                   drain ()
             end

@@ -366,7 +366,25 @@ module Tab = struct
       try build ?budget p
       with Budget.Out_of_budget e -> `Exhausted e
     in
-    M.observe m_pivots_per_solve (M.count m_pivots - pivots0);
+    let batch = M.count m_pivots - pivots0 in
+    M.observe m_pivots_per_solve batch;
+    (* One journal event per solve, not per pivot: the batch size is the
+       useful signal and a per-pivot event would flood the ring. *)
+    if Mcs_obs.Events.on () then
+      Mcs_obs.Events.emit ~cat:"simplex" "solve"
+        ~args:
+          [
+            ("pivots", Mcs_obs.Events.Int batch);
+            ("rows", Mcs_obs.Events.Int (List.length p.rows));
+            ("vars", Mcs_obs.Events.Int p.n_vars);
+            ( "outcome",
+              Mcs_obs.Events.Str
+                (match r with
+                | `Solved _ -> "solved"
+                | `Infeasible -> "infeasible"
+                | `Unbounded -> "unbounded"
+                | `Exhausted _ -> "exhausted") );
+          ];
     r
 
   let solution t =

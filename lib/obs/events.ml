@@ -1,0 +1,86 @@
+type arg = Int of int | Str of string | Float of float | Bool of bool
+
+type t = {
+  seq : int;
+  ts : float;
+  cat : string;
+  name : string;
+  args : (string * arg) list;
+}
+
+(* The bus is a fixed-capacity ring: [emit] overwrites the oldest slot
+   once full, so a crashing or degrading run always keeps its most recent
+   history — exactly the part a post-mortem needs — at O(capacity) memory
+   no matter how long the solvers churn. *)
+type ring = {
+  mutable slots : t option array;
+  mutable next : int; (* next write position *)
+  mutable stored : int; (* total emits that landed in the ring *)
+}
+
+let default_capacity = 4096
+let ring = { slots = Array.make default_capacity None; next = 0; stored = 0 }
+let enabled_flag = ref false
+let seq_counter = ref 0
+let subscribers : (t -> unit) list ref = ref []
+
+let on () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+let capacity () = Array.length ring.slots
+
+let clear () =
+  Array.fill ring.slots 0 (Array.length ring.slots) None;
+  ring.next <- 0;
+  ring.stored <- 0;
+  seq_counter := 0
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Events.set_capacity: capacity must be positive";
+  ring.slots <- Array.make n None;
+  ring.next <- 0;
+  ring.stored <- 0
+
+let subscribe f = subscribers := !subscribers @ [ f ]
+let clear_subscribers () = subscribers := []
+
+let emit ?(args = []) ~cat name =
+  if !enabled_flag then begin
+    let e = { seq = !seq_counter; ts = Unix.gettimeofday (); cat; name; args } in
+    incr seq_counter;
+    ring.slots.(ring.next) <- Some e;
+    ring.next <- (ring.next + 1) mod Array.length ring.slots;
+    ring.stored <- ring.stored + 1;
+    List.iter (fun f -> f e) !subscribers
+  end
+
+let emitted () = ring.stored
+let dropped () = max 0 (ring.stored - Array.length ring.slots)
+
+(* Oldest-first: the ring's logical order is [next..end) ++ [0..next). *)
+let recent () =
+  let n = Array.length ring.slots in
+  let collect lo hi acc =
+    let rec go i acc =
+      if i >= hi then acc
+      else
+        match ring.slots.(i) with
+        | Some e -> go (i + 1) (e :: acc)
+        | None -> go (i + 1) acc
+    in
+    go lo acc
+  in
+  List.rev (collect 0 ring.next (collect ring.next n []))
+
+let arg_to_string = function
+  | Int i -> string_of_int i
+  | Str s -> s
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let pp ppf e =
+  Format.fprintf ppf "%s.%s" e.cat e.name;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%s" k (arg_to_string v))
+    e.args

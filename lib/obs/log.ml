@@ -35,9 +35,28 @@ let enabled l = l <> Quiet && severity l >= severity !threshold
 
 let out = Format.err_formatter
 
+(* Structured context fields, printed [key=value] on every line between
+   the level prefix and the message.  [Mcs_flow.Flow.run] binds the
+   active flow name here and the engine pool's forked workers bind their
+   job hash, so a worker's stderr remains attributable after a crash.
+   Later bindings of the same key shadow earlier ones. *)
+let context : (string * string) list ref = ref []
+
+let set_field k v = context := (k, v) :: List.remove_assoc k !context
+let unset_field k = context := List.remove_assoc k !context
+let fields () = List.rev !context
+
+let with_field k v f =
+  let saved = !context in
+  set_field k v;
+  Fun.protect ~finally:(fun () -> context := saved) f
+
+let pp_context ppf () =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s=%s " k v) (fields ())
+
 let log l fmt =
   if enabled l then begin
-    Format.fprintf out "[mcs:%s] " (level_to_string l);
+    Format.fprintf out "[mcs:%s] %a" (level_to_string l) pp_context ();
     Format.kfprintf
       (fun ppf ->
         Format.pp_print_newline ppf ();

@@ -21,6 +21,22 @@ val enabled : level -> bool
 (** [enabled lvl] is true when a message at [lvl] would be printed.
     Guard expensive message construction with it. *)
 
+val set_field : string -> string -> unit
+(** [set_field k v] binds a structured context field printed as [k=v] on
+    every subsequent line (between the level prefix and the message).
+    Rebinding a key replaces its value.  The flow driver binds
+    [flow=<name>]; forked pool workers bind [job=<hash>], so worker logs
+    stay attributable after a crash. *)
+
+val unset_field : string -> unit
+
+val with_field : string -> string -> (unit -> 'a) -> 'a
+(** Scoped {!set_field}: the previous context is restored on exit, even
+    on exceptions. *)
+
+val fields : unit -> (string * string) list
+(** The active context fields, oldest binding first. *)
+
 val debug : ('a, Format.formatter, unit) format -> 'a
 val info : ('a, Format.formatter, unit) format -> 'a
 val warn : ('a, Format.formatter, unit) format -> 'a

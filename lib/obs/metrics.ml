@@ -124,6 +124,38 @@ let reset () =
           h.h_total <- 0)
     registry
 
+(* Prometheus-style estimate: locate the bucket containing the q-th
+   observation in the cumulative distribution and interpolate linearly
+   inside it (the overflow bucket has no upper edge, so its answers clamp
+   to the last finite bound).  Exact when a bucket holds one distinct
+   value; otherwise within one bucket width. *)
+let histogram_quantile v q =
+  match v with
+  | Counter _ | Gauge _ -> None
+  | Histogram { bounds; counts; total; _ } ->
+      if total = 0 then None
+      else begin
+        let q = Float.max 0.0 (Float.min 1.0 q) in
+        let rank = q *. float_of_int total in
+        let nb = Array.length bounds in
+        let rec locate i cum =
+          if i > nb then Some (float_of_int bounds.(nb - 1))
+          else
+            let cum' = cum + counts.(i) in
+            if float_of_int cum' >= rank && counts.(i) > 0 then
+              if i >= nb then Some (float_of_int bounds.(nb - 1))
+              else
+                let hi = float_of_int bounds.(i) in
+                let lo = if i = 0 then 0.0 else float_of_int bounds.(i - 1) in
+                let inside =
+                  (rank -. float_of_int cum) /. float_of_int counts.(i)
+                in
+                Some (lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 inside)))
+            else locate (i + 1) cum'
+        in
+        locate 0 0
+      end
+
 let nonzero = function
   | Counter 0 -> false
   | Counter _ -> true

@@ -57,6 +57,14 @@ val on_read : (unit -> unit) -> unit
     accumulator to stay off a hot path (e.g. the rational-arithmetic
     reduction counter) register a flush here so reports remain exact. *)
 
+val histogram_quantile : value -> float -> float option
+(** [histogram_quantile v q] estimates the [q]-quantile (0 ≤ q ≤ 1,
+    clamped) of a [Histogram] value by linear interpolation inside the
+    bucket holding the q-th observation; the open overflow bucket clamps
+    to the last finite bound.  [None] for empty histograms and
+    non-histogram values.  Reports use it to export p50/p95 per
+    experiment rather than only sums. *)
+
 val snapshot : unit -> (string * value) list
 (** All registered instruments, sorted by name (pre-read hooks run
     first). *)

@@ -268,10 +268,17 @@ let metrics () =
            | Metrics.Counter c -> Int c
            | Metrics.Gauge g -> Float g
            | Metrics.Histogram { bounds; counts; sum; total } ->
+               let quantile q =
+                 match Metrics.histogram_quantile v q with
+                 | Some est -> Float est
+                 | None -> Null
+               in
                Obj
                  [
                    ("count", Int total);
                    ("sum", Int sum);
+                   ("p50", quantile 0.5);
+                   ("p95", quantile 0.95);
                    ( "buckets",
                      Arr
                        (List.mapi

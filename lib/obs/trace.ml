@@ -4,18 +4,29 @@ type node = {
   name : string;
   attrs : (string * string) list;
   depth : int;
+  mutable t0 : float;
   mutable dur : float;
   mutable children : node list; (* reverse order while open *)
 }
 
+type span = {
+  span_name : string;
+  span_attrs : (string * string) list;
+  span_depth : int;
+  span_t0 : float;
+  span_dur : float;
+}
+
 let current_sink = ref Off
 let collect = ref false
+let hook : (span -> unit) option ref = ref None
 let stack : node list ref = ref []
 let totals : (string, int * float) Hashtbl.t = Hashtbl.create 32
 
 let set_sink s = current_sink := s
 let sink () = !current_sink
 let set_collect b = collect := b
+let set_hook h = hook := h
 
 let collected () =
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) totals []
@@ -72,6 +83,17 @@ let close_span node =
   | top :: rest when top == node -> stack := rest
   | _ -> stack := []);
   if !collect then record_total node.name node.dur;
+  (match !hook with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          span_name = node.name;
+          span_attrs = node.attrs;
+          span_depth = node.depth;
+          span_t0 = node.t0;
+          span_dur = node.dur;
+        });
   match !current_sink with
   | Off -> ()
   | Jsonl ppf -> emit_jsonl ppf node
@@ -81,13 +103,21 @@ let close_span node =
       | [] -> Format.fprintf ppf "@[<v>%a@]%!" print_tree node)
 
 let with_span ?(attrs = []) name f =
-  if !current_sink = Off && not !collect then f ()
+  if !current_sink = Off && (not !collect) && Option.is_none !hook then f ()
   else begin
     let node =
-      { name; attrs; depth = List.length !stack; dur = 0.0; children = [] }
+      {
+        name;
+        attrs;
+        depth = List.length !stack;
+        t0 = 0.0;
+        dur = 0.0;
+        children = [];
+      }
     in
     stack := node :: !stack;
     let t0 = Unix.gettimeofday () in
+    node.t0 <- t0;
     Fun.protect
       ~finally:(fun () ->
         node.dur <- Unix.gettimeofday () -. t0;

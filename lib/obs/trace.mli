@@ -21,8 +21,23 @@
 
 type sink = Off | Tree of Format.formatter | Jsonl of Format.formatter
 
+(** One closed span, as seen by the exporter hook. *)
+type span = {
+  span_name : string;
+  span_attrs : (string * string) list;
+  span_depth : int;  (** nesting depth at open time (0 = root) *)
+  span_t0 : float;  (** [Unix.gettimeofday] at open *)
+  span_dur : float;  (** wall seconds *)
+}
+
 val set_sink : sink -> unit
 val sink : unit -> sink
+
+val set_hook : (span -> unit) option -> unit
+(** [set_hook (Some f)] calls [f] on every span as it closes (children
+    before parents), independently of the sink; spans are measured even
+    when the sink is [Off].  The Chrome-trace exporter registers here.
+    [set_hook None] removes the hook. *)
 
 val set_collect : bool -> unit
 

@@ -1,0 +1,151 @@
+module J = Mcs_obs.Report_json
+
+let schema = "mcs-bench-baseline/1"
+
+type record = {
+  experiment : string;
+  metric : string;
+  value : float;
+  hard : bool;
+}
+
+type t = record list
+
+let key r = r.experiment ^ "/" ^ r.metric
+
+let to_json (t : t) =
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ( "records",
+        J.Arr
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("experiment", J.Str r.experiment);
+                   ("metric", J.Str r.metric);
+                   ("value", J.Float r.value);
+                   ("hard", J.Bool r.hard);
+                 ])
+             t) );
+    ]
+
+let ( let* ) = Result.bind
+
+let record_of_json j =
+  let field name conv =
+    match Option.bind (J.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "baseline record: bad or missing %S" name)
+  in
+  let* experiment = field "experiment" J.to_str in
+  let* metric = field "metric" J.to_str in
+  let* value = field "value" J.to_float in
+  let* hard =
+    field "hard" (function J.Bool b -> Some b | _ -> None)
+  in
+  Ok { experiment; metric; value; hard }
+
+let of_json j =
+  match Option.bind (J.member "schema" j) J.to_str with
+  | Some s when s = schema -> (
+      match Option.bind (J.member "records" j) J.to_list with
+      | None -> Error "baseline: missing records array"
+      | Some rs ->
+          List.fold_left
+            (fun acc r ->
+              let* acc = acc in
+              let* r = record_of_json r in
+              Ok (r :: acc))
+            (Ok []) rs
+          |> Result.map List.rev)
+  | Some s -> Error (Printf.sprintf "baseline: schema %S, want %S" s schema)
+  | None -> Error "baseline: missing schema field"
+
+let load path =
+  match
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error m -> Error m
+  with
+  | Error m -> Error m
+  | Ok body ->
+      let* j = J.of_string body in
+      of_json j
+
+let save path t = J.write_file path (to_json t)
+
+type verdict =
+  | Within_noise of float
+  | Improvement of float
+  | Regression of float
+  | Missing
+
+type comparison = {
+  record : record;
+  current : float option;
+  verdict : verdict;
+}
+
+(* Hard metrics are deterministic counters: any increase at all is a
+   regression, no noise allowance.  Soft metrics (wall times) regress
+   only beyond the relative [noise] threshold. *)
+let judge ~noise (r : record) cur =
+  if r.hard then
+    if cur > r.value then Regression (cur -. r.value)
+    else if cur < r.value then Improvement (r.value -. cur)
+    else Within_noise 0.0
+  else if r.value <= 0.0 then
+    if cur > 0.0 then Regression cur else Within_noise 0.0
+  else
+    let delta = (cur -. r.value) /. r.value in
+    if delta > noise then Regression delta
+    else if delta < -.noise then Improvement (-.delta)
+    else Within_noise delta
+
+let compare ?(noise = 0.25) ~baseline ~current () =
+  List.map
+    (fun r ->
+      match List.find_opt (fun c -> key c = key r) current with
+      | None -> { record = r; current = None; verdict = Missing }
+      | Some c ->
+          {
+            record = r;
+            current = Some c.value;
+            verdict = judge ~noise r c.value;
+          })
+    baseline
+
+let is_failure c =
+  c.record.hard
+  && match c.verdict with Regression _ | Missing -> true | _ -> false
+
+let failures cs = List.filter is_failure cs
+
+let soft_regressions cs =
+  List.filter
+    (fun c ->
+      (not c.record.hard)
+      && match c.verdict with Regression _ -> true | _ -> false)
+    cs
+
+let verdict_to_string = function
+  | Within_noise _ -> "within-noise"
+  | Improvement _ -> "improvement"
+  | Regression _ -> "regression"
+  | Missing -> "missing"
+
+let pp_comparison ppf c =
+  let cur =
+    match c.current with
+    | Some v -> Printf.sprintf "%g" v
+    | None -> "absent"
+  in
+  Format.fprintf ppf "%-14s %s/%s: baseline %g, current %s%s"
+    (verdict_to_string c.verdict)
+    c.record.experiment c.record.metric c.record.value cur
+    (if c.record.hard then " [hard]" else "")

@@ -1,0 +1,54 @@
+(** Benchmark baselines and CI gating ([mcs-bench-baseline/1]).
+
+    A baseline is a flat list of (experiment, metric, value) records,
+    each marked {e hard} or {e soft}.  Hard metrics are deterministic
+    solver counters (simplex pivots, branch-and-bound nodes, result pins)
+    where any increase over the committed baseline is a regression; soft
+    metrics are wall times, which regress only beyond a relative noise
+    threshold and never gate CI by themselves. *)
+
+val schema : string
+(** ["mcs-bench-baseline/1"]. *)
+
+type record = {
+  experiment : string;  (** e.g. ["ilp.ar-general.r3"] *)
+  metric : string;  (** e.g. ["warm.pivots"], ["cold.wall_s"] *)
+  value : float;
+  hard : bool;
+}
+
+type t = record list
+
+val key : record -> string
+(** [experiment ^ "/" ^ metric] — the identity used to match baseline
+    records against current ones. *)
+
+val to_json : t -> Mcs_obs.Report_json.t
+val of_json : Mcs_obs.Report_json.t -> (t, string) result
+val load : string -> (t, string) result
+val save : string -> t -> (unit, string) result
+
+type verdict =
+  | Within_noise of float  (** relative delta (0 for exact hard match) *)
+  | Improvement of float  (** absolute (hard) or relative (soft) gain *)
+  | Regression of float  (** absolute (hard) or relative (soft) loss *)
+  | Missing  (** baseline record absent from the current run *)
+
+type comparison = {
+  record : record;
+  current : float option;
+  verdict : verdict;
+}
+
+val compare : ?noise:float -> baseline:t -> current:t -> unit -> comparison list
+(** One comparison per {e baseline} record, in baseline order.  [noise]
+    (default 0.25, i.e. 25%) applies to soft metrics only: hard metrics
+    regress on any increase. *)
+
+val is_failure : comparison -> bool
+(** A hard record that regressed or is missing — the CI gate. *)
+
+val failures : comparison list -> comparison list
+val soft_regressions : comparison list -> comparison list
+val verdict_to_string : verdict -> string
+val pp_comparison : Format.formatter -> comparison -> unit

@@ -1,0 +1,119 @@
+module J = Mcs_obs.Report_json
+module Trace = Mcs_obs.Trace
+module Events = Mcs_obs.Events
+
+(* One trace entry, already in Chrome's vocabulary: "X" complete events
+   for spans (ts + dur), "i" instants for solver events.  Timestamps are
+   microseconds relative to [start]'s clock read, so a trace loads with
+   t=0 at recording start regardless of wall-clock epoch. *)
+type entry = {
+  ph : string;
+  name : string;
+  cat : string;
+  ts : float; (* microseconds since recording start *)
+  dur : float option; (* microseconds, "X" only *)
+  args : (string * J.t) list;
+}
+
+let recording_flag = ref false
+let t0 = ref 0.0
+let entries : entry list ref = ref [] (* newest first *)
+let recording () = !recording_flag
+
+let us_of abs = Float.max 0.0 ((abs -. !t0) *. 1e6)
+
+let on_span (s : Trace.span) =
+  if !recording_flag then
+    entries :=
+      {
+        ph = "X";
+        name = s.Trace.span_name;
+        cat = "phase";
+        ts = us_of s.Trace.span_t0;
+        dur = Some (Float.max 0.0 (s.Trace.span_dur *. 1e6));
+        args =
+          List.map (fun (k, v) -> (k, J.Str v)) s.Trace.span_attrs
+          @ [ ("depth", J.Int s.Trace.span_depth) ];
+      }
+      :: !entries
+
+let json_of_arg = function
+  | Events.Int i -> J.Int i
+  | Events.Str s -> J.Str s
+  | Events.Float f -> J.Float f
+  | Events.Bool b -> J.Bool b
+
+let on_event (e : Events.t) =
+  if !recording_flag then
+    entries :=
+      {
+        ph = "i";
+        name = e.Events.name;
+        cat = e.Events.cat;
+        ts = us_of e.Events.ts;
+        dur = None;
+        args =
+          ("seq", J.Int e.Events.seq)
+          :: List.map (fun (k, v) -> (k, json_of_arg v)) e.Events.args;
+      }
+      :: !entries
+
+let prior_events = ref false
+
+let start () =
+  if not !recording_flag then begin
+    entries := [];
+    t0 := Unix.gettimeofday ();
+    recording_flag := true;
+    prior_events := Events.on ();
+    Events.set_enabled true;
+    Events.subscribe on_event;
+    Trace.set_hook (Some on_span)
+  end
+
+let stop () =
+  if !recording_flag then begin
+    recording_flag := false;
+    Trace.set_hook None;
+    Events.clear_subscribers ();
+    Events.set_enabled !prior_events
+  end
+
+(* Chrome's importer tolerates unsorted input but Perfetto's slice
+   nesting is cleanest ts-ascending; ties break longest-duration first so
+   a parent span precedes the children that closed at the same tick. *)
+let to_json () =
+  let pid = Unix.getpid () in
+  let by_ts a b =
+    match Float.compare a.ts b.ts with
+    | 0 ->
+        Float.compare
+          (Option.value b.dur ~default:0.0)
+          (Option.value a.dur ~default:0.0)
+    | c -> c
+  in
+  let sorted = List.sort by_ts (List.rev !entries) in
+  J.Arr
+    (List.map
+       (fun e ->
+         J.Obj
+           ([
+              ("name", J.Str e.name);
+              ("cat", J.Str e.cat);
+              ("ph", J.Str e.ph);
+              ("ts", J.Float e.ts);
+            ]
+           @ (match e.dur with
+             | Some d -> [ ("dur", J.Float d) ]
+             | None -> [ ("s", J.Str "t") ])
+           @ [
+               ("pid", J.Int pid);
+               ("tid", J.Int 1);
+               ("args", J.Obj e.args);
+             ]))
+       sorted)
+
+let write path =
+  let json = to_json () in
+  stop ();
+  J.write_file path json

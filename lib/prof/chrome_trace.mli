@@ -1,0 +1,31 @@
+(** Chrome-trace (chrome://tracing / Perfetto) exporter.
+
+    While recording, every {!Mcs_obs.Trace} span that closes becomes an
+    ["X"] complete event (microsecond [ts]/[dur] relative to recording
+    start) and every {!Mcs_obs.Events} solver event becomes an ["i"]
+    instant, all on one pid/tid so the spans nest by containment.  The
+    output is the JSON-array flavour of the trace event format, loadable
+    directly in [chrome://tracing] or [ui.perfetto.dev].
+
+    Recording is global and single-consumer: [start] registers the
+    {!Mcs_obs.Trace.set_hook} slot and an {!Mcs_obs.Events.subscribe}
+    callback (force-enabling the event bus), [stop]/[write] release
+    them. *)
+
+val start : unit -> unit
+(** Begin recording (idempotent).  Clears any previously recorded
+    entries. *)
+
+val stop : unit -> unit
+(** Stop recording and release the trace hook and event subscription;
+    recorded entries remain available to {!to_json}.  Restores the
+    event-bus enablement that [start] found. *)
+
+val recording : unit -> bool
+
+val to_json : unit -> Mcs_obs.Report_json.t
+(** The recorded entries as a Chrome trace JSON array, sorted by
+    timestamp (parents before equal-timestamp children). *)
+
+val write : string -> (unit, string) result
+(** [write path] stops recording and writes {!to_json} to [path]. *)

@@ -1,0 +1,44 @@
+module J = Mcs_obs.Report_json
+module Events = Mcs_obs.Events
+
+let json_of_arg = function
+  | Events.Int i -> J.Int i
+  | Events.Str s -> J.Str s
+  | Events.Float f -> J.Float f
+  | Events.Bool b -> J.Bool b
+
+let json_of_event (e : Events.t) =
+  J.Obj
+    [
+      ("seq", J.Int e.Events.seq);
+      ("ts", J.Float e.Events.ts);
+      ("cat", J.Str e.Events.cat);
+      ("name", J.Str e.Events.name);
+      ("args", J.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) e.Events.args));
+    ]
+
+let to_json () =
+  J.Obj
+    [
+      ("emitted", J.Int (Events.emitted ()));
+      ("dropped", J.Int (Events.dropped ()));
+      ("events", J.Arr (List.map json_of_event (Events.recent ())));
+    ]
+
+(* The ring is oldest-first; the *last* exhaustion is the one that
+   settled the run's fate (earlier ones may have been absorbed by a
+   ladder step). *)
+let exhausted_axis () =
+  List.fold_left
+    (fun acc (e : Events.t) ->
+      if e.Events.name = "exhausted" then
+        match List.assoc_opt "resource" e.Events.args with
+        | Some (Events.Str r) -> Some r
+        | _ -> acc
+      else acc)
+    None (Events.recent ())
+
+let summary () =
+  match exhausted_axis () with
+  | None -> None
+  | Some axis -> Some (Printf.sprintf "budget exhausted on the %s axis" axis)

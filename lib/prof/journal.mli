@@ -1,0 +1,23 @@
+(** Solver event journal: the {!Mcs_obs.Events} ring, packaged for run
+    reports.
+
+    When a run ends [Exhausted], [Degraded] or checker-dirty, the CLI
+    dumps the journal into the [mcs-run/1] report so the JSON alone
+    explains {e which} solver tripped {e which} budget axis — no re-run
+    with tracing needed. *)
+
+val json_of_event : Mcs_obs.Events.t -> Mcs_obs.Report_json.t
+(** [{"seq","ts","cat","name","args"}]. *)
+
+val to_json : unit -> Mcs_obs.Report_json.t
+(** The ring as [{"emitted","dropped","events"}], events oldest first.
+    [dropped > 0] means the ring wrapped and only the most recent
+    [Events.capacity ()] events survive. *)
+
+val exhausted_axis : unit -> string option
+(** The ["resource"] argument of the most recent ["exhausted"] event in
+    the ring (["wall"], ["nodes"], ["pivots"], ["passes"] or
+    ["augments"]), if any budget tripped. *)
+
+val summary : unit -> string option
+(** Human one-liner naming the exhausted axis, when there is one. *)

@@ -74,6 +74,28 @@ let deadline_ms t = t.allowance_ms
 
 let m_exhausted = Mcs_obs.Metrics.counter "resilience.budget.exhausted"
 
+let resource_to_string = function
+  | Wall -> "wall"
+  | Nodes -> "nodes"
+  | Pivots -> "pivots"
+  | Passes -> "passes"
+  | Augments -> "augments"
+
+(* Every exhaustion — organic or injected — leaves a journal event naming
+   the tripped axis, so a later [Degraded]/[Exhausted] result is post-hoc
+   explainable from the run report alone. *)
+let exhausted_event ?(injected = false) e =
+  Mcs_obs.Metrics.incr m_exhausted;
+  if Mcs_obs.Events.on () then
+    Mcs_obs.Events.emit ~cat:"budget" "exhausted"
+      ~args:
+        ([
+           ("resource", Mcs_obs.Events.Str (resource_to_string e.resource));
+           ("limit", Mcs_obs.Events.Int e.limit);
+           ("spent", Mcs_obs.Events.Int e.spent);
+         ]
+        @ if injected then [ ("injected", Mcs_obs.Events.Bool true) ] else [])
+
 let check_wall t =
   match t.deadline with
   | None -> ()
@@ -84,8 +106,9 @@ let check_wall t =
           match t.allowance_ms with Some ms -> int_of_float ms | None -> 0
         in
         let spent = limit + int_of_float ((now -. dl) *. 1000.) in
-        Mcs_obs.Metrics.incr m_exhausted;
-        raise (Out_of_budget { resource = Wall; limit; spent })
+        let e = { resource = Wall; limit; spent } in
+        exhausted_event e;
+        raise (Out_of_budget e)
       end
 
 (* The wall clock is consulted every [wall_stride] spends so the gettimeofday
@@ -103,8 +126,9 @@ let tick_wall t =
 
 let spend resource limit spent =
   if spent > limit then begin
-    Mcs_obs.Metrics.incr m_exhausted;
-    raise (Out_of_budget { resource; limit; spent })
+    let e = { resource; limit; spent } in
+    exhausted_event e;
+    raise (Out_of_budget e)
   end
 
 let spend_node t =
@@ -127,14 +151,10 @@ let spend_augment t =
   (match t.augments with Some l -> spend Augments l t.n_augments | None -> ());
   tick_wall t
 
-let exhausted resource = { resource; limit = 0; spent = 0 }
-
-let resource_to_string = function
-  | Wall -> "wall"
-  | Nodes -> "nodes"
-  | Pivots -> "pivots"
-  | Passes -> "passes"
-  | Augments -> "augments"
+let exhausted resource =
+  let e = { resource; limit = 0; spent = 0 } in
+  exhausted_event ~injected:true e;
+  e
 
 let message e =
   let unit_ = match e.resource with Wall -> " ms" | _ -> "" in

@@ -92,6 +92,9 @@ let frames cdfg mlib ~rate ~pipe_length ~fixed =
     changed := false;
     incr iters;
     M.incr m_frame_passes;
+    if Mcs_obs.Events.on () then
+      Mcs_obs.Events.emit ~cat:"fds" "frame.pass"
+        ~args:[ ("pass", Mcs_obs.Events.Int !iters) ];
     (* Forward pass tightens lower bounds. *)
     let e =
       clamped_earliest cdfg mlib ~order:(Cdfg.topo_order cdfg)
@@ -209,6 +212,7 @@ let window_force cdfg mlib ~rate dgs op (lb0, ub0) (lb1, ub1) =
     (contributions cdfg op)
 
 let run ?(budget = Budget.unlimited) cdfg mlib ~rate ~pipe_length () =
+  Mcs_obs.Trace.with_span "fds.run" @@ fun () ->
   M.incr m_runs;
   match Fault.exhaust_fds () with
   | Some e -> Error (Exhausted e)
@@ -323,6 +327,13 @@ let run ?(budget = Budget.unlimited) cdfg mlib ~rate ~pipe_length () =
                    match frames cdfg mlib ~rate ~pipe_length ~fixed with
                    | Some fr ->
                        M.incr m_placements;
+                       if Mcs_obs.Events.on () then
+                         Mcs_obs.Events.emit ~cat:"fds" "placement"
+                           ~args:
+                             [
+                               ("op", Mcs_obs.Events.Int op);
+                               ("cstep", Mcs_obs.Events.Int s);
+                             ];
                        current := fr
                    | None ->
                        M.incr m_rejected_fixes;

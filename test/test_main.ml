@@ -16,4 +16,5 @@ let () =
       Suite_engine.suite;
       Suite_resilience.suite;
       Suite_check.suite;
+      Suite_prof.suite;
     ]
