@@ -698,6 +698,223 @@ let dse () =
     (t_seq /. Float.max 1e-9 t_par)
     identical
 
+(* ---- Synthesis-as-a-service: warm daemon vs cold CLI ---- *)
+
+module S_server = Mcs_server.Server
+module S_client = Mcs_server.Client
+module S_proto = Mcs_server.Protocol
+module Jx = Mcs_obs.Report_json
+
+(* The 10 unique points of the serve grid; the session submits every
+   one twice (20 jobs), the shape of an iterative exploration where the
+   second pass is pure rework.  A cold CLI pays for all 20; the warm
+   daemon's coalescing and cache pay for each unique point once.  The
+   two ch3 points go through the pin ILP, so solver pivots are part of
+   what deduplication saves. *)
+let serve_uniq () =
+  let ar = E_job.Named "ar-general" in
+  E_job.grid ~designs:[ ar ] ~flows:[ E_job.Ch4_unidir ] ~rates:[ 3; 4; 5 ] ()
+  @ E_job.grid ~designs:[ ar ] ~flows:[ E_job.Ch4_bidir ] ~rates:[ 3; 4 ] ()
+  @ E_job.grid ~designs:[ ar ] ~flows:[ E_job.Ch5 ] ~rates:[ 4 ]
+      ~pipe_lengths:[ 8; 9 ] ()
+  @ E_job.grid ~designs:[ ar ] ~flows:[ E_job.Ch6 ] ~rates:[ 3 ] ()
+  @ E_job.grid
+      ~designs:
+        [
+          E_job.Named "ar-simple";
+          E_job.Random_simple { seed = 3; n_partitions = 2; ops_per_chip = 4 };
+        ]
+      ~flows:[ E_job.Ch3 ] ~rates:[ 2 ] ()
+
+let take n l = List.filteri (fun i _ -> i < n) l
+let drop n l = List.filteri (fun i _ -> i >= n) l
+
+type serve_numbers = {
+  n_jobs : int;
+  cold_wall : float;
+  warm_wall : float;
+  cold_pivots : int;
+  warm_pivots : int;
+  cache_hits : int;
+  cache_misses : int;
+  coalesced : int;
+  warm_replied : int; (* warm replies that carried an outcome *)
+}
+
+let rm_rf dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        entries;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* Cold side: each job as its own fresh in-process run (what 20 CLI
+   invocations cost, minus process startup — charitable to cold).  Warm
+   side: a real forked daemon child with 2 worker domains, a warm cache
+   and a batching window; its solver work is read back from the
+   mcs-serve/1 stats.  The daemon must be a separate process anyway:
+   the parent keeps forking (Bechamel etc.), which OCaml 5 forbids once
+   a domain has been spawned. *)
+let serve_numbers () =
+  let uniq = serve_uniq () in
+  (* Wave 1 repeats half the grid while it is still in flight (those
+     duplicates coalesce); wave 2 repeats the other half after wave 1
+     has settled (those are warm-cache hits).  20 jobs in all. *)
+  let wave1 = uniq @ take 5 uniq in
+  let wave2 = drop 5 uniq in
+  let jobs = wave1 @ wave2 in
+  let p0 = Mcs_obs.Metrics.count m_pivots in
+  let t0 = Unix.gettimeofday () in
+  let cold = List.concat_map (fun j -> E_pool.run_local [ j ]) jobs in
+  let cold_wall = Unix.gettimeofday () -. t0 in
+  let cold_pivots = Mcs_obs.Metrics.count m_pivots - p0 in
+  assert (List.length cold = List.length jobs);
+  let sock =
+    Printf.sprintf "%s/mcs-bench-serve-%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ())
+  in
+  let cache_dir =
+    Printf.sprintf "%s/mcs-bench-serve-cache-%d"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ())
+  in
+  (* The child inherits this process's counters; warm solver work is the
+     delta the daemon's stats show over the value at fork time. *)
+  let p_fork = Mcs_obs.Metrics.count m_pivots in
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          let config =
+            {
+              S_server.default_config with
+              S_server.socket_path = sock;
+              (* One worker domain on purpose: the rational-arithmetic
+                 solvers allocate hard enough that two domains lose
+                 more to minor-GC synchronisation than they gain in
+                 parallelism, and this experiment isolates what the
+                 daemon's deduplication (coalescing + warm cache)
+                 saves, not SMP scaling. *)
+              domains = 1;
+              cache_dir = Some cache_dir;
+              window_ms = 25.0;
+            }
+          in
+          let t = S_server.create ~config () in
+          S_server.serve t;
+          0
+        with _ -> 1
+      in
+      Unix._exit code
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          rm_rf cache_dir)
+        (fun () ->
+          let rec connect_retry n =
+            match S_client.connect_unix sock with
+            | c -> c
+            | exception Unix.Unix_error _ when n > 0 ->
+                Unix.sleepf 0.05;
+                connect_retry (n - 1)
+          in
+          let c = connect_retry 100 in
+          let subs js =
+            List.map
+              (fun j ->
+                { S_proto.id = ""; job = j; deadline_ms = None; fallback = true })
+              js
+          in
+          let t1 = Unix.gettimeofday () in
+          let wave js =
+            match S_client.submit_all c (subs js) with
+            | Ok rs -> rs
+            | Error m -> failwith ("serve bench: " ^ m)
+          in
+          let r1 = wave wave1 in
+          let r2 = wave wave2 in
+          let replies = r1 @ r2 in
+          let warm_wall = Unix.gettimeofday () -. t1 in
+          let stats =
+            match S_client.stats c with
+            | Ok j -> j
+            | Error m -> failwith ("serve bench stats: " ^ m)
+          in
+          let stat name =
+            Option.value ~default:0
+              (Option.bind (Jx.member name stats) Jx.to_int)
+          in
+          let metric name =
+            Option.value ~default:0
+              (Option.bind
+                 (Option.bind (Jx.member "metrics" stats) (Jx.member name))
+                 Jx.to_int)
+          in
+          let numbers =
+            {
+              n_jobs = List.length jobs;
+              cold_wall;
+              warm_wall;
+              cold_pivots;
+              warm_pivots = metric "simplex.pivots" - p_fork;
+              cache_hits = stat "cache_hits";
+              cache_misses = stat "cache_misses";
+              coalesced = stat "coalesced";
+              warm_replied =
+                List.length
+                  (List.filter
+                     (fun (r : S_proto.reply) -> r.S_proto.outcome <> None)
+                     replies);
+            }
+          in
+          (match S_client.shutdown c with
+          | Ok _ -> ()
+          | Error m -> Format.eprintf "serve bench shutdown: %s@." m);
+          S_client.close c;
+          numbers)
+
+let serve () =
+  section
+    "E-serve - warm daemon vs 20 cold CLI runs on a repeated DSE grid";
+  let n = serve_numbers () in
+  Report.table fmt
+    ~title:
+      "Same 20-job grid (10 unique points, submitted twice): cold \
+       per-job runs vs one daemon with coalescing and a warm cache"
+    ~header:
+      [ "Mode"; "Jobs"; "Wall"; "Simplex pivots"; "Cache hits"; "Coalesced" ]
+    [
+      [
+        "cold CLI";
+        string_of_int n.n_jobs;
+        Printf.sprintf "%.2f s" n.cold_wall;
+        string_of_int n.cold_pivots;
+        "-";
+        "-";
+      ];
+      [
+        "warm daemon";
+        string_of_int n.n_jobs;
+        Printf.sprintf "%.2f s" n.warm_wall;
+        string_of_int n.warm_pivots;
+        string_of_int n.cache_hits;
+        string_of_int n.coalesced;
+      ];
+    ];
+  Format.fprintf fmt
+    "@.all %d daemon replies carried outcomes: %b; duplicates deduplicated \
+     (coalesced + cache hits): %d; warm pivots %d < cold pivots %d: %b@.@."
+    n.n_jobs
+    (n.warm_replied = n.n_jobs)
+    (n.coalesced + n.cache_hits)
+    n.warm_pivots n.cold_pivots
+    (n.warm_pivots < n.cold_pivots)
+
 (* ---- Bechamel timing ---- *)
 
 let bechamel () =
@@ -882,6 +1099,29 @@ let json_report path =
                      ("agree", J.Bool agree);
                    ]))
            (ilp_cases ()))
+    @
+    if not (want "serve") then []
+    else
+      [
+        record "serve-warm-vs-cold" "grid20" 0 (fun () ->
+            let n = serve_numbers () in
+            Ok
+              [
+                ("jobs", J.Int n.n_jobs);
+                ("cold_wall_s", J.Float n.cold_wall);
+                ("warm_wall_s", J.Float n.warm_wall);
+                ("cold_pivots", J.Int n.cold_pivots);
+                ("warm_pivots", J.Int n.warm_pivots);
+                ("cache_hits", J.Int n.cache_hits);
+                ("cache_misses", J.Int n.cache_misses);
+                ("coalesced", J.Int n.coalesced);
+                ( "cache_hit_rate",
+                  J.Float
+                    (float_of_int n.cache_hits
+                    /. float_of_int (max 1 (n.cache_hits + n.cache_misses))) );
+                ("warm_lt_cold_pivots", J.Bool (n.warm_pivots < n.cold_pivots));
+              ]);
+      ]
   in
   let report =
     J.Obj [ ("schema", J.Str "mcs-bench/1"); ("flows", J.Arr flows) ]
@@ -964,6 +1204,18 @@ let baseline_records ~reps () =
           (median (List.map (fun (_, _, _, _, _, ct, _) -> ct) runs))
           false)
       (ilp_cases ());
+  (* One measured session, not [reps]: the counters are deterministic
+     (every unique point solved exactly once behind the daemon's
+     coalescing and cache) and the session itself is the expensive
+     part.  Wall times stay soft. *)
+  if want "serve" then begin
+    let n = serve_numbers () in
+    add "serve.grid20" "cold_pivots" (float_of_int n.cold_pivots) true;
+    add "serve.grid20" "warm_pivots" (float_of_int n.warm_pivots) true;
+    add "serve.grid20" "cache_misses" (float_of_int n.cache_misses) true;
+    add "serve.grid20" "cold_wall_s" n.cold_wall false;
+    add "serve.grid20" "warm_wall_s" n.warm_wall false
+  end;
   List.rev !recs
 
 let baseline_mode path reps =
@@ -1068,6 +1320,7 @@ let () =
       if want "scale" then scaling ();
       if want "ilp" then ilp ();
       if want "dse" then dse ();
+      if want "serve" then serve ();
       if not !skip_bechamel then bechamel ();
       Format.fprintf fmt "@.All experiments completed.@.";
       finish 0

@@ -1,0 +1,123 @@
+(* mcs-serve: the synthesis daemon.
+
+   Examples:
+     mcs-serve --socket /tmp/mcs.sock --domains 4 --cache /tmp/mcs-cache
+     mcs-serve --tcp-port 7632 --window-ms 10 --trace-out serve-trace.json
+
+   Clients speak the newline-delimited mcs-req/1 protocol; the easiest
+   one is `mcs-synth client` (same grid options as `mcs-synth dse`). *)
+
+module Server = Mcs_server.Server
+
+let serve socket tcp_port domains cache window_ms max_queue trace_out
+    log_level =
+  (match Option.bind log_level Mcs_obs.Log.level_of_string with
+  | Some lvl -> Mcs_obs.Log.set_level lvl
+  | None -> ());
+  if trace_out <> None then begin
+    Mcs_obs.Events.clear ();
+    Mcs_prof.Chrome_trace.start ()
+  end;
+  let config =
+    {
+      Server.socket_path = socket;
+      tcp_port;
+      domains;
+      cache_dir = cache;
+      window_ms;
+      max_queue;
+    }
+  in
+  match Server.create ~config () with
+  | exception Unix.Unix_error (e, _, arg) ->
+      Format.eprintf "mcs-serve: cannot listen on %s: %s (%s)@." socket
+        (Unix.error_message e) arg;
+      2
+  | t ->
+      let graceful = Sys.Signal_handle (fun _ -> Server.request_shutdown t) in
+      Sys.set_signal Sys.sigterm graceful;
+      Sys.set_signal Sys.sigint graceful;
+      Format.printf "mcs-serve: listening on %s%s with %d domain%s@." socket
+        (match tcp_port with
+        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+        | None -> "")
+        (max 1 domains)
+        (if max 1 domains = 1 then "" else "s");
+      Format.print_flush ();
+      Server.serve t;
+      (match trace_out with
+      | None -> 0
+      | Some path -> (
+          match Mcs_prof.Chrome_trace.write path with
+          | Ok () ->
+              Format.printf "mcs-serve: wrote %s@." path;
+              0
+          | Error m ->
+              Format.eprintf "mcs-serve: cannot write %s: %s@." path m;
+              3))
+
+open Cmdliner
+
+let socket =
+  Arg.(value & opt string Server.default_config.Server.socket_path
+       & info [ "socket"; "s" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket to listen on (unlinked on exit).")
+
+let tcp_port =
+  Arg.(value & opt (some int) None & info [ "tcp-port" ] ~docv:"PORT"
+         ~doc:"Also listen on 127.0.0.1:$(docv).")
+
+let domains =
+  Arg.(value & opt int Server.default_config.Server.domains
+       & info [ "domains" ] ~docv:"N"
+           ~doc:"Worker domains executing jobs in-process.")
+
+let cache =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Shared persistent result cache (created if missing); \
+               repeated jobs across all clients are served from it.")
+
+let window_ms =
+  Arg.(value & opt float Server.default_config.Server.window_ms
+       & info [ "window-ms" ] ~docv:"MS"
+           ~doc:"Batching window: how long a fresh job waits for \
+                 same-design company before dispatch.")
+
+let max_queue =
+  Arg.(value & opt int Server.default_config.Server.max_queue
+       & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission limit on jobs in flight; beyond it requests \
+                 are rejected with a typed diagnostic.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Record a Chrome trace of the daemon's whole life (request \
+               spans and solver events, one lane per worker domain) and \
+               write it to $(docv) on graceful shutdown.")
+
+let log_level =
+  Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LVL"
+         ~doc:"Diagnostic verbosity: debug, info, warn (default), error \
+               or quiet.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mcs-serve" ~doc:"synthesis-as-a-service daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Long-lived synthesis server: accepts newline-delimited \
+              mcs-req/1 job submissions over a Unix-domain socket (and \
+              optionally loopback TCP), runs them on a pool of OCaml 5 \
+              worker domains with a shared warm cache, per-request \
+              deadline budgets, admission control and request \
+              coalescing/batching, and streams mcs-run/1 replies back.  \
+              A shutdown request (or SIGTERM) drains in-flight work \
+              before exit.";
+         ])
+    Term.(
+      const serve $ socket $ tcp_port $ domains $ cache $ window_ms
+      $ max_queue $ trace_out $ log_level)
+
+let () = exit (Cmd.eval' cmd)

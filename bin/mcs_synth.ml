@@ -394,39 +394,53 @@ let parse_flows s =
 
 let counter_count name = Mcs_obs.Metrics.(count (counter name))
 
+(* Grid planning shared by the dse and client subcommands: same flags,
+   same job list, so a sweep can be pointed at the fork pool or at a
+   warm daemon interchangeably. *)
+let grid_plan designs_s flows_s rates_s pls_s =
+  let ( let* ) = Result.bind in
+  let* flows = parse_flows flows_s in
+  let* rates = parse_int_list "--rates" rates_s in
+  let* pls = parse_int_list "--pipe-lengths" pls_s in
+  let* designs =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        match List.assoc_opt name E_job.named_designs with
+        | Some mk ->
+            Ok (acc @ [ (E_job.Named name, Some (mk ()).Benchmarks.rates) ])
+        | None when String.contains name ':' ->
+            (* Generated designs, same syntax the engine's job encoding
+               uses: random:<seed>:<chips>:<ops> and
+               rsimple:<seed>:<chips>:<ops_per_chip>. *)
+            let* d = E_job.design_of_string name in
+            Ok (acc @ [ (d, None) ])
+        | None ->
+            Error
+              (Printf.sprintf
+                 "unknown design %S (known: %s, or random:<seed>:<chips>:\
+                  <ops> / rsimple:<seed>:<chips>:<ops_per_chip>)"
+                 name
+                 (String.concat ", " (List.map fst E_job.named_designs))))
+      (Ok [])
+      (String.split_on_char ',' designs_s)
+  in
+  (* With no --rates, a named design sweeps the rates the paper
+     evaluates for it; generated designs have no paper rates and
+     default to 2..4. *)
+  Ok
+    (List.concat_map
+       (fun (design, paper_rates) ->
+         let rates =
+           if rates <> [] then rates
+           else match paper_rates with Some rs -> rs | None -> [ 2; 3; 4 ]
+         in
+         E_job.grid ~designs:[ design ] ~flows ~rates ~pipe_lengths:pls ())
+       designs)
+
 let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
     retry json_file trace_out =
-  let ( let* ) = Result.bind in
-  let plan =
-    let* flows = parse_flows flows_s in
-    let* rates = parse_int_list "--rates" rates_s in
-    let* pls = parse_int_list "--pipe-lengths" pls_s in
-    let* designs =
-      List.fold_left
-        (fun acc name ->
-          let* acc = acc in
-          match List.assoc_opt name E_job.named_designs with
-          | Some mk -> Ok (acc @ [ (name, mk ()) ])
-          | None ->
-              Error
-                (Printf.sprintf
-                   "unknown design %S (known: %s)" name
-                   (String.concat ", " (List.map fst E_job.named_designs))))
-        (Ok [])
-        (String.split_on_char ',' designs_s)
-    in
-    (* With no --rates, each design sweeps the rates the paper evaluates
-       for it. *)
-    Ok
-      (List.concat_map
-         (fun (name, d) ->
-           let rates = if rates = [] then d.Benchmarks.rates else rates in
-           E_job.grid
-             ~designs:[ E_job.Named name ]
-             ~flows ~rates ~pipe_lengths:pls ())
-         designs)
-  in
-  match plan with
+  match grid_plan designs_s flows_s rates_s pls_s with
   | Error m ->
       Format.eprintf "dse: %s@." m;
       2
@@ -538,6 +552,150 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
               3)
       in
       if json_code <> 0 then json_code else trace_code
+
+(* ---- submitting to a warm daemon (the client subcommand) ---- *)
+
+module S_client = Mcs_server.Client
+module S_proto = Mcs_server.Protocol
+
+let reply_json (r : S_proto.reply) =
+  match J.of_string (S_proto.response_to_string (S_proto.Reply r)) with
+  | Ok j -> j
+  | Error _ -> J.Null
+
+let client socket tcp designs_s flows_s rates_s pls_s deadline_ms no_fallback
+    stats_only shutdown_only json_file =
+  let connect () =
+    match tcp with
+    | None -> S_client.connect_unix socket
+    | Some hostport -> (
+        match String.rindex_opt hostport ':' with
+        | Some i ->
+            let host = String.sub hostport 0 i in
+            let port =
+              int_of_string
+                (String.sub hostport (i + 1) (String.length hostport - i - 1))
+            in
+            S_client.connect_tcp (if host = "" then "127.0.0.1" else host) port
+        | None -> failwith ("--tcp wants HOST:PORT, got " ^ hostport))
+  in
+  match connect () with
+  | exception Unix.Unix_error (e, _, _) ->
+      Format.eprintf "client: cannot connect to %s: %s@."
+        (match tcp with Some hp -> hp | None -> socket)
+        (Unix.error_message e);
+      2
+  | exception Failure m ->
+      Format.eprintf "client: %s@." m;
+      2
+  | c -> (
+      Fun.protect ~finally:(fun () -> S_client.close c) @@ fun () ->
+      if stats_only then
+        match S_client.stats c with
+        | Ok j ->
+            Format.printf "%a@." J.pp j;
+            0
+        | Error m ->
+            Format.eprintf "client: %s@." m;
+            2
+      else if shutdown_only then
+        match S_client.shutdown c with
+        | Ok drained ->
+            Format.printf "daemon drained %d job%s and exited@." drained
+              (if drained = 1 then "" else "s");
+            0
+        | Error m ->
+            Format.eprintf "client: %s@." m;
+            2
+      else
+        match grid_plan designs_s flows_s rates_s pls_s with
+        | Error m ->
+            Format.eprintf "client: %s@." m;
+            2
+        | Ok [] ->
+            Format.eprintf "client: empty job grid@.";
+            2
+        | Ok joblist -> (
+            let submits =
+              List.map
+                (fun job ->
+                  {
+                    S_proto.id = "";
+                    job;
+                    deadline_ms;
+                    fallback = not no_fallback;
+                  })
+                joblist
+            in
+            let t0 = Unix.gettimeofday () in
+            match S_client.submit_all c submits with
+            | Error m ->
+                Format.eprintf "client: %s@." m;
+                2
+            | Ok replies ->
+                let wall = Unix.gettimeofday () -. t0 in
+                Report.table fmt
+                  ~title:
+                    (Printf.sprintf "Served %d job%s in %.2f s"
+                       (List.length replies)
+                       (if List.length replies = 1 then "" else "s")
+                       wall)
+                  ~header:
+                    [ "Id"; "Design"; "Flow"; "Rate"; "Status"; "Cached";
+                      "Coal"; "Wall ms"; "Diag" ]
+                  (List.map2
+                     (fun job (r : S_proto.reply) ->
+                       [
+                         r.S_proto.id;
+                         E_job.design_to_string job.E_job.design;
+                         E_job.flow_to_string job.E_job.flow;
+                         string_of_int job.E_job.rate;
+                         (match r.S_proto.outcome with
+                         | Some o ->
+                             Mcs_engine.Outcome.status_label
+                               o.Mcs_engine.Outcome.status
+                         | None -> "rejected");
+                         (if r.S_proto.cached then "*" else "");
+                         (if r.S_proto.coalesced then "*" else "");
+                         Printf.sprintf "%.1f" r.S_proto.wall_ms;
+                         (match r.S_proto.diag with
+                         | Some d -> d.S_proto.code
+                         | None -> "");
+                       ])
+                     joblist replies);
+                let json_code =
+                  match json_file with
+                  | None -> 0
+                  | Some path -> (
+                      let report =
+                        J.Obj
+                          [
+                            ("schema", J.Str "mcs-client/1");
+                            ( "endpoint",
+                              J.Str
+                                (match tcp with
+                                | Some hp -> hp
+                                | None -> socket) );
+                            ("jobs", J.Int (List.length replies));
+                            ("replies", J.Arr (List.map reply_json replies));
+                          ]
+                      in
+                      match J.write_file path report with
+                      | Ok () ->
+                          Format.fprintf fmt "wrote %s@." path;
+                          0
+                      | Error m ->
+                          Format.eprintf "cannot write %s: %s@." path m;
+                          3)
+                in
+                let rejected =
+                  List.exists
+                    (fun (r : S_proto.reply) -> r.S_proto.outcome = None)
+                    replies
+                in
+                if json_code <> 0 then json_code
+                else if rejected then 1
+                else 0))
 
 open Cmdliner
 
@@ -709,6 +867,83 @@ let dse_cmd =
       const dse $ designs $ flows $ rates $ pipe_lengths $ jobs $ cache
       $ timeout $ deadline_ms $ retry $ json $ trace_out)
 
+let client_cmd =
+  let socket =
+    Arg.(value
+         & opt string Mcs_server.Server.default_config.Mcs_server.Server.socket_path
+         & info [ "socket"; "s" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of the running $(b,mcs-serve) daemon.")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Connect over TCP instead of the Unix socket.")
+  in
+  let designs =
+    Arg.(value & opt string "ar-general"
+         & info [ "designs" ] ~docv:"NAMES"
+             ~doc:"Comma-separated designs to sweep (see $(b,--list)).")
+  in
+  let flows =
+    Arg.(value & opt string "ch4-unidir,ch4-bidir,ch5,ch6"
+         & info [ "flows" ] ~docv:"FLOWS"
+             ~doc:"Comma-separated flows: ch3, ch4-unidir, ch4-bidir, ch5, \
+                   ch6, or $(b,all).")
+  in
+  let rates =
+    Arg.(value & opt string "" & info [ "rates" ] ~docv:"LIST"
+           ~doc:"Initiation rates, e.g. $(b,3,4,5) or $(b,3-5) (default: \
+                 each design's evaluated rates).")
+  in
+  let pipe_lengths =
+    Arg.(value & opt string "" & info [ "pipe-lengths" ] ~docv:"LIST"
+           ~doc:"Pipe lengths for ch5 jobs, e.g. $(b,6-10).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline: the daemon's admission control \
+                   rejects requests it cannot meet, and admitted jobs run \
+                   under a solver budget of $(docv) milliseconds.")
+  in
+  let no_fallback =
+    Arg.(value & flag
+         & info [ "no-fallback" ]
+             ~doc:"Budget exhaustion becomes a typed $(b,exhausted) \
+                   diagnostic instead of a degraded result.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the daemon's mcs-serve/1 stats (queue depth, \
+                   latency p50/p95, cache and solver counters) and exit.")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Ask the daemon to drain in-flight work and exit.")
+  in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write all replies (schema $(b,mcs-client/1), embedding \
+                 each mcs-run/1 reply verbatim) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc:"submit a job grid to a running mcs-serve daemon"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Expands the same (designs x flows x rates x pipe-lengths) \
+              grid as $(b,dse) but submits it over the wire to a warm \
+              $(b,mcs-serve) daemon: no process spawns, shared result \
+              cache, identical in-flight jobs coalesced server-side.  \
+              Exits 1 when any request was rejected (admission control or \
+              deadline), like a failed check.";
+         ])
+    Term.(
+      const client $ socket $ tcp $ designs $ flows $ rates $ pipe_lengths
+      $ deadline_ms $ no_fallback $ stats $ shutdown $ json)
+
 let cmd =
   let doc = "high-level synthesis with pin constraints for multiple-chip designs" in
   let info =
@@ -726,6 +961,6 @@ let cmd =
              grids in parallel.";
         ]
   in
-  Cmd.group ~default:synth_term info [ dse_cmd ]
+  Cmd.group ~default:synth_term info [ dse_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' cmd)

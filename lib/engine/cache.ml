@@ -12,6 +12,27 @@ let event name job =
 
 type t = { dir : string; version : string }
 
+(* Concurrent domains in one process (the server's worker pool) share a
+   cache handle.  Renames are atomic at the filesystem level, but the
+   lookup path is read-then-quarantine: unsynchronised, a domain that
+   just stored a fresh entry could have it yanked to [.bad] by a sibling
+   that read the file mid-decision.  Sharding by entry hash keeps the
+   fix cheap — same key serialises, different keys (almost always
+   different buckets) proceed in parallel.  The bucket count is static
+   because cache handles are plain values freely copied across domains;
+   a per-handle lock table would silently stop being shared. *)
+let bucket_count = 16
+let buckets = Array.init bucket_count (fun _ -> Mutex.create ())
+
+let with_bucket path f =
+  let m = buckets.(Hashtbl.hash path mod bucket_count) in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Temp names must be unique per writer: pid alone collides when several
+   domains of one process store into the same bucket concurrently. *)
+let tmp_seq = Atomic.make 0
+
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
@@ -44,7 +65,9 @@ let read_file path =
 
 (* Entry layout: version line, canonical job line, outcome JSON line. *)
 let lookup t job =
-  match read_file (entry_path t job) with
+  let path = entry_path t job in
+  with_bucket path @@ fun () ->
+  match read_file path with
   | None ->
       Mcs_obs.Metrics.incr misses;
       event "miss" job;
@@ -70,7 +93,6 @@ let lookup t job =
              keeps the evidence for a post-mortem. *)
           Mcs_obs.Metrics.incr stale;
           event "stale" job;
-          let path = entry_path t job in
           (try
              Sys.rename path (path ^ ".bad");
              Mcs_obs.Metrics.incr quarantined
@@ -83,8 +105,11 @@ let store t job (o : Outcome.t) =
   | Outcome.Feasible | Outcome.Infeasible _ -> (
       let path = entry_path t job in
       let tmp =
-        Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+        Printf.sprintf "%s.tmp.%d.%d.%d" path (Unix.getpid ())
+          (Domain.self () :> int)
+          (Atomic.fetch_and_add tmp_seq 1)
       in
+      with_bucket path @@ fun () ->
       try
         let oc = open_out_bin tmp in
         Fun.protect

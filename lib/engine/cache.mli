@@ -14,6 +14,13 @@
     Only settled outcomes ([Feasible] / [Infeasible]) are stored —
     crashes and timeouts depend on the machine, not on the job.
 
+    Safe for concurrent domains in one process: lookups and stores are
+    serialised per entry through a static table of hash-sharded bucket
+    locks, so a store's rename can never race a sibling's
+    read-then-quarantine decision on the same key, while distinct keys
+    proceed in parallel.  (Cross-process safety still rests on the
+    atomic rename plus cleartext verification alone.)
+
     Counters in {!Mcs_obs.Metrics}: [engine.cache.hits],
     [engine.cache.misses], [engine.cache.stale],
     [engine.cache.quarantined]. *)

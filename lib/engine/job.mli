@@ -47,6 +47,7 @@ val make :
     [A-Za-z0-9_-]. *)
 
 val design_to_string : design_spec -> string
+val design_of_string : string -> (design_spec, string) result
 (** The design field of the canonical encoding, e.g. [ar-general] or
     [random:7:3:14]. *)
 

@@ -54,11 +54,12 @@ let policy_of_env () =
 (* Every job routes through the unified flow API; the checker level comes
    from MCS_CHECK (inherited by forked workers, so a sweep's verdicts are
    uniform), and its verdict rides on the outcome into caches and
-   mcs-dse/1 reports. *)
-let exec (job : Job.t) =
+   mcs-dse/1 reports.  An explicit [policy] (the server's per-request
+   deadline) overrides the MCS_DEADLINE_MS environment channel. *)
+let exec_diag_raw ?policy (job : Job.t) =
   M.incr c_executed;
   match Job.resolve job.Job.design with
-  | Error m -> settled job (Outcome.Infeasible m)
+  | Error m -> (settled job (Outcome.Infeasible m), None)
   | Ok d -> (
       let flow, mode =
         match job.Job.flow with
@@ -73,8 +74,11 @@ let exec (job : Job.t) =
           ~rate:job.Job.rate
       in
       let level = Mcs_check.level_of_env () in
-      match Mcs_check.run ~level ~policy:(policy_of_env ()) flow spec with
-      | Error dg -> settled job (Outcome.Infeasible (Diag.message dg))
+      let policy =
+        match policy with Some p -> p | None -> policy_of_env ()
+      in
+      match Mcs_check.run ~level ~policy flow spec with
+      | Error dg -> (settled job (Outcome.Infeasible (Diag.message dg)), Some dg)
       | Ok r ->
           let check =
             match level with
@@ -83,13 +87,17 @@ let exec (job : Job.t) =
                 let n = List.length (List.filter Diag.is_error r.F.diags) in
                 Some (if n = 0 then Outcome.Clean else Outcome.Violations n)
           in
-          feasible job ~pins:r.F.pins ~pipe_length:r.F.pipe_length
-            ~fu_count:(F.fus_total r) ~check ~degraded:r.F.degraded)
+          ( feasible job ~pins:r.F.pins ~pipe_length:r.F.pipe_length
+              ~fu_count:(F.fus_total r) ~check ~degraded:r.F.degraded,
+            None ))
 
-let exec job =
-  try exec job with
-  | Invalid_argument m | Failure m -> settled job (Outcome.Infeasible m)
-  | e -> settled job (Outcome.Crashed (Printexc.to_string e))
+let exec_diag ?policy job =
+  try exec_diag_raw ?policy job with
+  | Invalid_argument m | Failure m ->
+      (settled job (Outcome.Infeasible m), None)
+  | e -> (settled job (Outcome.Crashed (Printexc.to_string e)), None)
+
+let exec ?policy job = fst (exec_diag ?policy job)
 
 (* ---- the fork pool ---- *)
 
@@ -165,9 +173,18 @@ let spawn ?(crash = false) worker job idx ~timeout =
           Option.map (fun t -> Unix.gettimeofday () +. t) timeout;
       }
 
-let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) ?(retry = false) joblist =
-  let slots = max 1 jobs in
-  let joblist = Array.of_list joblist in
+(* ---- shared sweep bookkeeping ---- *)
+
+(* Everything that makes a sweep's results deterministic regardless of
+   execution mode lives here, once: cache prefill, the single degraded
+   retry (with its halved-deadline environment discipline), store-back
+   of freshly computed settled results, and submission-order assembly.
+   [drain ~degraded indices ~finish] is the only mode-specific part —
+   fork-and-select or in-process — and must call [finish i outcome]
+   exactly once per index.  Extracted so the daemon's in-process mode
+   and the CLI's fork mode cannot drift. *)
+let run_generic ?cache ?(retry = false) ~halve_timeout ~drain
+    (joblist : Job.t array) =
   let n = Array.length joblist in
   M.incr c_jobs ~n;
   let results = Array.make n None in
@@ -181,13 +198,85 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) ?(retry = false) joblist =
           | Some o -> results.(i) <- Some o
           | None -> ())
         joblist);
+  let finish i outcome =
+    results.(i) <- Some outcome;
+    fresh.(i) <- true
+  in
+  drain ~degraded:false
+    (List.filter (fun i -> results.(i) = None) (Mcs_util.Listx.range 0 n))
+    ~finish;
+  (if retry then
+     let failed =
+       List.filter
+         (fun i ->
+           match results.(i) with
+           | Some { Outcome.status = Outcome.Crashed _ | Outcome.Timed_out; _ }
+             ->
+               true
+           | _ -> false)
+         (Mcs_util.Listx.range 0 n)
+     in
+     if failed <> [] then begin
+       M.incr c_retries ~n:(List.length failed);
+       if Mcs_obs.Events.on () then
+         List.iter
+           (fun i ->
+             Mcs_obs.Events.emit ~cat:"pool" "retry"
+               ~args:[ ("job", Mcs_obs.Events.Str (Job.hash joblist.(i))) ])
+           failed;
+       (* One retry, in degraded mode: half the deadline (or half the pool
+          timeout when no deadline was set) so the flows' ladders have
+          room to land inside the original allowance.  The environment is
+          the channel because forked workers read it on entry — and the
+          in-process mode's default worker reads it per job, so both modes
+          see the same halved budget. *)
+       let prev = Sys.getenv_opt "MCS_DEADLINE_MS" in
+       let halved =
+         match Option.bind prev float_of_string_opt with
+         | Some ms when ms > 0. -> Some (ms /. 2.)
+         | Some _ | None ->
+             Option.map (fun t -> t *. 1000. /. 2.) halve_timeout
+       in
+       (match halved with
+       | Some ms -> Unix.putenv "MCS_DEADLINE_MS" (Printf.sprintf "%.0f" ms)
+       | None -> ());
+       Fun.protect
+         ~finally:(fun () ->
+           match prev with
+           | Some v -> Unix.putenv "MCS_DEADLINE_MS" v
+           | None ->
+               if halved <> None then Unix.putenv "MCS_DEADLINE_MS" "")
+         (fun () -> drain ~degraded:true failed ~finish)
+     end);
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i computed ->
+          if computed then
+            match results.(i) with
+            | Some o -> Cache.store c joblist.(i) o
+            | None -> ())
+        fresh);
+  Array.to_list
+    (Array.mapi
+       (fun i r ->
+         match r with
+         | Some o -> o
+         | None -> settled joblist.(i) (Outcome.Crashed "result lost"))
+       results)
+
+let run ?(jobs = 1) ?timeout ?cache ?(worker = fun j -> exec j)
+    ?(retry = false) joblist =
+  let slots = max 1 jobs in
+  let joblist = Array.of_list joblist in
   (* The crash-worker:N fault kills the first N forked workers on entry;
      with [retry] the pool then demonstrates recovery. *)
   let crashes_left = ref (Mcs_resilience.Fault.crash_workers ()) in
-  let drain indices =
+  let drain ~degraded:_ indices ~finish =
   let pending = ref indices in
   let running = ref [] in
-  let finish wk outcome =
+  let finish_worker wk outcome =
     running := List.filter (fun w -> w.pid <> wk.pid) !running;
     (try Unix.close wk.fd with Unix.Unix_error _ -> ());
     if Mcs_obs.Events.on () then
@@ -204,8 +293,7 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) ?(retry = false) joblist =
                 | Outcome.Crashed _ -> "crashed"
                 | Outcome.Timed_out -> "timed-out") );
           ];
-    results.(wk.idx) <- Some outcome;
-    fresh.(wk.idx) <- true
+    finish wk.idx outcome
   in
   while !pending <> [] || !running <> [] do
     while !pending <> [] && List.length !running < slots do
@@ -230,7 +318,7 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) ?(retry = false) joblist =
         (try Unix.kill wk.pid Sys.sigkill with Unix.Unix_error _ -> ());
         ignore (waitpid_retry wk.pid);
         M.incr c_timeouts;
-        finish wk (settled joblist.(wk.idx) Outcome.Timed_out))
+        finish_worker wk (settled joblist.(wk.idx) Outcome.Timed_out))
       expired;
     if !running <> [] then begin
       let tmo =
@@ -264,67 +352,48 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = exec) ?(retry = false) joblist =
                         settled joblist.(wk.idx)
                           (Outcome.Crashed (status_msg st))
                   in
-                  finish wk outcome
+                  finish_worker wk outcome
               | k -> Buffer.add_subbytes wk.buf chunk 0 k
               | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
         readable
     end
   done
   in
-  drain (List.filter (fun i -> results.(i) = None) (Mcs_util.Listx.range 0 n));
-  (if retry then
-     let failed =
-       List.filter
-         (fun i ->
-           match results.(i) with
-           | Some { Outcome.status = Outcome.Crashed _ | Outcome.Timed_out; _ }
-             ->
-               true
-           | _ -> false)
-         (Mcs_util.Listx.range 0 n)
-     in
-     if failed <> [] then begin
-       M.incr c_retries ~n:(List.length failed);
-       if Mcs_obs.Events.on () then
-         List.iter
-           (fun i ->
-             Mcs_obs.Events.emit ~cat:"pool" "retry"
-               ~args:[ ("job", Mcs_obs.Events.Str (Job.hash joblist.(i))) ])
-           failed;
-       (* One retry, in degraded mode: half the deadline (or half the pool
-          timeout when no deadline was set) so the flows' ladders have
-          room to land inside the original allowance. *)
-       let prev = Sys.getenv_opt "MCS_DEADLINE_MS" in
-       let halved =
-         match Option.bind prev float_of_string_opt with
-         | Some ms when ms > 0. -> Some (ms /. 2.)
-         | Some _ | None -> Option.map (fun t -> t *. 1000. /. 2.) timeout
-       in
-       (match halved with
-       | Some ms -> Unix.putenv "MCS_DEADLINE_MS" (Printf.sprintf "%.0f" ms)
-       | None -> ());
-       Fun.protect
-         ~finally:(fun () ->
-           match prev with
-           | Some v -> Unix.putenv "MCS_DEADLINE_MS" v
-           | None ->
-               if halved <> None then Unix.putenv "MCS_DEADLINE_MS" "")
-         (fun () -> drain failed)
-     end);
-  (match cache with
-  | None -> ()
-  | Some c ->
-      Array.iteri
-        (fun i computed ->
-          if computed then
-            match results.(i) with
-            | Some o -> Cache.store c joblist.(i) o
-            | None -> ())
-        fresh);
-  Array.to_list
-    (Array.mapi
-       (fun i r ->
-         match r with
-         | Some o -> o
-         | None -> settled joblist.(i) (Outcome.Crashed "result lost"))
-       results)
+  run_generic ?cache ~retry ~halve_timeout:timeout ~drain joblist
+
+(* ---- in-process execution over the shared bookkeeping ---- *)
+
+let run_local ?policy ?cache ?worker ?(retry = false) joblist =
+  let joblist = Array.of_list joblist in
+  let job_worker ~degraded job =
+    match worker with
+    | Some w -> w job
+    | None ->
+        (* On the degraded retry an explicit policy halves like the
+           environment channel would; the default (env-derived) policy is
+           re-read per job, so the run_generic halved MCS_DEADLINE_MS is
+           already in effect. *)
+        let policy =
+          match policy with
+          | Some p when degraded ->
+              Some
+                {
+                  p with
+                  F.budget = Mcs_resilience.Budget.halve p.F.budget;
+                }
+          | p -> p
+        in
+        exec ?policy job
+  in
+  let drain ~degraded indices ~finish =
+    List.iter
+      (fun i ->
+        let job = joblist.(i) in
+        let outcome =
+          try job_worker ~degraded job
+          with e -> settled job (Outcome.Crashed (Printexc.to_string e))
+        in
+        finish i outcome)
+      indices
+  in
+  run_generic ?cache ~retry ~halve_timeout:None ~drain joblist

@@ -20,13 +20,28 @@
     results are stored back.  Counters in {!Mcs_obs.Metrics}:
     [engine.pool.jobs], [engine.pool.forks], [engine.pool.crashes],
     [engine.pool.timeouts], and [engine.jobs.executed] in whichever
-    process actually runs a flow. *)
+    process actually runs a flow.
 
-val exec : Job.t -> Outcome.t
+    The sweep bookkeeping — cache prefill, the single degraded retry,
+    store-back, submission-order assembly — is shared between {!run}
+    (fork mode) and {!run_local} (in-process mode, what the
+    [Mcs_server] daemon's worker domains use), so the two modes return
+    identical lists for deterministic flows by construction. *)
+
+val exec : ?policy:Mcs_flow.Flow.policy -> Job.t -> Outcome.t
 (** Run one job in the calling process.  Flow rejections ([Error],
     [Invalid_argument], [Failure] — including an unknown design name)
     become [Infeasible]; any other exception becomes [Crashed].  Never
-    raises. *)
+    raises.  [policy] (e.g. a per-request deadline budget) overrides the
+    [MCS_DEADLINE_MS] environment channel; default is derived from the
+    environment. *)
+
+val exec_diag :
+  ?policy:Mcs_flow.Flow.policy -> Job.t -> Outcome.t * Mcs_flow.Diag.t option
+(** Like {!exec} but also returns the typed diagnostic when the flow was
+    rejected by the pass pipeline ([Error dg] — e.g. a budget
+    [Exhausted]), so servers can forward structured failure causes
+    instead of re-parsing the outcome's message string. *)
 
 val run :
   ?jobs:int ->
@@ -47,3 +62,20 @@ val run :
     pool [timeout] — is halved for the retry, so the flows' degradation
     ladders get a real chance to land a (degraded) result inside the
     original allowance.  Counter: [engine.pool.retries]. *)
+
+val run_local :
+  ?policy:Mcs_flow.Flow.policy ->
+  ?cache:Cache.t ->
+  ?worker:(Job.t -> Outcome.t) ->
+  ?retry:bool ->
+  Job.t list ->
+  Outcome.t list
+(** In-process twin of {!run}: same cache prefill / retry / store-back /
+    ordering bookkeeping, but jobs execute sequentially in the calling
+    process (or domain) — no fork, no [SIGKILL] timeout, so deadline
+    enforcement is the budget inside the flow.  [policy] feeds {!exec}
+    per job; on the degraded retry an explicit [policy]'s budget is
+    halved (the default env-derived policy picks up the halved
+    [MCS_DEADLINE_MS] automatically).  This is what the [Mcs_server]
+    daemon's worker domains run, and what in-process benchmarks use so
+    solver counters land in the caller's registry. *)

@@ -24,54 +24,77 @@ let enabled_flag = ref false
 let seq_counter = ref 0
 let subscribers : (t -> unit) list ref = ref []
 
+(* Server worker domains emit concurrently, so every ring/subscriber-list
+   access is serialised.  The enabled check stays outside the lock: when
+   the bus is off (the common case) [emit] must cost one load, and a
+   stale read at the toggle boundary only gains or loses one event. *)
+let ring_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock ring_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ring_lock) f
+
 let on () = !enabled_flag
 
 let set_enabled b = enabled_flag := b
 
-let capacity () = Array.length ring.slots
+let capacity () = locked (fun () -> Array.length ring.slots)
 
 let clear () =
-  Array.fill ring.slots 0 (Array.length ring.slots) None;
-  ring.next <- 0;
-  ring.stored <- 0;
-  seq_counter := 0
+  locked (fun () ->
+      Array.fill ring.slots 0 (Array.length ring.slots) None;
+      ring.next <- 0;
+      ring.stored <- 0;
+      seq_counter := 0)
 
 let set_capacity n =
   if n < 1 then invalid_arg "Events.set_capacity: capacity must be positive";
-  ring.slots <- Array.make n None;
-  ring.next <- 0;
-  ring.stored <- 0
+  locked (fun () ->
+      ring.slots <- Array.make n None;
+      ring.next <- 0;
+      ring.stored <- 0)
 
-let subscribe f = subscribers := !subscribers @ [ f ]
-let clear_subscribers () = subscribers := []
+let subscribe f = locked (fun () -> subscribers := !subscribers @ [ f ])
+let clear_subscribers () = locked (fun () -> subscribers := [])
 
 let emit ?(args = []) ~cat name =
   if !enabled_flag then begin
-    let e = { seq = !seq_counter; ts = Unix.gettimeofday (); cat; name; args } in
-    incr seq_counter;
-    ring.slots.(ring.next) <- Some e;
-    ring.next <- (ring.next + 1) mod Array.length ring.slots;
-    ring.stored <- ring.stored + 1;
-    List.iter (fun f -> f e) !subscribers
+    (* Subscribers run outside the lock: Chrome_trace's hook takes its
+       own lock, and a subscriber may legitimately re-enter this module. *)
+    let e, subs =
+      locked (fun () ->
+          let e =
+            { seq = !seq_counter; ts = Unix.gettimeofday (); cat; name; args }
+          in
+          incr seq_counter;
+          ring.slots.(ring.next) <- Some e;
+          ring.next <- (ring.next + 1) mod Array.length ring.slots;
+          ring.stored <- ring.stored + 1;
+          (e, !subscribers))
+    in
+    List.iter (fun f -> f e) subs
   end
 
-let emitted () = ring.stored
-let dropped () = max 0 (ring.stored - Array.length ring.slots)
+let emitted () = locked (fun () -> ring.stored)
+
+let dropped () =
+  locked (fun () -> max 0 (ring.stored - Array.length ring.slots))
 
 (* Oldest-first: the ring's logical order is [next..end) ++ [0..next). *)
 let recent () =
-  let n = Array.length ring.slots in
-  let collect lo hi acc =
-    let rec go i acc =
-      if i >= hi then acc
-      else
-        match ring.slots.(i) with
-        | Some e -> go (i + 1) (e :: acc)
-        | None -> go (i + 1) acc
-    in
-    go lo acc
-  in
-  List.rev (collect 0 ring.next (collect ring.next n []))
+  locked (fun () ->
+      let n = Array.length ring.slots in
+      let collect lo hi acc =
+        let rec go i acc =
+          if i >= hi then acc
+          else
+            match ring.slots.(i) with
+            | Some e -> go (i + 1) (e :: acc)
+            | None -> go (i + 1) acc
+        in
+        go lo acc
+      in
+      List.rev (collect 0 ring.next (collect ring.next n [])))
 
 let arg_to_string = function
   | Int i -> string_of_int i

@@ -40,13 +40,25 @@ let out = Format.err_formatter
    active flow name here and the engine pool's forked workers bind their
    job hash, so a worker's stderr remains attributable after a crash.
    Later bindings of the same key shadow earlier ones. *)
-let context : (string * string) list ref = ref []
+let context_key : (string * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let set_field k v = context := (k, v) :: List.remove_assoc k !context
-let unset_field k = context := List.remove_assoc k !context
-let fields () = List.rev !context
+(* Domain-local: each server worker binds its own job hash without
+   clobbering the context of requests in flight on sibling domains. *)
+let context () = Domain.DLS.get context_key
+
+let set_field k v =
+  let context = context () in
+  context := (k, v) :: List.remove_assoc k !context
+
+let unset_field k =
+  let context = context () in
+  context := List.remove_assoc k !context
+
+let fields () = List.rev !(context ())
 
 let with_field k v f =
+  let context = context () in
   let saved = !context in
   set_field k v;
   Fun.protect ~finally:(fun () -> context := saved) f

@@ -22,13 +22,26 @@ type instrument = C of counter | G of gauge | H of histogram
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 
+(* The registry itself is shared across domains (the server's worker pool
+   registers and reads instruments concurrently), so structural operations
+   — registration, snapshot, reset, hook management — take this lock.
+   The hot-path updates ([incr]/[set]/[observe]) stay lock-free: a lost
+   update under contention only skews a statistic, while a torn Hashtbl
+   would crash, and instrument records are never removed once added. *)
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
 let register name mk classify =
-  match Hashtbl.find_opt registry name with
-  | Some i -> classify i
-  | None ->
-      let i = mk () in
-      Hashtbl.add registry name i;
-      classify i
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some i -> classify i
+      | None ->
+          let i = mk () in
+          Hashtbl.add registry name i;
+          classify i)
 
 let counter name =
   register name
@@ -87,12 +100,17 @@ let observe h v =
    updates locally (e.g. [Mcs_util.Ratio]'s reduction counter) can flush
    their pending increments first. *)
 let pre_read_hooks : (unit -> unit) list ref = ref []
-let on_read f = pre_read_hooks := f :: !pre_read_hooks
-let run_pre_read_hooks () = List.iter (fun f -> f ()) !pre_read_hooks
+let on_read f = locked (fun () -> pre_read_hooks := f :: !pre_read_hooks)
+
+(* Hooks run outside the registry lock: they typically register or bump
+   instruments themselves, and the lock is not reentrant. *)
+let run_pre_read_hooks () =
+  let hooks = locked (fun () -> !pre_read_hooks) in
+  List.iter (fun f -> f ()) hooks
 
 let snapshot () =
   run_pre_read_hooks ();
-  Hashtbl.fold
+  locked (fun () -> Hashtbl.fold
     (fun name i acc ->
       let v =
         match i with
@@ -108,21 +126,22 @@ let snapshot () =
               }
       in
       (name, v) :: acc)
-    registry []
+    registry [])
   |> List.sort compare
 
 let reset () =
   run_pre_read_hooks ();
-  Hashtbl.iter
-    (fun _ i ->
-      match i with
-      | C c -> c.c_count <- 0
-      | G g -> g.g_value <- 0.0
-      | H h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0;
-          h.h_total <- 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | C c -> c.c_count <- 0
+          | G g -> g.g_value <- 0.0
+          | H h ->
+              Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+              h.h_sum <- 0;
+              h.h_total <- 0)
+        registry)
 
 (* Prometheus-style estimate: locate the bucket containing the q-th
    observation in the cumulative distribution and interpolate linearly

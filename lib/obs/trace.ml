@@ -20,8 +20,21 @@ type span = {
 let current_sink = ref Off
 let collect = ref false
 let hook : (span -> unit) option ref = ref None
-let stack : node list ref = ref []
+
+(* Each domain nests spans independently (the server's workers trace
+   their own solver runs), so the open-span stack is domain-local state
+   — one shared stack would interleave unrelated requests into a bogus
+   tree.  The aggregate totals table stays shared and lock-protected. *)
+let stack_key : node list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 let totals : (string, int * float) Hashtbl.t = Hashtbl.create 32
+let totals_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock totals_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock totals_lock) f
 
 let set_sink s = current_sink := s
 let sink () = !current_sink
@@ -29,14 +42,17 @@ let set_collect b = collect := b
 let set_hook h = hook := h
 
 let collected () =
-  Hashtbl.fold (fun name v acc -> (name, v) :: acc) totals []
+  locked (fun () -> Hashtbl.fold (fun name v acc -> (name, v) :: acc) totals [])
   |> List.sort compare
 
-let reset_collected () = Hashtbl.reset totals
+let reset_collected () = locked (fun () -> Hashtbl.reset totals)
 
 let record_total name dur =
-  let n, t = Option.value ~default:(0, 0.0) (Hashtbl.find_opt totals name) in
-  Hashtbl.replace totals name (n + 1, t +. dur)
+  locked (fun () ->
+      let n, t =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt totals name)
+      in
+      Hashtbl.replace totals name (n + 1, t +. dur))
 
 let pp_attrs ppf attrs =
   List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) attrs
@@ -79,6 +95,7 @@ let emit_jsonl ppf node =
     (json_escape node.name) node.depth (1000.0 *. node.dur) attrs
 
 let close_span node =
+  let stack = stack () in
   (match !stack with
   | top :: rest when top == node -> stack := rest
   | _ -> stack := []);
@@ -105,6 +122,7 @@ let close_span node =
 let with_span ?(attrs = []) name f =
   if !current_sink = Off && (not !collect) && Option.is_none !hook then f ()
   else begin
+    let stack = stack () in
     let node =
       {
         name;

@@ -12,30 +12,42 @@ type entry = {
   cat : string;
   ts : float; (* microseconds since recording start *)
   dur : float option; (* microseconds, "X" only *)
+  tid : int; (* recording domain: one lane per domain in the viewer *)
   args : (string * J.t) list;
 }
 
 let recording_flag = ref false
 let t0 = ref 0.0
 let entries : entry list ref = ref [] (* newest first *)
+
+(* Span and event hooks fire from every domain in the server's worker
+   pool; the entry list is the only shared state, so a single lock on
+   push/drain suffices. *)
+let entries_lock = Mutex.create ()
+
+let push e =
+  Mutex.lock entries_lock;
+  entries := e :: !entries;
+  Mutex.unlock entries_lock
+
 let recording () = !recording_flag
 
 let us_of abs = Float.max 0.0 ((abs -. !t0) *. 1e6)
 
 let on_span (s : Trace.span) =
   if !recording_flag then
-    entries :=
+    push
       {
         ph = "X";
         name = s.Trace.span_name;
         cat = "phase";
         ts = us_of s.Trace.span_t0;
         dur = Some (Float.max 0.0 (s.Trace.span_dur *. 1e6));
+        tid = (Domain.self () :> int);
         args =
           List.map (fun (k, v) -> (k, J.Str v)) s.Trace.span_attrs
           @ [ ("depth", J.Int s.Trace.span_depth) ];
       }
-      :: !entries
 
 let json_of_arg = function
   | Events.Int i -> J.Int i
@@ -45,24 +57,26 @@ let json_of_arg = function
 
 let on_event (e : Events.t) =
   if !recording_flag then
-    entries :=
+    push
       {
         ph = "i";
         name = e.Events.name;
         cat = e.Events.cat;
         ts = us_of e.Events.ts;
         dur = None;
+        tid = (Domain.self () :> int);
         args =
           ("seq", J.Int e.Events.seq)
           :: List.map (fun (k, v) -> (k, json_of_arg v)) e.Events.args;
       }
-      :: !entries
 
 let prior_events = ref false
 
 let start () =
   if not !recording_flag then begin
+    Mutex.lock entries_lock;
     entries := [];
+    Mutex.unlock entries_lock;
     t0 := Unix.gettimeofday ();
     recording_flag := true;
     prior_events := Events.on ();
@@ -92,7 +106,13 @@ let to_json () =
           (Option.value a.dur ~default:0.0)
     | c -> c
   in
-  let sorted = List.sort by_ts (List.rev !entries) in
+  let snapshot =
+    Mutex.lock entries_lock;
+    let es = !entries in
+    Mutex.unlock entries_lock;
+    es
+  in
+  let sorted = List.sort by_ts (List.rev snapshot) in
   J.Arr
     (List.map
        (fun e ->
@@ -108,7 +128,7 @@ let to_json () =
              | None -> [ ("s", J.Str "t") ])
            @ [
                ("pid", J.Int pid);
-               ("tid", J.Int 1);
+               ("tid", J.Int e.tid);
                ("args", J.Obj e.args);
              ]))
        sorted)

@@ -1,0 +1,92 @@
+module M = Mcs_obs.Metrics
+
+let c_tasks = M.counter "server.pool.tasks"
+let c_crashes_injected = M.counter "server.pool.crashes_injected"
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  mutable crash_left : int; (* crash-worker:N fault, guarded by [lock] *)
+  size : int;
+}
+
+(* A worker drains the queue even while stopping — graceful shutdown
+   means finishing admitted work, not dropping it — and exits only when
+   the stop flag is up and the queue is dry.  Tasks are expected to
+   catch their own failures (the server wraps each job so any exception
+   becomes a [Crashed] outcome); the [try] here is the last-resort guard
+   that keeps a buggy task from killing its domain. *)
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.nonempty t.lock
+  done;
+  if Queue.is_empty t.queue then begin
+    Mutex.unlock t.lock;
+    () (* stopping and drained *)
+  end
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    (try task () with _ -> ());
+    worker_loop t
+  end
+
+let create ?(domains = 2) () =
+  let size = max 1 domains in
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+      (* The crash-worker:N fault is read once at pool creation: the
+         first N tasks that consult [take_crash] simulate a dead worker,
+         then the pool serves normally — mirroring the fork pool, where
+         the first N forked children are killed on entry. *)
+      crash_left = Mcs_resilience.Fault.crash_workers ();
+      size;
+    }
+  in
+  t.workers <-
+    List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let submit t task =
+  M.incr c_tasks;
+  Mutex.lock t.lock;
+  let accepted = not t.stopping in
+  if accepted then Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock;
+  accepted
+
+let queued t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let take_crash t =
+  Mutex.lock t.lock;
+  let crash = t.crash_left > 0 in
+  if crash then begin
+    t.crash_left <- t.crash_left - 1;
+    M.incr c_crashes_injected
+  end;
+  Mutex.unlock t.lock;
+  crash
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []

@@ -1,0 +1,38 @@
+(** The daemon's worker pool: OCaml 5 domains draining one task queue.
+
+    Unlike the engine's fork pool there is no process boundary — tasks
+    run in-process (cheap, warm caches, shared metrics registry), so
+    crash isolation is by construction instead: the server wraps every
+    job so any exception becomes a [Crashed] outcome, and the pool's own
+    loop additionally swallows anything that still escapes, so a dying
+    task never takes its domain down.
+
+    Shutdown is graceful by definition: workers finish every queued task
+    before exiting ({!shutdown} blocks until all domains have joined).
+
+    The [crash-worker:N] fault ({!Mcs_resilience.Fault}) is sampled once
+    at {!create}; the first [N] {!take_crash} calls answer [true], which
+    the server turns into injected [Crashed] outcomes — the in-process
+    mirror of the fork pool killing its first [N] children.
+
+    Counters: [server.pool.tasks], [server.pool.crashes_injected]. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn [domains] (default 2, floored at 1) worker domains. *)
+
+val size : t -> int
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a task; [false] (task dropped) only after {!shutdown} began. *)
+
+val queued : t -> int
+(** Tasks accepted but not yet picked up by a domain. *)
+
+val take_crash : t -> bool
+(** Consume one injected crash if any remain; called by the server once
+    per executed job. *)
+
+val shutdown : t -> unit
+(** Stop accepting tasks, drain the queue, join every domain. *)

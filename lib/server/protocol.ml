@@ -1,0 +1,190 @@
+module J = Mcs_obs.Report_json
+module Job = Mcs_engine.Job
+module Outcome = Mcs_engine.Outcome
+module Diag = Mcs_flow.Diag
+
+let request_magic = "mcs-req/1"
+let reply_magic = "mcs-run/1"
+let stats_magic = "mcs-serve/1"
+
+type submit = {
+  id : string;
+  job : Job.t;
+  deadline_ms : float option;
+  fallback : bool;
+}
+
+type request = Submit of submit | Stats_req | Shutdown_req
+
+type diag = { code : string; phase : string; message : string }
+
+type reply = {
+  id : string;
+  outcome : Outcome.t option;
+  diag : diag option;
+  cached : bool;
+  coalesced : bool;
+  wall_ms : float;
+}
+
+type response = Reply of reply | Stats of J.t | Bye of { drained : int }
+
+let diag_of_flow (d : Diag.t) =
+  {
+    code = Diag.code_to_string d.Diag.code;
+    phase = d.Diag.phase;
+    message = d.Diag.message;
+  }
+
+let exhausted_diag ~phase message =
+  { code = Diag.code_to_string Diag.Exhausted; phase; message }
+
+(* ---- requests ---- *)
+
+let submit ?(id = "") ?deadline_ms ?(fallback = true) job =
+  Submit { id; job; deadline_ms; fallback }
+
+let request_to_string = function
+  | Stats_req ->
+      J.to_string (J.Obj [ ("v", J.Str request_magic); ("stats", J.Bool true) ])
+  | Shutdown_req ->
+      J.to_string
+        (J.Obj [ ("v", J.Str request_magic); ("shutdown", J.Bool true) ])
+  | Submit s ->
+      J.to_string
+        (J.Obj
+           ([ ("v", J.Str request_magic) ]
+           @ (if s.id = "" then [] else [ ("id", J.Str s.id) ])
+           @ [ ("job", J.Str (Job.to_string s.job)) ]
+           @ (match s.deadline_ms with
+             | Some ms -> [ ("deadline_ms", J.Float ms) ]
+             | None -> [])
+           @ if s.fallback then [] else [ ("fallback", J.Bool false) ]))
+
+let member_str k j = Option.bind (J.member k j) J.to_str
+
+let member_bool k j =
+  match J.member k j with Some (J.Bool b) -> Some b | _ -> None
+
+let request_of_string line =
+  let line = String.trim line in
+  if line = "" then Error "empty request line"
+  else if String.length line >= 1 && line.[0] <> '{' then
+    (* Bare canonical job lines are accepted so `mcs-job/1|...` pasted
+       straight from a report (or piped from `dse`) works without JSON
+       wrapping; the server assigns the request an id. *)
+    match Job.of_string line with
+    | Ok job -> Ok (submit job)
+    | Error m -> Error m
+  else
+    match J.of_string line with
+    | Error m -> Error ("bad request JSON: " ^ m)
+    | Ok j -> (
+        match member_str "v" j with
+        | Some v when v = request_magic -> (
+            if member_bool "stats" j = Some true then Ok Stats_req
+            else if member_bool "shutdown" j = Some true then Ok Shutdown_req
+            else
+              match member_str "job" j with
+              | None -> Error "request has neither job, stats nor shutdown"
+              | Some enc -> (
+                  match Job.of_string enc with
+                  | Error m -> Error m
+                  | Ok job ->
+                      let id =
+                        Option.value ~default:"" (member_str "id" j)
+                      in
+                      let deadline_ms =
+                        Option.bind (J.member "deadline_ms" j) J.to_float
+                      in
+                      let fallback =
+                        Option.value ~default:true (member_bool "fallback" j)
+                      in
+                      Ok (Submit { id; job; deadline_ms; fallback })))
+        | Some v -> Error ("unknown request version " ^ v)
+        | None -> Error "request lacks a version field")
+
+(* ---- responses ---- *)
+
+let diag_to_json d =
+  J.Obj
+    [
+      ("code", J.Str d.code);
+      ("phase", J.Str d.phase);
+      ("message", J.Str d.message);
+    ]
+
+let diag_of_json j =
+  match (member_str "code" j, member_str "phase" j, member_str "message" j) with
+  | Some code, Some phase, Some message -> Ok { code; phase; message }
+  | _ -> Error "bad diag object"
+
+let response_to_string = function
+  | Bye { drained } ->
+      J.to_string
+        (J.Obj
+           [
+             ("v", J.Str stats_magic);
+             ("bye", J.Bool true);
+             ("drained", J.Int drained);
+           ])
+  | Stats j -> J.to_string j
+  | Reply r ->
+      J.to_string
+        (J.Obj
+           ([
+              ("v", J.Str reply_magic);
+              ("id", J.Str r.id);
+              ("wall_ms", J.Float r.wall_ms);
+              ("cached", J.Bool r.cached);
+              ("coalesced", J.Bool r.coalesced);
+            ]
+           @ (match r.outcome with
+             | Some o -> [ ("outcome", Outcome.to_json o) ]
+             | None -> [])
+           @
+           match r.diag with
+           | Some d -> [ ("diag", diag_to_json d) ]
+           | None -> []))
+
+let response_of_string line =
+  match J.of_string (String.trim line) with
+  | Error m -> Error ("bad response JSON: " ^ m)
+  | Ok j -> (
+      match member_str "v" j with
+      | Some v when v = stats_magic ->
+          if member_bool "bye" j = Some true then
+            match Option.bind (J.member "drained" j) J.to_int with
+            | Some drained -> Ok (Bye { drained })
+            | None -> Error "bye response lacks a drained count"
+          else Ok (Stats j)
+      | Some v when v = reply_magic -> (
+          match member_str "id" j with
+          | None -> Error "reply lacks an id"
+          | Some id -> (
+              let wall_ms =
+                Option.value ~default:0.0
+                  (Option.bind (J.member "wall_ms" j) J.to_float)
+              in
+              let cached =
+                Option.value ~default:false (member_bool "cached" j)
+              in
+              let coalesced =
+                Option.value ~default:false (member_bool "coalesced" j)
+              in
+              let diag =
+                match J.member "diag" j with
+                | None -> Ok None
+                | Some dj -> Result.map Option.some (diag_of_json dj)
+              in
+              let outcome =
+                match J.member "outcome" j with
+                | None -> Ok None
+                | Some oj -> Result.map Option.some (Outcome.of_json oj)
+              in
+              match (outcome, diag) with
+              | Ok outcome, Ok diag ->
+                  Ok (Reply { id; outcome; diag; cached; coalesced; wall_ms })
+              | Error m, _ | _, Error m -> Error m))
+      | Some v -> Error ("unknown response version " ^ v)
+      | None -> Error "response lacks a version field")

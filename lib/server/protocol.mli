@@ -1,0 +1,75 @@
+(** The daemon's wire protocol: newline-delimited JSON over a stream
+    socket.
+
+    Requests carry version tag [mcs-req/1].  A submission quotes the
+    job's canonical [mcs-job/1] encoding verbatim (the same string the
+    cache digests and reports embed), an optional client-chosen [id]
+    echoed on the reply, an optional per-request [deadline_ms] that
+    becomes the {!Mcs_resilience.Budget} for the whole flow, and a
+    [fallback] switch (default [true]) selecting degradation-ladder
+    behaviour on exhaustion.  A bare [mcs-job/1|...] line (no JSON) is
+    accepted as a submission with a server-assigned id, so jobs can be
+    piped straight from a report.
+
+    Replies carry version tag [mcs-run/1] and embed the
+    {!Mcs_engine.Outcome} JSON codec unchanged; a failed request carries
+    a typed {!diag} (stringified {!Mcs_flow.Diag.code}) instead.  Stats
+    responses carry [mcs-serve/1]; the farewell on graceful shutdown is
+    a [mcs-serve/1] object with [bye:true]. *)
+
+val request_magic : string
+(** ["mcs-req/1"]. *)
+
+val reply_magic : string
+(** ["mcs-run/1"]. *)
+
+val stats_magic : string
+(** ["mcs-serve/1"]. *)
+
+type submit = {
+  id : string;  (** echoed verbatim on the reply; [""] = server assigns *)
+  job : Mcs_engine.Job.t;
+  deadline_ms : float option;
+  fallback : bool;
+}
+
+type request = Submit of submit | Stats_req | Shutdown_req
+
+(** The structured failure cause of a request: a stringified
+    {!Mcs_flow.Diag.code}, the phase that produced it, and the rendered
+    message — enough for a client to route on ["exhausted"] without
+    parsing prose. *)
+type diag = { code : string; phase : string; message : string }
+
+type reply = {
+  id : string;
+  outcome : Mcs_engine.Outcome.t option;  (** [None] iff rejected *)
+  diag : diag option;
+  cached : bool;  (** served from the warm cache *)
+  coalesced : bool;  (** shared an in-flight identical computation *)
+  wall_ms : float;  (** submit-to-reply latency as the server saw it *)
+}
+
+type response =
+  | Reply of reply
+  | Stats of Mcs_obs.Report_json.t  (** the full [mcs-serve/1] object *)
+  | Bye of { drained : int }
+
+val submit :
+  ?id:string ->
+  ?deadline_ms:float ->
+  ?fallback:bool ->
+  Mcs_engine.Job.t ->
+  request
+
+val diag_of_flow : Mcs_flow.Diag.t -> diag
+
+val exhausted_diag : phase:string -> string -> diag
+(** A server-synthesized deadline/admission failure, typed
+    [Diag.Exhausted] like a solver's own budget exhaustion. *)
+
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result

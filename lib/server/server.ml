@@ -1,0 +1,503 @@
+module J = Mcs_obs.Report_json
+module M = Mcs_obs.Metrics
+module Job = Mcs_engine.Job
+module Outcome = Mcs_engine.Outcome
+module Cache = Mcs_engine.Cache
+module Pool = Mcs_engine.Pool
+module F = Mcs_flow.Flow
+module P = Protocol
+
+let c_requests = M.counter "server.requests"
+let c_served = M.counter "server.served"
+let c_protocol_errors = M.counter "server.protocol_errors"
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;
+  domains : int;
+  cache_dir : string option;
+  window_ms : float;
+  max_queue : int;
+}
+
+let default_config =
+  {
+    socket_path = "/tmp/mcs-serve.sock";
+    tcp_port = None;
+    domains = 2;
+    cache_dir = None;
+    window_ms = 5.0;
+    max_queue = 256;
+  }
+
+type conn = { fd : Unix.file_descr; conn_id : int; rbuf : Buffer.t }
+
+(* What a worker domain hands back to the main loop, via the done list
+   and the wake pipe. *)
+type completion = {
+  entry : Coalesce.entry;
+  outcome : Outcome.t option;
+  diag : P.diag option;
+  cached : bool;
+}
+
+type t = {
+  cfg : config;
+  listeners : Unix.file_descr list;
+  pool : Domain_pool.t;
+  adm : Admission.t;
+  coal : Coalesce.t;
+  cache : Cache.t option;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  mutable next_anon : int;
+  done_lock : Mutex.t;
+  mutable done_list : completion list;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable running_jobs : int; (* dispatched to a domain, not yet replied *)
+  mutable shutting_down : bool;
+  mutable shutdown_conns : int list; (* conns owed a Bye *)
+  mutable drained : int; (* jobs finished after shutdown was requested *)
+  started : float;
+  mutable running : bool;
+}
+
+let event name args =
+  if Mcs_obs.Events.on () then Mcs_obs.Events.emit ~cat:"serve" name ~args
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let create ?(config = default_config) () =
+  (* A client that disconnects mid-reply must cost the daemon an EPIPE,
+     not a fatal signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listeners =
+    listen_unix config.socket_path
+    :: (match config.tcp_port with
+       | Some p -> [ listen_tcp p ]
+       | None -> [])
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_w;
+  {
+    cfg = config;
+    listeners;
+    pool = Domain_pool.create ~domains:config.domains ();
+    adm = Admission.make ~max_queue:config.max_queue ();
+    coal = Coalesce.make ~window_ms:config.window_ms ();
+    cache = Option.map Cache.open_dir config.cache_dir;
+    conns = Hashtbl.create 16;
+    next_conn = 0;
+    next_anon = 0;
+    done_lock = Mutex.create ();
+    done_list = [];
+    wake_r;
+    wake_w;
+    running_jobs = 0;
+    shutting_down = false;
+    shutdown_conns = [];
+    drained = 0;
+    started = Unix.gettimeofday ();
+    running = true;
+  }
+
+(* ---- worker-domain side ---- *)
+
+let crashed_outcome job msg =
+  {
+    Outcome.job;
+    status = Outcome.Crashed msg;
+    pins = [];
+    pipe_length = 0;
+    fu_count = 0;
+    check = None;
+    degraded = [];
+  }
+
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.of_string "!") 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+(* One entry of a batch, on a worker domain.  The per-request deadline
+   becomes the flow's whole-solver budget; a deadline found already
+   expired is answered with the same typed [Exhausted] diagnostic a
+   solver's own exhaustion would produce, without burning the domain. *)
+let run_entry t (e : Coalesce.entry) =
+  let job = e.Coalesce.job in
+  Mcs_obs.Log.with_field "job" (Job.hash job) @@ fun () ->
+  Mcs_obs.Trace.with_span ~attrs:[ ("job", Job.hash job) ] "serve.exec"
+  @@ fun () ->
+  let now = Unix.gettimeofday () in
+  let remaining_ms =
+    Option.map
+      (fun d -> (d -. now) *. 1000.0)
+      (Coalesce.entry_deadline e)
+  in
+  match remaining_ms with
+  | Some ms when ms <= 0.0 ->
+      {
+        entry = e;
+        outcome = None;
+        cached = false;
+        diag =
+          Some
+            (P.exhausted_diag ~phase:"serve.deadline"
+               (Printf.sprintf "deadline expired %.1f ms before execution"
+                  (-.ms)));
+      }
+  | _ ->
+      if Domain_pool.take_crash t.pool then
+        {
+          entry = e;
+          cached = false;
+          diag = None;
+          outcome =
+            Some
+              (crashed_outcome job "injected worker crash (crash-worker fault)");
+        }
+      else begin
+        match Option.bind t.cache (fun c -> Cache.lookup c job) with
+        | Some o -> { entry = e; outcome = Some o; diag = None; cached = true }
+        | None ->
+            let fallback = Coalesce.entry_fallback e in
+            let policy =
+              match remaining_ms with
+              | Some ms ->
+                  Some
+                    {
+                      F.default_policy with
+                      F.budget = Mcs_resilience.Budget.make ~deadline_ms:ms ();
+                      F.fallback = fallback;
+                    }
+              | None ->
+                  if fallback then None
+                  else Some { F.default_policy with F.fallback = false }
+            in
+            let outcome, dg = Pool.exec_diag ?policy job in
+            (match t.cache with
+            | Some c -> Cache.store c job outcome
+            | None -> ());
+            {
+              entry = e;
+              outcome = Some outcome;
+              diag = Option.map P.diag_of_flow dg;
+              cached = false;
+            }
+      end
+
+let run_batch t batch =
+  List.iter
+    (fun e ->
+      let comp =
+        try run_entry t e
+        with exn ->
+          {
+            entry = e;
+            outcome =
+              Some
+                (crashed_outcome e.Coalesce.job (Printexc.to_string exn));
+            diag = None;
+            cached = false;
+          }
+      in
+      Mutex.lock t.done_lock;
+      t.done_list <- comp :: t.done_list;
+      Mutex.unlock t.done_lock;
+      wake t)
+    batch
+
+(* ---- main-loop side ---- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let drop_conn t (c : conn) =
+  Hashtbl.remove t.conns c.conn_id;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send t (c : conn) response =
+  try write_all c.fd (P.response_to_string response ^ "\n")
+  with Unix.Unix_error _ -> drop_conn t c
+
+let send_to t conn_id response =
+  match Hashtbl.find_opt t.conns conn_id with
+  | Some c -> send t c response
+  | None -> () (* client went away; its share of the work is just dropped *)
+
+let reject t c ~id ~phase reason =
+  send t c
+    (P.Reply
+       {
+         P.id;
+         outcome = None;
+         diag = Some (P.exhausted_diag ~phase reason);
+         cached = false;
+         coalesced = false;
+         wall_ms = 0.0;
+       })
+
+let opt_float = function Some f -> J.Float f | None -> J.Null
+
+let stats_json t =
+  let snap = M.snapshot () in
+  let quantile name q =
+    Option.bind (List.assoc_opt name snap) (fun v ->
+        M.histogram_quantile v q)
+  in
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (M.Counter n) -> n
+    | _ -> 0
+  in
+  J.Obj
+    [
+      ("v", J.Str P.stats_magic);
+      ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+      ("domains", J.Int (Domain_pool.size t.pool));
+      ("queue_depth", J.Int (Coalesce.pending t.coal - t.running_jobs));
+      ("inflight", J.Int t.running_jobs);
+      ("requests", J.Int (counter "server.requests"));
+      ("served", J.Int (counter "server.served"));
+      ("rejected", J.Int (counter "server.rejected"));
+      ("coalesced", J.Int (counter "server.coalesced"));
+      ("batches", J.Int (counter "server.batches"));
+      ("cache_hits", J.Int (counter "engine.cache.hits"));
+      ("cache_misses", J.Int (counter "engine.cache.misses"));
+      ("latency_p50_ms", opt_float (quantile "server.latency_ms" 0.5));
+      ("latency_p95_ms", opt_float (quantile "server.latency_ms" 0.95));
+      ("metrics", J.metrics ());
+    ]
+
+let fresh_anon t =
+  let id = Printf.sprintf "anon%d" t.next_anon in
+  t.next_anon <- t.next_anon + 1;
+  id
+
+let handle_submit t (c : conn) (s : P.submit) =
+  let now = Unix.gettimeofday () in
+  let id = if s.P.id = "" then fresh_anon t else s.P.id in
+  if t.shutting_down then
+    reject t c ~id ~phase:"serve.shutdown" "server is draining"
+  else
+    let depth = Coalesce.pending t.coal in
+    match Admission.decide t.adm ~depth ~deadline_ms:s.P.deadline_ms with
+    | Error reason ->
+        event "reject"
+          [
+            ("id", Mcs_obs.Events.Str id);
+            ("reason", Mcs_obs.Events.Str reason);
+          ];
+        reject t c ~id ~phase:"serve.admission" reason
+    | Ok () ->
+        let waiter =
+          {
+            Coalesce.conn = c.conn_id;
+            req_id = id;
+            enqueued_at = now;
+            deadline = Option.map (fun ms -> now +. (ms /. 1000.0)) s.P.deadline_ms;
+            fallback = s.P.fallback;
+            attached = false;
+          }
+        in
+        let how = Coalesce.submit t.coal ~now s.P.job waiter in
+        event "submit"
+          [
+            ("id", Mcs_obs.Events.Str id);
+            ("job", Mcs_obs.Events.Str (Job.hash s.P.job));
+            ( "coalesced",
+              Mcs_obs.Events.Bool (match how with `Coalesced -> true | `New -> false) );
+          ]
+
+let handle_line t (c : conn) line =
+  if String.trim line <> "" then begin
+    M.incr c_requests;
+    match P.request_of_string line with
+    | Error m ->
+        M.incr c_protocol_errors;
+        send t c
+          (P.Reply
+             {
+               P.id = "";
+               outcome = None;
+               diag =
+                 Some
+                   {
+                     P.code =
+                       Mcs_flow.Diag.code_to_string Mcs_flow.Diag.Invalid_input;
+                     phase = "serve.protocol";
+                     message = m;
+                   };
+               cached = false;
+               coalesced = false;
+               wall_ms = 0.0;
+             })
+    | Ok (P.Submit s) -> handle_submit t c s
+    | Ok P.Stats_req -> send t c (P.Stats (stats_json t))
+    | Ok P.Shutdown_req ->
+        t.shutting_down <- true;
+        t.shutdown_conns <- c.conn_id :: t.shutdown_conns;
+        event "shutdown" []
+  end
+
+let handle_readable t (c : conn) =
+  let chunk = Bytes.create 4096 in
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> drop_conn t c
+  | n ->
+      Buffer.add_subbytes c.rbuf chunk 0 n;
+      let data = Buffer.contents c.rbuf in
+      let rec eat from =
+        match String.index_from_opt data from '\n' with
+        | None ->
+            Buffer.clear c.rbuf;
+            Buffer.add_string c.rbuf
+              (String.sub data from (String.length data - from))
+        | Some nl ->
+            handle_line t c (String.sub data from (nl - from));
+            eat (nl + 1)
+      in
+      eat 0
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_conn t c
+
+let accept_conn t lfd =
+  match Unix.accept lfd with
+  | fd, _ ->
+      let conn_id = t.next_conn in
+      t.next_conn <- t.next_conn + 1;
+      Hashtbl.replace t.conns conn_id
+        { fd; conn_id; rbuf = Buffer.create 256 };
+      event "accept" [ ("conn", Mcs_obs.Events.Int conn_id) ]
+  | exception Unix.Unix_error _ -> ()
+
+let dispatch_due t ~now =
+  List.iter
+    (fun batch ->
+      t.running_jobs <- t.running_jobs + List.length batch;
+      if not (Domain_pool.submit t.pool (fun () -> run_batch t batch)) then
+        (* The pool stopped underneath us (shutdown raced a late window):
+           run inline so no admitted request is ever left unanswered. *)
+        run_batch t batch)
+    (Coalesce.flush t.coal ~now ~force:t.shutting_down)
+
+let process_completions t =
+  let comps =
+    Mutex.lock t.done_lock;
+    let l = t.done_list in
+    t.done_list <- [];
+    Mutex.unlock t.done_lock;
+    List.rev l
+  in
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun comp ->
+      Coalesce.complete t.coal comp.entry;
+      t.running_jobs <- t.running_jobs - 1;
+      if t.shutting_down then t.drained <- t.drained + 1;
+      List.iter
+        (fun (w : Coalesce.waiter) ->
+          let wall_ms = (now -. w.Coalesce.enqueued_at) *. 1000.0 in
+          Admission.observe t.adm ~latency_ms:wall_ms;
+          M.incr c_served;
+          event "reply"
+            [
+              ("id", Mcs_obs.Events.Str w.Coalesce.req_id);
+              ("wall_ms", Mcs_obs.Events.Float wall_ms);
+            ];
+          send_to t w.Coalesce.conn
+            (P.Reply
+               {
+                 P.id = w.Coalesce.req_id;
+                 outcome = comp.outcome;
+                 diag = comp.diag;
+                 cached = comp.cached;
+                 coalesced = w.Coalesce.attached;
+                 wall_ms;
+               }))
+        (List.rev comp.entry.Coalesce.waiters))
+    comps;
+  Admission.set_depth (Coalesce.pending t.coal - t.running_jobs);
+  Admission.set_inflight t.running_jobs
+
+let finish t =
+  Domain_pool.shutdown t.pool;
+  process_completions t;
+  List.iter
+    (fun conn_id -> send_to t conn_id (P.Bye { drained = t.drained }))
+    (List.rev t.shutdown_conns);
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+  Hashtbl.reset t.conns;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  t.running <- false
+
+(* For signal handlers in the daemon binary: flips the same flag a
+   protocol-level shutdown request sets, so SIGTERM drains like a polite
+   client (there is just no connection owed a farewell). *)
+let request_shutdown t = t.shutting_down <- true
+
+let rec select_retry fds tmo =
+  try Unix.select fds [] [] tmo
+  with Unix.Unix_error (Unix.EINTR, _, _) -> select_retry fds tmo
+
+let serve t =
+  while t.running do
+    let now = Unix.gettimeofday () in
+    dispatch_due t ~now;
+    Admission.set_depth (Coalesce.pending t.coal - t.running_jobs);
+    Admission.set_inflight t.running_jobs;
+    if
+      t.shutting_down
+      && Coalesce.pending t.coal = 0
+      && Domain_pool.queued t.pool = 0
+    then finish t
+    else begin
+      let tmo =
+        let cap = if t.shutting_down then 0.05 else 0.2 in
+        match Coalesce.due t.coal ~now with
+        | Some d -> Float.min d cap
+        | None -> cap
+      in
+      let conn_fds =
+        Hashtbl.fold (fun _ c acc -> (c.fd, c) :: acc) t.conns []
+      in
+      let fds = (t.wake_r :: t.listeners) @ List.map fst conn_fds in
+      let readable, _, _ = select_retry fds tmo in
+      List.iter
+        (fun fd ->
+          if fd = t.wake_r then begin
+            let buf = Bytes.create 64 in
+            (try ignore (Unix.read t.wake_r buf 0 64)
+             with Unix.Unix_error _ -> ())
+          end
+          else if List.mem fd t.listeners then accept_conn t fd
+          else
+            match List.assoc_opt fd conn_fds with
+            | Some c -> handle_readable t c
+            | None -> ())
+        readable;
+      process_completions t
+    end
+  done

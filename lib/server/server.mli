@@ -1,0 +1,54 @@
+(** The synthesis daemon: accept [mcs-req/1] submissions over a
+    Unix-domain socket (and optionally loopback TCP), run them on a
+    {!Domain_pool} of OCaml 5 worker domains through the same
+    {!Mcs_engine.Pool} execution path the CLI uses, and stream
+    [mcs-run/1] replies back.
+
+    Architecture: all socket I/O, request parsing, {!Admission} control
+    and {!Coalesce} bookkeeping happen on the single main loop (a
+    [select] over listeners, connections and a wake pipe); worker
+    domains only execute dispatched batches and push completions back
+    through a mutex-guarded list plus the wake pipe.  A per-request
+    [deadline_ms] becomes the {!Mcs_resilience.Budget} of the whole
+    flow; a deadline that is already unmeetable at admission, or expired
+    by execution time, is answered with a typed [exhausted] diagnostic.
+    With a [cache_dir], worker domains share the content-addressed
+    {!Mcs_engine.Cache} (safe: the cache is bucket-locked per entry).
+
+    Graceful shutdown (a [shutdown] request): new submissions are
+    rejected, open batching windows flush, every in-flight job finishes
+    and is replied to, then the requester gets the farewell with the
+    drained-job count and the daemon exits {!serve}.
+
+    Counters: [server.requests], [server.served],
+    [server.protocol_errors] (plus those of {!Admission}, {!Coalesce}
+    and {!Domain_pool}). *)
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** loopback only *)
+  domains : int;
+  cache_dir : string option;
+  window_ms : float;  (** batching window, milliseconds *)
+  max_queue : int;
+}
+
+val default_config : config
+(** [/tmp/mcs-serve.sock], no TCP, 2 domains, no cache, 5 ms window,
+    queue limit 256. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Bind the listeners and spawn the worker domains.  Ignores [SIGPIPE]
+    process-wide (a disconnecting client must not kill the daemon).
+    @raise Unix.Unix_error when a listener cannot bind. *)
+
+val serve : t -> unit
+(** Run the main loop until a graceful shutdown completes.  All sockets
+    are closed and the socket file unlinked on exit. *)
+
+val request_shutdown : t -> unit
+(** Begin a graceful shutdown from outside the protocol — what the
+    daemon's [SIGTERM]/[SIGINT] handlers call.  Async-signal-safe (sets
+    one flag); {!serve} notices within one select timeout. *)

@@ -17,4 +17,5 @@ let () =
       Suite_resilience.suite;
       Suite_check.suite;
       Suite_prof.suite;
+      Suite_server.suite;
     ]
