@@ -171,8 +171,52 @@ let level_label = function
   | Pass.Warn -> "warn"
   | Pass.Strict -> "strict"
 
+let counter_count name = Mcs_obs.Metrics.(count (counter name))
+
+module Fs = Mcs_ilp.Fsimplex
+
+(* --arith: solver arithmetic for every ILP of the run, exported through
+   the MCS_ARITH environment channel so it reaches every layer that
+   defaults to [Fsimplex.arith_of_env] — including forked dse workers,
+   which inherit the environment.  Unknown values warn and keep the
+   default, like --trace and --log-level. *)
+let set_arith = function
+  | None -> ()
+  | Some s -> (
+      match String.lowercase_ascii s with
+      | "float" | "float-certified" -> Unix.putenv "MCS_ARITH" "float"
+      | "rational" | "exact" -> Unix.putenv "MCS_ARITH" "rational"
+      | _ -> Mcs_obs.Log.warn "unknown --arith %S (float|rational)" s)
+
+let arith_json_fields () =
+  [
+    ("arith", J.Str (Fs.arith_to_string (Fs.arith_of_env ())));
+    ("certify_ok", J.Int (counter_count "ilp.certify.ok"));
+    ("certify_fail", J.Int (counter_count "ilp.certify.fail"));
+    ("arith_fallbacks", J.Int (counter_count "bb.arith_fallbacks"));
+  ]
+
+(* One exit line making degraded-to-rational solves visible without
+   --metrics; printed only when some simplex actually ran. *)
+let arith_exit_line () =
+  let ok = counter_count "ilp.certify.ok"
+  and fail = counter_count "ilp.certify.fail"
+  and fb = counter_count "bb.arith_fallbacks" in
+  if
+    ok + fail > 0
+    || counter_count "simplex.pivots" > 0
+    || counter_count "fsimplex.pivots" > 0
+  then
+    Format.fprintf fmt
+      "solver arithmetic: %s (%d certified, %d failed, %d rational \
+       fallback%s)@."
+      (Fs.arith_to_string (Fs.arith_of_env ()))
+      ok fail fb
+      (if fb = 1 then "" else "s")
+
 let synth design flow rate pipe_length ports check strict deadline_ms
-    no_fallback listing trace trace_out metrics json_file log_level =
+    no_fallback listing trace trace_out metrics json_file log_level arith =
+  set_arith arith;
   (match log_level with
   | None -> ()
   | Some s -> (
@@ -293,6 +337,7 @@ let synth design flow rate pipe_length ports check strict deadline_ms
               | Error _ -> ());
               Format.fprintf fmt "@.%a" Mcs_obs.Metrics.pp_summary ()
             end;
+            arith_exit_line ();
             let json_code =
               match json_file with
               | None -> 0
@@ -323,7 +368,8 @@ let synth design flow rate pipe_length ports check strict deadline_ms
                   in
                   let report =
                     J.run_report ~flow ~design ~rate ~status ~wall_s:wall
-                      ~result:(fields @ journal_fields) ()
+                      ~result:(fields @ arith_json_fields () @ journal_fields)
+                      ()
                   in
                   match J.write_file path report with
                   | Ok () -> 0
@@ -392,8 +438,6 @@ let parse_flows s =
       | Ok fs, Ok f -> Ok (fs @ [ f ]))
     (Ok []) names
 
-let counter_count name = Mcs_obs.Metrics.(count (counter name))
-
 (* Grid planning shared by the dse and client subcommands: same flags,
    same job list, so a sweep can be pointed at the fork pool or at a
    warm daemon interchangeably. *)
@@ -435,11 +479,17 @@ let grid_plan designs_s flows_s rates_s pls_s =
            if rates <> [] then rates
            else match paper_rates with Some rs -> rs | None -> [ 2; 3; 4 ]
          in
+         (* Ascending, deduplicated: neighboring grid points (rate r,
+            r+1) then run back-to-back, which is what lets the sequential
+            drains (run_local, a server batch) chain warm-start bases
+            from one point to the next. *)
+         let rates = List.sort_uniq compare rates in
          E_job.grid ~designs:[ design ] ~flows ~rates ~pipe_lengths:pls ())
        designs)
 
 let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
-    retry json_file trace_out =
+    retry json_file trace_out arith =
+  set_arith arith;
   match grid_plan designs_s flows_s rates_s pls_s with
   | Error m ->
       Format.eprintf "dse: %s@." m;
@@ -497,10 +547,33 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
              ])
            outcomes);
       let c name = counter_count ("engine." ^ name) in
+      (* Solver-arithmetic visibility: each worker reports its own share
+         of the certification counters on its outcome (the parent's
+         in-process counters never see a forked worker's solves). *)
+      let sum_solver f =
+        List.fold_left
+          (fun acc (o : Mcs_engine.Outcome.t) ->
+            match o.Mcs_engine.Outcome.solver with
+            | Some s -> acc + f s
+            | None -> acc)
+          0 outcomes
+      in
+      let certify_ok = sum_solver (fun s -> s.Mcs_engine.Outcome.certify_ok)
+      and certify_fail =
+        sum_solver (fun s -> s.Mcs_engine.Outcome.certify_fail)
+      and fallbacks =
+        sum_solver (fun s -> s.Mcs_engine.Outcome.arith_fallbacks)
+      in
       Format.fprintf fmt
         "@.workers forked: %d; crashes: %d; timeouts: %d; retries: %d@."
         (c "pool.forks") (c "pool.crashes") (c "pool.timeouts")
         (c "pool.retries");
+      Format.fprintf fmt
+        "solver arithmetic: %s (%d certified, %d failed, %d rational \
+         fallback%s)@."
+        (Fs.arith_to_string (Fs.arith_of_env ()))
+        certify_ok certify_fail fallbacks
+        (if fallbacks = 1 then "" else "s");
       if cache <> None then
         Format.fprintf fmt "cache: %d hits, %d misses, %d stale@."
           (c "cache.hits") (c "cache.misses") (c "cache.stale");
@@ -539,6 +612,12 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
                             ("crashes", J.Int (c "pool.crashes"));
                             ("timeouts", J.Int (c "pool.timeouts"));
                             ("retries", J.Int (c "pool.retries"));
+                            ( "arith",
+                              J.Str
+                                (Fs.arith_to_string (Fs.arith_of_env ())) );
+                            ("certify_ok", J.Int certify_ok);
+                            ("certify_fail", J.Int certify_fail);
+                            ("arith_fallbacks", J.Int fallbacks);
                           ] );
                     ])
             | r -> r
@@ -788,11 +867,19 @@ let no_fallback =
                a typed $(b,exhausted) diagnostic (nonzero exit) instead of \
                a degraded result.")
 
+let arith_arg =
+  Arg.(value & opt (some string) None & info [ "arith" ] ~docv:"MODE"
+         ~doc:"ILP solver arithmetic: $(b,float) (double-precision simplex \
+               with exact rational certification of every accepted basis, \
+               the default) or $(b,rational) (exact arithmetic throughout, \
+               the certification oracle).  Exported as $(b,MCS_ARITH), so \
+               forked dse workers inherit the choice.")
+
 let synth_term =
   Term.(
     const synth $ design $ flow $ rate $ pipe_length $ ports $ check
     $ strict $ deadline_ms $ no_fallback $ listing $ trace $ trace_out
-    $ metrics $ json_file $ log_level)
+    $ metrics $ json_file $ log_level $ arith_arg)
 
 let dse_cmd =
   let designs =
@@ -865,7 +952,7 @@ let dse_cmd =
          ])
     Term.(
       const dse $ designs $ flows $ rates $ pipe_lengths $ jobs $ cache
-      $ timeout $ deadline_ms $ retry $ json $ trace_out)
+      $ timeout $ deadline_ms $ retry $ json $ trace_out $ arith_arg)
 
 let client_cmd =
   let socket =

@@ -218,9 +218,18 @@ module Pin_ilp = struct
       fixed_merged;
     m
 
-  let feasible ?budget ?(method_ = `Branch_bound) cdfg cons ~rate ~fixed =
+  (* Rate deliberately left out of the key: the whole point is that rate
+     r's basis warm-starts rate r+1 (variables are named, so r's columns
+     are a subset of r+1's).  A collision between same-shaped designs is
+     benign — unmatched names drop out of the crash list. *)
+  let warm_key cdfg =
+    Printf.sprintf "pin-ilp:%dp:%do" (Cdfg.n_partitions cdfg)
+      (List.length (Cdfg.io_ops cdfg))
+
+  let feasible ?budget ?(method_ = `Branch_bound) ?arith cdfg cons ~rate
+      ~fixed =
     let m = model cdfg cons ~rate ~fixed in
-    match Model.solve ?budget ~method_ m with
+    match Model.solve ?budget ~method_ ?arith ~warm_key:(warm_key cdfg) m with
     | Model.Optimal _ -> true
     (* A feasibility model with an integer point in hand is feasible even
        when the node budget ran out before proving it optimal. *)
@@ -237,12 +246,12 @@ module Pin_ilp = struct
         raise (Mcs_resilience.Budget.Out_of_budget e)
 end
 
-let hook ?budget ?method_ cdfg cons ~rate =
+let hook ?budget ?method_ ?arith cdfg cons ~rate =
   let committed = ref [] in
   let io_can sched op ~cstep =
     ignore sched;
     let k = cstep mod rate in
-    Pin_ilp.feasible ?budget ?method_ cdfg cons ~rate
+    Pin_ilp.feasible ?budget ?method_ ?arith cdfg cons ~rate
       ~fixed:((op, k) :: !committed)
   in
   let io_commit sched op ~cstep =

@@ -29,6 +29,7 @@ module Pin_ilp : sig
   val feasible :
     ?budget:Mcs_resilience.Budget.t ->
     ?method_:[ `Branch_bound | `Gomory ] ->
+    ?arith:Mcs_ilp.Fsimplex.arith ->
     Cdfg.t -> Constraints.t -> rate:int ->
     fixed:(Types.op_id * int) list -> bool
   (** Decides the model; [`Gomory] is the dissertation's §3.3 cutting-plane
@@ -38,12 +39,17 @@ module Pin_ilp : sig
       the scheduler: the operation is merely postponed).  Exhaustion of an
       explicit [budget] (or the [exhaust-ilp] fault), by contrast, raises
       {!Mcs_resilience.Budget.Out_of_budget} — the schedule attempt is out
-      of time and the caller's degradation ladder decides what's next. *)
+      of time and the caller's degradation ladder decides what's next.
+
+      [arith] (default {!Mcs_ilp.Fsimplex.arith_of_env}) picks the solver
+      arithmetic; the float-certified mode registers its bases under a
+      rate-independent {!Mcs_ilp.Warm} key so neighboring rates chain. *)
 end
 
 val hook :
   ?budget:Mcs_resilience.Budget.t ->
   ?method_:[ `Branch_bound | `Gomory ] ->
+  ?arith:Mcs_ilp.Fsimplex.arith ->
   Cdfg.t -> Constraints.t -> rate:int -> Mcs_sched.List_sched.io_hook
 (** The safety checker of Fig. 3.4: before an I/O operation is scheduled in
     a control step, verify a completing pin allocation still exists. *)

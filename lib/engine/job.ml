@@ -30,6 +30,10 @@ type t = {
   flow : flow;
   rate : int;
   pipe_length : int option;
+  mutable warm : (string * string list) list;
+      (* parent-basis payload for the cross-grid warm start; deliberately
+         NOT part of the canonical encoding — identity is the work named,
+         never the hints riding along *)
 }
 
 let name_ok s =
@@ -51,7 +55,7 @@ let make ?pipe_length ~design ~flow ~rate () =
         (Printf.sprintf "Job.make: bad design name %S (want [A-Za-z0-9_-]+)" s)
   | _ -> ());
   let pipe_length = match flow with Ch5 -> pipe_length | _ -> None in
-  { design; flow; rate; pipe_length }
+  { design; flow; rate; pipe_length; warm = [] }
 
 let design_to_string = function
   | Named s -> s
@@ -124,10 +128,12 @@ let of_string s =
       in
       if pipe_length <> None && flow <> Ch5 then
         Error "pipe length is only valid for the ch5 flow"
-      else Ok { design; flow; rate; pipe_length }
+      else Ok { design; flow; rate; pipe_length; warm = [] }
   | _ -> Error (Printf.sprintf "not a %s encoding: %S" magic s)
 
 let equal a b = to_string a = to_string b
+let warm j = j.warm
+let set_warm j entries = j.warm <- entries
 
 let hash j =
   String.sub (Digest.to_hex (Digest.string (to_string j))) 0 12

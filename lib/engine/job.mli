@@ -36,6 +36,11 @@ type t = private {
   pipe_length : int option;
       (** [Some _] only when [flow = Ch5]; [None] means "use the critical
           path", like the CLI default *)
+  mutable warm : (string * string list) list;
+      (** optional parent-basis payload ({!Mcs_ilp.Warm.export_all}
+          contents from a settled neighboring grid point) — a hint, {e
+          never} identity: excluded from {!to_string}/{!equal}/{!hash} so
+          cached results stay addressable whatever hints rode along *)
 }
 
 val make :
@@ -58,6 +63,14 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 val equal : t -> t -> bool
+
+val warm : t -> (string * string list) list
+val set_warm : t -> (string * string list) list -> unit
+(** Attach/read the warm-start payload.  {!Mcs_engine.Pool.run_local} and
+    the server's batch runner import it into the {!Mcs_ilp.Warm} registry
+    before executing the job and store the post-run export on the {e
+    next} job of the chain; the fork-based pool ignores it (bases do not
+    cross the process boundary). *)
 
 val hash : t -> string
 (** Short (12 hex chars) content digest of the canonical encoding; used

@@ -8,6 +8,13 @@ type status =
 
 type check = Clean | Violations of int
 
+type solver = {
+  arith : string;
+  certify_ok : int;
+  certify_fail : int;
+  arith_fallbacks : int;
+}
+
 type t = {
   job : Job.t;
   status : status;
@@ -16,6 +23,7 @@ type t = {
   fu_count : int;
   check : check option;
   degraded : string list;
+  solver : solver option;
 }
 
 let pins_total o = Mcs_util.Listx.sum snd o.pins
@@ -68,10 +76,23 @@ let to_json o =
     @ (match o.check with
       | None -> []
       | Some c -> [ ("check", J.Str (check_label c)) ])
+    @ (match o.degraded with
+      | [] -> []
+      | steps -> [ ("degraded", J.Arr (List.map (fun m -> J.Str m) steps)) ])
     @
-    match o.degraded with
-    | [] -> []
-    | steps -> [ ("degraded", J.Arr (List.map (fun m -> J.Str m) steps)) ])
+    match o.solver with
+    | None -> []
+    | Some s ->
+        [
+          ( "solver",
+            J.Obj
+              [
+                ("arith", J.Str s.arith);
+                ("certify_ok", J.Int s.certify_ok);
+                ("certify_fail", J.Int s.certify_fail);
+                ("fallbacks", J.Int s.arith_fallbacks);
+              ] );
+        ])
 
 let ( let* ) = Result.bind
 let field name conv j =
@@ -121,7 +142,19 @@ let of_json j =
     | None -> []
     | Some l -> List.filter_map J.to_str l
   in
-  Ok { job; status; pins; pipe_length; fu_count; check; degraded }
+  let* solver =
+    (* absent = produced before the hybrid-arithmetic solver (or by a
+       synthetic worker); tolerated like [check] *)
+    match J.member "solver" j with
+    | None -> Ok None
+    | Some sj ->
+        let* arith = field "arith" J.to_str sj in
+        let* certify_ok = field "certify_ok" J.to_int sj in
+        let* certify_fail = field "certify_fail" J.to_int sj in
+        let* arith_fallbacks = field "fallbacks" J.to_int sj in
+        Ok (Some { arith; certify_ok; certify_fail; arith_fallbacks })
+  in
+  Ok { job; status; pins; pipe_length; fu_count; check; degraded; solver }
 
 let to_string o = J.to_string (to_json o)
 

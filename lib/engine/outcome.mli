@@ -21,6 +21,21 @@ type status =
 (** Verdict of the {!Mcs_check} static analysis on a feasible result. *)
 type check = Clean | Violations of int  (** count of error diagnostics *)
 
+(** How the job's ILP solves ran: the arithmetic mode
+    ({!Mcs_ilp.Fsimplex.arith_to_string}) and the job's own share of the
+    certification counters, so a degraded-to-rational solve is visible in
+    the [mcs-dse/1] report it lands in.  Deterministic for a fixed job
+    under the process-isolated pool (IEEE arithmetic plus fixed pivot
+    tie-breaks pin the pivot sequence); in-process warm-start chaining can shift the
+    counts with batch composition, so treat them as observability, never
+    as identity. *)
+type solver = {
+  arith : string;
+  certify_ok : int;
+  certify_fail : int;
+  arith_fallbacks : int;
+}
+
 type t = {
   job : Job.t;
   status : status;
@@ -38,6 +53,9 @@ type t = {
           [degraded]); empty for a full-quality result.  Serialized only
           when nonempty, and absent parses as empty, so pre-resilience
           cache entries and reports stay valid *)
+  solver : solver option;
+      (** [None] for synthetic workers and pre-hybrid cache entries
+          (absent in the encoding parses as [None]) *)
 }
 
 val pins_total : t -> int

@@ -12,7 +12,7 @@ let c_executed = M.counter "engine.jobs.executed"
 
 (* ---- in-process execution ---- *)
 
-let feasible job ~pins ~pipe_length ~fu_count ~check ~degraded =
+let feasible job ~pins ~pipe_length ~fu_count ~check ~degraded ~solver =
   {
     Outcome.job;
     status = Outcome.Feasible;
@@ -21,9 +21,10 @@ let feasible job ~pins ~pipe_length ~fu_count ~check ~degraded =
     fu_count;
     check;
     degraded;
+    solver;
   }
 
-let settled job status =
+let settled ?solver job status =
   {
     Outcome.job;
     status;
@@ -32,7 +33,31 @@ let settled job status =
     fu_count = 0;
     check = None;
     degraded = [];
+    solver;
   }
+
+(* The job's own share of the hybrid-arithmetic counters: deltas across
+   the flow run, so a forked worker (counters inherited from the parent)
+   and the daemon's long-lived domains report the same thing. *)
+let c_certify_ok = M.counter "ilp.certify.ok"
+let c_certify_fail = M.counter "ilp.certify.fail"
+let c_arith_fallbacks = M.counter "bb.arith_fallbacks"
+
+let with_solver_stats f =
+  let ok0 = M.count c_certify_ok
+  and fail0 = M.count c_certify_fail
+  and fb0 = M.count c_arith_fallbacks in
+  let r = f () in
+  let stats =
+    {
+      Outcome.arith =
+        Mcs_ilp.Fsimplex.(arith_to_string (arith_of_env ()));
+      certify_ok = M.count c_certify_ok - ok0;
+      certify_fail = M.count c_certify_fail - fail0;
+      arith_fallbacks = M.count c_arith_fallbacks - fb0;
+    }
+  in
+  (r, Some stats)
 
 (* Workers are forked, so the only channel for a per-job budget is the
    environment: MCS_DEADLINE_MS (wall milliseconds) makes every solver in
@@ -77,8 +102,13 @@ let exec_diag_raw ?policy (job : Job.t) =
       let policy =
         match policy with Some p -> p | None -> policy_of_env ()
       in
-      match Mcs_check.run ~level ~policy flow spec with
-      | Error dg -> (settled job (Outcome.Infeasible (Diag.message dg)), Some dg)
+      let run, solver =
+        with_solver_stats (fun () -> Mcs_check.run ~level ~policy flow spec)
+      in
+      match run with
+      | Error dg ->
+          ( settled ?solver job (Outcome.Infeasible (Diag.message dg)),
+            Some dg )
       | Ok r ->
           let check =
             match level with
@@ -88,7 +118,7 @@ let exec_diag_raw ?policy (job : Job.t) =
                 Some (if n = 0 then Outcome.Clean else Outcome.Violations n)
           in
           ( feasible job ~pins:r.F.pins ~pipe_length:r.F.pipe_length
-              ~fu_count:(F.fus_total r) ~check ~degraded:r.F.degraded,
+              ~fu_count:(F.fus_total r) ~check ~degraded:r.F.degraded ~solver,
             None ))
 
 let exec_diag ?policy job =
@@ -385,15 +415,30 @@ let run_local ?policy ?cache ?worker ?(retry = false) joblist =
         in
         exec ?policy job
   in
+  (* Sequential drain doubles as the warm-start chain: a job's payload is
+     imported before it runs, and the settled registry is handed to the
+     next job of the drain (unless a payload already rides on it).  The
+     fork pool has no such chaining — bases do not survive the process
+     boundary. *)
   let drain ~degraded indices ~finish =
-    List.iter
-      (fun i ->
-        let job = joblist.(i) in
-        let outcome =
-          try job_worker ~degraded job
-          with e -> settled job (Outcome.Crashed (Printexc.to_string e))
-        in
-        finish i outcome)
-      indices
+    let rec go = function
+      | [] -> ()
+      | i :: rest ->
+          let job = joblist.(i) in
+          (match Job.warm job with
+          | [] -> ()
+          | entries -> Mcs_ilp.Warm.import entries);
+          let outcome =
+            try job_worker ~degraded job
+            with e -> settled job (Outcome.Crashed (Printexc.to_string e))
+          in
+          (match rest with
+          | j :: _ when Job.warm joblist.(j) = [] ->
+              Job.set_warm joblist.(j) (Mcs_ilp.Warm.export_all ())
+          | _ -> ());
+          finish i outcome;
+          go rest
+    in
+    go indices
   in
   run_generic ?cache ~retry ~halve_timeout:None ~drain joblist

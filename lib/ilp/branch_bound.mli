@@ -33,6 +33,8 @@ type result =
 val solve :
   ?budget:Mcs_resilience.Budget.t ->
   ?max_nodes:int ->
+  ?arith:Fsimplex.arith ->
+  ?warm:int list ->
   integer:bool array ->
   Simplex.problem ->
   result
@@ -41,7 +43,35 @@ val solve :
     best-bound search (see the module description); [max_nodes] defaults
     to [200_000].  [budget] (default unlimited) charges one node per
     expanded search node and one pivot per simplex pivot across the whole
-    tree. *)
+    tree — float pivots included, so deadlines hold in both modes.
+
+    [arith] defaults to [Rational] {e at this layer} — the exact solver
+    is the oracle the test suite and the pivot budgets are written
+    against; {!Model.solve} and everything user-facing defaults to
+    {!Fsimplex.arith_of_env} instead.  With [Float_certified] this is
+    {!solve_float} (dropping the exported basis); [warm] only applies
+    there. *)
+
+val solve_float :
+  ?budget:Mcs_resilience.Budget.t ->
+  ?max_nodes:int ->
+  ?warm:int list ->
+  integer:bool array ->
+  Simplex.problem ->
+  result * int list
+(** Float-first search: the same warm node loop run on the {!Fsimplex}
+    float64 tableau, with exact rational arithmetic only at the leaves —
+    candidate incumbents are re-derived and certified exactly
+    ({!Fsimplex.certify_optimal}), infeasibility prunes carry a Farkas
+    certificate, and a node whose certificate fails has {e its subtree
+    only} re-solved by the exact warm {!solve} (counted in
+    [bb.arith_fallbacks]).  Every solution that escapes is exact, so
+    results agree with {!solve} wherever both prove optimality.
+
+    [warm] steers the root LP toward a neighboring grid point's basis
+    (structural column indices, from the {!Warm} registry); the returned
+    list is this problem's root basis for the next neighbor ([[]] when
+    the root fell back to the exact path wholesale). *)
 
 val solve_cold :
   ?budget:Mcs_resilience.Budget.t ->
@@ -60,6 +90,8 @@ val solve_cold :
 val feasible :
   ?budget:Mcs_resilience.Budget.t ->
   ?max_nodes:int ->
+  ?arith:Fsimplex.arith ->
+  ?warm:int list ->
   integer:bool array ->
   Simplex.problem ->
   bool option

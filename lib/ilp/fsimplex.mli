@@ -1,0 +1,136 @@
+(** Double-precision simplex with exact rational certification.
+
+    The float-first half of the standard exact-LP hybrid (as in QSopt_ex
+    and exact-SCIP): pivots run on a flat [Bigarray] float64 tableau —
+    orders of magnitude cheaper than the allocation-heavy exact pivots of
+    {!Simplex} — and only the {e final} basis is checked, by refactoring
+    it over {!Mcs_util.Ratio} and verifying primal/dual feasibility (or a
+    Farkas infeasibility certificate) exactly.  A certified answer is as
+    trustworthy as the rational path's; an uncertified one makes the
+    caller fall back to {!Simplex}/{!Branch_bound}.
+
+    The tableau keeps every constraint in [<=]-form ([Eq] is appended as
+    the [Le]/[Ge] pair, [Ge] is negated), so each row owns exactly one
+    slack column and the start basis is all-slack.  That shape is what
+    makes certification cheap: every basic column is either a row
+    singleton (a slack, solved by back-substitution) or structural, and
+    the structural basic columns form a small dense rational system —
+    certification never touches the float tableau, only the exact
+    row store kept alongside it.
+
+    Mirrors the {!Simplex.Tab} warm-start surface ([add_row] /
+    [snapshot] / [restore] / [reoptimize_dual]) so {!Branch_bound} can
+    drive either arithmetic through the same node loop.  Both float
+    phases use Dantzig pricing with fixed tie-breaks (an iteration cap
+    plus the exact fallback stand in for Bland's anti-cycling
+    guarantee): pivot sequences — and therefore the [fsimplex.pivots]
+    counter and the bench baselines — are deterministic. *)
+
+(** Solver arithmetic policy, threaded through {!Model}, {!Branch_bound},
+    [Pin_ilp] and [Ilp_gen].  [Float_certified] is the default
+    everywhere user-facing; [MCS_ARITH=rational] (or [--arith rational])
+    restores the pure exact path. *)
+type arith = Float_certified | Rational
+
+val arith_of_env : unit -> arith
+(** [MCS_ARITH] = ["rational"] (or ["exact"]) selects {!Rational};
+    anything else — including unset — selects {!Float_certified}. *)
+
+val arith_to_string : arith -> string
+(** ["float-certified"] / ["rational"], as reported in [mcs-run/1]. *)
+
+type t
+(** A float tableau plus the exact ([<=]-form) row store certification
+    reads.  Rows only grow ([restore] truncates), and row [k] always owns
+    slack column [n_struct + k]. *)
+
+val create : ?budget:Mcs_resilience.Budget.t -> Simplex.problem -> t
+(** Build the all-slack start tableau.  [budget] charges one pivot per
+    float pivot — the same {!Mcs_resilience.Budget} pool the rational
+    path draws on, so deadlines hold in both arithmetic modes.
+    @raise Invalid_argument on a row width mismatch. *)
+
+val solve_lp :
+  ?warm:int list ->
+  t ->
+  [ `Optimal | `Infeasible of int | `Unbounded | `Stuck ]
+(** Solve from the start basis: a dual-simplex phase under the zero
+    objective (trivially dual feasible) to reach a feasible basis, then
+    the real objective and a primal phase.  [warm] lists structural
+    columns imported from a neighboring solve's basis; they are used as a
+    {e pricing preference} — among entering candidates with tied ratios
+    (every candidate, under the zero objective) a preferred column wins —
+    so the feasibility phase replays the neighbor's basis where it still
+    fits, at zero extra pivots.  (An explicit crash-then-repair was
+    measurably worse: it guesses the slack half of the basis, densifies
+    the tableau, and the repair re-does the saved work.)  Steered pivots
+    are counted in [fsimplex.steered_pivots].  [`Infeasible r] names the
+    tableau row whose infeasibility the dual simplex proved — hand it to
+    {!certify_infeasible}.  [`Stuck] means the iteration safety cap hit
+    (float roundoff — or, with [warm], a non-Bland pivot cycle — defeated
+    the search); callers fall back to the rational path.
+    @raise Mcs_resilience.Budget.Out_of_budget like the rational path. *)
+
+val reoptimize_dual : t -> [ `Ok | `Infeasible of int | `Stuck ]
+(** Dual simplex until primal feasibility is restored, after {!add_row}
+    made the tableau primal-infeasible but left it dual-feasible. *)
+
+val add_row : t -> Mcs_util.Ratio.t array -> Simplex.rel -> Mcs_util.Ratio.t -> unit
+(** Append a constraint over the structural variables (missing trailing
+    coefficients are zero), re-expressed in the current basis with a
+    fresh basic slack — same contract as {!Simplex.Tab.add_row}.  The
+    exact row store grows in step, so certification sees the row too. *)
+
+type snapshot
+
+val snapshot : ?uses:int -> t -> snapshot
+(** Copy the live tableau (one blit — see [create]'s capacity headroom).
+    [uses] (default [1]) is how many {!release} calls the caller promises
+    before the buffer may be recycled; {!Branch_bound} passes [2], one
+    per child sharing the parent's snapshot. *)
+
+val release : t -> snapshot -> unit
+(** Give one use of the snapshot back; the last use returns the buffer
+    to the process-global recycling pool for the next {!snapshot} (or
+    tableau).  Never call {!restore} on a snapshot after its uses run
+    out.  Callers that skip [release] merely forgo pooling — the GC
+    still reclaims the buffer. *)
+
+val restore : t -> snapshot -> unit
+
+val dispose : t -> unit
+(** Return the tableau buffer to the recycling pool.  Call once, when
+    the solve is over; [t] and any outstanding snapshots must not be
+    used afterwards.  Skipping [dispose] is safe (the GC reclaims the
+    buffer) but forfeits the pool's steady-state zero-allocation
+    property — fresh Bigarray allocation buys major-GC slices in a
+    large-heap process, which is exactly what the pool exists to
+    avoid. *)
+
+val value_float : t -> float
+val x_float : t -> float array
+(** Current objective value / structural solution, as floats — only ever
+    used to pick branching variables and order the search; every value
+    that escapes to a caller is re-derived exactly by {!certify_optimal}. *)
+
+val basic_structurals : t -> int list
+(** Structural columns of the current basis, ascending — the payload the
+    cross-grid warm-start registry stores (as variable names) and
+    {!solve_lp}'s [warm] consumes. *)
+
+val certify_optimal : t -> Simplex.solution option
+(** Refactor the current basis over {!Mcs_util.Ratio}: solve the
+    structural-basic system exactly, back-substitute the slack rows, and
+    verify primal feasibility plus — when the objective is nonzero —
+    dual feasibility (the basic solution of a feasibility model is
+    optimal by definition).  [Some] carries the {e exact} solution and
+    objective value; [None] (wrong basis, singular system, or rational
+    overflow) means the float path lied and the caller must fall back.
+    Increments [ilp.certify.ok]/[ilp.certify.fail] and journals the
+    verdict. *)
+
+val certify_infeasible : t -> int -> bool
+(** [certify_infeasible t r] checks the float path's infeasibility claim
+    for tableau row [r] with an exact Farkas certificate: solve
+    [B^T z = e_r], then verify [z >= 0], [z . A >= 0] columnwise and
+    [z . b < 0].  Same counters/journal as {!certify_optimal}. *)

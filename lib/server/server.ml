@@ -125,6 +125,7 @@ let crashed_outcome job msg =
     fu_count = 0;
     check = None;
     degraded = [];
+    solver = None;
   }
 
 let wake t =
@@ -198,26 +199,43 @@ let run_entry t (e : Coalesce.entry) =
             }
       end
 
+(* A coalesced batch runs sequentially on one domain, which makes it the
+   cross-grid warm-start chain: each entry's parent-basis payload (if
+   any) is imported before execution, and the settled registry rides to
+   the next entry of the batch.  The registry is process-global, so
+   entries landing on the same domain back-to-back chain even without
+   the explicit payload — the payload matters when the batching window
+   grouped neighboring grid points deliberately. *)
 let run_batch t batch =
-  List.iter
-    (fun e ->
-      let comp =
-        try run_entry t e
-        with exn ->
-          {
-            entry = e;
-            outcome =
-              Some
-                (crashed_outcome e.Coalesce.job (Printexc.to_string exn));
-            diag = None;
-            cached = false;
-          }
-      in
-      Mutex.lock t.done_lock;
-      t.done_list <- comp :: t.done_list;
-      Mutex.unlock t.done_lock;
-      wake t)
-    batch
+  let rec go = function
+    | [] -> ()
+    | e :: rest ->
+        (match Job.warm e.Coalesce.job with
+        | [] -> ()
+        | entries -> Mcs_ilp.Warm.import entries);
+        let comp =
+          try run_entry t e
+          with exn ->
+            {
+              entry = e;
+              outcome =
+                Some
+                  (crashed_outcome e.Coalesce.job (Printexc.to_string exn));
+              diag = None;
+              cached = false;
+            }
+        in
+        (match rest with
+        | e' :: _ when Job.warm e'.Coalesce.job = [] ->
+            Job.set_warm e'.Coalesce.job (Mcs_ilp.Warm.export_all ())
+        | _ -> ());
+        Mutex.lock t.done_lock;
+        t.done_list <- comp :: t.done_list;
+        Mutex.unlock t.done_lock;
+        wake t;
+        go rest
+  in
+  go batch
 
 (* ---- main-loop side ---- *)
 

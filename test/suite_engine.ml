@@ -33,7 +33,16 @@ let job ?pipe_length ?(design = Job.Named "ar-general") ?(flow = Job.Ch4_unidir)
 
 let outcome ?(status = Outcome.Feasible) ?(pins = [ (0, 8); (1, 16) ])
     ?(pipe_length = 7) ?(fu_count = 4) ?check j =
-  { Outcome.job = j; status; pins; pipe_length; fu_count; check; degraded = [] }
+  {
+    Outcome.job = j;
+    status;
+    pins;
+    pipe_length;
+    fu_count;
+    check;
+    degraded = [];
+    solver = None;
+  }
 
 (* --- Job codec --- *)
 

@@ -342,6 +342,160 @@ let test_pivot_budget () =
   bench "elliptic rate 6" Mcs_cdfg.Benchmarks.elliptic 6
     Budgets.elliptic_rate6_pivots
 
+(* --- Hybrid arithmetic: float-first simplex with exact certification --- *)
+
+let m_certify_fail = Obs.counter "ilp.certify.fail"
+let m_arith_fallbacks = Obs.counter "bb.arith_fallbacks"
+let m_fpivots = Obs.counter "fsimplex.pivots"
+
+let prop_float_matches_rational =
+  QCheck.Test.make ~name:"float-certified BB matches rational BB" ~count:150
+    random_ilp_arb (fun p ->
+      same_bb_result
+        (Branch_bound.solve ~arith:Fsimplex.Float_certified
+           ~integer:[| true; true |] p)
+        (Branch_bound.solve ~integer:[| true; true |] p))
+
+(* Both arithmetic modes on the pin-allocation ILP of every paper
+   benchmark at every rate the paper evaluates: same status, same
+   objective.  (The certified float path is only ever allowed to return
+   exact solutions, so equality here is [R.equal], not approximate.) *)
+let test_arith_modes_agree_benchmarks () =
+  List.iter
+    (fun (name, mk) ->
+      let d = mk () in
+      List.iter
+        (fun rate ->
+          let cons = Mcs_cdfg.Benchmarks.constraints_for d ~rate in
+          let m =
+            Mcs_core.Simple_part.Pin_ilp.model d.Mcs_cdfg.Benchmarks.cdfg cons
+              ~rate ~fixed:[]
+          in
+          let p, integer = Model.to_problem m in
+          let fl =
+            Branch_bound.solve ~arith:Fsimplex.Float_certified ~integer p
+          in
+          let ra = Branch_bound.solve ~integer p in
+          checkb
+            (Printf.sprintf "%s rate %d: float and rational agree" name rate)
+            true (same_bb_result fl ra))
+        d.Mcs_cdfg.Benchmarks.rates)
+    [
+      ("ar-simple", Mcs_cdfg.Benchmarks.ar_simple);
+      ("ar-general", Mcs_cdfg.Benchmarks.ar_general);
+      ("elliptic", Mcs_cdfg.Benchmarks.elliptic);
+      ("cond-demo", Mcs_cdfg.Benchmarks.cond_demo);
+      ("subbus-demo", Mcs_cdfg.Benchmarks.subbus_demo);
+    ]
+
+(* Whole ch3 flow under each arithmetic, strict checking: both must come
+   out checker-clean with the same schedule footprint. *)
+let test_arith_modes_checker_clean () =
+  let module F = Mcs_flow.Flow in
+  let d = Mcs_cdfg.Benchmarks.ar_simple () in
+  let with_arith arith f =
+    let prev = Sys.getenv_opt "MCS_ARITH" in
+    Unix.putenv "MCS_ARITH" arith;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "MCS_ARITH" (Option.value prev ~default:""))
+      f
+  in
+  let run arith =
+    with_arith arith @@ fun () ->
+    Warm.clear ();
+    let spec = F.spec_of_design ~flow:F.Ch3 d ~rate:2 in
+    match Mcs_check.run ~level:Mcs_flow.Pass.Strict F.Ch3 spec with
+    | Ok r -> r
+    | Error dg ->
+        Alcotest.failf "ch3 under %s arithmetic failed: %s" arith
+          (Mcs_flow.Diag.message dg)
+  in
+  let a = run "float" and b = run "rational" in
+  checkb "pins equal across modes" true (a.F.pins = b.F.pins);
+  checkb "pipe length equal across modes" true
+    (a.F.pipe_length = b.F.pipe_length)
+
+(* Seeded ill-conditioned LP: x <= 1 and x >= 1 + 2^-60 is infeasible,
+   but float64 cannot see the gap, so the float path reaches an
+   "optimal" basis whose exact refactorization rejects it — forcing the
+   certification-failure fallback to the rational path, which proves
+   infeasibility. *)
+let test_certification_failure_falls_back () =
+  let tiny = R.make 1 1152921504606846976 (* 2^-60 *) in
+  let p =
+    {
+      Simplex.n_vars = 1;
+      objective = [| R.one |];
+      rows =
+        [
+          ([| R.one |], Simplex.Le, R.one);
+          ([| R.one |], Simplex.Ge, R.add R.one tiny);
+        ];
+    }
+  in
+  let fail0 = Obs.count m_certify_fail and fb0 = Obs.count m_arith_fallbacks in
+  (match
+     Branch_bound.solve ~arith:Fsimplex.Float_certified ~integer:[| false |] p
+   with
+  | Branch_bound.Infeasible -> ()
+  | _ -> Alcotest.fail "ill-conditioned LP must still come out infeasible");
+  checkb "certification failed at least once" true
+    (Obs.count m_certify_fail > fail0);
+  checkb "fell back to the rational path" true
+    (Obs.count m_arith_fallbacks > fb0)
+
+(* Float pivots charge the same Budget pivot axis as rational ones, so a
+   deadline holds whichever arithmetic runs. *)
+let test_float_pivots_budgeted () =
+  let d = Mcs_cdfg.Benchmarks.ar_general () in
+  let cons = Mcs_cdfg.Benchmarks.constraints_for d ~rate:3 in
+  let m =
+    Mcs_core.Simple_part.Pin_ilp.model d.Mcs_cdfg.Benchmarks.cdfg cons ~rate:3
+      ~fixed:[]
+  in
+  let p, integer = Model.to_problem m in
+  let budget = Mcs_resilience.Budget.make ~pivots:5 () in
+  match
+    Branch_bound.solve ~budget ~arith:Fsimplex.Float_certified ~integer p
+  with
+  | Branch_bound.Exhausted e ->
+      checkb "the pivot axis was the one exhausted" true
+        (e.Mcs_resilience.Budget.resource = Mcs_resilience.Budget.Pivots)
+  | Branch_bound.Limit_feasible _ -> ()
+  | _ -> Alcotest.fail "a 5-pivot budget must exhaust the float path"
+
+(* Cross-grid warm starts: the pin ILP at neighboring rates shares a
+   rate-independent Warm site key, so solving rate 3 then rate 4 in one
+   chain must pivot less in total than solving each cold. *)
+let test_grid_warm_chain () =
+  let d = Mcs_cdfg.Benchmarks.ar_general () in
+  let solve rate =
+    let cons = Mcs_cdfg.Benchmarks.constraints_for d ~rate in
+    ignore
+      (Mcs_core.Simple_part.Pin_ilp.feasible ~arith:Fsimplex.Float_certified
+         d.Mcs_cdfg.Benchmarks.cdfg cons ~rate ~fixed:[])
+  in
+  let pivots f =
+    let before = Obs.count m_fpivots in
+    f ();
+    Obs.count m_fpivots - before
+  in
+  let cold =
+    pivots (fun () ->
+        List.iter
+          (fun r ->
+            Warm.clear ();
+            solve r)
+          [ 3; 4 ])
+  in
+  Warm.clear ();
+  let chained = pivots (fun () -> List.iter solve [ 3; 4 ]) in
+  Warm.clear ();
+  checkb
+    (Printf.sprintf "chained pivots %d < cold pivots %d" chained cold)
+    true (chained < cold)
+
 (* --- Model builder --- *)
 
 let test_model_knapsack () =
@@ -470,6 +624,16 @@ let suite =
       Alcotest.test_case "add_row matches cold solve" `Quick test_add_row_matches_cold;
       Alcotest.test_case "bb limit-feasible" `Quick test_bb_limit_feasible;
       Alcotest.test_case "warm BB pivot budgets" `Quick test_pivot_budget;
+      Alcotest.test_case "arith modes agree on paper benchmarks" `Quick
+        test_arith_modes_agree_benchmarks;
+      Alcotest.test_case "arith modes checker-clean ch3" `Quick
+        test_arith_modes_checker_clean;
+      Alcotest.test_case "certification failure falls back" `Quick
+        test_certification_failure_falls_back;
+      Alcotest.test_case "float pivots charge the budget" `Quick
+        test_float_pivots_budgeted;
+      Alcotest.test_case "cross-grid warm chain pivots less" `Quick
+        test_grid_warm_chain;
       Alcotest.test_case "model knapsack" `Quick test_model_knapsack;
       Alcotest.test_case "model negative lower bounds" `Quick test_model_negative_lower_bound;
       Alcotest.test_case "model max of binaries" `Quick test_model_max_bin;
@@ -485,4 +649,5 @@ let suite =
           prop_lp_bounds_ilp;
           prop_warm_matches_cold;
           prop_warm_matches_cold_mixed;
+          prop_float_matches_rational;
         ] )

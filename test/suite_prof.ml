@@ -282,6 +282,7 @@ let synthetic_worker (j : Mcs_engine.Job.t) =
     fu_count = 1;
     check = None;
     degraded = [];
+    solver = None;
   }
 
 let test_retry_counts_misses_once () =

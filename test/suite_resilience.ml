@@ -316,6 +316,7 @@ let outcome j =
     fu_count = 4;
     check = None;
     degraded = [];
+    solver = None;
   }
 
 let test_cache_quarantines_corrupt_entry () =

@@ -48,7 +48,16 @@ let job ?pipe_length ?(design = Job.Named "ar-general")
 
 let outcome ?(status = Outcome.Feasible) ?(pins = [ (0, 8); (1, 16) ])
     ?(pipe_length = 7) ?(fu_count = 4) ?check j =
-  { Outcome.job = j; status; pins; pipe_length; fu_count; check; degraded = [] }
+  {
+    Outcome.job = j;
+    status;
+    pins;
+    pipe_length;
+    fu_count;
+    check;
+    degraded = [];
+    solver = None;
+  }
 
 let synthetic_worker (j : Job.t) =
   outcome ~pins:[ (1, j.Job.rate) ] ~pipe_length:j.Job.rate ~fu_count:1 j
@@ -294,9 +303,14 @@ let test_coalesce_bit_identical () =
       | Some oa, Some ob ->
           checks "coalesced replies bit-identical" (Outcome.to_string oa)
             (Outcome.to_string ob);
-          checks "and identical to a solo run"
-            (Outcome.to_string (Pool.exec j))
-            (Outcome.to_string oa)
+          (* The solver-effort stats depend on the warm-start registry
+             contents at solve time (a steered search certifies fewer
+             bases), and the solo run here sits in a different warm
+             context than the daemon's batch — so compare the result,
+             not the effort. *)
+          let result o = Outcome.to_string { o with Outcome.solver = None } in
+          checks "and identical to a solo run" (result (Pool.exec j))
+            (result oa)
       | _ -> Alcotest.fail "expected outcomes on both replies");
       Client.close c
   | Ok rs -> Alcotest.failf "expected two replies, got %d" (List.length rs)
