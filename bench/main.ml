@@ -901,14 +901,19 @@ let serve_numbers () =
             {
               S_server.default_config with
               S_server.socket_path = sock;
-              (* One worker domain on purpose: the flows allocate hard
-                 enough (schedulers, rational arithmetic outside the
-                 ILP) that two domains lose more to minor-GC
-                 synchronisation than they gain in parallelism — still
-                 true with the float-certified ILP path (re-measured
-                 4.7 s vs 2.9 s on this grid) — and this experiment
-                 isolates what the daemon's deduplication (coalescing +
-                 warm cache) saves, not SMP scaling. *)
+              (* One worker domain on purpose: this experiment isolates
+                 what the daemon's deduplication (coalescing + warm
+                 cache) saves, not SMP scaling.  The historical
+                 two-domain slowdown on this grid (4.7 s vs 2.9 s) was
+                 diagnosed as stop-the-world minor-GC synchronisation —
+                 under the default 256k-word minor heap the
+                 allocation-heavy flows barrier every other domain
+                 every few ms; with >= 1M words the wall is flat in the
+                 domain count.  The mcs-serve binary fixes it by
+                 re-exec'ing with OCAMLRUNPARAM=s=4M (see
+                 Domain_pool.recommended_minor_heap_words); this
+                 in-process child can't re-exec, one more reason to
+                 keep domains = 1 here. *)
               domains = 1;
               cache_dir = Some cache_dir;
               window_ms = 25.0;
@@ -1026,6 +1031,83 @@ let serve () =
     (n.coalesced + n.cache_hits)
     n.warm_pivots n.cold_pivots
     (n.warm_pivots < n.cold_pivots)
+
+(* ---- E-refine: refinement recovers a forced degradation ---- *)
+
+module Rf = Mcs_refine.Refine
+
+type refine_numbers = {
+  obj_exact : int;
+  obj_degraded : int;
+  obj_refined : int;
+  r_iters : int;
+  r_accepted : int;
+  r_wall : float;
+}
+
+(* cond-demo / ch6 / rate 4 under MCS_FAULT=exhaust-heuristic:1: the one
+   armed shot kills the sub-bus search at entry, the ladder degrades to
+   one dedicated bus per value (objective 88003 = 1000*pins + pipe), and
+   the refinement loop's re-climb — re-running the flow ladder-free now
+   that the shot is spent — recovers the exact result (48008).  Every
+   counter is deterministic: one shot, one accepted iteration. *)
+let refine_numbers () =
+  let design = Benchmarks.cond_demo () in
+  let spec () = F.spec_of_design ~mode:C.Bidir ~flow:F.Ch6 design ~rate:4 in
+  let run s =
+    match Mcs_check.run F.Ch6 s with
+    | Ok r -> r
+    | Error d -> failwith (Diag.message d)
+  in
+  let exact = run (spec ()) in
+  let old_fault = Sys.getenv_opt "MCS_FAULT" in
+  Unix.putenv "MCS_FAULT" "exhaust-heuristic:1";
+  Mcs_resilience.Fault.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "MCS_FAULT" (Option.value old_fault ~default:"");
+      Mcs_resilience.Fault.reset ())
+    (fun () ->
+      let degraded = run (spec ()) in
+      let t0 = Unix.gettimeofday () in
+      let out = Rf.improve ~max_iters:3 (spec ()) degraded in
+      {
+        obj_exact = Rf.objective exact;
+        obj_degraded = Rf.objective degraded;
+        obj_refined = Rf.objective out.Rf.result;
+        r_iters = List.length out.Rf.iterations;
+        r_accepted =
+          List.length
+            (List.filter
+               (fun (it : Rf.iteration) -> it.Rf.accepted)
+               out.Rf.iterations);
+        r_wall = Unix.gettimeofday () -. t0;
+      })
+
+let refine () =
+  section "E-refine - feedback-guided refinement vs a forced degradation";
+  let n = refine_numbers () in
+  Report.table fmt
+    ~title:
+      "cond-demo, ch6, rate 4: exhaust-heuristic:1 forces the dedicated-bus \
+       rung; --refine re-climbs the ladder (objective = 1000*pins + pipe)"
+    ~header:[ "Stage"; "Objective"; "Iterations"; "Accepted"; "Wall" ]
+    [
+      [ "exact (no fault)"; string_of_int n.obj_exact; "-"; "-"; "-" ];
+      [ "degraded"; string_of_int n.obj_degraded; "-"; "-"; "-" ];
+      [
+        "refined";
+        string_of_int n.obj_refined;
+        string_of_int n.r_iters;
+        string_of_int n.r_accepted;
+        Printf.sprintf "%.2f s" n.r_wall;
+      ];
+    ];
+  Format.fprintf fmt
+    "@.refined objective equals the exact flow's: %b; strictly better than \
+     degraded: %b@.@."
+    (n.obj_refined = n.obj_exact)
+    (n.obj_refined < n.obj_degraded)
 
 (* ---- Bechamel timing ---- *)
 
@@ -1389,6 +1471,22 @@ let baseline_records ~reps () =
     add "serve.grid20" "cold_wall_s" n.cold_wall false;
     add "serve.grid20" "warm_wall_s" n.warm_wall false
   end;
+  (* Hard gates fail on any increase, so the booleans encode their good
+     state as 0: recovery_missed flips to 1 if refinement ever stops
+     recovering the exact objective, no_accepted_iteration flips to 1 if
+     the re-climb stops being accepted. *)
+  if want "refine" then begin
+    let n = refine_numbers () in
+    let e = "refine.cond-demo.ch6.r4" in
+    add e "objective_degraded" (float_of_int n.obj_degraded) true;
+    add e "objective_refined" (float_of_int n.obj_refined) true;
+    add e "recovery_missed"
+      (if n.obj_refined = n.obj_exact then 0.0 else 1.0)
+      true;
+    add e "refine_iterations" (float_of_int n.r_iters) true;
+    add e "no_accepted_iteration" (if n.r_accepted >= 1 then 0.0 else 1.0) true;
+    add e "refine_wall_s" n.r_wall false
+  end;
   List.rev !recs
 
 let baseline_mode path reps =
@@ -1494,6 +1592,7 @@ let () =
       if want "ilp" then ilp ();
       if want "dse" then dse ();
       if want "serve" then serve ();
+      if want "refine" then refine ();
       if not !skip_bechamel then bechamel ();
       Format.fprintf fmt "@.All experiments completed.@.";
       finish 0

@@ -9,8 +9,35 @@
 
 module Server = Mcs_server.Server
 
+(* Multi-domain serving needs a bigger per-domain minor heap than the
+   runtime's 256k-word default, or stop-the-world minor collections eat
+   the parallelism (see [Mcs_server.Domain_pool.recommended_minor_heap_words]).
+   On OCaml 5.1 the minor arenas are reserved at startup — [Gc.set]
+   cannot grow them once the process runs — so the only reliable lever
+   is [OCAMLRUNPARAM=s=...]: re-exec ourselves once with it set.  An
+   explicit [s=...] from the user always wins (no re-exec, their call);
+   the loop terminates because after the re-exec the variable carries
+   [s=] and the guard no longer fires. *)
+let ensure_minor_heap domains =
+  let want = Mcs_server.Domain_pool.recommended_minor_heap_words in
+  let runparam = Option.value ~default:"" (Sys.getenv_opt "OCAMLRUNPARAM") in
+  let has_s =
+    List.exists
+      (fun piece ->
+        String.length piece >= 2 && piece.[0] = 's' && piece.[1] = '=')
+      (String.split_on_char ',' runparam)
+  in
+  if domains > 1 && (not has_s) && (Gc.get ()).Gc.minor_heap_size < want then begin
+    let prefix = Printf.sprintf "s=%d" want in
+    Unix.putenv "OCAMLRUNPARAM"
+      (if runparam = "" then prefix else prefix ^ "," ^ runparam);
+    try Unix.execv Sys.executable_name Sys.argv
+    with Unix.Unix_error _ -> () (* keep serving, just slower *)
+  end
+
 let serve socket tcp_port domains cache window_ms max_queue trace_out
     log_level =
+  ensure_minor_heap domains;
   (match Option.bind log_level Mcs_obs.Log.level_of_string with
   | Some lvl -> Mcs_obs.Log.set_level lvl
   | None -> ());

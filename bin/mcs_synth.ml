@@ -171,6 +171,78 @@ let level_label = function
   | Pass.Warn -> "warn"
   | Pass.Strict -> "strict"
 
+(* ---- feedback-guided refinement (the --refine flag) ---- *)
+
+module Rf = Mcs_refine.Refine
+
+let refine_report (out : Rf.outcome) =
+  if out.Rf.iterations <> [] then
+    Report.table fmt ~title:"Refinement iterations"
+      ~header:
+        [ "#"; "Bottleneck"; "Action"; "Obj"; "After"; "Acc"; "Pivots";
+          "Wall ms" ]
+      (List.map
+         (fun (it : Rf.iteration) ->
+           [
+             string_of_int it.Rf.index;
+             it.Rf.bottleneck;
+             it.Rf.action;
+             string_of_int it.Rf.objective_before;
+             (match it.Rf.objective_after with
+             | Some o -> string_of_int o
+             | None -> "-");
+             (if it.Rf.accepted then "*" else "");
+             string_of_int it.Rf.pivots;
+             Printf.sprintf "%.1f" it.Rf.wall_ms;
+           ])
+         out.Rf.iterations);
+  Format.fprintf fmt
+    "refinement: %d iteration%s, %d accepted, objective %d%s@."
+    (List.length out.Rf.iterations)
+    (if List.length out.Rf.iterations = 1 then "" else "s")
+    (List.length (List.filter (fun (it : Rf.iteration) -> it.Rf.accepted)
+                    out.Rf.iterations))
+    (Rf.objective out.Rf.result)
+    (if out.Rf.fixed_point then " (fixed point)"
+     else if out.Rf.exhausted then " (deadline exhausted)"
+     else "")
+
+let refine_fields = function
+  | None -> []
+  | Some (out : Rf.outcome) ->
+      [
+        ( "refine",
+          J.Obj
+            [
+              ("improved", J.Bool out.Rf.improved);
+              ("fixed_point", J.Bool out.Rf.fixed_point);
+              ("exhausted", J.Bool out.Rf.exhausted);
+              ("objective", J.Int (Rf.objective out.Rf.result));
+              ( "iterations",
+                J.Arr
+                  (List.map
+                     (fun (it : Rf.iteration) ->
+                       J.Obj
+                         ([
+                            ("index", J.Int it.Rf.index);
+                            ("bottleneck", J.Str it.Rf.bottleneck);
+                            ("action", J.Str it.Rf.action);
+                            ("objective_before", J.Int it.Rf.objective_before);
+                          ]
+                         @ (match it.Rf.objective_after with
+                           | Some o -> [ ("objective_after", J.Int o) ]
+                           | None -> [])
+                         @ [
+                             ("accepted", J.Bool it.Rf.accepted);
+                             ("reason", J.Str it.Rf.reason);
+                             ("pivots", J.Int it.Rf.pivots);
+                             ("nodes", J.Int it.Rf.nodes);
+                             ("wall_ms", J.Float it.Rf.wall_ms);
+                           ]))
+                     out.Rf.iterations) );
+            ] );
+      ]
+
 let counter_count name = Mcs_obs.Metrics.(count (counter name))
 
 module Fs = Mcs_ilp.Fsimplex
@@ -215,7 +287,8 @@ let arith_exit_line () =
       (if fb = 1 then "" else "s")
 
 let synth design flow rate pipe_length ports check strict deadline_ms
-    no_fallback listing trace trace_out metrics json_file log_level arith =
+    no_fallback refine listing trace trace_out metrics json_file log_level
+    arith =
   set_arith arith;
   (match log_level with
   | None -> ()
@@ -293,6 +366,20 @@ let synth design flow rate pipe_length ports check strict deadline_ms
               }
             in
             let outcome = Mcs_check.run ~level ~policy flow_name spec in
+            (* The refinement loop shares the run's budget, so a
+               --deadline-ms allowance bounds base synthesis and
+               refinement together. *)
+            let refine_out =
+              match outcome with
+              | Ok r when refine > 0 ->
+                  Some (Rf.improve ~max_iters:refine ~policy spec r)
+              | Ok _ | Error _ -> None
+            in
+            let outcome =
+              match refine_out with
+              | Some out -> Ok out.Rf.result
+              | None -> outcome
+            in
             let wall = Unix.gettimeofday () -. t0 in
             let diag_fields diags =
               if level = Pass.Off && diags = [] then []
@@ -306,6 +393,9 @@ let synth design flow rate pipe_length ports check strict deadline_ms
               match outcome with
               | Ok r ->
                   render d r;
+                  (match refine_out with
+                  | Some out -> refine_report out
+                  | None -> ());
                   List.iter
                     (fun dg -> Format.eprintf "%a@." (Diag.pp ~cdfg) dg)
                     r.F.diags;
@@ -325,7 +415,8 @@ let synth design flow rate pipe_length ports check strict deadline_ms
                     end
                     else 0
                   in
-                  (code, fields_of r @ diag_fields r.F.diags)
+                  (code, fields_of r @ refine_fields refine_out
+                         @ diag_fields r.F.diags)
               | Error dg ->
                   Format.eprintf "%a@." (Diag.pp ~cdfg) dg;
                   Format.eprintf "synthesis failed: %s@." (Diag.message dg);
@@ -441,7 +532,8 @@ let parse_flows s =
 (* Grid planning shared by the dse and client subcommands: same flags,
    same job list, so a sweep can be pointed at the fork pool or at a
    warm daemon interchangeably. *)
-let grid_plan designs_s flows_s rates_s pls_s =
+let grid_plan ?(refine = 0) designs_s flows_s rates_s pls_s =
+  let refine = max 0 refine in
   let ( let* ) = Result.bind in
   let* flows = parse_flows flows_s in
   let* rates = parse_int_list "--rates" rates_s in
@@ -484,13 +576,14 @@ let grid_plan designs_s flows_s rates_s pls_s =
             drains (run_local, a server batch) chain warm-start bases
             from one point to the next. *)
          let rates = List.sort_uniq compare rates in
-         E_job.grid ~designs:[ design ] ~flows ~rates ~pipe_lengths:pls ())
+         E_job.grid ~designs:[ design ] ~flows ~rates ~pipe_lengths:pls
+           ~refine ())
        designs)
 
-let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
-    retry json_file trace_out arith =
+let dse designs_s flows_s rates_s pls_s refine jobs cache_dir timeout
+    deadline_ms retry json_file trace_out arith =
   set_arith arith;
-  match grid_plan designs_s flows_s rates_s pls_s with
+  match grid_plan ~refine designs_s flows_s rates_s pls_s with
   | Error m ->
       Format.eprintf "dse: %s@." m;
       2
@@ -523,7 +616,7 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
              wall)
         ~header:
           [ "Design"; "Flow"; "Rate"; "PL req"; "Status"; "Pins"; "Pipe";
-            "FUs"; "Pareto" ]
+            "FUs"; "Refine"; "Pareto" ]
         (List.map
            (fun (o : Mcs_engine.Outcome.t) ->
              let j = o.Mcs_engine.Outcome.job in
@@ -543,6 +636,11 @@ let dse designs_s flows_s rates_s pls_s jobs cache_dir timeout deadline_ms
                 else "-");
                (if feas then string_of_int o.Mcs_engine.Outcome.fu_count
                 else "-");
+               (match o.Mcs_engine.Outcome.refine with
+               | Some r ->
+                   Printf.sprintf "%d/%d" r.Mcs_engine.Outcome.accepted
+                     (List.length r.Mcs_engine.Outcome.steps)
+               | None -> "-");
                (if List.memq o front then "*" else "");
              ])
            outcomes);
@@ -642,8 +740,8 @@ let reply_json (r : S_proto.reply) =
   | Ok j -> j
   | Error _ -> J.Null
 
-let client socket tcp designs_s flows_s rates_s pls_s deadline_ms no_fallback
-    stats_only shutdown_only json_file =
+let client socket tcp designs_s flows_s rates_s pls_s refine deadline_ms
+    no_fallback stats_only shutdown_only json_file =
   let connect () =
     match tcp with
     | None -> S_client.connect_unix socket
@@ -687,7 +785,7 @@ let client socket tcp designs_s flows_s rates_s pls_s deadline_ms no_fallback
             Format.eprintf "client: %s@." m;
             2
       else
-        match grid_plan designs_s flows_s rates_s pls_s with
+        match grid_plan ~refine designs_s flows_s rates_s pls_s with
         | Error m ->
             Format.eprintf "client: %s@." m;
             2
@@ -867,6 +965,20 @@ let no_fallback =
                a typed $(b,exhausted) diagnostic (nonzero exit) instead of \
                a degraded result.")
 
+let refine_doc =
+  "Run up to $(docv) feedback-guided refinement iterations after \
+   synthesis (bare $(b,--refine) means 3): each iteration extracts the \
+   dominant bottleneck from the checker's evidence — a degradation-ladder \
+   step, the critical tail, pin-budget pressure or functional-unit slack \
+   — re-solves just that subproblem under a sliced budget, and accepts \
+   the splice only when it strictly improves the (pins, pipe length) \
+   objective and passes the strict checker.  $(b,--refine=0) (the \
+   default) is bit-identical to no refinement."
+
+let refine_arg =
+  Arg.(value & opt ~vopt:3 int 0
+       & info [ "refine" ] ~docv:"N" ~doc:refine_doc)
+
 let arith_arg =
   Arg.(value & opt (some string) None & info [ "arith" ] ~docv:"MODE"
          ~doc:"ILP solver arithmetic: $(b,float) (double-precision simplex \
@@ -878,8 +990,8 @@ let arith_arg =
 let synth_term =
   Term.(
     const synth $ design $ flow $ rate $ pipe_length $ ports $ check
-    $ strict $ deadline_ms $ no_fallback $ listing $ trace $ trace_out
-    $ metrics $ json_file $ log_level $ arith_arg)
+    $ strict $ deadline_ms $ no_fallback $ refine_arg $ listing $ trace
+    $ trace_out $ metrics $ json_file $ log_level $ arith_arg)
 
 let dse_cmd =
   let designs =
@@ -951,8 +1063,8 @@ let dse_cmd =
               persistent $(b,--cache) makes repeated sweeps incremental.";
          ])
     Term.(
-      const dse $ designs $ flows $ rates $ pipe_lengths $ jobs $ cache
-      $ timeout $ deadline_ms $ retry $ json $ trace_out $ arith_arg)
+      const dse $ designs $ flows $ rates $ pipe_lengths $ refine_arg $ jobs
+      $ cache $ timeout $ deadline_ms $ retry $ json $ trace_out $ arith_arg)
 
 let client_cmd =
   let socket =
@@ -1029,7 +1141,7 @@ let client_cmd =
          ])
     Term.(
       const client $ socket $ tcp $ designs $ flows $ rates $ pipe_lengths
-      $ deadline_ms $ no_fallback $ stats $ shutdown $ json)
+      $ refine_arg $ deadline_ms $ no_fallback $ stats $ shutdown $ json)
 
 let cmd =
   let doc = "high-level synthesis with pin constraints for multiple-chip designs" in

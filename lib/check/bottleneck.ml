@@ -1,0 +1,129 @@
+open Mcs_cdfg
+module F = Mcs_flow.Flow
+module Diag = Mcs_flow.Diag
+module Sched = Mcs_sched.Schedule
+
+type kind =
+  | Ladder of { step : string; rung : string }
+  | Critical_tail of { window : int }
+  | Pin_pressure of { partition : int; used : int; budget : int }
+  | Fu_slack of { partition : int; optype : string; implied : int; allocated : int }
+
+type t = {
+  kind : kind;
+  ops : Types.op_id list;
+  csteps : int list;
+  partitions : int list;
+  score : int;
+}
+
+let describe b =
+  match b.kind with
+  | Ladder { step; _ } -> Printf.sprintf "ladder:%s" step
+  | Critical_tail { window } -> Printf.sprintf "critical-tail:w%d" window
+  | Pin_pressure { partition; used; budget } ->
+      Printf.sprintf "pin-pressure:p%d:%d/%d" partition used budget
+  | Fu_slack { partition; optype; implied; allocated } ->
+      Printf.sprintf "fu-slack:p%d:%s:%d<%d" partition optype implied allocated
+
+(* Degradation-ladder steps are the strongest evidence: the flow already
+   knows it settled for less.  The rung comes from the [Degraded] diag's
+   payload when the result still carries its diagnostics, else from the
+   step note alone. *)
+let ladder_bottlenecks (r : F.result) =
+  let rung_of step =
+    List.find_map
+      (fun (d : Diag.t) ->
+        if
+          d.Diag.code = Diag.Degraded
+          && List.assoc_opt "step" d.Diag.data = Some step
+        then List.assoc_opt "rung" d.Diag.data
+        else None)
+      r.F.diags
+  in
+  List.map
+    (fun step ->
+      {
+        kind = Ladder { step; rung = Option.value (rung_of step) ~default:"" };
+        ops = [];
+        csteps = [];
+        partitions = [];
+        score = 1000;
+      })
+    r.F.degraded
+
+(* The tail window that pins the pipe length: every operation still
+   running in the last [window] control steps, interchip transfers first —
+   they are the ones a different postponement order can move. *)
+let tail_bottleneck cdfg (r : F.result) =
+  let pl = r.F.pipe_length in
+  if pl <= 1 then []
+  else
+    let window = max 2 (pl / 4) in
+    let cut = max 0 (pl - window) in
+    let sch = r.F.schedule in
+    let in_tail op =
+      Sched.is_scheduled sch op
+      && Sched.cstep sch op + Timing.op_cycles cdfg (Sched.mlib sch) op > cut
+    in
+    let ops = List.filter in_tail (Cdfg.ops cdfg) in
+    let transfers = List.filter (fun op -> Cdfg.is_io cdfg op) ops in
+    if ops = [] then []
+    else
+      [
+        {
+          kind = Critical_tail { window };
+          ops = transfers @ List.filter (fun op -> not (Cdfg.is_io cdfg op)) ops;
+          csteps = Mcs_util.Listx.range cut pl;
+          partitions = [];
+          score = 100 + List.length transfers;
+        };
+      ]
+
+let pin_bottlenecks cdfg cons (r : F.result) =
+  List.filter_map
+    (fun (p, used) ->
+      let budget = Constraints.pins cons p in
+      if used < budget then None
+      else
+        let ops =
+          List.filter
+            (fun op -> Cdfg.io_src cdfg op = p || Cdfg.io_dst cdfg op = p)
+            (Cdfg.io_ops cdfg)
+        in
+        Some
+          {
+            kind = Pin_pressure { partition = p; used; budget };
+            ops;
+            csteps = [];
+            partitions = [ p ];
+            score = 10 + (used - budget);
+          })
+    r.F.pins
+
+(* Allocated units the schedule never needs simultaneously: slack that a
+   tail re-schedule could spend.  Informational (lowest score). *)
+let fu_bottlenecks (r : F.result) =
+  let implied = Mcs_sched.Fds.fu_requirements r.F.schedule in
+  List.filter_map
+    (fun (((p, ty) as key), allocated) ->
+      let need = Option.value (List.assoc_opt key implied) ~default:0 in
+      if need >= allocated then None
+      else
+        Some
+          {
+            kind =
+              Fu_slack { partition = p; optype = ty; implied = need; allocated };
+            ops = [];
+            csteps = [];
+            partitions = [ p ];
+            score = 1;
+          })
+    r.F.fus
+
+let analyze cdfg cons (r : F.result) =
+  let all =
+    ladder_bottlenecks r @ tail_bottleneck cdfg r
+    @ pin_bottlenecks cdfg cons r @ fu_bottlenecks r
+  in
+  List.stable_sort (fun a b -> compare b.score a.score) all

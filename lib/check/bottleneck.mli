@@ -1,0 +1,44 @@
+(** Structured bottleneck evidence extracted from a flow result.
+
+    Where the checkers in {!Mcs_check} answer {e is this result legal},
+    this module answers {e what is holding it back}: the typed records
+    below name the subgraph — operations, control steps, partitions — that
+    the {!Mcs_refine} driver should re-solve, ranked by how much a fix is
+    worth.  Evidence kinds, highest score first:
+
+    - {!Ladder}: a degradation-ladder step was taken; re-solving the
+      degraded phase exactly recovers the most quality (score 1000);
+    - {!Critical_tail}: the operations still running in the last control
+      steps pin the pipe length — interchip transfers listed first, since
+      a different postponement order can move them (score 100+);
+    - {!Pin_pressure}: a partition at (or over) its pin budget, with the
+      transfers that commit those pins (score 10+);
+    - {!Fu_slack}: allocated units the schedule never needs
+      simultaneously — slack a re-schedule could spend (score 1). *)
+
+open Mcs_cdfg
+
+type kind =
+  | Ladder of { step : string; rung : string }
+      (** [step] is the [Flow.result.degraded] note; [rung] the phase
+          that degraded, recovered from the [Degraded] diag payload
+          (may be [""] on results stripped of diagnostics) *)
+  | Critical_tail of { window : int }  (** tail window length in csteps *)
+  | Pin_pressure of { partition : int; used : int; budget : int }
+  | Fu_slack of { partition : int; optype : string; implied : int; allocated : int }
+
+type t = {
+  kind : kind;
+  ops : Types.op_id list;  (** the subgraph to re-solve, when known *)
+  csteps : int list;
+  partitions : int list;
+  score : int;  (** ranking key: higher = more valuable to fix *)
+}
+
+val analyze : Cdfg.t -> Constraints.t -> Mcs_flow.Flow.result -> t list
+(** All evidence on the result, highest score first.  Pure — never
+    mutates the result or its schedule. *)
+
+val describe : t -> string
+(** Compact label for telemetry, e.g. ["ladder:<step>"],
+    ["critical-tail:w3"], ["pin-pressure:p2:12/12"]. *)

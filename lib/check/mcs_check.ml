@@ -1,4 +1,5 @@
 open Mcs_cdfg
+module Bottleneck = Bottleneck
 module F = Mcs_flow.Flow
 module Diag = Mcs_flow.Diag
 module Artifact = Mcs_flow.Artifact
@@ -392,13 +393,32 @@ let check_result cdfg _mlib cons (r : F.result) =
           (fun (d : Diag.t) -> d.Diag.code = Diag.Degraded)
           r.F.diags
       in
-      if List.length noted = List.length r.F.degraded then []
-      else
+      if List.length noted <> List.length r.F.degraded then
         [
           Diag.error ~code:Diag.Result_mismatch ~phase
-            "result lists %d degradation steps but carries %d Degraded              diagnostics"
+            "result lists %d degradation steps but carries %d Degraded \
+             diagnostics"
             (List.length r.F.degraded) (List.length noted);
         ]
+      else
+        (* Every ladder step must also ride a [Degraded] diag payload
+           ([("step", note)]) — that payload is what {!Bottleneck} and
+           JSON consumers read instead of re-parsing prose. *)
+        List.filter_map
+          (fun step ->
+            if
+              List.exists
+                (fun (d : Diag.t) ->
+                  List.assoc_opt "step" d.Diag.data = Some step)
+                noted
+            then None
+            else
+              Some
+                (Diag.error ~code:Diag.Result_mismatch ~phase
+                   "degradation step %S is not carried by any Degraded \
+                    diagnostic payload"
+                   step))
+          r.F.degraded
   in
   sched @ structure @ occupancy @ pins @ fus @ rate @ degraded
 

@@ -27,6 +27,9 @@
 open Mcs_cdfg
 module Diag := Mcs_flow.Diag
 
+module Bottleneck = Bottleneck
+(** Typed bottleneck evidence for the {!Mcs_refine} driver. *)
+
 val level_of_string : string -> Mcs_flow.Pass.level
 (** [""], ["off"], ["0"], ["none"] → [Off]; ["strict"], ["2"] → [Strict];
     anything else (including ["warn"], ["check"], ["on"], ["1"]) → [Warn]. *)

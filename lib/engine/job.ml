@@ -30,6 +30,7 @@ type t = {
   flow : flow;
   rate : int;
   pipe_length : int option;
+  refine : int;
   mutable warm : (string * string list) list;
       (* parent-basis payload for the cross-grid warm start; deliberately
          NOT part of the canonical encoding — identity is the work named,
@@ -44,8 +45,9 @@ let name_ok s =
          | _ -> false)
        s
 
-let make ?pipe_length ~design ~flow ~rate () =
+let make ?pipe_length ?(refine = 0) ~design ~flow ~rate () =
   if rate < 1 then invalid_arg "Job.make: rate must be positive";
+  if refine < 0 then invalid_arg "Job.make: refine cap must be >= 0";
   (match pipe_length with
   | Some pl when pl < 1 -> invalid_arg "Job.make: pipe length must be positive"
   | _ -> ());
@@ -55,7 +57,7 @@ let make ?pipe_length ~design ~flow ~rate () =
         (Printf.sprintf "Job.make: bad design name %S (want [A-Za-z0-9_-]+)" s)
   | _ -> ());
   let pipe_length = match flow with Ch5 -> pipe_length | _ -> None in
-  { design; flow; rate; pipe_length; warm = [] }
+  { design; flow; rate; pipe_length; refine; warm = [] }
 
 let design_to_string = function
   | Named s -> s
@@ -96,17 +98,34 @@ let design_of_string s =
 
 let magic = "mcs-job/1"
 
+(* [refine] is appended only when nonzero, so every pre-refinement
+   encoding (and its cache address) stays byte-identical. *)
 let to_string j =
-  Printf.sprintf "%s|%s|%s|r%d|pl%s" magic
+  Printf.sprintf "%s|%s|%s|r%d|pl%s%s" magic
     (design_to_string j.design)
     (flow_to_string j.flow) j.rate
     (match j.pipe_length with Some pl -> string_of_int pl | None -> "-")
+    (if j.refine > 0 then Printf.sprintf "|ref%d" j.refine else "")
 
 let ( let* ) = Result.bind
 
 let of_string s =
-  match String.split_on_char '|' s with
-  | [ m; d; f; r; pl ] when m = magic ->
+  let parse_refine = function
+    | None -> Ok 0
+    | Some rf when String.length rf > 3 && String.sub rf 0 3 = "ref" -> (
+        match int_of_string_opt (String.sub rf 3 (String.length rf - 3)) with
+        | Some n when n > 0 -> Ok n
+        | _ -> Error (Printf.sprintf "bad refine field %S" rf))
+    | Some rf -> Error (Printf.sprintf "bad refine field %S" rf)
+  in
+  let fields =
+    match String.split_on_char '|' s with
+    | [ m; d; f; r; pl ] -> Some (m, d, f, r, pl, None)
+    | [ m; d; f; r; pl; rf ] -> Some (m, d, f, r, pl, Some rf)
+    | _ -> None
+  in
+  match fields with
+  | Some (m, d, f, r, pl, rf) when m = magic ->
       let* design = design_of_string d in
       let* flow = flow_of_string f in
       let* rate =
@@ -126,9 +145,10 @@ let of_string s =
               | _ -> Error (Printf.sprintf "bad pipe-length field %S" pl))
         else Error (Printf.sprintf "bad pipe-length field %S" pl)
       in
+      let* refine = parse_refine rf in
       if pipe_length <> None && flow <> Ch5 then
         Error "pipe length is only valid for the ch5 flow"
-      else Ok { design; flow; rate; pipe_length; warm = [] }
+      else Ok { design; flow; rate; pipe_length; refine; warm = [] }
   | _ -> Error (Printf.sprintf "not a %s encoding: %S" magic s)
 
 let equal a b = to_string a = to_string b
@@ -139,14 +159,15 @@ let hash j =
   String.sub (Digest.to_hex (Digest.string (to_string j))) 0 12
 
 let pp ppf j =
-  Format.fprintf ppf "%s %s r%d%s"
+  Format.fprintf ppf "%s %s r%d%s%s"
     (design_to_string j.design)
     (flow_to_string j.flow) j.rate
     (match j.pipe_length with
     | Some pl -> Printf.sprintf " pl%d" pl
     | None -> "")
+    (if j.refine > 0 then Printf.sprintf " ref%d" j.refine else "")
 
-let grid ~designs ~flows ~rates ?(pipe_lengths = []) () =
+let grid ~designs ~flows ~rates ?(pipe_lengths = []) ?(refine = 0) () =
   List.concat_map
     (fun design ->
       List.concat_map
@@ -156,9 +177,9 @@ let grid ~designs ~flows ~rates ?(pipe_lengths = []) () =
               match flow with
               | Ch5 when pipe_lengths <> [] ->
                   List.map
-                    (fun pl -> make ~pipe_length:pl ~design ~flow ~rate ())
+                    (fun pl -> make ~pipe_length:pl ~refine ~design ~flow ~rate ())
                     pipe_lengths
-              | _ -> [ make ~design ~flow ~rate () ])
+              | _ -> [ make ~refine ~design ~flow ~rate () ])
             rates)
         flows)
     designs

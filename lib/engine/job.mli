@@ -36,6 +36,11 @@ type t = private {
   pipe_length : int option;
       (** [Some _] only when [flow = Ch5]; [None] means "use the critical
           path", like the CLI default *)
+  refine : int;
+      (** iteration cap for the post-flow {!Mcs_refine} stage; 0 = off.
+          Part of the identity (a refined result is different work), but
+          encoded as a trailing [|refN] field {e only when nonzero}, so
+          every pre-refinement encoding and cache address is unchanged *)
   mutable warm : (string * string list) list;
       (** optional parent-basis payload ({!Mcs_ilp.Warm.export_all}
           contents from a settled neighboring grid point) — a hint, {e
@@ -44,12 +49,18 @@ type t = private {
 }
 
 val make :
-  ?pipe_length:int -> design:design_spec -> flow:flow -> rate:int -> unit -> t
+  ?pipe_length:int ->
+  ?refine:int ->
+  design:design_spec ->
+  flow:flow ->
+  rate:int ->
+  unit ->
+  t
 (** Canonicalizing constructor: [pipe_length] is dropped unless the flow
     is {!Ch5}, so equal work always has an equal encoding.
-    @raise Invalid_argument on a nonpositive rate or pipe length, or on a
-    [Named] design whose name is empty or uses characters outside
-    [A-Za-z0-9_-]. *)
+    @raise Invalid_argument on a nonpositive rate or pipe length, a
+    negative refine cap, or on a [Named] design whose name is empty or
+    uses characters outside [A-Za-z0-9_-]. *)
 
 val design_to_string : design_spec -> string
 val design_of_string : string -> (design_spec, string) result
@@ -84,6 +95,7 @@ val grid :
   flows:flow list ->
   rates:int list ->
   ?pipe_lengths:int list ->
+  ?refine:int ->
   unit ->
   t list
 (** The cross product in deterministic order (designs outermost, then

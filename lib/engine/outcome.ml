@@ -15,6 +15,22 @@ type solver = {
   arith_fallbacks : int;
 }
 
+type refine_step = {
+  action : string;
+  objective : int option;
+  step_accepted : bool;
+  step_pivots : int;
+}
+
+type refine = {
+  steps : refine_step list;
+  objective_start : int;
+  objective_end : int;
+  accepted : int;
+  fixed_point : bool;
+  refine_exhausted : bool;
+}
+
 type t = {
   job : Job.t;
   status : status;
@@ -24,6 +40,7 @@ type t = {
   check : check option;
   degraded : string list;
   solver : solver option;
+  refine : refine option;
 }
 
 let pins_total o = Mcs_util.Listx.sum snd o.pins
@@ -79,18 +96,46 @@ let to_json o =
     @ (match o.degraded with
       | [] -> []
       | steps -> [ ("degraded", J.Arr (List.map (fun m -> J.Str m) steps)) ])
+    @ (match o.solver with
+      | None -> []
+      | Some s ->
+          [
+            ( "solver",
+              J.Obj
+                [
+                  ("arith", J.Str s.arith);
+                  ("certify_ok", J.Int s.certify_ok);
+                  ("certify_fail", J.Int s.certify_fail);
+                  ("fallbacks", J.Int s.arith_fallbacks);
+                ] );
+          ])
     @
-    match o.solver with
+    match o.refine with
     | None -> []
-    | Some s ->
+    | Some r ->
         [
-          ( "solver",
+          ( "refine",
             J.Obj
               [
-                ("arith", J.Str s.arith);
-                ("certify_ok", J.Int s.certify_ok);
-                ("certify_fail", J.Int s.certify_fail);
-                ("fallbacks", J.Int s.arith_fallbacks);
+                ("objective_start", J.Int r.objective_start);
+                ("objective_end", J.Int r.objective_end);
+                ("accepted", J.Int r.accepted);
+                ("fixed_point", J.Bool r.fixed_point);
+                ("exhausted", J.Bool r.refine_exhausted);
+                ( "steps",
+                  J.Arr
+                    (List.map
+                       (fun st ->
+                         J.Obj
+                           ([ ("action", J.Str st.action) ]
+                           @ (match st.objective with
+                             | None -> []
+                             | Some o -> [ ("objective", J.Int o) ])
+                           @ [
+                               ("accepted", J.Bool st.step_accepted);
+                               ("pivots", J.Int st.step_pivots);
+                             ]))
+                       r.steps) );
               ] );
         ])
 
@@ -154,7 +199,48 @@ let of_json j =
         let* arith_fallbacks = field "fallbacks" J.to_int sj in
         Ok (Some { arith; certify_ok; certify_fail; arith_fallbacks })
   in
-  Ok { job; status; pins; pipe_length; fu_count; check; degraded; solver }
+  let* refine =
+    (* absent = no refinement stage ran (every pre-refinement entry) *)
+    match J.member "refine" j with
+    | None -> Ok None
+    | Some rj ->
+        let* objective_start = field "objective_start" J.to_int rj in
+        let* objective_end = field "objective_end" J.to_int rj in
+        let* accepted = field "accepted" J.to_int rj in
+        let fixed_point =
+          Option.bind (J.member "fixed_point" rj) J.to_bool = Some true
+        in
+        let refine_exhausted =
+          Option.bind (J.member "exhausted" rj) J.to_bool = Some true
+        in
+        let* steps_j = field "steps" J.to_list rj in
+        let* steps =
+          List.fold_left
+            (fun acc sj ->
+              let* acc = acc in
+              let* action = field "action" J.to_str sj in
+              let objective = Option.bind (J.member "objective" sj) J.to_int in
+              let step_accepted =
+                Option.bind (J.member "accepted" sj) J.to_bool = Some true
+              in
+              let* step_pivots = field "pivots" J.to_int sj in
+              Ok ({ action; objective; step_accepted; step_pivots } :: acc))
+            (Ok []) steps_j
+          |> Result.map List.rev
+        in
+        Ok
+          (Some
+             {
+               steps;
+               objective_start;
+               objective_end;
+               accepted;
+               fixed_point;
+               refine_exhausted;
+             })
+  in
+  Ok
+    { job; status; pins; pipe_length; fu_count; check; degraded; solver; refine }
 
 let to_string o = J.to_string (to_json o)
 

@@ -36,6 +36,29 @@ type solver = {
   arith_fallbacks : int;
 }
 
+(** One {!Mcs_refine} iteration, as cached: what move ran, the objective
+    it reached (absent when the move failed to produce a candidate),
+    whether the incumbent took it, and the simplex pivots its budget
+    slice spent. *)
+type refine_step = {
+  action : string;
+  objective : int option;
+  step_accepted : bool;
+  step_pivots : int;
+}
+
+(** Telemetry of the job's optional refinement stage ({!Job.refine}
+    [> 0]): start/end objective under {!Mcs_refine.objective}, accepted
+    iteration count, and how the loop stopped. *)
+type refine = {
+  steps : refine_step list;
+  objective_start : int;
+  objective_end : int;
+  accepted : int;
+  fixed_point : bool;
+  refine_exhausted : bool;
+}
+
 type t = {
   job : Job.t;
   status : status;
@@ -56,6 +79,9 @@ type t = {
   solver : solver option;
       (** [None] for synthetic workers and pre-hybrid cache entries
           (absent in the encoding parses as [None]) *)
+  refine : refine option;
+      (** [None] when the job ran without a refinement stage
+          ([Job.refine = 0], and every pre-refinement cache entry) *)
 }
 
 val pins_total : t -> int

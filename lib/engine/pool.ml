@@ -12,7 +12,8 @@ let c_executed = M.counter "engine.jobs.executed"
 
 (* ---- in-process execution ---- *)
 
-let feasible job ~pins ~pipe_length ~fu_count ~check ~degraded ~solver =
+let feasible ?refine job ~pins ~pipe_length ~fu_count ~check ~degraded ~solver
+    =
   {
     Outcome.job;
     status = Outcome.Feasible;
@@ -22,6 +23,7 @@ let feasible job ~pins ~pipe_length ~fu_count ~check ~degraded ~solver =
     check;
     degraded;
     solver;
+    refine;
   }
 
 let settled ?solver job status =
@@ -34,6 +36,7 @@ let settled ?solver job status =
     check = None;
     degraded = [];
     solver;
+    refine = None;
   }
 
 (* The job's own share of the hybrid-arithmetic counters: deltas across
@@ -110,6 +113,41 @@ let exec_diag_raw ?policy (job : Job.t) =
           ( settled ?solver job (Outcome.Infeasible (Diag.message dg)),
             Some dg )
       | Ok r ->
+          (* The optional refinement stage: anytime-improve the result
+             under the same policy budget (so a per-request deadline
+             bounds refinement too), then report the incumbent.  The
+             telemetry rides on the outcome into caches and reports. *)
+          let r, refine =
+            if job.Job.refine <= 0 then (r, None)
+            else
+              let module R = Mcs_refine.Refine in
+              let before = R.objective r in
+              let out = R.improve ~max_iters:job.Job.refine ~policy spec r in
+              let steps =
+                List.map
+                  (fun (it : R.iteration) ->
+                    {
+                      Outcome.action = it.R.action;
+                      objective = it.R.objective_after;
+                      step_accepted = it.R.accepted;
+                      step_pivots = it.R.pivots;
+                    })
+                  out.R.iterations
+              in
+              ( out.R.result,
+                Some
+                  {
+                    Outcome.steps;
+                    objective_start = before;
+                    objective_end = R.objective out.R.result;
+                    accepted =
+                      List.length
+                        (List.filter (fun (it : R.iteration) -> it.R.accepted)
+                           out.R.iterations);
+                    fixed_point = out.R.fixed_point;
+                    refine_exhausted = out.R.exhausted;
+                  } )
+          in
           let check =
             match level with
             | Mcs_flow.Pass.Off -> None
@@ -117,7 +155,7 @@ let exec_diag_raw ?policy (job : Job.t) =
                 let n = List.length (List.filter Diag.is_error r.F.diags) in
                 Some (if n = 0 then Outcome.Clean else Outcome.Violations n)
           in
-          ( feasible job ~pins:r.F.pins ~pipe_length:r.F.pipe_length
+          ( feasible ?refine job ~pins:r.F.pins ~pipe_length:r.F.pipe_length
               ~fu_count:(F.fus_total r) ~check ~degraded:r.F.degraded ~solver,
             None ))
 

@@ -28,22 +28,24 @@ type t = {
   ops : Types.op_id list;
   csteps : int list;
   partitions : int list;
+  data : (string * string) list;
 }
 
-let make severity ?(ops = []) ?(csteps = []) ?(partitions = []) ~code ~phase
-    fmt =
+let make severity ?(ops = []) ?(csteps = []) ?(partitions = []) ?(data = [])
+    ~code ~phase fmt =
   Format.kasprintf
-    (fun message -> { severity; code; phase; message; ops; csteps; partitions })
+    (fun message ->
+      { severity; code; phase; message; ops; csteps; partitions; data })
     fmt
 
-let error ?ops ?csteps ?partitions ~code ~phase fmt =
-  make Error ?ops ?csteps ?partitions ~code ~phase fmt
+let error ?ops ?csteps ?partitions ?data ~code ~phase fmt =
+  make Error ?ops ?csteps ?partitions ?data ~code ~phase fmt
 
-let warning ?ops ?csteps ?partitions ~code ~phase fmt =
-  make Warning ?ops ?csteps ?partitions ~code ~phase fmt
+let warning ?ops ?csteps ?partitions ?data ~code ~phase fmt =
+  make Warning ?ops ?csteps ?partitions ?data ~code ~phase fmt
 
-let info ?ops ?csteps ?partitions ~code ~phase fmt =
-  make Info ?ops ?csteps ?partitions ~code ~phase fmt
+let info ?ops ?csteps ?partitions ?data ~code ~phase fmt =
+  make Info ?ops ?csteps ?partitions ?data ~code ~phase fmt
 
 let is_error d = d.severity = Error
 
@@ -93,11 +95,16 @@ let pp ?cdfg ppf d =
   | cs ->
       Format.fprintf ppf " (csteps: %s)"
         (String.concat " " (List.map string_of_int cs)));
-  match d.partitions with
+  (match d.partitions with
   | [] -> ()
   | ps ->
       Format.fprintf ppf " (partitions: %s)"
-        (String.concat " " (List.map string_of_int ps))
+        (String.concat " " (List.map string_of_int ps)));
+  match d.data with
+  | [] -> ()
+  | kvs ->
+      Format.fprintf ppf " (%s)"
+        (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
 
 let to_json d =
   let ints name = function
@@ -112,4 +119,8 @@ let to_json d =
        ("message", J.Str d.message);
      ]
     @ ints "ops" d.ops @ ints "csteps" d.csteps
-    @ ints "partitions" d.partitions)
+    @ ints "partitions" d.partitions
+    @
+    match d.data with
+    | [] -> []
+    | kvs -> [ ("data", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) kvs)) ])

@@ -37,12 +37,18 @@ type t = {
   ops : Types.op_id list;  (** offending operations, when known *)
   csteps : int list;  (** offending control steps, when known *)
   partitions : int list;  (** offending partitions, when known *)
+  data : (string * string) list;
+      (** free-form machine-readable payload.  [Degraded] diagnostics
+          carry [("step", <ladder note>)] and [("rung", <phase>)] so
+          consumers (the refinement driver, JSON readers) can see which
+          fallback fired without parsing prose *)
 }
 
 val error :
   ?ops:Types.op_id list ->
   ?csteps:int list ->
   ?partitions:int list ->
+  ?data:(string * string) list ->
   code:code ->
   phase:string ->
   ('a, Format.formatter, unit, t) format4 ->
@@ -52,6 +58,7 @@ val warning :
   ?ops:Types.op_id list ->
   ?csteps:int list ->
   ?partitions:int list ->
+  ?data:(string * string) list ->
   code:code ->
   phase:string ->
   ('a, Format.formatter, unit, t) format4 ->
@@ -61,6 +68,7 @@ val info :
   ?ops:Types.op_id list ->
   ?csteps:int list ->
   ?partitions:int list ->
+  ?data:(string * string) list ->
   code:code ->
   phase:string ->
   ('a, Format.formatter, unit, t) format4 ->

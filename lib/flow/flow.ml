@@ -62,10 +62,16 @@ type policy = {
   budget : Budget.t;
   fallback : bool;
   exact_first : bool;
+  refine : int;
 }
 
 let default_policy =
-  { budget = Budget.unlimited; fallback = true; exact_first = false }
+  {
+    budget = Budget.unlimited;
+    fallback = true;
+    exact_first = false;
+    refine = 0;
+  }
 
 type result = {
   flow : name;

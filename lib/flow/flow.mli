@@ -41,12 +41,18 @@ type policy = {
   exact_first : bool;
       (** Ch. 4 only: try the exact ILP formulation of §4.1.1 before the
           heuristic search (default [false]) *)
+  refine : int;
+      (** iteration cap for the {!Mcs_refine} anytime-improvement loop
+          (default [0] = off; {!run} itself never refines — the cap is
+          carried here so every layer that owns a policy, from the CLI to
+          the engine to the server, shares one knob) *)
 }
 
 val default_policy : policy
-(** Unlimited budget, [fallback = true], [exact_first = false] — with no
-    budget and no injected fault nothing ever exhausts, so the ladder
-    never engages and results are bit-identical to a policy-less run. *)
+(** Unlimited budget, [fallback = true], [exact_first = false],
+    [refine = 0] — with no budget and no injected fault nothing ever
+    exhausts, so the ladder never engages and results are bit-identical
+    to a policy-less run. *)
 
 val spec_of_design :
   ?pipe_length:int ->

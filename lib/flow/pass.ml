@@ -50,7 +50,10 @@ let degrade t ~phase note =
           ("phase", Mcs_obs.Events.Str phase);
           ("note", Mcs_obs.Events.Str note);
         ];
-  record t (Diag.warning ~code:Diag.Degraded ~phase "%s" note)
+  record t
+    (Diag.warning
+       ~data:[ ("step", note); ("rung", phase) ]
+       ~code:Diag.Degraded ~phase "%s" note)
 
 let degraded t = List.rev t.degraded_steps
 

@@ -34,6 +34,7 @@ val to_float : t -> float option
 (** [to_float] accepts both [Int] and [Float]. *)
 
 val to_str : t -> string option
+val to_bool : t -> bool option
 val to_list : t -> t list option
 
 (** {2 Report builders} *)

@@ -66,6 +66,42 @@ let halve t =
     ?augments:(Option.map half_int t.augments)
     ()
 
+let remaining_ms t =
+  match t.deadline with
+  | None -> None
+  | Some dl -> Some (max 0. ((dl -. Unix.gettimeofday ()) *. 1000.))
+
+(* A slice is a fresh budget holding [frac] of what the parent has left on
+   every axis: refinement charges one iteration to a slice so a runaway
+   subproblem can never drain the whole pool.  The parent learns what the
+   slice actually spent through [absorb]. *)
+let slice ?(frac = 0.5) t =
+  let part limit spent =
+    Option.map
+      (fun l -> max 1 (int_of_float (ceil (float_of_int (max 0 (l - spent)) *. frac))))
+      limit
+  in
+  let deadline_ms =
+    match remaining_ms t with
+    | None -> None
+    | Some ms -> Some (max 1. (ms *. frac))
+  in
+  make ?deadline_ms
+    ?nodes:(part t.nodes t.n_nodes)
+    ?pivots:(part t.pivots t.n_pivots)
+    ?passes:(part t.passes t.n_passes)
+    ?augments:(part t.augments t.n_augments)
+    ()
+
+let absorb t child =
+  t.n_nodes <- t.n_nodes + child.n_nodes;
+  t.n_pivots <- t.n_pivots + child.n_pivots;
+  t.n_passes <- t.n_passes + child.n_passes;
+  t.n_augments <- t.n_augments + child.n_augments
+
+let spent_pivots t = t.n_pivots
+let spent_nodes t = t.n_nodes
+
 let is_limited t =
   t.deadline <> None || t.nodes <> None || t.pivots <> None
   || t.passes <> None || t.augments <> None

@@ -48,6 +48,28 @@ val halve : t -> t
 val is_limited : t -> bool
 (** [false] exactly for budgets equivalent to {!unlimited}. *)
 
+val remaining_ms : t -> float option
+(** Milliseconds left before the deadline (clamped at 0), when one was
+    set.  The refinement driver uses this to decide whether a request's
+    deadline still has slack worth spending. *)
+
+val slice : ?frac:float -> t -> t
+(** A fresh budget holding [frac] (default 0.5) of what [t] has left on
+    every limited axis (at least 1 each; unlimited axes stay unlimited).
+    The slice's spending is {e not} reflected in [t] — call {!absorb}
+    afterwards so the parent's books stay honest. *)
+
+val absorb : t -> t -> unit
+(** [absorb parent child] adds the child's spent counters to the parent's
+    without raising, even if the parent is now over a limit — the next
+    [spend_*] on the parent will trip it.  Pure book-keeping, safe to call
+    after a slice finished or exhausted. *)
+
+val spent_pivots : t -> int
+val spent_nodes : t -> int
+(** Work recorded so far — per-iteration telemetry for the refinement
+    loop. *)
+
 val deadline_ms : t -> float option
 (** The original wall allowance, when one was set. *)
 

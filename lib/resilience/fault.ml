@@ -14,22 +14,44 @@ let to_string = function
   | Crash_worker n -> Printf.sprintf "crash-worker:%d" n
   | Corrupt_cache -> "corrupt-cache"
 
+(* An exhaust mode may carry an armed count ("exhaust-ilp:2" fires on the
+   first two injection-point hits, then disarms); [None] = every hit while
+   the env value stands.  [crash-worker:N]'s colon keeps its historical
+   meaning (worker count), so only the exhaust-* modes take a count. *)
 let parse_one s =
-  match String.trim s with
-  | "exhaust-ilp" -> Ok Exhaust_ilp
-  | "exhaust-fds" -> Ok Exhaust_fds
-  | "exhaust-heuristic" -> Ok Exhaust_heuristic
-  | "exhaust-hungarian" -> Ok Exhaust_hungarian
-  | "corrupt-cache" -> Ok Corrupt_cache
-  | s when String.length s > 13 && String.sub s 0 13 = "crash-worker:" -> (
-      let n = String.sub s 13 (String.length s - 13) in
-      match int_of_string_opt n with
-      | Some n when n >= 0 -> Ok (Crash_worker n)
-      | _ -> Error (Printf.sprintf "MCS_FAULT: bad worker count %S" n))
+  let s = String.trim s in
+  let base, count =
+    match String.index_opt s ':' with
+    | Some i ->
+        (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (s, None)
+  in
+  let armed f =
+    match count with
+    | None -> Ok (f, None)
+    | Some n -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Ok (f, Some n)
+        | _ ->
+            Error (Printf.sprintf "MCS_FAULT: bad armed count %S for %s" n base))
+  in
+  match base with
+  | "exhaust-ilp" -> armed Exhaust_ilp
+  | "exhaust-fds" -> armed Exhaust_fds
+  | "exhaust-heuristic" -> armed Exhaust_heuristic
+  | "exhaust-hungarian" -> armed Exhaust_hungarian
+  | "corrupt-cache" when count = None -> Ok (Corrupt_cache, None)
+  | "crash-worker" -> (
+      match count with
+      | Some n -> (
+          match int_of_string_opt n with
+          | Some n when n >= 0 -> Ok (Crash_worker n, None)
+          | _ -> Error (Printf.sprintf "MCS_FAULT: bad worker count %S" n))
+      | None -> Error "MCS_FAULT: crash-worker needs a count (crash-worker:N)")
   | "" -> Error "MCS_FAULT: empty mode"
-  | s -> Error (Printf.sprintf "MCS_FAULT: unknown mode %S" s)
+  | _ -> Error (Printf.sprintf "MCS_FAULT: unknown mode %S" s)
 
-let parse s =
+let parse_armed s =
   if String.trim s = "" then Ok []
   else
     String.split_on_char ',' s
@@ -42,18 +64,23 @@ let parse s =
          (Ok [])
     |> Result.map List.rev
 
-(* Memoized on the raw env value so tests can flip MCS_FAULT with
-   Unix.putenv and injection points see the change on the next call. *)
-let memo : (string * t list) option ref = ref None
+let parse s = Result.map (List.map fst) (parse_armed s)
 
-let active () =
+(* Memoized on the raw env value so tests can flip MCS_FAULT with
+   Unix.putenv and injection points see the change on the next call.
+   Armed counts live in the memo as mutable shot counters: they reset
+   whenever the env value changes.  Fault injection is a test facility;
+   the counters are not synchronized across domains. *)
+let memo : (string * (t * int ref option) list) option ref = ref None
+
+let active_armed () =
   let raw = match Sys.getenv_opt "MCS_FAULT" with Some s -> s | None -> "" in
   match !memo with
   | Some (r, fs) when String.equal r raw -> fs
   | _ ->
       let fs =
-        match parse raw with
-        | Ok fs -> fs
+        match parse_armed raw with
+        | Ok fs -> List.map (fun (f, c) -> (f, Option.map ref c)) fs
         | Error e ->
             Mcs_obs.Log.warn "%s (fault injection disabled)" e;
             []
@@ -61,10 +88,25 @@ let active () =
       memo := Some (raw, fs);
       fs
 
-let has f = List.mem f (active ())
+let reset () = memo := None
+let active () = List.map fst (active_armed ())
+let has f = List.exists (fun (g, _) -> g = f) (active_armed ())
+
+(* Consume one shot of [fault] if any entry for it still has shots left
+   (or is unarmed, i.e. infinite). *)
+let fire fault =
+  let rec go = function
+    | [] -> false
+    | (g, shots) :: rest when g = fault -> (
+        match shots with
+        | None -> true
+        | Some r -> if !r > 0 then (decr r; true) else go rest)
+    | _ :: rest -> go rest
+  in
+  go (active_armed ())
 
 let exhaust_if fault resource =
-  if has fault then Some (Budget.exhausted resource) else None
+  if fire fault then Some (Budget.exhausted resource) else None
 
 let exhaust_ilp () = exhaust_if Exhaust_ilp Budget.Nodes
 let exhaust_fds () = exhaust_if Exhaust_fds Budget.Passes

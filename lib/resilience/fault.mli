@@ -7,6 +7,13 @@
                 crash-worker:N,corrupt-cache
     v}
 
+    Each [exhaust-*] mode may carry an armed count, [exhaust-ilp:N]: the
+    fault fires on the first [N] injection-point hits in this process,
+    then disarms (counts reset whenever the env value changes).  A bare
+    mode fires on every hit.  Armed counts are what let a refinement pass
+    in the same process re-solve cleanly after the initial run was forced
+    down the degradation ladder.
+
     - [exhaust-ilp] — branch & bound reports [Exhausted] immediately.
     - [exhaust-fds] — force-directed scheduling reports [Exhausted].
     - [exhaust-heuristic] — the Ch4 connection search reports [Exhausted].
@@ -30,9 +37,18 @@ type t =
 
 val parse : string -> (t list, string) result
 (** Parse a comma-separated [MCS_FAULT] value.  The empty string parses to
-    []. *)
+    [].  Armed counts ([exhaust-ilp:2]) parse to the same constructors as
+    their bare forms — arming is runtime state, not identity. *)
 
 val to_string : t -> string
+
+val reset : unit -> unit
+(** Forget the memoized armed-shot counters: the next injection-point hit
+    re-reads [MCS_FAULT] and re-arms counts from scratch.  Tests that flip
+    the variable back to a previously-seen value need this — when no
+    injection point runs in between, the memo cannot tell the sequence
+    [A → "" → A] apart from an unchanged [A], so a consumed count would
+    otherwise stay consumed. *)
 
 val active : unit -> t list
 (** Faults currently enabled via [MCS_FAULT].  An unparseable value

@@ -69,14 +69,28 @@ let deadlines sched cdfg mlib ~rate =
   dl
 
 let run ?(budget = Budget.unlimited) cdfg mlib cons ~rate ?max_csteps
-    ?(io_hook = unconstrained_io) ?priority_bias ?min_cstep () =
+    ?(io_hook = unconstrained_io) ?priority_bias ?min_cstep ?(fixed = []) () =
   M.incr m_runs;
   let sched = Schedule.create cdfg mlib ~rate in
+  (* Fixed placements are replayed step by step as the main loop reaches
+     their control step, so they charge the allocation wheels and the
+     [io_hook] exactly like free operations — the free candidates then
+     compete only for what is genuinely left. *)
+  let fixed_at = Hashtbl.create 16 in
+  let is_fixed = Hashtbl.create 16 in
+  List.iter
+    (fun (op, c) ->
+      if c < 0 then invalid_arg "List_sched.run: fixed op at negative cstep";
+      Hashtbl.replace is_fixed op ();
+      Hashtbl.replace fixed_at c
+        (op :: Option.value (Hashtbl.find_opt fixed_at c) ~default:[]))
+    fixed;
   let max_csteps =
     match max_csteps with
     | Some m -> m
     | None -> (4 * Timing.critical_path_csteps cdfg mlib) + (4 * rate) + 16
   in
+  let max_csteps = List.fold_left (fun m (_, c) -> max m c) max_csteps fixed in
   (* One allocation wheel set per (partition, optype). *)
   let wheels = Hashtbl.create 16 in
   let wheel partition optype =
@@ -126,6 +140,62 @@ let run ?(budget = Budget.unlimited) cdfg mlib cons ~rate ?max_csteps
                  (Cdfg.name cdfg op) dl.(op))
               !s)
         (Cdfg.ops cdfg);
+      (* Replay this step's fixed placements first: they own their
+         resources before any free candidate is considered.  The inner
+         fixpoint resolves same-step chains among fixed operations (a
+         chained consumer only places after its producer has). *)
+      (match Hashtbl.find_opt fixed_at !s with
+      | None -> ()
+      | Some ops when !failure = None ->
+          let place op =
+            let cstep0, offset0 = Schedule.min_start_with_chaining sched op in
+            if
+              cstep0 > !s
+              || not
+                   (List.for_all
+                      (Schedule.is_scheduled sched)
+                      (Cdfg.preds cdfg op))
+            then false
+            else begin
+              let offset_in = if cstep0 = !s then offset0 else 0 in
+              let cycles = Timing.op_cycles cdfg mlib op in
+              let finish_ns =
+                if cycles > 1 then 0
+                else offset_in + Timing.op_delay_ns cdfg mlib op
+              in
+              let group = !s mod rate in
+              (match Cdfg.node cdfg op with
+              | Types.Func { optype; partition } ->
+                  let w = wheel partition optype in
+                  if Alloc_wheel.fit w ~group ~cycles = None then
+                    invalid_arg
+                      (Printf.sprintf
+                         "List_sched.run: fixed operation %s does not fit \
+                          its allocation wheel at control step %d"
+                         (Cdfg.name cdfg op) !s);
+                  let (_ : int) = Alloc_wheel.assign w ~group ~cycles in
+                  ()
+              | Types.Io _ -> io_hook.io_commit sched op ~cstep:!s);
+              Schedule.set sched op ~cstep:!s ~finish_ns;
+              decr remaining;
+              true
+            end
+          in
+          let pending = ref ops and again = ref true in
+          while !again do
+            again := false;
+            pending :=
+              List.filter (fun op -> if place op then (again := true; false) else true) !pending
+          done;
+          (match !pending with
+          | [] -> ()
+          | op :: _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "List_sched.run: fixed operation %s cannot be replayed at \
+                    control step %d (unscheduled or later predecessor)"
+                   (Cdfg.name cdfg op) !s))
+      | Some _ -> ());
       if !failure = None then begin
         (* Operations scheduled early in this step can enable chained
            successors in the same step, so sweep until a fixpoint. *)
@@ -136,6 +206,7 @@ let run ?(budget = Budget.unlimited) cdfg mlib cons ~rate ?max_csteps
             List.filter
               (fun op ->
                 (not (Schedule.is_scheduled sched op))
+                && (not (Hashtbl.mem is_fixed op))
                 && floor_of op <= !s
                 && List.for_all
                      (Schedule.is_scheduled sched)

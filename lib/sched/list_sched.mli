@@ -55,12 +55,21 @@ val run :
   ?io_hook:io_hook ->
   ?priority_bias:int array ->
   ?min_cstep:int array ->
+  ?fixed:(Types.op_id * int) list ->
   unit ->
   (Schedule.t, failure) result
 (** [priority_bias] perturbs the static priorities (added per operation);
     [min_cstep] forbids scheduling an operation before the given control
     step — the paper's manual trick of "postponing some of the operations
     ... and rerunning" (§5.3), mechanized by [Mcs_core.Improve].
+    [fixed] replays the given [(op, cstep)] placements verbatim — charging
+    allocation wheels and the [io_hook]'s commit exactly as if the
+    scheduler had chosen them — while the remaining operations are
+    scheduled freely around them; this is the subproblem-extraction entry
+    point of [Mcs_refine] (freeze the non-bottleneck prefix, re-schedule
+    the tail).  Fixed placements must come from a valid schedule over the
+    same resources: every predecessor of a fixed operation must itself be
+    fixed no later, or the run raises [Invalid_argument].
     [budget] charges one pass per control step; a
     {!Mcs_resilience.Budget.Out_of_budget} escaping the [io_hook] is also
     caught here and reported as an [Exhausted] failure. *)

@@ -18,6 +18,9 @@ let create cdfg mlib ~rate =
     finish = Array.make (Cdfg.n_ops cdfg) 0;
   }
 
+let copy t =
+  { t with csteps = Array.copy t.csteps; finish = Array.copy t.finish }
+
 let cdfg t = t.cdfg
 let mlib t = t.mlib
 let rate t = t.rate

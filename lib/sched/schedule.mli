@@ -11,6 +11,11 @@ open Mcs_cdfg
 type t
 
 val create : Cdfg.t -> Module_lib.t -> rate:int -> t
+
+val copy : t -> t
+(** An independent snapshot: mutations of either side never show through.
+    The refinement driver copies before speculatively re-scheduling. *)
+
 val cdfg : t -> Cdfg.t
 val mlib : t -> Module_lib.t
 val rate : t -> int

@@ -35,6 +35,21 @@ let rec worker_loop t =
     worker_loop t
   end
 
+(* Minor-GC synchronisation is what makes a multi-domain pool slower than
+   one domain on this workload: the flows allocate hard (schedulers,
+   rational arithmetic), so under the default 256k-word minor heap every
+   domain triggers a stop-the-world minor collection every few
+   milliseconds, and with N domains each collection barriers the other
+   N-1 mid-solve.  A 4M-word per-domain minor heap makes the serve
+   grid's wall flat in the domain count where it previously *grew* with
+   N (measured: 0.54 s → 1.0 s going 1 → 4 domains at 256k; ~0.6 s flat
+   at ≥1M words).  The size cannot be fixed here: on OCaml 5.1 the
+   per-domain minor arenas are reserved at process startup and [Gc.set]
+   cannot grow them (a spawned domain still sees 256k), so the pool only
+   publishes the recommendation and the daemon entry point applies it by
+   re-exec'ing with [OCAMLRUNPARAM=s=...] before any domain exists. *)
+let recommended_minor_heap_words = 4 * 1024 * 1024
+
 let create ?(domains = 2) () =
   let size = max 1 domains in
   let t =

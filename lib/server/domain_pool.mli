@@ -19,6 +19,16 @@
 
 type t
 
+val recommended_minor_heap_words : int
+(** Per-domain minor heap (in words) under which a multi-domain pool
+    stops losing its parallel gains to stop-the-world minor-GC
+    synchronisation on the allocation-heavy flows (measured on the serve
+    grid: wall {e grew} from 0.54 s at 1 domain to 1.0 s at 4 under the
+    default 256k words, and was flat at ≥1M).  On OCaml 5.1 the minor
+    arenas are reserved at startup and [Gc.set] cannot grow them, so
+    this cannot be applied by the pool itself — the daemon entry point
+    re-execs with [OCAMLRUNPARAM=s=...] before any domain is spawned. *)
+
 val create : ?domains:int -> unit -> t
 (** Spawn [domains] (default 2, floored at 1) worker domains. *)
 

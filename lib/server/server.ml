@@ -126,6 +126,7 @@ let crashed_outcome job msg =
     check = None;
     degraded = [];
     solver = None;
+    refine = None;
   }
 
 let wake t =
@@ -299,6 +300,8 @@ let stats_json t =
       ("batches", J.Int (counter "server.batches"));
       ("cache_hits", J.Int (counter "engine.cache.hits"));
       ("cache_misses", J.Int (counter "engine.cache.misses"));
+      ("refine_iterations", J.Int (counter "refine.iterations"));
+      ("refine_accepted", J.Int (counter "refine.accepted"));
       ("latency_p50_ms", opt_float (quantile "server.latency_ms" 0.5));
       ("latency_p95_ms", opt_float (quantile "server.latency_ms" 0.95));
       ("metrics", J.metrics ());

@@ -283,6 +283,7 @@ let synthetic_worker (j : Mcs_engine.Job.t) =
     check = None;
     degraded = [];
     solver = None;
+    refine = None;
   }
 
 let test_retry_counts_misses_once () =

@@ -317,6 +317,7 @@ let outcome j =
     check = None;
     degraded = [];
     solver = None;
+    refine = None;
   }
 
 let test_cache_quarantines_corrupt_entry () =

@@ -57,6 +57,7 @@ let outcome ?(status = Outcome.Feasible) ?(pins = [ (0, 8); (1, 16) ])
     check;
     degraded = [];
     solver = None;
+    refine = None;
   }
 
 let synthetic_worker (j : Job.t) =

@@ -16,6 +16,7 @@ let () =
       Suite_engine.suite;
       Suite_resilience.suite;
       Suite_check.suite;
+      Suite_refine.suite;
       Suite_prof.suite;
       Suite_server.suite;
     ]
