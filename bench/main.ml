@@ -1032,6 +1032,266 @@ let serve () =
     n.warm_pivots n.cold_pivots
     (n.warm_pivots < n.cold_pivots)
 
+(* ---- E-chaos: crash-safe serving under injected faults ---- *)
+
+module S_wal = Mcs_server.Wal
+
+type chaos_numbers = {
+  x_clean_sent : int;  (* clean jobs in the burst *)
+  x_clean_answered : int;  (* ... that came back with outcomes *)
+  x_poisoned : int;  (* jobs quarantined by the supervisor *)
+  x_requeued : int;  (* entries requeued after domain deaths *)
+  x_respawns : int;  (* worker domains respawned *)
+  x_burst_wall : float;
+  x_owed : int;  (* admits journaled before the simulated crash *)
+  x_recovered : int;  (* ... replayed by --recover *)
+  x_recover_wall : float;  (* daemon start to last owed reply *)
+}
+
+let chaos_job seed =
+  E_job.make
+    ~design:(E_job.Random_simple { seed; n_partitions = 2; ops_per_chip = 3 })
+    ~flow:E_job.Ch3 ~rate:2 ()
+
+(* A forked daemon child, like E-serve's (the parent must stay
+   domain-free so Bechamel can keep forking), but under a fault
+   schedule and with the durable journal on. *)
+let chaos_daemon ~fault ~wal ~recover sock =
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          if fault <> "" then Unix.putenv "MCS_FAULT" fault;
+          let config =
+            {
+              S_server.default_config with
+              S_server.socket_path = sock;
+              domains = 2;
+              window_ms = 5.0;
+              wal_path = Some wal;
+              recover;
+            }
+          in
+          let t = S_server.create ~config () in
+          S_server.serve t;
+          0
+        with _ -> 1
+      in
+      Unix._exit code
+  | pid -> pid
+
+let chaos_connect_retry sock =
+  let rec go n =
+    match S_client.connect_unix sock with
+    | c -> c
+    | exception Unix.Unix_error _ when n > 0 ->
+        Unix.sleepf 0.05;
+        go (n - 1)
+  in
+  go 100
+
+(* Two phases, both with deterministic counters.
+
+   Burst: a daemon under MCS_FAULT=kill-domain:2 gets one victim job
+   (both kills land on it — nothing else is in flight — so it takes two
+   strikes and is quarantined: poisoned = 1, requeued = 1 after the
+   first death, respawns = 2) followed by a clean burst that must all
+   be answered by the respawned pool.
+
+   Recovery: a journal owing [x_owed] admits (written directly — the
+   "crash" happened before any dispatch) is replayed by a fresh daemon
+   with recover = true; the wall from daemon start to the last owed
+   reply is the recovery cost a restart pays. *)
+let chaos_numbers () =
+  let tmp = Filename.get_temp_dir_name () in
+  let sock = Printf.sprintf "%s/mcs-bench-chaos-%d.sock" tmp (Unix.getpid ()) in
+  let wal = Printf.sprintf "%s/mcs-bench-chaos-%d.wal" tmp (Unix.getpid ()) in
+  (try Sys.remove wal with Sys_error _ -> ());
+  let stat stats name =
+    Option.value ~default:0 (Option.bind (Jx.member name stats) Jx.to_int)
+  in
+  let stats_of c =
+    match S_client.stats c with
+    | Ok j -> j
+    | Error m -> failwith ("chaos bench stats: " ^ m)
+  in
+  (* The child inherits this process's counters at fork; everything it
+     reports is a delta over the parent's value at that moment. *)
+  let parent_count name = Mcs_obs.Metrics.count (Mcs_obs.Metrics.counter name) in
+  let with_daemon ~fault ~recover f =
+    let pid = chaos_daemon ~fault ~wal ~recover sock in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      (fun () ->
+        let c = chaos_connect_retry sock in
+        Fun.protect
+          ~finally:(fun () ->
+            (match S_client.shutdown c with
+            | Ok _ -> ()
+            | Error m -> Format.eprintf "chaos bench shutdown: %s@." m);
+            S_client.close c)
+          (fun () -> f c))
+  in
+  (* Phase 1: the kill-domain burst. *)
+  let respawns0 = parent_count "server.respawns" in
+  let requeued0 = parent_count "server.requeued" in
+  let poisoned0 = parent_count "server.poisoned" in
+  let n_clean = 8 in
+  let burst =
+    with_daemon ~fault:"kill-domain:2" ~recover:false (fun c ->
+        let t0 = Unix.gettimeofday () in
+        let submit js =
+          match
+            S_client.submit_all c
+              (List.map
+                 (fun j ->
+                   {
+                     S_proto.id = "";
+                     job = j;
+                     deadline_ms = None;
+                     fallback = true;
+                   })
+                 js)
+          with
+          | Ok rs -> rs
+          | Error m -> failwith ("chaos bench: " ^ m)
+        in
+        (* The victim rides alone so both kill shots hit it. *)
+        let victim_replies = submit [ chaos_job 91 ] in
+        let clean_replies =
+          submit (List.init n_clean (fun i -> chaos_job (100 + i)))
+        in
+        let burst_wall = Unix.gettimeofday () -. t0 in
+        let poisoned_replies =
+          List.length
+            (List.filter
+               (fun (r : S_proto.reply) ->
+                 match r.S_proto.diag with
+                 | Some d -> d.S_proto.code = "poisoned"
+                 | None -> false)
+               victim_replies)
+        in
+        (* Both deaths respawn shortly after the replies (backoff). *)
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        let rec settle stats =
+          if
+            stat stats "respawns" - respawns0 >= 2
+            || Unix.gettimeofday () > deadline
+          then stats
+          else begin
+            Unix.sleepf 0.05;
+            settle (stats_of c)
+          end
+        in
+        let stats = settle (stats_of c) in
+        ( poisoned_replies,
+          List.length
+            (List.filter
+               (fun (r : S_proto.reply) -> r.S_proto.outcome <> None)
+               clean_replies),
+          burst_wall,
+          stat stats "poisoned" - poisoned0,
+          stat stats "requeued" - requeued0,
+          stat stats "respawns" - respawns0 ))
+  in
+  let ( poisoned_replies,
+        clean_answered,
+        burst_wall,
+        s_poisoned,
+        s_requeued,
+        s_respawns ) =
+    burst
+  in
+  assert (poisoned_replies = s_poisoned);
+  (* Phase 2: crash-recovery replay.  Write the owed journal directly:
+     the simulated daemon died after fsync'ing the admits, before any
+     dispatch. *)
+  (try Sys.remove wal with Sys_error _ -> ());
+  let owed = 6 in
+  let w = S_wal.open_ wal in
+  List.iter
+    (fun i ->
+      S_wal.append w
+        (S_wal.Admit
+           {
+             id = Printf.sprintf "owed%d" i;
+             job = chaos_job (200 + i);
+             deadline_ms = None;
+             fallback = true;
+           }))
+    (List.init owed (fun i -> i));
+  S_wal.close w;
+  let served0 = parent_count "server.served" in
+  let recovered0 = parent_count "server.wal.recovered" in
+  let t1 = Unix.gettimeofday () in
+  let recovered, recover_wall =
+    with_daemon ~fault:"" ~recover:true (fun c ->
+        let deadline = Unix.gettimeofday () +. 30.0 in
+        let rec settle stats =
+          if
+            stat stats "served" - served0 >= owed
+            || Unix.gettimeofday () > deadline
+          then stats
+          else begin
+            Unix.sleepf 0.05;
+            settle (stats_of c)
+          end
+        in
+        let stats = settle (stats_of c) in
+        (stat stats "wal_recovered" - recovered0, Unix.gettimeofday () -. t1))
+  in
+  (try Sys.remove wal with Sys_error _ -> ());
+  {
+    x_clean_sent = n_clean;
+    x_clean_answered = clean_answered;
+    x_poisoned = s_poisoned;
+    x_requeued = s_requeued;
+    x_respawns = s_respawns;
+    x_burst_wall = burst_wall;
+    x_owed = owed;
+    x_recovered = recovered;
+    x_recover_wall = recover_wall;
+  }
+
+let chaos () =
+  section "E-chaos - crash-safe serving: poison quarantine and WAL replay";
+  let n = chaos_numbers () in
+  Report.table fmt
+    ~title:
+      "Daemon under injected faults: a lethal job plus a clean burst \
+       (MCS_FAULT=kill-domain:2), then journal replay after a \
+       simulated crash"
+    ~header:
+      [ "Phase"; "Requests"; "Answered"; "Respawns"; "Requeued"; "Poisoned"; "Wall" ]
+    [
+      [
+        "kill-domain burst";
+        string_of_int (1 + n.x_clean_sent);
+        string_of_int (1 + n.x_clean_answered);
+        (* the victim's poisoned reply is an answer *)
+        string_of_int n.x_respawns;
+        string_of_int n.x_requeued;
+        string_of_int n.x_poisoned;
+        Printf.sprintf "%.2f s" n.x_burst_wall;
+      ];
+      [
+        "WAL recovery";
+        string_of_int n.x_owed;
+        string_of_int n.x_recovered;
+        "-";
+        "-";
+        "-";
+        Printf.sprintf "%.2f s" n.x_recover_wall;
+      ];
+    ];
+  Format.fprintf fmt
+    "@.every accepted request answered exactly once: %b; requests lost \
+     across the crash: %d@.@."
+    (n.x_clean_answered = n.x_clean_sent && n.x_poisoned = 1)
+    (n.x_owed - n.x_recovered)
+
 (* ---- E-refine: refinement recovers a forced degradation ---- *)
 
 module Rf = Mcs_refine.Refine
@@ -1336,6 +1596,26 @@ let json_report path =
                 ("warm_lt_cold_pivots", J.Bool (n.warm_pivots < n.cold_pivots));
               ]);
       ]
+    @
+    if not (want "chaos") then []
+    else
+      [
+        record "chaos-kill-and-recover" "random-burst" 0 (fun () ->
+            let n = chaos_numbers () in
+            Ok
+              [
+                ("clean_sent", J.Int n.x_clean_sent);
+                ("clean_answered", J.Int n.x_clean_answered);
+                ("poisoned", J.Int n.x_poisoned);
+                ("requeued", J.Int n.x_requeued);
+                ("respawns", J.Int n.x_respawns);
+                ("burst_wall_s", J.Float n.x_burst_wall);
+                ("owed", J.Int n.x_owed);
+                ("recovered", J.Int n.x_recovered);
+                ("lost", J.Int (n.x_owed - n.x_recovered));
+                ("recover_wall_s", J.Float n.x_recover_wall);
+              ]);
+      ]
   in
   let report =
     J.Obj [ ("schema", J.Str "mcs-bench/1"); ("flows", J.Arr flows) ]
@@ -1471,6 +1751,27 @@ let baseline_records ~reps () =
     add "serve.grid20" "cold_wall_s" n.cold_wall false;
     add "serve.grid20" "warm_wall_s" n.warm_wall false
   end;
+  (* Hard chaos gates encode their good state as 0 (hard gates fail on
+     any increase): a missing quarantine, a lost clean reply or a
+     request lost across the crash all flip a 0 to a positive count.
+     The raw churn counters (respawns, requeued, poisoned) are hard
+     too, so the faults injected can't silently grow either. *)
+  if want "chaos" then begin
+    let n = chaos_numbers () in
+    let e = "chaos.kill2" in
+    add e "poisoned" (float_of_int n.x_poisoned) true;
+    add e "requeued" (float_of_int n.x_requeued) true;
+    add e "respawns" (float_of_int n.x_respawns) true;
+    add e "quarantine_missed" (if n.x_poisoned = 1 then 0.0 else 1.0) true;
+    add e "clean_unanswered"
+      (float_of_int (n.x_clean_sent - n.x_clean_answered))
+      true;
+    add e "burst_wall_s" n.x_burst_wall false;
+    let r = "chaos.recover" in
+    add r "recovered" (float_of_int n.x_recovered) true;
+    add r "lost" (float_of_int (n.x_owed - n.x_recovered)) true;
+    add r "recover_wall_s" n.x_recover_wall false
+  end;
   (* Hard gates fail on any increase, so the booleans encode their good
      state as 0: recovery_missed flips to 1 if refinement ever stops
      recovering the exact objective, no_accepted_iteration flips to 1 if
@@ -1592,6 +1893,7 @@ let () =
       if want "ilp" then ilp ();
       if want "dse" then dse ();
       if want "serve" then serve ();
+      if want "chaos" then chaos ();
       if want "refine" then refine ();
       if not !skip_bechamel then bechamel ();
       Format.fprintf fmt "@.All experiments completed.@.";

@@ -808,6 +808,19 @@ let client socket tcp designs_s flows_s rates_s pls_s refine deadline_ms
             match S_client.submit_all c submits with
             | Error m ->
                 Format.eprintf "client: %s@." m;
+                (* A typed oversized rejection means the server's frame
+                   bound, not the transport, refused us. *)
+                let contains hay needle =
+                  let nh = String.length hay and nn = String.length needle in
+                  let rec go i =
+                    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+                  in
+                  nn > 0 && go 0
+                in
+                if contains m "[oversized]" then
+                  Format.eprintf
+                    "client: the request line exceeded the daemon's \
+                     --max-frame bound; submit a smaller job encoding@.";
                 2
             | Ok replies ->
                 let wall = Unix.gettimeofday () -. t0 in
@@ -865,6 +878,22 @@ let client socket tcp designs_s flows_s rates_s pls_s refine deadline_ms
                           Format.eprintf "cannot write %s: %s@." path m;
                           3)
                 in
+                let diag_count code =
+                  List.length
+                    (List.filter
+                       (fun (r : S_proto.reply) ->
+                         match r.S_proto.diag with
+                         | Some d -> d.S_proto.code = code
+                         | None -> false)
+                       replies)
+                in
+                let poisoned = diag_count "poisoned" in
+                if poisoned > 0 then
+                  Format.eprintf
+                    "client: %d job%s quarantined as poison (repeatedly \
+                     killed a server worker domain)@."
+                    poisoned
+                    (if poisoned = 1 then "" else "s");
                 let rejected =
                   List.exists
                     (fun (r : S_proto.reply) -> r.S_proto.outcome = None)

@@ -10,6 +10,49 @@ let c_timeouts = M.counter "engine.pool.timeouts"
 let c_retries = M.counter "engine.pool.retries"
 let c_executed = M.counter "engine.jobs.executed"
 
+(* ---- shared requeue bookkeeping ---- *)
+
+(* A strike ledger: how many times a given job (by canonical key) has
+   taken down its executor.  The fork pool and the server supervisor
+   share this bookkeeping so "how many failures before we stop retrying"
+   is one policy, not two: the pool consults it on the degraded retry,
+   the supervisor consults it when a worker domain dies or stalls and
+   quarantines a job that reaches the limit as poison.  Mutex-guarded —
+   the supervisor records strikes from the main loop while domains run. *)
+module Strikes = struct
+  type t = {
+    lock : Mutex.t;
+    counts : (string, int) Hashtbl.t;
+    max_strikes : int;
+  }
+
+  let create ?(max_strikes = 2) () =
+    { lock = Mutex.create (); counts = Hashtbl.create 16; max_strikes }
+
+  let max_strikes t = t.max_strikes
+
+  let with_lock t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let count t key =
+    with_lock t (fun () ->
+        Option.value ~default:0 (Hashtbl.find_opt t.counts key))
+
+  let poisoned t key = count t key >= t.max_strikes
+
+  (* Record one strike; [`Poisoned n] once the key reaches the limit. *)
+  let record t key =
+    with_lock t (fun () ->
+        let n =
+          1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key)
+        in
+        Hashtbl.replace t.counts key n;
+        if n >= t.max_strikes then `Poisoned n else `Retry n)
+
+  let forgive t key = with_lock t (fun () -> Hashtbl.remove t.counts key)
+end
+
 (* ---- in-process execution ---- *)
 
 let feasible ?refine job ~pins ~pipe_length ~fu_count ~check ~degraded ~solver
@@ -251,7 +294,7 @@ let spawn ?(crash = false) worker job idx ~timeout =
    fork-and-select or in-process — and must call [finish i outcome]
    exactly once per index.  Extracted so the daemon's in-process mode
    and the CLI's fork mode cannot drift. *)
-let run_generic ?cache ?(retry = false) ~halve_timeout ~drain
+let run_generic ?cache ?(retry = false) ?strikes ~halve_timeout ~drain
     (joblist : Job.t array) =
   let n = Array.length joblist in
   M.incr c_jobs ~n;
@@ -283,6 +326,21 @@ let run_generic ?cache ?(retry = false) ~halve_timeout ~drain
                true
            | _ -> false)
          (Mcs_util.Listx.range 0 n)
+     in
+     (* With a shared strike ledger, each failure is a strike and a job
+        already at the limit is left settled as-is instead of retried —
+        the same circuit breaker the server supervisor applies to jobs
+        that kill worker domains. *)
+     let failed =
+       match strikes with
+       | None -> failed
+       | Some s ->
+           List.filter
+             (fun i ->
+               match Strikes.record s (Job.to_string joblist.(i)) with
+               | `Retry _ -> true
+               | `Poisoned _ -> false)
+             failed
      in
      if failed <> [] then begin
        M.incr c_retries ~n:(List.length failed);
@@ -335,7 +393,7 @@ let run_generic ?cache ?(retry = false) ~halve_timeout ~drain
        results)
 
 let run ?(jobs = 1) ?timeout ?cache ?(worker = fun j -> exec j)
-    ?(retry = false) joblist =
+    ?(retry = false) ?strikes joblist =
   let slots = max 1 jobs in
   let joblist = Array.of_list joblist in
   (* The crash-worker:N fault kills the first N forked workers on entry;
@@ -427,11 +485,11 @@ let run ?(jobs = 1) ?timeout ?cache ?(worker = fun j -> exec j)
     end
   done
   in
-  run_generic ?cache ~retry ~halve_timeout:timeout ~drain joblist
+  run_generic ?cache ~retry ?strikes ~halve_timeout:timeout ~drain joblist
 
 (* ---- in-process execution over the shared bookkeeping ---- *)
 
-let run_local ?policy ?cache ?worker ?(retry = false) joblist =
+let run_local ?policy ?cache ?worker ?(retry = false) ?strikes joblist =
   let joblist = Array.of_list joblist in
   let job_worker ~degraded job =
     match worker with
@@ -479,4 +537,4 @@ let run_local ?policy ?cache ?worker ?(retry = false) joblist =
     in
     go indices
   in
-  run_generic ?cache ~retry ~halve_timeout:None ~drain joblist
+  run_generic ?cache ~retry ?strikes ~halve_timeout:None ~drain joblist

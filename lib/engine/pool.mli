@@ -28,6 +28,34 @@
     [Mcs_server] daemon's worker domains use), so the two modes return
     identical lists for deterministic flows by construction. *)
 
+(** Shared requeue bookkeeping: a mutex-guarded ledger of how many times
+    a job (by canonical string key) has taken down its executor.  One
+    policy for "how many failures before we stop retrying", shared
+    between the fork pool's degraded retry and the [Mcs_server]
+    supervisor's poison quarantine. *)
+module Strikes : sig
+  type t
+
+  val create : ?max_strikes:int -> unit -> t
+  (** [max_strikes] defaults to 2: a job that kills its executor twice is
+      poison. *)
+
+  val max_strikes : t -> int
+
+  val count : t -> string -> int
+  (** Strikes recorded so far against [key]; 0 when never seen. *)
+
+  val poisoned : t -> string -> bool
+  (** [count t key >= max_strikes] — the circuit is open for this key. *)
+
+  val record : t -> string -> [ `Retry of int | `Poisoned of int ]
+  (** Record one strike and return the new count: [`Retry n] while below
+      the limit, [`Poisoned n] at or above it. *)
+
+  val forgive : t -> string -> unit
+  (** Clear a key's strikes (e.g. after a clean completion). *)
+end
+
 val exec : ?policy:Mcs_flow.Flow.policy -> Job.t -> Outcome.t
 (** Run one job in the calling process.  Flow rejections ([Error],
     [Invalid_argument], [Failure] — including an unknown design name)
@@ -49,6 +77,7 @@ val run :
   ?cache:Cache.t ->
   ?worker:(Job.t -> Outcome.t) ->
   ?retry:bool ->
+  ?strikes:Strikes.t ->
   Job.t list ->
   Outcome.t list
 (** [run ~jobs:n js] keeps at most [n] (default 1, floored at 1) workers
@@ -61,13 +90,20 @@ val run :
     mode: the worker's [MCS_DEADLINE_MS] budget — or, absent one, the
     pool [timeout] — is halved for the retry, so the flows' degradation
     ladders get a real chance to land a (degraded) result inside the
-    original allowance.  Counter: [engine.pool.retries]. *)
+    original allowance.  Counter: [engine.pool.retries].
+
+    [strikes] (optional) makes the retry consult a shared {!Strikes}
+    ledger: each failure records a strike against the job's canonical
+    key, and a job already at the limit keeps its failed outcome instead
+    of being retried — the same circuit breaker the server supervisor
+    applies to jobs that kill worker domains. *)
 
 val run_local :
   ?policy:Mcs_flow.Flow.policy ->
   ?cache:Cache.t ->
   ?worker:(Job.t -> Outcome.t) ->
   ?retry:bool ->
+  ?strikes:Strikes.t ->
   Job.t list ->
   Outcome.t list
 (** In-process twin of {!run}: same cache prefill / retry / store-back /

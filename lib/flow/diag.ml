@@ -18,6 +18,8 @@ type code =
   | Result_mismatch
   | Exhausted
   | Degraded
+  | Poisoned
+  | Oversized
   | Internal
 
 type t = {
@@ -69,6 +71,8 @@ let code_to_string = function
   | Result_mismatch -> "result-mismatch"
   | Exhausted -> "exhausted"
   | Degraded -> "degraded"
+  | Poisoned -> "poisoned"
+  | Oversized -> "oversized"
   | Internal -> "internal"
 
 let message d =

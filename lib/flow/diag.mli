@@ -27,6 +27,10 @@ type code =
   | Result_mismatch  (** a result field disagrees with its artifacts *)
   | Exhausted  (** a solver ran out of its {!Mcs_resilience.Budget} *)
   | Degraded  (** a degradation-ladder step was taken (severity Warning) *)
+  | Poisoned
+      (** the request repeatedly killed its executor and was quarantined
+          by the server's circuit breaker instead of retried forever *)
+  | Oversized  (** a protocol frame exceeded the server's size bound *)
   | Internal  (** an invariant failure folded into a diagnostic *)
 
 type t = {

@@ -5,6 +5,9 @@ type t =
   | Exhaust_hungarian
   | Crash_worker of int
   | Corrupt_cache
+  | Kill_domain
+  | Stall_conn
+  | Wal_torn
 
 let to_string = function
   | Exhaust_ilp -> "exhaust-ilp"
@@ -13,6 +16,9 @@ let to_string = function
   | Exhaust_hungarian -> "exhaust-hungarian"
   | Crash_worker n -> Printf.sprintf "crash-worker:%d" n
   | Corrupt_cache -> "corrupt-cache"
+  | Kill_domain -> "kill-domain"
+  | Stall_conn -> "stall-conn"
+  | Wal_torn -> "wal-torn"
 
 (* An exhaust mode may carry an armed count ("exhaust-ilp:2" fires on the
    first two injection-point hits, then disarms); [None] = every hit while
@@ -41,6 +47,21 @@ let parse_one s =
   | "exhaust-heuristic" -> armed Exhaust_heuristic
   | "exhaust-hungarian" -> armed Exhaust_hungarian
   | "corrupt-cache" when count = None -> Ok (Corrupt_cache, None)
+  (* The chaos modes always carry an armed count; a bare mode means one
+     shot.  An unbounded kill-domain would poison every job it touches,
+     which is never what a test wants. *)
+  | "kill-domain" -> (
+      match armed Kill_domain with
+      | Ok (f, None) -> Ok (f, Some 1)
+      | r -> r)
+  | "stall-conn" -> (
+      match armed Stall_conn with
+      | Ok (f, None) -> Ok (f, Some 1)
+      | r -> r)
+  | "wal-torn" -> (
+      match armed Wal_torn with
+      | Ok (f, None) -> Ok (f, Some 1)
+      | r -> r)
   | "crash-worker" -> (
       match count with
       | Some n -> (
@@ -119,3 +140,6 @@ let crash_workers () =
     0 (active ())
 
 let corrupt_cache () = has Corrupt_cache
+let kill_domain () = fire Kill_domain
+let stall_conn () = fire Stall_conn
+let wal_torn () = fire Wal_torn

@@ -23,6 +23,17 @@
       their first attempt (they succeed when retried).
     - [corrupt-cache] — the engine cache writes a corrupt body on [store],
       so the next [lookup] must quarantine it.
+    - [kill-domain:N] — the next [N] jobs picked up by a server worker
+      domain kill that domain (the supervisor must respawn it and requeue
+      or quarantine the batch).
+    - [stall-conn:N] — the next [N] connections the server accepts go
+      silent (their reads stall), exercising idle reaping.
+    - [wal-torn] — the next WAL append writes a torn (checksum-invalid)
+      record, exercising recovery's torn-tail handling.
+
+    The chaos modes ([kill-domain], [stall-conn], [wal-torn]) always carry
+    an armed count; their bare forms mean one shot — an unbounded
+    kill-domain would poison every job it touches.
 
     The injection points re-read the environment lazily (memoized on the
     variable's value) so tests can flip faults with [Unix.putenv]. *)
@@ -34,6 +45,9 @@ type t =
   | Exhaust_hungarian
   | Crash_worker of int
   | Corrupt_cache
+  | Kill_domain
+  | Stall_conn
+  | Wal_torn
 
 val parse : string -> (t list, string) result
 (** Parse a comma-separated [MCS_FAULT] value.  The empty string parses to
@@ -65,3 +79,15 @@ val crash_workers : unit -> int
 (** Number of pool jobs to crash on first attempt; 0 when disabled. *)
 
 val corrupt_cache : unit -> bool
+
+val kill_domain : unit -> bool
+(** Consume one kill-domain shot: [true] means the calling worker domain
+    should die now. *)
+
+val stall_conn : unit -> bool
+(** Consume one stall-conn shot: [true] means the connection being
+    accepted should be treated as silent (never readable). *)
+
+val wal_torn : unit -> bool
+(** Consume one wal-torn shot: [true] means the WAL append in progress
+    should write a torn record. *)

@@ -49,6 +49,15 @@ let submit_all t submits =
     if Hashtbl.length replies < List.length submits then
       match recv t with
       | Error m -> Error m
+      | Ok (P.Reply r) when r.P.id = "" ->
+          (* A connection-level error reply (oversized frame, unparsable
+             request) carries no id: it answers no pending submit, and
+             the server is about to close on us — surfacing it beats
+             collecting forever. *)
+          Error
+            (match r.P.diag with
+            | Some d -> Printf.sprintf "%s: %s [%s]" d.P.phase d.P.message d.P.code
+            | None -> "server error reply without id")
       | Ok (P.Reply r) ->
           if List.mem r.P.id wanted then Hashtbl.replace replies r.P.id r;
           collect ()

@@ -19,7 +19,9 @@ val submit_all :
 (** Pipeline all submissions, then collect until every id has replied;
     results return in submission order regardless of the server's
     completion order.  Submits with id [""] get client-assigned ids
-    [c0], [c1], ... *)
+    [c0], [c1], ...  A connection-level error reply (one without an id,
+    e.g. a typed [oversized] rejection) returns [Error] immediately —
+    it answers no pending submit and the server closes after it. *)
 
 val stats : t -> (Mcs_obs.Report_json.t, string) result
 (** The [mcs-serve/1] stats object. *)

@@ -39,6 +39,12 @@ let diag_of_flow (d : Diag.t) =
 let exhausted_diag ~phase message =
   { code = Diag.code_to_string Diag.Exhausted; phase; message }
 
+let poisoned_diag ~phase message =
+  { code = Diag.code_to_string Diag.Poisoned; phase; message }
+
+let oversized_diag ~phase message =
+  { code = Diag.code_to_string Diag.Oversized; phase; message }
+
 (* ---- requests ---- *)
 
 let submit ?(id = "") ?deadline_ms ?(fallback = true) job =

@@ -68,6 +68,14 @@ val exhausted_diag : phase:string -> string -> diag
 (** A server-synthesized deadline/admission failure, typed
     [Diag.Exhausted] like a solver's own budget exhaustion. *)
 
+val poisoned_diag : phase:string -> string -> diag
+(** A supervisor quarantine: the job repeatedly killed its worker domain
+    and the circuit breaker answered instead of retrying forever. *)
+
+val oversized_diag : phase:string -> string -> diag
+(** A protocol frame exceeded the server's size bound; the connection is
+    closed after this reply flushes. *)
+
 val request_to_string : request -> string
 val request_of_string : string -> (request, string) result
 

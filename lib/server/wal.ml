@@ -1,0 +1,195 @@
+module Job = Mcs_engine.Job
+module M = Mcs_obs.Metrics
+
+let magic = "mcs-wal/1"
+let c_appends = M.counter "server.wal.appends"
+let c_torn_injected = M.counter "server.wal.torn_injected"
+
+type record =
+  | Admit of {
+      id : string;
+      job : Job.t;
+      deadline_ms : float option;
+      fallback : bool;
+    }
+  | Done of { id : string }
+
+type t = { fd : Unix.file_descr; path : string }
+
+(* ---- codec ---- *)
+
+(* The payload must survive embedded ['|'] in both the request id (client
+   chosen) and the canonical job encoding (['|']-separated itself), so
+   the id is length-prefixed and the job string is the final field. *)
+let payload_of_record = function
+  | Admit { id; job; deadline_ms; fallback } ->
+      Printf.sprintf "admit|%s|%d|%d|%s|%s"
+        (match deadline_ms with Some ms -> Printf.sprintf "%g" ms | None -> "-")
+        (if fallback then 1 else 0)
+        (String.length id) id (Job.to_string job)
+  | Done { id } -> Printf.sprintf "done|%s" id
+
+let line_of_record r =
+  let payload = payload_of_record r in
+  Printf.sprintf "%s|%s|%s\n" magic Digest.(to_hex (string payload)) payload
+
+let record_of_payload payload =
+  let fail () = Error "unparsable wal payload" in
+  match String.index_opt payload '|' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub payload 0 i in
+      let rest = String.sub payload (i + 1) (String.length payload - i - 1) in
+      match kind with
+      | "done" -> Ok (Done { id = rest })
+      | "admit" -> (
+          match String.split_on_char '|' rest with
+          | dl :: fb :: idlen :: tail -> (
+              let deadline_ms =
+                if dl = "-" then Ok None
+                else
+                  match float_of_string_opt dl with
+                  | Some ms -> Ok (Some ms)
+                  | None -> Error ()
+              in
+              let fallback =
+                match fb with "1" -> Ok true | "0" -> Ok false | _ -> Error ()
+              in
+              (* [tail] re-joined is "<id>|<job>" with the id's length
+                 known, so embedded separators in either are safe. *)
+              let idjob = String.concat "|" tail in
+              match (deadline_ms, fallback, int_of_string_opt idlen) with
+              | Ok deadline_ms, Ok fallback, Some n
+                when n >= 0 && n + 1 <= String.length idjob
+                     && (n = String.length idjob || idjob.[n] = '|') -> (
+                  let id = String.sub idjob 0 n in
+                  let jobstr =
+                    String.sub idjob (n + 1) (String.length idjob - n - 1)
+                  in
+                  match Job.of_string jobstr with
+                  | Ok job -> Ok (Admit { id; job; deadline_ms; fallback })
+                  | Error _ -> fail ())
+              | _ -> fail ())
+          | _ -> fail ())
+      | _ -> fail ())
+
+let record_of_line line =
+  (* "mcs-wal/1|<32 hex>|<payload>" with the checksum over the payload. *)
+  let magiclen = String.length magic in
+  if
+    String.length line < magiclen + 34
+    || String.sub line 0 magiclen <> magic
+    || line.[magiclen] <> '|'
+    || line.[magiclen + 33] <> '|'
+  then Error "bad wal line"
+  else
+    let sum = String.sub line (magiclen + 1) 32 in
+    let payload =
+      String.sub line (magiclen + 34) (String.length line - magiclen - 34)
+    in
+    if not (String.equal sum Digest.(to_hex (string payload))) then
+      Error "wal checksum mismatch"
+    else record_of_payload payload
+
+(* ---- append side ---- *)
+
+let open_ path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  { fd; path }
+
+let path t = t.path
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let append ?(sync = true) t record =
+  M.incr c_appends;
+  let line = line_of_record record in
+  let line =
+    (* The wal-torn fault truncates the record mid-payload but keeps the
+       newline, so exactly this record fails its checksum at replay while
+       every neighbour still parses. *)
+    if Mcs_resilience.Fault.wal_torn () then begin
+      M.incr c_torn_injected;
+      String.sub line 0 (String.length line / 2) ^ "\n"
+    end
+    else line
+  in
+  write_all t.fd line;
+  if sync then try Unix.fsync t.fd with Unix.Unix_error _ -> ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* ---- recovery side ---- *)
+
+let replay path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> ([], 0)
+  | data ->
+      let n = String.length data in
+      let records = ref [] and torn = ref 0 in
+      let rec go from =
+        if from < n then
+          match String.index_from_opt data from '\n' with
+          | None ->
+              (* Unterminated tail: the crash tore the final append. *)
+              incr torn
+          | Some nl ->
+              (match record_of_line (String.sub data from (nl - from)) with
+              | Ok r -> records := r :: !records
+              | Error _ -> incr torn);
+              go (nl + 1)
+      in
+      go 0;
+      (List.rev !records, !torn)
+
+let incomplete records =
+  (* Multiset of admits minus dones, by request id, preserving admit
+     order.  Ids can repeat across a journal's lifetime (clients reuse
+     c0, c1, ...), so each done retires one admit, latest first. *)
+  let done_count = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Done { id } ->
+          Hashtbl.replace done_count id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt done_count id))
+      | Admit _ -> ())
+    records;
+  List.rev
+    (List.fold_left
+       (fun acc r ->
+         match r with
+         | Done _ -> acc
+         | Admit a -> (
+             match Hashtbl.find_opt done_count a.id with
+             | Some n when n > 0 ->
+                 Hashtbl.replace done_count a.id (n - 1);
+                 acc
+             | _ -> r :: acc))
+       [] records)
+
+let compact path records =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter (fun r -> write_all fd (line_of_record r)) records;
+      try Unix.fsync fd with Unix.Unix_error _ -> ());
+  Unix.rename tmp path

@@ -1,0 +1,56 @@
+(** Durable request journal ([mcs-wal/1]) — the daemon's crash-survival
+    record of every admitted request.
+
+    Append-only, line-oriented:
+    {v mcs-wal/1|<md5 hex of payload>|<payload> v}
+    with two payloads: [admit|<deadline_ms or ->|<fallback>|<id length>|
+    <id>|<canonical job>] written (and fsync'd) when a request passes
+    admission, before dispatch; and [done|<id>] written when its reply
+    leaves, without fsync — losing a done mark costs at most one warm
+    recomputation at recovery, never a lost request.
+
+    {!replay} validates every line against its checksum: a torn trailing
+    record (the crash interrupted an append) or a torn middle record (the
+    [wal-torn] fault) fails its checksum and is dropped and counted,
+    while every intact neighbour still parses — so recovery after any
+    prefix truncation yields exactly the complete records.
+
+    Counters: [server.wal.appends], [server.wal.torn_injected]. *)
+
+type record =
+  | Admit of {
+      id : string;
+      job : Mcs_engine.Job.t;
+      deadline_ms : float option;
+      fallback : bool;
+    }
+  | Done of { id : string }
+
+type t
+
+val open_ : string -> t
+(** Open (creating if needed) the journal for appending. *)
+
+val path : t -> string
+
+val append : ?sync:bool -> t -> record -> unit
+(** Append one record; [sync] (default [true]) fsyncs afterwards.  The
+    server syncs admits and leaves dones unsynced.  Under the [wal-torn]
+    fault the record is written truncated (checksum-invalid) so recovery
+    tests can exercise torn-record handling deterministically. *)
+
+val close : t -> unit
+
+val replay : string -> record list * int
+(** All checksum-valid records in file order, plus the count of torn
+    (dropped) lines.  A missing file replays as [([], 0)]. *)
+
+val incomplete : record list -> record list
+(** The [Admit] records not yet retired by a matching [Done], in admit
+    order — what recovery must re-run.  Request ids may repeat across a
+    journal's lifetime; each done retires one admit. *)
+
+val compact : string -> record list -> unit
+(** Atomically rewrite the journal to exactly [records] (tmp + rename) —
+    called at recovery so replayed work is not re-replayed by the next
+    crash. *)
